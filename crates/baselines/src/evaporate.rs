@@ -1,0 +1,236 @@
+//! Evaporate (Arora et al. 2023): information extraction by synthesizing
+//! extraction code.
+//!
+//! *Evaporate-code* synthesizes one extraction rule per attribute from a
+//! few sample documents and applies it everywhere — cheap but brittle when
+//! page templates vary. *Evaporate-code+* synthesizes an ensemble of rules
+//! and votes — the stronger variant that beats UniDM in Table 11.
+
+use std::collections::BTreeMap;
+
+use unidm_synthdata::extraction::Document;
+
+/// One synthesized extraction rule: grab the text between two anchors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Text immediately before the value.
+    pub prefix: String,
+    /// Text immediately after the value.
+    pub suffix: String,
+}
+
+impl Rule {
+    /// Applies the rule to a document.
+    pub fn apply(&self, text: &str) -> Option<String> {
+        let start = text.find(&self.prefix)? + self.prefix.len();
+        let rest = &text[start..];
+        let end = rest.find(&self.suffix)?;
+        let value = rest[..end].trim();
+        (!value.is_empty()).then(|| value.to_string())
+    }
+}
+
+/// Candidate anchor pairs per attribute — the patterns a code synthesizer
+/// would discover from sample pages.
+fn candidate_rules(attr: &str) -> Vec<Rule> {
+    let cap = |s: &str| {
+        let mut cs = s.chars();
+        match cs.next() {
+            Some(c) => c.to_uppercase().collect::<String>() + cs.as_str(),
+            None => String::new(),
+        }
+    };
+    let mut rules = vec![
+        // Infobox rows: <tr><th>Attr</th><td>value</td></tr>
+        Rule {
+            prefix: format!("<th>{}</th><td>", cap(attr)),
+            suffix: "</td>".to_string(),
+        },
+        // Key-value spans: "attr = value<"
+        Rule { prefix: format!("{attr} = "), suffix: "<".to_string() },
+    ];
+    match attr {
+        "player" => {
+            rules.push(Rule { prefix: "<h1>".into(), suffix: "</h1>".into() });
+            rules.push(Rule { prefix: "<h2>".into(), suffix: "</h2>".into() });
+            rules.push(Rule { prefix: "<title>".into(), suffix: " |".into() });
+        }
+        "height" => {
+            rules.push(Rule { prefix: "ht&nbsp;".into(), suffix: "<".into() });
+            rules.push(Rule { prefix: "Standing ".into(), suffix: " tall".into() });
+        }
+        "position" => {
+            rules.push(Rule { prefix: "pos: ".into(), suffix: "<".into() });
+            rules.push(Rule { prefix: "plays the ".into(), suffix: " position".into() });
+        }
+        "college" => {
+            rules.push(Rule { prefix: "college = ".into(), suffix: "<".into() });
+            rules.push(Rule {
+                prefix: "college basketball at ".into(),
+                suffix: " before".into(),
+            });
+        }
+        _ => {}
+    }
+    rules
+}
+
+/// Synthesizes the single best rule for `attr` from sample documents
+/// (Evaporate-code): the candidate that fires on the most samples.
+pub fn synthesize_single(docs: &[Document], attr: &str) -> Option<Rule> {
+    candidate_rules(attr)
+        .into_iter()
+        .map(|r| {
+            let hits = docs.iter().filter(|d| r.apply(&d.text).is_some()).count();
+            (hits, r)
+        })
+        .filter(|(hits, _)| *hits > 0)
+        .max_by_key(|(hits, _)| *hits)
+        .map(|(_, r)| r)
+}
+
+/// Extracts with Evaporate-code: one rule fit on the sample, applied to all.
+pub fn extract_single(
+    sample: &[Document],
+    docs: &[Document],
+    attrs: &[String],
+) -> Vec<BTreeMap<String, String>> {
+    let rules: BTreeMap<&str, Option<Rule>> = attrs
+        .iter()
+        .map(|a| (a.as_str(), synthesize_single(sample, a)))
+        .collect();
+    docs.iter()
+        .map(|d| {
+            attrs
+                .iter()
+                .filter_map(|a| {
+                    rules
+                        .get(a.as_str())
+                        .and_then(|r| r.as_ref())
+                        .and_then(|r| r.apply(&d.text))
+                        .map(|v| (a.clone(), v))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Extracts with Evaporate-code+: every candidate rule votes per document;
+/// the first rule that fires (in sample-support order) wins.
+pub fn extract_ensemble(
+    sample: &[Document],
+    docs: &[Document],
+    attrs: &[String],
+) -> Vec<BTreeMap<String, String>> {
+    // Rank candidates by sample support, keep all that ever fire.
+    let mut ranked: BTreeMap<&str, Vec<Rule>> = BTreeMap::new();
+    for a in attrs {
+        let mut scored: Vec<(usize, Rule)> = candidate_rules(a)
+            .into_iter()
+            .map(|r| {
+                let hits = sample.iter().filter(|d| r.apply(&d.text).is_some()).count();
+                (hits, r)
+            })
+            .filter(|(h, _)| *h > 0)
+            .collect();
+        scored.sort_by_key(|(h, _)| std::cmp::Reverse(*h));
+        ranked.insert(a.as_str(), scored.into_iter().map(|(_, r)| r).collect());
+    }
+    docs.iter()
+        .map(|d| {
+            attrs
+                .iter()
+                .filter_map(|a| {
+                    ranked
+                        .get(a.as_str())
+                        .and_then(|rules| rules.iter().find_map(|r| r.apply(&d.text)))
+                        .map(|v| (a.clone(), v))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_synthdata::extraction;
+    use unidm_world::World;
+
+    fn text_f1(pred: &str, truth: &str) -> f64 {
+        let p: Vec<String> = unidm_text::words(pred);
+        let t: Vec<String> = unidm_text::words(truth);
+        if p.is_empty() || t.is_empty() {
+            return f64::from(u8::from(p == t));
+        }
+        let common = p.iter().filter(|w| t.contains(w)).count() as f64;
+        if common == 0.0 {
+            return 0.0;
+        }
+        let precision = common / p.len() as f64;
+        let recall = common / t.len() as f64;
+        2.0 * precision * recall / (precision + recall)
+    }
+
+    fn avg_f1(preds: &[BTreeMap<String, String>], ds: &extraction::ExtractionDataset) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (pred, truth) in preds.iter().zip(&ds.truth) {
+            for attr in &ds.attrs {
+                let p = pred.get(attr).map(String::as_str).unwrap_or("");
+                sum += text_f1(p, &truth[attr]);
+                n += 1;
+            }
+        }
+        sum / n as f64
+    }
+
+    #[test]
+    fn ensemble_beats_single() {
+        let world = World::generate(7);
+        let ds = extraction::nba_players(&world, 3);
+        let sample = &ds.docs[..10.min(ds.docs.len())];
+        let single = extract_single(sample, &ds.docs, &ds.attrs);
+        let ensemble = extract_ensemble(sample, &ds.docs, &ds.attrs);
+        let f1_single = avg_f1(&single, &ds);
+        let f1_ensemble = avg_f1(&ensemble, &ds);
+        assert!(
+            f1_ensemble > f1_single,
+            "ensemble {f1_ensemble:.3} vs single {f1_single:.3}"
+        );
+        assert!(f1_ensemble > 0.6, "ensemble should be strong: {f1_ensemble:.3}");
+    }
+
+    #[test]
+    fn rule_extracts_infobox_row() {
+        let r = Rule { prefix: "<th>Height</th><td>".into(), suffix: "</td>".into() };
+        assert_eq!(
+            r.apply("<tr><th>Height</th><td>6 ft 10 in</td></tr>").as_deref(),
+            Some("6 ft 10 in")
+        );
+        assert_eq!(r.apply("no table here"), None);
+    }
+
+    #[test]
+    fn single_rule_misses_other_templates() {
+        let world = World::generate(7);
+        let ds = extraction::nba_players(&world, 3);
+        // Fit on infobox docs only; prose/messy pages should often miss.
+        let infobox: Vec<Document> = ds
+            .docs
+            .iter()
+            .filter(|d| d.template == extraction::Template::Infobox)
+            .take(8)
+            .cloned()
+            .collect();
+        let preds = extract_single(&infobox, &ds.docs, &ds.attrs);
+        let misses = preds
+            .iter()
+            .zip(&ds.docs)
+            .filter(|(p, d)| {
+                d.template != extraction::Template::Infobox && !p.contains_key("height")
+            })
+            .count();
+        assert!(misses > 0, "single-rule extraction should miss non-infobox pages");
+    }
+}

@@ -1,0 +1,143 @@
+//! IMP (Mei et al. 2021): imputation with pre-trained language-model
+//! semantics.
+//!
+//! The original fine-tunes a PLM to embed records and votes among nearest
+//! neighbours. Offline we keep the architecture with TF-IDF-weighted
+//! lexical similarity: rare tokens (street names, brand tokens, model
+//! codes) dominate the neighbour search the way contextual embeddings
+//! weight discriminative spans, while ubiquitous tokens ("Cafe", "Pro")
+//! wash out.
+
+use unidm_tablestore::{Table, TableError};
+use unidm_text::tfidf::TfIdf;
+
+/// A fitted IMP model over one table and target attribute.
+#[derive(Debug)]
+pub struct Imp {
+    model: TfIdf,
+    texts: Vec<String>,
+    labels: Vec<Option<String>>,
+    k: usize,
+}
+
+impl Imp {
+    /// Indexes every row of `table` (excluding `target_attr`).
+    ///
+    /// # Errors
+    ///
+    /// Returns table errors for invalid references.
+    pub fn fit(table: &Table, target_attr: &str, k: usize) -> Result<Self, TableError> {
+        let target_idx = table.schema().require(target_attr)?;
+        let mut texts = Vec::with_capacity(table.row_count());
+        let mut labels = Vec::with_capacity(table.row_count());
+        for rec in table.rows() {
+            let fields: Vec<String> = rec
+                .values()
+                .iter()
+                .enumerate()
+                .filter(|(i, v)| *i != target_idx && !v.is_null())
+                .map(|(_, v)| v.to_string())
+                .collect();
+            // Digit-only tokens (house numbers, phone digits) carry no
+            // semantics for a subword PLM encoder; drop them the way the
+            // original model's tokenizer washes them out.
+            let mut text: String = fields
+                .join(" ")
+                .split_whitespace()
+                .filter(|w| !w.chars().all(|c| c.is_ascii_digit() || !c.is_alphanumeric()))
+                .collect::<Vec<_>>()
+                .join(" ");
+            // Position bias: encoders weight a title's leading token (the
+            // brand) above mid-string tokens; emulate by doubling it.
+            if let Some(first) = text.split_whitespace().next() {
+                text = format!("{first} {text}");
+            }
+            texts.push(text);
+            let label = rec.get(target_idx).filter(|v| !v.is_null()).map(|v| v.to_string());
+            labels.push(label);
+        }
+        let model = TfIdf::fit(texts.iter().map(String::as_str));
+        Ok(Imp { model, texts, labels, k: k.max(1) })
+    }
+
+    /// Imputes the target attribute of `row` by weighted k-NN vote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`] for an invalid row.
+    pub fn impute(&self, row: usize) -> Result<String, TableError> {
+        let query = self.texts.get(row).ok_or(TableError::RowOutOfBounds {
+            index: row,
+            len: self.texts.len(),
+        })?;
+        let mut scored: Vec<(f64, &str)> = self
+            .texts
+            .iter()
+            .zip(&self.labels)
+            .enumerate()
+            .filter(|(i, (_, label))| *i != row && label.is_some())
+            .map(|(_, (t, label))| {
+                (self.model.similarity(query, t), label.as_deref().unwrap_or(""))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+        for (sim, label) in scored.into_iter().take(self.k) {
+            *votes.entry(label).or_insert(0.0) += sim.max(0.0);
+        }
+        Ok(votes
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(l, _)| l.to_string())
+            .unwrap_or_default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_synthdata::imputation;
+    use unidm_world::World;
+
+    #[test]
+    fn knn_restaurant_accuracy_mid_high() {
+        // Paper: IMP reaches 77.2% on Restaurant — below the LLM methods but
+        // far above the statistical ones.
+        let world = World::generate(7);
+        let ds = imputation::restaurant(&world, 3, 60);
+        let imp = Imp::fit(&ds.table, "city", 5).unwrap();
+        let correct = ds
+            .targets
+            .iter()
+            .filter(|t| {
+                imp.impute(t.row).unwrap().to_lowercase() == t.truth.to_string().to_lowercase()
+            })
+            .count();
+        let acc = correct as f64 / ds.targets.len() as f64;
+        assert!(acc > 0.4, "kNN should find street neighbours: {acc}");
+    }
+
+    #[test]
+    fn buy_accuracy_high() {
+        let world = World::generate(7);
+        let ds = imputation::buy(&world, 3, 60);
+        let imp = Imp::fit(&ds.table, "manufacturer", 5).unwrap();
+        let correct = ds
+            .targets
+            .iter()
+            .filter(|t| {
+                imp.impute(t.row).unwrap().to_lowercase() == t.truth.to_string().to_lowercase()
+            })
+            .count();
+        let acc = correct as f64 / ds.targets.len() as f64;
+        assert!(acc > 0.7, "brand names cluster by embedding: {acc}");
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let world = World::generate(7);
+        let ds = imputation::restaurant(&world, 3, 5);
+        let imp = Imp::fit(&ds.table, "city", 3).unwrap();
+        assert!(imp.impute(99999).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline systems from the UniDM evaluation (paper §5.1).
+//!
+//! Every method UniDM is compared against, implemented as an independent
+//! algorithm over the same substrates:
+//!
+//! | Paper baseline | Module | Approach |
+//! |---|---|---|
+//! | FM (Narayan et al. 2022), random & manual context | [`fm`] | few-shot prompts on the shared LLM |
+//! | HoloClean (Rekatsinas et al. 2017) | [`holoclean`] | co-occurrence repair + frequency/outlier detection |
+//! | CMI (Shichao et al. 2008) | [`cmi`] | k-modes cluster imputation |
+//! | IMP (Mei et al. 2021) | [`imp`] | embedding-kNN imputation |
+//! | TDE (He et al. 2018) | [`tde`] | syntactic program search by example |
+//! | HoloDetect (Heidari et al. 2019) | [`holodetect`] | few-shot featurized error model |
+//! | Ditto (Li et al. 2020) | [`ditto`] | embedding matcher trained on labelled pairs |
+//! | Magellan (Konda et al. 2016) | [`magellan`] | classical similarity-feature matcher |
+//! | WarpGate (Cong et al. 2022) | [`warpgate`] | embedding-cosine join discovery |
+//! | Evaporate-code / code+ (Arora et al. 2023) | [`evaporate`] | synthesized extraction rules (single / ensemble) |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cmi;
+pub mod ditto;
+pub mod evaporate;
+pub mod fm;
+pub mod holoclean;
+pub mod holodetect;
+pub mod imp;
+pub mod magellan;
+pub mod tde;
+pub mod warpgate;

@@ -1,0 +1,78 @@
+//! WarpGate (Cong et al. 2022): embedding-based semantic join discovery.
+//!
+//! Columns are embedded as the mean of their value embeddings; a candidate
+//! pair's joinability score is the cosine similarity, thresholded. The
+//! embedding view is what Figure 5 stresses: look-alike columns (two
+//! person-name columns with disjoint values) still embed closely, producing
+//! the false positives that let UniDM's instance-level reasoning win the
+//! sweep.
+
+use unidm_text::{Embedder, Embedding};
+
+/// Embeds a column as the renormalized mean of its value embeddings.
+pub fn column_embedding(values: &[String]) -> Embedding {
+    let embedder = Embedder::default();
+    embedder.embed_fields(values.iter().map(String::as_str))
+}
+
+/// Joinability score of two columns in `[0, 1]`.
+pub fn score(left: &[String], right: &[String]) -> f64 {
+    if left.is_empty() || right.is_empty() {
+        return 0.0;
+    }
+    let l = column_embedding(left);
+    let r = column_embedding(right);
+    f64::from(l.cosine(&r)).clamp(0.0, 1.0)
+}
+
+/// Binary decision at `threshold`.
+pub fn joinable(left: &[String], right: &[String], threshold: f64) -> bool {
+    score(left, right) >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_columns_score_one() {
+        let c = v(&["GER", "ITA", "FRA"]);
+        assert!(score(&c, &c) > 0.99);
+    }
+
+    #[test]
+    fn overlapping_columns_score_high() {
+        let a = v(&["Germany", "Italy", "France", "Spain"]);
+        let b = v(&["germany", "italy", "france", "india"]);
+        assert!(score(&a, &b) > 0.6);
+    }
+
+    #[test]
+    fn unrelated_columns_score_low() {
+        let a = v(&["3.14", "2.71", "1.41"]);
+        let b = v(&["Imperial Stout", "Pale Ale", "Saison"]);
+        assert!(score(&a, &b) < 0.4);
+    }
+
+    #[test]
+    fn lookalike_name_columns_fool_the_embedding() {
+        // Person-name columns drawn from the same first/last-name pools
+        // share tokens without sharing any *value* — not joinable, yet the
+        // embedding scores them like an overlapping pair. This is the
+        // WarpGate failure mode the paper's Figure 5 exposes.
+        let a = v(&["James Smith", "Mary Johnson", "Robert Brown"]);
+        let b = v(&["James Johnson", "Mary Brown", "Robert Smith"]);
+        let exact_overlap = a.iter().filter(|x| b.contains(x)).count();
+        assert_eq!(exact_overlap, 0, "no joinable values");
+        assert!(score(&a, &b) > 0.6, "got {}", score(&a, &b));
+    }
+
+    #[test]
+    fn empty_columns_score_zero() {
+        assert_eq!(score(&[], &v(&["x"])), 0.0);
+    }
+}

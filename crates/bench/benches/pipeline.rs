@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the UniDM pipeline stages.
+//!
+//! These measure the framework's own costs (prompt rendering, retrieval
+//! scoring, parsing, end-to-end task latency against the simulated model) —
+//! the dimension the paper's Table 7 quantifies in tokens, here in
+//! wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use unidm::{PipelineConfig, Task, UniDm};
+use unidm_llm::{LlmProfile, MockLlm};
+use unidm_synthdata::imputation;
+use unidm_tablestore::DataLake;
+use unidm_world::World;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let world = World::generate(42);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 42);
+    let ds = imputation::restaurant(&world, 42, 50);
+    let lake: DataLake = [ds.table.clone()].into_iter().collect();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("imputation_full", |b| {
+        let runner = UniDm::new(&llm, PipelineConfig::paper_default());
+        let t = &ds.targets[0];
+        let task = Task::imputation("restaurants", t.row, "city", "name");
+        b.iter(|| black_box(runner.run(&lake, &task).unwrap().answer))
+    });
+    group.bench_function("imputation_no_retrieval", |b| {
+        let runner = UniDm::new(&llm, PipelineConfig::random_context());
+        let t = &ds.targets[0];
+        let task = Task::imputation("restaurants", t.row, "city", "name");
+        b.iter(|| black_box(runner.run(&lake, &task).unwrap().answer))
+    });
+    group.bench_function("transformation", |b| {
+        let runner = UniDm::new(&llm, PipelineConfig::paper_default());
+        let task = Task::Transformation {
+            examples: vec![
+                ("20000101".into(), "2000-01-01".into()),
+                ("19991231".into(), "1999-12-31".into()),
+            ],
+            input: "20210315".into(),
+        };
+        let empty = DataLake::new();
+        b.iter(|| black_box(runner.run(&empty, &task).unwrap().answer))
+    });
+    group.finish();
+
+    let mut sweep = c.benchmark_group("retrieval_sweep");
+    for sample_size in [10usize, 50, 100] {
+        sweep.bench_function(format!("sample_{sample_size}"), |b| {
+            let config = PipelineConfig {
+                sample_size,
+                ..PipelineConfig::paper_default()
+            };
+            let runner = UniDm::new(&llm, config);
+            let t = &ds.targets[1];
+            let task = Task::imputation("restaurants", t.row, "city", "name");
+            b.iter(|| black_box(runner.run(&lake, &task).unwrap().answer))
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks of the substrate operations: embeddings, string
+//! distances, program induction (LLM skill vs TDE search), and knowledge
+//! base construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use unidm_baselines::tde;
+use unidm_llm::{skills::induce, KnowledgeBase};
+use unidm_text::{distance, Embedder};
+use unidm_world::World;
+
+fn bench_substrates(c: &mut Criterion) {
+    let world = World::generate(42);
+
+    let mut group = c.benchmark_group("text");
+    let embedder = Embedder::default();
+    group.bench_function("embed_sentence", |b| {
+        b.iter(|| black_box(embedder.embed("Ruth's Chris Steak House, 224 S. Beverly Dr.")))
+    });
+    group.bench_function("levenshtein", |b| {
+        b.iter(|| black_box(distance::levenshtein("holoclean baseline", "holodetect baseline")))
+    });
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| black_box(distance::jaro_winkler("punch home design", "punch software design")))
+    });
+    group.finish();
+
+    let mut synth = c.benchmark_group("synthesis");
+    let examples = vec![
+        ("20210315".to_string(), "Mar 15 2021".to_string()),
+        ("19990405".to_string(), "Apr 5 1999".to_string()),
+    ];
+    let kb = KnowledgeBase::from_world(&world, 1.0, 1);
+    synth.bench_function("llm_induce_date", |b| {
+        b.iter(|| black_box(induce::induce(&examples, &kb)))
+    });
+    synth.bench_function("tde_synthesize_date", |b| {
+        b.iter(|| black_box(tde::synthesize(&examples)))
+    });
+    synth.finish();
+
+    let mut kb_group = c.benchmark_group("knowledge_base");
+    kb_group.sample_size(20);
+    kb_group.bench_function("build_from_world", |b| {
+        b.iter(|| black_box(KnowledgeBase::from_world(&world, 0.88, 42)))
+    });
+    kb_group.bench_function("lookup", |b| {
+        b.iter(|| black_box(kb.lookup("Copenhagen", unidm_world::Predicate::CityCountry)))
+    });
+    kb_group.finish();
+
+    let mut world_group = c.benchmark_group("world");
+    world_group.sample_size(10);
+    world_group.bench_function("generate", |b| b.iter(|| black_box(World::generate(7))));
+    world_group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Figure 5 (join-discovery threshold sweep).
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::joins::fig5(config));
+}

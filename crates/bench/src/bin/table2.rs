@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 2.
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::transformation::table2(config));
+}

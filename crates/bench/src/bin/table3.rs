@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 3.
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::errors::table3(config));
+}

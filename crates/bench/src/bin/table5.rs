@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 5.
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::finetune::table5(config));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 6.
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::zoo::table6(config));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 7.
+
+fn main() {
+    let config = unidm_bench::config_from_args();
+    println!("{}", unidm_eval::tokens::table7(config));
+}

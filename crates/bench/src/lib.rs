@@ -1,0 +1,48 @@
+//! Benchmark harness for the UniDM reproduction.
+//!
+//! One binary per paper table/figure — `table1` through `table11` plus
+//! `fig5` — each printing the regenerated rows:
+//!
+//! ```text
+//! cargo run -p unidm-bench --release --bin table1            # paper scale
+//! cargo run -p unidm-bench --release --bin table1 -- --quick # smoke scale
+//! ```
+//!
+//! `all_tables` runs everything in sequence. The Criterion benches
+//! (`pipeline`, `substrates`) measure wall-clock costs of the pipeline
+//! stages and substrate operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use unidm_eval::ExperimentConfig;
+
+/// Parses the common CLI of the bench binaries: `--quick` selects the smoke
+/// configuration, `--seed N` overrides the seed.
+pub fn config_from_args() -> ExperimentConfig {
+    let args: Vec<String> = std::env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--quick") {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if let Some(seed) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            config.seed = seed;
+        }
+    }
+    config
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_scale() {
+        // Without --quick in the test binary args, the parser should fall
+        // back to the paper configuration (args may contain test flags).
+        let c = config_from_args();
+        assert!(c.queries >= ExperimentConfig::quick().queries);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for UniDM pipeline runs.
+
+use std::error::Error;
+use std::fmt;
+
+use unidm_llm::LlmError;
+use unidm_tablestore::TableError;
+
+/// Errors a pipeline run can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UniDmError {
+    /// The language model rejected a prompt.
+    Llm(LlmError),
+    /// A table or attribute reference was invalid.
+    Table(TableError),
+    /// The task specification was inconsistent with the data lake.
+    InvalidTask(String),
+}
+
+impl fmt::Display for UniDmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniDmError::Llm(e) => write!(f, "language model error: {e}"),
+            UniDmError::Table(e) => write!(f, "table error: {e}"),
+            UniDmError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+        }
+    }
+}
+
+impl Error for UniDmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UniDmError::Llm(e) => Some(e),
+            UniDmError::Table(e) => Some(e),
+            UniDmError::InvalidTask(_) => None,
+        }
+    }
+}
+
+impl From<LlmError> for UniDmError {
+    fn from(e: LlmError) -> Self {
+        UniDmError::Llm(e)
+    }
+}
+
+impl From<TableError> for UniDmError {
+    fn from(e: TableError) -> Self {
+        UniDmError::Table(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = UniDmError::from(LlmError::EmptyPrompt);
+        assert!(e.to_string().contains("language model"));
+        assert!(Error::source(&e).is_some());
+        let e = UniDmError::InvalidTask("row out of range".into());
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<UniDmError>();
+    }
+}

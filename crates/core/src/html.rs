@@ -1,0 +1,58 @@
+//! HTML pre-processing for the information-extraction task (appendix E).
+//!
+//! A deliberately small tag stripper: extraction documents are
+//! semi-structured pages, and the pipeline only needs their visible text
+//! chunks in reading order.
+
+/// Strips tags from HTML-ish text, inserting spaces at tag boundaries and
+/// decoding the handful of entities the generators emit.
+pub fn strip_tags(html: &str) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut in_tag = false;
+    for c in html.chars() {
+        match c {
+            '<' => {
+                in_tag = true;
+                if !out.ends_with(' ') && !out.is_empty() {
+                    out.push(' ');
+                }
+            }
+            '>' => in_tag = false,
+            c if !in_tag => out.push(c),
+            _ => {}
+        }
+    }
+    let decoded = out.replace("&nbsp;", " ").replace("&amp;", "&");
+    decoded.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_simple_tags() {
+        assert_eq!(strip_tags("<h1>Kevin Durant</h1>"), "Kevin Durant");
+    }
+
+    #[test]
+    fn inserts_spaces_between_cells() {
+        let s = strip_tags("<tr><th>Height</th><td>6 ft 10 in</td></tr>");
+        assert_eq!(s, "Height 6 ft 10 in");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        assert_eq!(strip_tags("<div>ht&nbsp;6 ft</div>"), "ht 6 ft");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(strip_tags(""), "");
+    }
+
+    #[test]
+    fn text_without_tags_unchanged() {
+        assert_eq!(strip_tags("plain  text"), "plain text");
+    }
+}

@@ -1,0 +1,72 @@
+//! UniDM: a unified framework for data manipulation with large language
+//! models (MLSys 2024 reproduction).
+//!
+//! UniDM formalizes a data-manipulation task `T` over a data lake `D` as a
+//! function `Y = F_T(R, S, D)` and solves *every* such task with one
+//! three-step, LLM-driven pipeline (paper §4, Algorithm 1):
+//!
+//! 1. **Automatic context retrieval** ([`retrieval`]) — prompt `p_rm` picks
+//!    helpful attributes (meta-wise), prompt `p_ri` scores sampled records
+//!    0–3 (instance-wise), and the top-k projected records become the
+//!    tabular context `C`.
+//! 2. **Context data parsing** ([`parsing`]) — `serialize()` produces
+//!    `attr: value` text, prompt `p_dp` rewrites it into fluent sentences
+//!    `C'`.
+//! 3. **Target prompt construction** ([`prompting`]) — prompt `p_cq`
+//!    rewrites the claim `(T, C', Q)` into a cloze question, which the LLM
+//!    completes to produce `Y`.
+//!
+//! Each step can be disabled through [`PipelineConfig`], reproducing the
+//! paper's ablations (Tables 8–10).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use unidm::{PipelineConfig, Task, UniDm};
+//! use unidm_llm::{LlmProfile, MockLlm};
+//! use unidm_tablestore::{DataLake, Table, Value};
+//! use unidm_world::World;
+//!
+//! # fn main() -> Result<(), unidm::UniDmError> {
+//! let world = World::generate(42);
+//! let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+//!
+//! let mut cities = Table::builder("cities")
+//!     .columns(["city", "country", "timezone"])
+//!     .build();
+//! cities.push_row(vec![
+//!     Value::text("Florence"),
+//!     Value::text("Italy"),
+//!     Value::text("Central European Time"),
+//! ]).unwrap();
+//! cities.push_row(vec![
+//!     Value::text("Copenhagen"),
+//!     Value::text("Denmark"),
+//!     Value::Null,
+//! ]).unwrap();
+//! let lake: DataLake = [cities].into_iter().collect();
+//!
+//! let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
+//! let task = Task::imputation("cities", 1, "timezone", "city");
+//! let output = unidm.run(&lake, &task)?;
+//! assert_eq!(output.answer, "Central European Time");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+pub mod html;
+pub mod parsing;
+pub mod pipeline;
+pub mod prompting;
+pub mod retrieval;
+mod task;
+
+pub use config::PipelineConfig;
+pub use error::UniDmError;
+pub use pipeline::{RunOutput, Trace, UniDm};
+pub use task::Task;

@@ -1,0 +1,137 @@
+//! Task specifications: the `(R, S, T)` triples of the unified framework.
+
+use unidm_llm::protocol::{SerializedRecord, TaskKind};
+
+/// A data-manipulation task in the unified form of paper §3: a task kind
+/// plus the records `R` and attributes `S` it touches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Task {
+    /// Fill the missing `attr` of row `row` in table `table`.
+    Imputation {
+        /// Table name in the lake.
+        table: String,
+        /// Row index of the record with the missing value.
+        row: usize,
+        /// The attribute to impute.
+        attr: String,
+        /// The attribute serving as primary key in prompts.
+        key_attr: String,
+    },
+    /// Transform `input` according to `examples`.
+    Transformation {
+        /// Demonstration pairs (before, after).
+        examples: Vec<(String, String)>,
+        /// The value to transform.
+        input: String,
+    },
+    /// Judge whether cell (`row`, `attr`) of `table` holds an error.
+    ErrorDetection {
+        /// Table name in the lake.
+        table: String,
+        /// Row index.
+        row: usize,
+        /// Attribute under judgement.
+        attr: String,
+    },
+    /// Judge whether two records denote the same entity.
+    EntityResolution {
+        /// Record from catalogue A.
+        a: SerializedRecord,
+        /// Record from catalogue B.
+        b: SerializedRecord,
+        /// Labelled pairs available as a retrieval pool for demonstrations.
+        pool: Vec<(SerializedRecord, SerializedRecord, bool)>,
+    },
+    /// Answer `question` over `table`.
+    TableQa {
+        /// Table name in the lake.
+        table: String,
+        /// The natural-language question.
+        question: String,
+    },
+    /// Judge whether two columns are joinable.
+    JoinDiscovery {
+        /// Qualified left column name ("fifa_ranking.country_abrv").
+        left_name: String,
+        /// Left column values.
+        left_values: Vec<String>,
+        /// Qualified right column name.
+        right_name: String,
+        /// Right column values.
+        right_values: Vec<String>,
+    },
+    /// Extract `attr` from a semi-structured document.
+    Extraction {
+        /// The raw document (HTML-ish).
+        document: String,
+        /// The attribute to extract.
+        attr: String,
+    },
+}
+
+impl Task {
+    /// Convenience constructor for imputation tasks.
+    pub fn imputation(
+        table: impl Into<String>,
+        row: usize,
+        attr: impl Into<String>,
+        key_attr: impl Into<String>,
+    ) -> Self {
+        Task::Imputation {
+            table: table.into(),
+            row,
+            attr: attr.into(),
+            key_attr: key_attr.into(),
+        }
+    }
+
+    /// Convenience constructor for error detection tasks.
+    pub fn error_detection(table: impl Into<String>, row: usize, attr: impl Into<String>) -> Self {
+        Task::ErrorDetection { table: table.into(), row, attr: attr.into() }
+    }
+
+    /// The protocol-level task kind.
+    pub fn kind(&self) -> TaskKind {
+        match self {
+            Task::Imputation { .. } => TaskKind::Imputation,
+            Task::Transformation { .. } => TaskKind::Transformation,
+            Task::ErrorDetection { .. } => TaskKind::ErrorDetection,
+            Task::EntityResolution { .. } => TaskKind::EntityResolution,
+            Task::TableQa { .. } => TaskKind::TableQa,
+            Task::JoinDiscovery { .. } => TaskKind::JoinDiscovery,
+            Task::Extraction { .. } => TaskKind::Extraction,
+        }
+    }
+
+    /// Whether this task uses the context-retrieval step at all (the paper
+    /// skips it for transformation, which brings its own examples, and for
+    /// extraction, whose instance is user-provided).
+    pub fn uses_retrieval(&self) -> bool {
+        !matches!(self, Task::Transformation { .. } | Task::Extraction { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_retrieval_flags() {
+        let t = Task::imputation("t", 0, "city", "name");
+        assert_eq!(t.kind(), TaskKind::Imputation);
+        assert!(t.uses_retrieval());
+
+        let t = Task::Transformation { examples: vec![], input: "x".into() };
+        assert_eq!(t.kind(), TaskKind::Transformation);
+        assert!(!t.uses_retrieval());
+
+        let t = Task::Extraction { document: "<html/>".into(), attr: "player".into() };
+        assert!(!t.uses_retrieval());
+    }
+
+    #[test]
+    fn constructors() {
+        let t = Task::error_detection("hospital", 3, "city");
+        assert_eq!(t.kind(), TaskKind::ErrorDetection);
+    }
+}

@@ -1,0 +1,213 @@
+//! Evaluation metrics: accuracy, precision/recall/F1, threshold sweeps and
+//! text F1.
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Records one (prediction, label) outcome.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Precision in `[0, 1]` (1 when nothing was predicted positive).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall in `[0, 1]` (1 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            1.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 in `[0, 1]`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Running accuracy counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Accuracy {
+    correct: usize,
+    total: usize,
+}
+
+impl Accuracy {
+    /// Records one outcome.
+    pub fn record(&mut self, correct: bool) {
+        self.total += 1;
+        if correct {
+            self.correct += 1;
+        }
+    }
+
+    /// The accuracy in `[0, 1]`; 0 for an empty counter.
+    pub fn value(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// Number of recorded outcomes.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Accuracy as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.value() * 100.0
+    }
+}
+
+/// Evaluates scored predictions at one threshold.
+pub fn at_threshold(scored: &[(f64, bool)], threshold: f64) -> Confusion {
+    let mut c = Confusion::default();
+    for &(score, label) in scored {
+        c.record(score >= threshold, label);
+    }
+    c
+}
+
+/// Sweeps thresholds over scored predictions (Figure 5).
+pub fn sweep(scored: &[(f64, bool)], thresholds: &[f64]) -> Vec<(f64, Confusion)> {
+    thresholds
+        .iter()
+        .map(|&t| (t, at_threshold(scored, t)))
+        .collect()
+}
+
+/// Token-level text F1 between a prediction and a reference (SQuAD-style,
+/// used by the extraction benchmark).
+pub fn text_f1(prediction: &str, truth: &str) -> f64 {
+    let p = unidm_text::words(prediction);
+    let t = unidm_text::words(truth);
+    if p.is_empty() || t.is_empty() {
+        return f64::from(u8::from(p == t));
+    }
+    let mut t_remaining = t.clone();
+    let mut common = 0usize;
+    for w in &p {
+        if let Some(pos) = t_remaining.iter().position(|x| x == w) {
+            t_remaining.swap_remove(pos);
+            common += 1;
+        }
+    }
+    if common == 0 {
+        return 0.0;
+    }
+    let precision = common as f64 / p.len() as f64;
+    let recall = common as f64 / t.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Compares an answer against ground truth with canonical normalization.
+pub fn answers_match(answer: &str, truth: &str) -> bool {
+    unidm_text::normalize::answer_key(answer) == unidm_text::normalize::answer_key(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_metrics() {
+        let mut c = Confusion::default();
+        for _ in 0..8 {
+            c.record(true, true);
+        }
+        c.record(true, false);
+        c.record(false, true);
+        assert!((c.precision() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 9.0).abs() < 1e-12);
+        assert!((c.f1() - 8.0 / 9.0).abs() < 1e-12);
+        assert_eq!(c.total(), 10);
+    }
+
+    #[test]
+    fn confusion_degenerate_cases() {
+        let c = Confusion::default();
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        let mut all_wrong = Confusion::default();
+        all_wrong.record(true, false);
+        all_wrong.record(false, true);
+        assert_eq!(all_wrong.f1(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_counter() {
+        let mut a = Accuracy::default();
+        a.record(true);
+        a.record(true);
+        a.record(false);
+        assert!((a.value() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((a.percent() - 66.666).abs() < 0.01);
+        assert_eq!(Accuracy::default().value(), 0.0);
+    }
+
+    #[test]
+    fn sweep_monotone_recall() {
+        let scored = vec![(0.9, true), (0.7, true), (0.4, false), (0.2, true)];
+        let pts = sweep(&scored, &[0.1, 0.5, 0.95]);
+        let recalls: Vec<f64> = pts.iter().map(|(_, c)| c.recall()).collect();
+        assert!(recalls[0] >= recalls[1]);
+        assert!(recalls[1] >= recalls[2]);
+    }
+
+    #[test]
+    fn text_f1_cases() {
+        assert!((text_f1("Kevin Durant", "Kevin Durant") - 1.0).abs() < 1e-12);
+        assert!((text_f1("Kevin", "Kevin Durant") - (2.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(text_f1("LeBron James", "Kevin Durant"), 0.0);
+        assert_eq!(text_f1("", ""), 1.0);
+        assert_eq!(text_f1("x", ""), 0.0);
+        // Duplicate tokens are not double counted.
+        assert!(text_f1("a a a", "a b") < 1.0);
+    }
+
+    #[test]
+    fn answers_match_normalizes() {
+        assert!(answers_match("Beverly Hills.", "beverly hills"));
+        assert!(!answers_match("Los Angeles", "Beverly Hills"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Deterministic pseudo-randomness for the simulated model.
+//!
+//! Every stochastic decision ("did the model read this fact correctly?") is
+//! a pure function of `(seed, context string, tag)`, so the same prompt to
+//! the same model always behaves identically — a property the real systems
+//! lack but reproducible experiments need.
+
+/// A deterministic dice: hashes its inputs to uniform samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dice {
+    seed: u64,
+}
+
+impl Dice {
+    /// Creates a dice with a model-level seed.
+    pub fn new(seed: u64) -> Self {
+        Dice { seed }
+    }
+
+    /// A uniform sample in `[0, 1)` for the given decision context.
+    pub fn uniform(&self, context: &str, tag: &str) -> f64 {
+        let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        for b in context.bytes().chain([0xff]).chain(tag.bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+            h ^= h >> 29;
+        }
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 32;
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&self, context: &str, tag: &str, p: f64) -> bool {
+        self.uniform(context, tag) < p.clamp(0.0, 1.0)
+    }
+
+    /// A deterministic pick of an index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&self, context: &str, tag: &str, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        (self.uniform(context, tag) * n as f64) as usize % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let d = Dice::new(7);
+        assert_eq!(d.uniform("ctx", "t"), d.uniform("ctx", "t"));
+        assert_eq!(d.chance("a", "b", 0.5), d.chance("a", "b", 0.5));
+    }
+
+    #[test]
+    fn different_tags_decorrelate() {
+        let d = Dice::new(7);
+        let a = d.uniform("ctx", "one");
+        let b = d.uniform("ctx", "two");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_in_range_and_spread() {
+        let d = Dice::new(3);
+        let mut sum = 0.0;
+        let n = 2000;
+        for i in 0..n {
+            let u = d.uniform(&format!("c{i}"), "t");
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let d = Dice::new(3);
+        assert!(d.chance("x", "t", 1.0));
+        assert!(!d.chance("x", "t", 0.0));
+        assert!(d.chance("x", "t", 2.0), "clamped to 1");
+    }
+
+    #[test]
+    fn pick_in_range() {
+        let d = Dice::new(3);
+        for i in 0..100 {
+            let p = d.pick(&format!("c{i}"), "t", 7);
+            assert!(p < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn pick_zero_panics() {
+        Dice::new(1).pick("a", "b", 0);
+    }
+}

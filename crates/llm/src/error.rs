@@ -1,0 +1,49 @@
+//! Error type for language-model calls.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors a [`crate::LanguageModel`] call can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LlmError {
+    /// The prompt exceeded the model's context window.
+    PromptTooLong {
+        /// Tokens in the prompt.
+        tokens: usize,
+        /// The model's context window.
+        limit: usize,
+    },
+    /// The prompt was empty.
+    EmptyPrompt,
+}
+
+impl fmt::Display for LlmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlmError::PromptTooLong { tokens, limit } => {
+                write!(f, "prompt of {tokens} tokens exceeds context window of {limit}")
+            }
+            LlmError::EmptyPrompt => write!(f, "prompt is empty"),
+        }
+    }
+}
+
+impl Error for LlmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LlmError::PromptTooLong { tokens: 9000, limit: 4096 };
+        assert!(e.to_string().contains("9000"));
+        assert_eq!(LlmError::EmptyPrompt.to_string(), "prompt is empty");
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<LlmError>();
+    }
+}

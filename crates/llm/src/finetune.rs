@@ -1,0 +1,98 @@
+//! Lightweight fine-tuning simulation (Table 5).
+//!
+//! The paper freezes most pretrained parameters and trains a small head on
+//! 6144 labelled Walmart-Amazon tuples for 30 epochs, which lifts GPT-J-6B
+//! from 17.6 to 84.2 F1 (FM) and LLaMA2-7B from 40.6 to 89.4 (UniDM).
+//! We simulate the *effect*: training examples raise the profile's
+//! `domain_adaptation` with diminishing returns, which in turn sharpens the
+//! entity-resolution decision boundary and instruction following.
+
+use crate::mock::MockLlm;
+use crate::profile::LlmProfile;
+
+/// Outcome of a fine-tuning run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTuneReport {
+    /// Training tuples seen per epoch.
+    pub examples: usize,
+    /// Number of epochs.
+    pub epochs: usize,
+    /// The resulting `domain_adaptation` value.
+    pub domain_adaptation: f64,
+}
+
+/// The asymptotic competence a small trainable head can reach.
+const ADAPTATION_CEILING: f64 = 0.95;
+/// Gradient-step constant: how many example-presentations reach ~63% of the
+/// ceiling.
+const LEARNING_SCALE: f64 = 40_000.0;
+
+/// Computes the post-fine-tuning `domain_adaptation` for a training budget.
+///
+/// Saturating exponential: doubling data helps less and less, matching the
+/// classic fine-tuning curves the paper's setup reproduces.
+pub fn adaptation_for(examples: usize, epochs: usize) -> f64 {
+    let presentations = (examples * epochs) as f64;
+    ADAPTATION_CEILING * (1.0 - (-presentations / LEARNING_SCALE).exp())
+}
+
+/// Fine-tunes `model` on `examples` labelled tuples for `epochs` epochs,
+/// returning the adapted model and a report.
+///
+/// The returned model shares the original's pretraining memory and seed —
+/// fine-tuning a head does not teach new world facts, it teaches the task.
+pub fn fine_tune(model: &MockLlm, examples: usize, epochs: usize) -> (MockLlm, FineTuneReport) {
+    let domain_adaptation = adaptation_for(examples, epochs);
+    let profile = LlmProfile {
+        name: format!("{} (fine-tune)", model.profile().name),
+        domain_adaptation,
+        ..model.profile().clone()
+    };
+    let report = FineTuneReport { examples, epochs, domain_adaptation };
+    (model.with_profile(profile), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_world::World;
+
+    #[test]
+    fn adaptation_monotone_with_diminishing_returns() {
+        let small = adaptation_for(100, 1);
+        let medium = adaptation_for(6144, 30);
+        let large = adaptation_for(100_000, 100);
+        assert!(small < medium);
+        assert!(medium < large);
+        assert!(large <= ADAPTATION_CEILING);
+        // Diminishing: equal-sized later increments add less.
+        let d1 = adaptation_for(2000, 1) - adaptation_for(1000, 1);
+        let d2 = adaptation_for(3000, 1) - adaptation_for(2000, 1);
+        assert!(d2 < d1);
+    }
+
+    #[test]
+    fn paper_budget_near_ceiling() {
+        let a = adaptation_for(6144, 30);
+        assert!(a > 0.9, "6144×30 should saturate: {a}");
+    }
+
+    #[test]
+    fn fine_tune_renames_and_adapts() {
+        let world = World::generate(7);
+        let base = MockLlm::new(&world, LlmProfile::gptj_6b(), 1);
+        let (tuned, report) = fine_tune(&base, 6144, 30);
+        assert!(tuned.profile().name.contains("fine-tune"));
+        assert!(report.domain_adaptation > 0.9);
+        assert!(
+            tuned.profile().effective_instruction() > base.profile().effective_instruction()
+        );
+        // Memory unchanged: fine-tuning does not add world knowledge.
+        assert_eq!(tuned.kb().len(), base.kb().len());
+    }
+
+    #[test]
+    fn zero_examples_no_adaptation() {
+        assert_eq!(adaptation_for(0, 30), 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The simulated model's pretraining memory.
+//!
+//! A [`KnowledgeBase`] is a *coverage-limited* sample of the world's facts:
+//! each fact is kept with a probability that depends on the model's
+//! knowledge capability and on how "head" or "tail" the fact's domain is
+//! (every LLM knows country timezones; few know a specific restaurant's
+//! city). Facts not kept are simply absent — the model can still recover
+//! them from retrieved context, which is exactly the mechanism UniDM
+//! exploits.
+
+use std::collections::{HashMap, HashSet};
+
+use unidm_world::{Fact, Predicate, World};
+
+use crate::Dice;
+
+/// How familiar a pretrained model is with each fact family, relative to its
+/// base knowledge capability.
+fn familiarity(pred: Predicate) -> f64 {
+    use Predicate::*;
+    match pred {
+        // Head knowledge: every model that read an encyclopedia has these.
+        CountryTimezone | CountryIso | CountryContinent | CityCountry | CityTimezone => 1.0,
+        // Closed category vocabularies ("Bachelors", position names) are
+        // ordinary words — fully known regardless of fact coverage (the
+        // multiplier above 1 offsets the knowledge factor; probabilities
+        // clamp at 1).
+        EducationYears | ValidToken => 1.15,
+        // Mid-tail: product lines, brands, famous players.
+        BrandManufacturer => 0.78,
+        ProductCategory => 0.85,
+        PlayerCollege | PlayerHeight | PlayerPosition => 0.8,
+        ArtistGenre => 0.8,
+        ProductManufacturer => 0.85,
+        BeerBrewery | BeerStyle | SongArtist => 0.7,
+        CityPostal => 0.6,
+        // Long tail: specific venues, streets, area codes. GPT-3-scale
+        // models know a surprising amount of US street/area-code geography
+        // — the paper's FM(random) already reaches 81.4% on Restaurant.
+        AreaCodeCity => 0.65,
+        StreetCity => 0.6,
+        RestaurantCuisine => 0.45,
+        RestaurantCity => 0.5,
+        HospitalCity | HospitalCounty => 0.4,
+    }
+}
+
+/// Common English words every language model's vocabulary contains,
+/// independent of world-fact coverage. Includes the generic nouns the
+/// synthetic generators use in addresses, venue names and product lines.
+const COMMON_WORDS: &[&str] = &[
+    "the", "a", "an", "of", "in", "on", "at", "and", "or", "to", "is", "for", "with", "by",
+    "u", "s", "us", "no", "yes", "north", "south", "east", "west", "highway", "street",
+    "avenue", "ave", "blvd", "boulevard", "drive", "dr", "road", "rd", "lane", "ln", "way",
+    "st", "medical", "center", "hospital", "regional", "community", "memorial", "general",
+    "grill", "bistro", "cafe", "kitchen", "house", "tavern", "diner", "trattoria",
+    "brasserie", "place", "brewing", "brewery", "ales", "beer", "works", "co", "inc",
+    "software", "electronics", "systems", "technologies", "labs", "studio", "pro", "design",
+    "office", "vision", "stream", "power", "ultra", "home", "max", "prime", "edge", "air",
+    "core", "flex", "series", "old", "new", "little", "big",
+];
+
+/// A coverage-limited fact store.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    facts: HashMap<(String, Predicate), String>,
+    reverse: HashMap<(String, Predicate), String>,
+    valid: HashMap<String, HashSet<String>>,
+    vocab: HashSet<String>,
+    len: usize,
+}
+
+impl KnowledgeBase {
+    /// Builds a knowledge base holding each world fact with probability
+    /// `knowledge * familiarity(predicate)`.
+    ///
+    /// `seed` decorrelates the retained subsets of different models.
+    pub fn from_world(world: &World, knowledge: f64, seed: u64) -> Self {
+        let dice = Dice::new(seed);
+        let mut kb = KnowledgeBase::default();
+        for fact in world.facts() {
+            let p = knowledge * familiarity(fact.predicate);
+            let tag = format!("{:?}", fact.predicate);
+            if dice.chance(&format!("{}|{}", fact.subject, fact.object), &tag, p) {
+                kb.insert(&fact);
+            }
+        }
+        kb
+    }
+
+    /// An empty knowledge base (a model that knows nothing).
+    pub fn empty() -> Self {
+        KnowledgeBase::default()
+    }
+
+    /// Inserts one fact.
+    pub fn insert(&mut self, fact: &Fact) {
+        if fact.predicate == Predicate::ValidToken {
+            self.valid
+                .entry(fact.object.to_lowercase())
+                .or_default()
+                .insert(fact.subject_key());
+        }
+        self.facts
+            .insert((fact.subject_key(), fact.predicate), fact.object.clone());
+        self.reverse
+            .insert((fact.object.to_lowercase(), fact.predicate), fact.subject.clone());
+        for w in fact.subject.split_whitespace() {
+            self.vocab.insert(w.to_lowercase());
+        }
+        for w in fact.object.split_whitespace() {
+            self.vocab.insert(w.to_lowercase());
+        }
+        self.len += 1;
+    }
+
+    /// Number of facts inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no facts were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the object of `(subject, predicate)` (case-insensitive).
+    pub fn lookup(&self, subject: &str, predicate: Predicate) -> Option<&str> {
+        self.facts
+            .get(&(subject.trim().to_lowercase(), predicate))
+            .map(String::as_str)
+    }
+
+    /// First hit across several predicates.
+    pub fn lookup_any(&self, subject: &str, predicates: &[Predicate]) -> Option<(Predicate, &str)> {
+        predicates
+            .iter()
+            .find_map(|&p| self.lookup(subject, p).map(|o| (p, o)))
+    }
+
+    /// Reverse lookup: the subject whose `(subject, predicate)` fact has the
+    /// given object. When several subjects share an object, the last
+    /// inserted wins — adequate for the functional relations used here
+    /// (ISO code → country).
+    pub fn lookup_reverse(&self, object: &str, predicate: Predicate) -> Option<&str> {
+        self.reverse
+            .get(&(object.trim().to_lowercase(), predicate))
+            .map(String::as_str)
+    }
+
+    /// True if `token` is a known valid member of `domain` ("city", ...).
+    pub fn is_valid_token(&self, domain: &str, token: &str) -> bool {
+        self.valid
+            .get(&domain.to_lowercase())
+            .is_some_and(|s| s.contains(&token.trim().to_lowercase()))
+    }
+
+    /// True if the model has *any* valid-token vocabulary for `domain`.
+    pub fn knows_domain(&self, domain: &str) -> bool {
+        self.valid.contains_key(&domain.to_lowercase())
+    }
+
+    /// Fraction of whitespace-words of `text` present in the model's
+    /// vocabulary — a proxy for how domain-specific a string is.
+    ///
+    /// Numbers and common English words always count as familiar:
+    /// pretraining teaches those to every model regardless of fact
+    /// coverage.
+    pub fn token_familiarity(&self, text: &str) -> f64 {
+        let words: Vec<String> = text
+            .split_whitespace()
+            .map(|w| {
+                w.trim_matches(|c: char| !c.is_alphanumeric())
+                    .to_lowercase()
+            })
+            .filter(|w| !w.is_empty())
+            .collect();
+        if words.is_empty() {
+            return 1.0;
+        }
+        let known = words
+            .iter()
+            .filter(|w| {
+                w.chars().all(|c| c.is_ascii_digit())
+                    || COMMON_WORDS.contains(&w.as_str())
+                    || self.vocab.contains(*w)
+            })
+            .count();
+        known as f64 / words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(7)
+    }
+
+    #[test]
+    fn coverage_scales_size() {
+        let w = world();
+        let full = KnowledgeBase::from_world(&w, 1.0, 1);
+        let half = KnowledgeBase::from_world(&w, 0.5, 1);
+        let none = KnowledgeBase::from_world(&w, 0.0, 1);
+        assert!(full.len() > half.len());
+        assert!(half.len() > none.len());
+        assert_eq!(none.len(), 0);
+    }
+
+    #[test]
+    fn head_facts_survive_better_than_tail() {
+        let w = world();
+        let kb = KnowledgeBase::from_world(&w, 0.7, 3);
+        let all = w.facts();
+        let survival = |pred: Predicate| {
+            let total = all.iter().filter(|f| f.predicate == pred).count();
+            let kept = all
+                .iter()
+                .filter(|f| f.predicate == pred && kb.lookup(&f.subject, pred).is_some())
+                .count();
+            kept as f64 / total.max(1) as f64
+        };
+        assert!(survival(Predicate::CityCountry) > survival(Predicate::RestaurantCity));
+    }
+
+    #[test]
+    fn lookup_case_insensitive() {
+        let w = world();
+        let kb = KnowledgeBase::from_world(&w, 1.0, 1);
+        assert_eq!(kb.lookup("copenhagen", Predicate::CityCountry), Some("Denmark"));
+        assert_eq!(kb.lookup("COPENHAGEN", Predicate::CityCountry), Some("Denmark"));
+    }
+
+    #[test]
+    fn lookup_any_order() {
+        let w = world();
+        let kb = KnowledgeBase::from_world(&w, 1.0, 1);
+        let (p, o) = kb
+            .lookup_any("Florence", &[Predicate::CityTimezone, Predicate::CityCountry])
+            .unwrap();
+        assert_eq!(p, Predicate::CityTimezone);
+        assert_eq!(o, "Central European Time");
+    }
+
+    #[test]
+    fn valid_tokens() {
+        let w = world();
+        let kb = KnowledgeBase::from_world(&w, 1.0, 1);
+        assert!(kb.is_valid_token("city", "Copenhagen"));
+        assert!(!kb.is_valid_token("city", "Copxnhagen"));
+        assert!(kb.is_valid_token("education", "Bachelors"));
+        assert!(kb.knows_domain("occupation"));
+        assert!(!kb.knows_domain("quasar-type"));
+    }
+
+    #[test]
+    fn token_familiarity_behaviour() {
+        let w = world();
+        let kb = KnowledgeBase::from_world(&w, 1.0, 1);
+        assert!(kb.token_familiarity("Copenhagen Denmark") > 0.9);
+        assert!(kb.token_familiarity("zzqx-42 qqblorp") < 0.5);
+        assert_eq!(kb.token_familiarity(""), 1.0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let w = world();
+        let a = KnowledgeBase::from_world(&w, 0.6, 9);
+        let b = KnowledgeBase::from_world(&w, 0.6, 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.lookup("Copenhagen", Predicate::CityCountry),
+            b.lookup("Copenhagen", Predicate::CityCountry)
+        );
+    }
+}

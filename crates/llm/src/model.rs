@@ -1,0 +1,85 @@
+//! The `LanguageModel` trait and token accounting.
+
+use crate::LlmError;
+
+/// Token usage of one or more completions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    /// Tokens in prompts.
+    pub prompt_tokens: usize,
+    /// Tokens in completions.
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Total tokens (prompt + completion).
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+
+    /// Adds another usage into this one.
+    pub fn add(&mut self, other: Usage) {
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+    }
+}
+
+/// One completion returned by a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The completed text.
+    pub text: String,
+    /// Tokens consumed by this call.
+    pub usage: Usage,
+}
+
+/// A text-in / text-out language model.
+///
+/// The UniDM pipeline, the FM baseline and the fine-tuning harness are all
+/// written against this trait; [`crate::MockLlm`] is the offline
+/// implementation. The trait is object-safe so pipelines can hold
+/// `&dyn LanguageModel`.
+pub trait LanguageModel {
+    /// A human-readable model name ("GPT-3-175B").
+    fn name(&self) -> &str;
+
+    /// Completes `prompt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LlmError::EmptyPrompt`] for an empty prompt and
+    /// [`LlmError::PromptTooLong`] when the prompt exceeds the context
+    /// window.
+    fn complete(&self, prompt: &str) -> Result<Completion, LlmError>;
+
+    /// Cumulative token usage since construction or the last reset.
+    fn usage(&self) -> Usage;
+
+    /// Resets the cumulative usage counter.
+    fn reset_usage(&self);
+
+    /// The model's context window in tokens. Callers should keep prompts
+    /// under this bound; [`LanguageModel::complete`] rejects longer ones.
+    fn context_window(&self) -> usize {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_totals() {
+        let mut u = Usage { prompt_tokens: 10, completion_tokens: 5 };
+        assert_eq!(u.total(), 15);
+        u.add(Usage { prompt_tokens: 1, completion_tokens: 2 });
+        assert_eq!(u.prompt_tokens, 11);
+        assert_eq!(u.completion_tokens, 7);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes(_m: &dyn LanguageModel) {}
+    }
+}

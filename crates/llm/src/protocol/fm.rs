@@ -1,0 +1,293 @@
+//! FM-baseline prompts (Narayan et al., "Can foundation models wrangle your
+//! data?").
+//!
+//! FM drives the same LLM with few-shot demonstration prompts: serialized
+//! records plus a short question, demonstrations chosen manually or at
+//! random. These renderers produce that style; parsing lives here too so
+//! the simulated model can answer them (as [`PromptForm::FewShot`]
+//! requests with [`ContextKind::Serialized`] context).
+
+use super::cloze::{AnswerPayload, AnswerRequest, ContextKind, PromptForm};
+use super::record::SerializedRecord;
+use super::TaskKind;
+
+/// Renders an FM imputation prompt: demonstration blocks of
+/// `record → What is the {attr}? {answer}` followed by the query record.
+pub fn render_fm_imputation(
+    demonstrations: &[(SerializedRecord, String)],
+    record: &SerializedRecord,
+    attr: &str,
+) -> String {
+    let mut out = String::new();
+    for (rec, answer) in demonstrations {
+        out.push_str(&format!("{}\nWhat is the {attr}? {answer}\n\n", rec.render()));
+    }
+    out.push_str(&format!("{}\nWhat is the {attr}?", record.render()));
+    out
+}
+
+/// Renders an FM entity-resolution prompt.
+pub fn render_fm_entity_resolution(
+    demonstrations: &[(SerializedRecord, SerializedRecord, bool)],
+    a: &SerializedRecord,
+    b: &SerializedRecord,
+) -> String {
+    let mut out = String::new();
+    for (da, db, label) in demonstrations {
+        out.push_str(&format!(
+            "Entity A: {}\nEntity B: {}\nAre Entity A and Entity B the same? {}\n\n",
+            da.render(),
+            db.render(),
+            if *label { "Yes" } else { "No" }
+        ));
+    }
+    out.push_str(&format!(
+        "Entity A: {}\nEntity B: {}\nAre Entity A and Entity B the same?",
+        a.render(),
+        b.render()
+    ));
+    out
+}
+
+/// Renders an FM error-detection prompt.
+pub fn render_fm_error_detection(
+    demonstrations: &[(String, String, bool)],
+    attr: &str,
+    value: &str,
+) -> String {
+    let mut out = String::new();
+    for (da, dv, is_err) in demonstrations {
+        out.push_str(&format!(
+            "{da}: {dv}\nIs there an error in {da}? {}\n\n",
+            if *is_err { "Yes" } else { "No" }
+        ));
+    }
+    out.push_str(&format!("{attr}: {value}\nIs there an error in {attr}?"));
+    out
+}
+
+/// Renders an FM transformation prompt: `in to out` example lines plus the
+/// query.
+pub fn render_fm_transformation(examples: &[(String, String)], input: &str) -> String {
+    let mut out = String::from("Data transformation:\n");
+    for (i, o) in examples {
+        out.push_str(&format!("{i} to {o}\n"));
+    }
+    out.push_str(&format!("{input} to ?"));
+    out
+}
+
+/// Parses any FM-style prompt into an [`AnswerRequest`].
+pub fn parse_fm(prompt: &str) -> Option<AnswerRequest> {
+    let trimmed = prompt.trim_end();
+
+    // Imputation: final line is "What is the {attr}?" with no answer.
+    if let Some(attr) = trimmed
+        .lines()
+        .next_back()
+        .and_then(|l| l.strip_prefix("What is the "))
+        .and_then(|l| l.strip_suffix('?'))
+    {
+        let lines: Vec<&str> = trimmed.lines().collect();
+        let record = SerializedRecord::parse(lines.get(lines.len().wrapping_sub(2))?)?;
+        // Demonstration blocks pair a record line with its answer line
+        // ("What is the city? new york"); fold the answer back into the
+        // record so the context carries complete labelled examples.
+        let mut context_lines: Vec<String> = Vec::new();
+        for l in &lines[..lines.len().saturating_sub(2)] {
+            if l.is_empty() {
+                continue;
+            }
+            if let Some(rest) = l.strip_prefix("What is the ") {
+                if let Some((demo_attr, answer)) = rest.split_once("? ") {
+                    if let Some(prev) = context_lines.last_mut() {
+                        prev.push_str(&format!("; {demo_attr}: {answer}"));
+                        continue;
+                    }
+                }
+            }
+            context_lines.push(l.to_string());
+        }
+        let subject = record.subject().unwrap_or("").to_string();
+        return Some(AnswerRequest {
+            task: TaskKind::Imputation,
+            form: PromptForm::FewShot,
+            context_kind: if context_lines.is_empty() {
+                ContextKind::Empty
+            } else {
+                ContextKind::Serialized
+            },
+            context_lines,
+            payload: AnswerPayload::Imputation { subject, attr: attr.to_string(), record },
+        });
+    }
+
+    // Entity resolution: ends with the unanswered question.
+    if trimmed.ends_with("Are Entity A and Entity B the same?") {
+        let lines: Vec<&str> = trimmed.lines().collect();
+        let n = lines.len();
+        let a = lines.get(n - 3)?.strip_prefix("Entity A: ")?.to_string();
+        let b = lines.get(n - 2)?.strip_prefix("Entity B: ")?.to_string();
+        let context_lines: Vec<String> = lines[..n - 3]
+            .iter()
+            .map(|l| l.to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        return Some(AnswerRequest {
+            task: TaskKind::EntityResolution,
+            form: PromptForm::FewShot,
+            context_kind: if context_lines.is_empty() {
+                ContextKind::Empty
+            } else {
+                ContextKind::Serialized
+            },
+            context_lines,
+            payload: AnswerPayload::EntityResolution { a, b },
+        });
+    }
+
+    // Error detection: ends with "Is there an error in {attr}?".
+    if let Some(attr) = trimmed
+        .lines()
+        .next_back()
+        .and_then(|l| l.strip_prefix("Is there an error in "))
+        .and_then(|l| l.strip_suffix('?'))
+    {
+        let lines: Vec<&str> = trimmed.lines().collect();
+        let n = lines.len();
+        let value = lines
+            .get(n - 2)?
+            .strip_prefix(&format!("{attr}: "))?
+            .to_string();
+        let context_lines: Vec<String> = lines[..n - 2]
+            .iter()
+            .map(|l| l.to_string())
+            .filter(|l| !l.is_empty())
+            .collect();
+        return Some(AnswerRequest {
+            task: TaskKind::ErrorDetection,
+            form: PromptForm::FewShot,
+            context_kind: if context_lines.is_empty() {
+                ContextKind::Empty
+            } else {
+                ContextKind::Serialized
+            },
+            context_lines,
+            payload: AnswerPayload::ErrorDetection { attr: attr.to_string(), value },
+        });
+    }
+
+    // Transformation: "Data transformation:" header, "X to ?" tail.
+    if trimmed.starts_with("Data transformation:") && trimmed.ends_with(" to ?") {
+        let mut examples = Vec::new();
+        let mut input = String::new();
+        for l in trimmed.lines().skip(1) {
+            if let Some(i) = l.strip_suffix(" to ?") {
+                input = i.to_string();
+            } else if let Some((i, o)) = l.rsplit_once(" to ") {
+                examples.push((i.to_string(), o.to_string()));
+            }
+        }
+        if input.is_empty() {
+            return None;
+        }
+        return Some(AnswerRequest {
+            task: TaskKind::Transformation,
+            form: PromptForm::FewShot,
+            context_kind: if examples.is_empty() { ContextKind::Empty } else { ContextKind::Serialized },
+            context_lines: Vec::new(),
+            payload: AnswerPayload::Transformation { examples, input },
+        });
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pairs: &[(&str, &str)]) -> SerializedRecord {
+        SerializedRecord::new(
+            pairs
+                .iter()
+                .map(|(a, v)| (a.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fm_imputation_roundtrip() {
+        let demos = vec![(
+            rec(&[("name", "oceana"), ("addr", "55 e. 54th st.")]),
+            "new york".to_string(),
+        )];
+        let q = rec(&[("name", "ruth's chris"), ("addr", "224 s. beverly dr.")]);
+        let p = render_fm_imputation(&demos, &q, "city");
+        let req = parse_fm(&p).unwrap();
+        assert_eq!(req.form, PromptForm::FewShot);
+        match req.payload {
+            AnswerPayload::Imputation { subject, attr, .. } => {
+                assert_eq!(attr, "city");
+                assert_eq!(subject, "ruth's chris");
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+        assert!(!req.context_lines.is_empty());
+    }
+
+    #[test]
+    fn fm_er_roundtrip() {
+        let p = render_fm_entity_resolution(
+            &[(rec(&[("title", "x")]), rec(&[("title", "y")]), false)],
+            &rec(&[("title", "Punch 4000")]),
+            &rec(&[("title", "P. 4000")]),
+        );
+        let req = parse_fm(&p).unwrap();
+        match req.payload {
+            AnswerPayload::EntityResolution { a, b } => {
+                assert!(a.contains("Punch 4000"));
+                assert!(b.contains("P. 4000"));
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn fm_error_roundtrip() {
+        let p = render_fm_error_detection(
+            &[("county".to_string(), "mxrshxll".to_string(), true)],
+            "city",
+            "sheffxeld",
+        );
+        let req = parse_fm(&p).unwrap();
+        match req.payload {
+            AnswerPayload::ErrorDetection { attr, value } => {
+                assert_eq!(attr, "city");
+                assert_eq!(value, "sheffxeld");
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn fm_transformation_roundtrip() {
+        let p = render_fm_transformation(
+            &[("20210315".to_string(), "Mar 15 2021".to_string())],
+            "20201103",
+        );
+        let req = parse_fm(&p).unwrap();
+        match req.payload {
+            AnswerPayload::Transformation { examples, input } => {
+                assert_eq!(examples.len(), 1);
+                assert_eq!(input, "20201103");
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_fm() {
+        assert!(parse_fm("The task is to impute the missing value.").is_none());
+    }
+}

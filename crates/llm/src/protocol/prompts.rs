@@ -1,0 +1,293 @@
+//! The pipeline prompts: `p_rm`, `p_ri`, `p_dp`, `p_cq`.
+
+use super::record::SerializedRecord;
+use super::{bracketed_after, TaskKind};
+
+/// A parsed meta-wise retrieval request (`p_rm`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrmRequest {
+    /// The task.
+    pub task: TaskKind,
+    /// The target query.
+    pub query: String,
+    /// The candidate attribute names.
+    pub candidates: Vec<String>,
+}
+
+/// Renders `p_rm` (paper §4.2):
+///
+/// > The task is \[T\]. The target query is \[Q\]. The candidate attributes
+/// > are \[s1, s2, ..., sn\]. Which attributes are helpful for the task and
+/// > the query?
+pub fn render_prm(task: TaskKind, query: &str, candidates: &[String]) -> String {
+    format!(
+        "The task is [{}]. The target query is [{}]. The candidate attributes are [{}]. \
+         Which attributes are helpful for the task and the query?",
+        task.description(),
+        query,
+        candidates.join(", ")
+    )
+}
+
+/// Parses a `p_rm` prompt.
+pub fn parse_prm(prompt: &str) -> Option<PrmRequest> {
+    if !prompt.contains("Which attributes are helpful") {
+        return None;
+    }
+    let task = TaskKind::from_description(bracketed_after(prompt, "The task is")?)?;
+    let query = bracketed_after(prompt, "The target query is")?.to_string();
+    let candidates = bracketed_after(prompt, "The candidate attributes are")?
+        .split(", ")
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Some(PrmRequest { task, query, candidates })
+}
+
+/// A parsed instance-wise retrieval request (`p_ri`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriRequest {
+    /// The task.
+    pub task: TaskKind,
+    /// The target query.
+    pub query: String,
+    /// The candidate instances, projected on the task-relevant attributes.
+    pub instances: Vec<SerializedRecord>,
+}
+
+/// Renders `p_ri` (paper §4.2): the relevance-scoring prompt over numbered
+/// candidate instances.
+pub fn render_pri(task: TaskKind, query: &str, instances: &[SerializedRecord]) -> String {
+    let mut out = format!(
+        "The task is [{}]. The target query is [{}]. Score the relevance (range from 0 to 3) \
+         of the given instances based on the task and the query:",
+        task.description(),
+        query
+    );
+    for (i, inst) in instances.iter().enumerate() {
+        out.push_str(&format!("\n{}. {}", i + 1, inst.render()));
+    }
+    out
+}
+
+/// Parses a `p_ri` prompt.
+pub fn parse_pri(prompt: &str) -> Option<PriRequest> {
+    if !prompt.contains("Score the relevance") {
+        return None;
+    }
+    let task = TaskKind::from_description(bracketed_after(prompt, "The task is")?)?;
+    let query = bracketed_after(prompt, "The target query is")?.to_string();
+    let mut instances = Vec::new();
+    for line in prompt.lines().skip(1) {
+        let Some((_num, rest)) = line.split_once(". ") else {
+            continue;
+        };
+        if let Some(rec) = SerializedRecord::parse(rest) {
+            instances.push(rec);
+        }
+    }
+    Some(PriRequest { task, query, instances })
+}
+
+/// Parses the `p_ri` *response*: `"1:3, 2:0, ..."` → 0-based `(index, score)`.
+pub fn parse_pri_response(text: &str) -> Vec<(usize, u8)> {
+    let mut out = Vec::new();
+    for chunk in text.split(',') {
+        let Some((i, s)) = chunk.trim().split_once(':') else {
+            continue;
+        };
+        if let (Ok(i), Ok(s)) = (i.trim().parse::<usize>(), s.trim().parse::<u8>()) {
+            if i >= 1 {
+                out.push((i - 1, s.min(3)));
+            }
+        }
+    }
+    out
+}
+
+/// A parsed context-data-parsing request (`p_dp`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdpRequest {
+    /// The serialized records to naturalize.
+    pub records: Vec<SerializedRecord>,
+}
+
+/// Renders `p_dp` (paper §4.3):
+///
+/// > Given the data, convert the items into a textual format that
+/// > encompasses all relevant information in a logical order: \[V\]
+pub fn render_pdp(records: &[SerializedRecord]) -> String {
+    let body = records
+        .iter()
+        .map(SerializedRecord::render)
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "Given the data, convert the items into a textual format that encompasses all \
+         relevant information in a logical order: [{body}]"
+    )
+}
+
+/// Parses a `p_dp` prompt.
+pub fn parse_pdp(prompt: &str) -> Option<PdpRequest> {
+    if !prompt.contains("convert the items into a textual format") {
+        return None;
+    }
+    let body = bracketed_after(prompt, "logical order:")?;
+    let records = body
+        .lines()
+        .filter_map(SerializedRecord::parse)
+        .collect::<Vec<_>>();
+    Some(PdpRequest { records })
+}
+
+/// The claim fed to the cloze-question generator: task, parsed context, and
+/// target query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// The task.
+    pub task: TaskKind,
+    /// Parsed context `C'` (natural text, possibly multi-line).
+    pub context: String,
+    /// The target query `Q`.
+    pub query: String,
+}
+
+/// The in-context demonstrations of `p_cq` (paper appendix A), shared by
+/// every render so the prompt cost is realistic.
+const PCQ_DEMONSTRATIONS: &str = "\
+Claim: The task is [data imputation]. The context is [Wenham, Marysville, and Westmont are \
+cities in the United States, identified by the ISO3 code USA]. The target query is [city: New \
+Cassel; iso3: USA; country: ?].
+Cloze question: Wenham, Marysville, and Westmont are cities in the United States, identified \
+by the ISO3 code USA. New Cassel belongs to the country __.
+Claim: The task is [data transformation]. The context is [data before transformation: 20000101 \
+data after transformation: 2000-01-01]. The target query is [19990415: ?].
+Cloze question: 20000101 can be transformed to 2000-01-01, and 19990415 can be transformed \
+to __.
+Claim: The task is [error detection]. The context is [the address of 2505 u s highway 431 \
+north is not an error, the county name of mxrshxll is an error]. The target query is [city: \
+sheffxeld?].
+Cloze question: The address 2505 u s highway 431 north has no error, whereas the county name \
+mxrshxll contains an error. Is there an error in the city sheffxeld? Yes or No: __.
+Claim: The task is [entity resolution]. The context is [A is the Punch! Home Design \
+Architectural Series 4000 v10, priced at $199.99. B is the Punch Software 41100 Punch! Home \
+Design Architectural Series 18, priced at $18.99]. The target query is [are A and B the \
+same?].
+Cloze question: Entity A is the Punch! Home Design Architectural Series 4000 v10 priced at \
+$199.99. Entity B is the Punch Software 41100 Punch! Home Design Architectural Series 18 \
+priced at $18.99. Are entity A and entity B the same? Yes or No: __.";
+
+/// Renders `p_cq` (paper §4.4): demonstrations plus the claim to rewrite.
+pub fn render_pcq(claim: &Claim) -> String {
+    format!(
+        "Write the claim as a cloze question.\n{demos}\nClaim: The task is [{task}]. The \
+         context is [{context}]. The target query is [{query}].\nCloze question:",
+        demos = PCQ_DEMONSTRATIONS,
+        task = claim.task.description(),
+        context = claim.context,
+        query = claim.query,
+    )
+}
+
+/// Parses a `p_cq` prompt back into the final claim (ignoring the
+/// demonstrations, which are fixed).
+pub fn parse_pcq(prompt: &str) -> Option<Claim> {
+    if !prompt.starts_with("Write the claim as a cloze question.") {
+        return None;
+    }
+    // The final claim follows the last "Claim:" marker.
+    let last = prompt.rfind("Claim:")?;
+    let tail = &prompt[last..];
+    let task = TaskKind::from_description(bracketed_after(tail, "The task is")?)?;
+    let context = bracketed_after(tail, "The context is")?.to_string();
+    let query = bracketed_after(tail, "The target query is")?.to_string();
+    Some(Claim { task, context, query })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recs() -> Vec<SerializedRecord> {
+        vec![
+            SerializedRecord::new(vec![
+                ("city".into(), "Alicante".into()),
+                ("country".into(), "Spain".into()),
+            ]),
+            SerializedRecord::new(vec![
+                ("city".into(), "Florence".into()),
+                ("country".into(), "Italy".into()),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn prm_roundtrip() {
+        let p = render_prm(
+            TaskKind::Imputation,
+            "Copenhagen, timezone",
+            &["country".into(), "population".into(), "postalcode".into()],
+        );
+        let req = parse_prm(&p).unwrap();
+        assert_eq!(req.task, TaskKind::Imputation);
+        assert_eq!(req.query, "Copenhagen, timezone");
+        assert_eq!(req.candidates, vec!["country", "population", "postalcode"]);
+    }
+
+    #[test]
+    fn pri_roundtrip() {
+        let p = render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs());
+        let req = parse_pri(&p).unwrap();
+        assert_eq!(req.instances.len(), 2);
+        assert_eq!(req.instances[1].get("city"), Some("Florence"));
+    }
+
+    #[test]
+    fn pri_response_parsing() {
+        let scores = parse_pri_response("1:3, 2:0, 3:2");
+        assert_eq!(scores, vec![(0, 3), (1, 0), (2, 2)]);
+        assert_eq!(parse_pri_response("garbage"), vec![]);
+        // Scores clamp to 3; indices below 1 are dropped.
+        assert_eq!(parse_pri_response("1:9, 0:2"), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn pdp_roundtrip() {
+        let p = render_pdp(&recs());
+        let req = parse_pdp(&p).unwrap();
+        assert_eq!(req.records, recs());
+    }
+
+    #[test]
+    fn pcq_roundtrip() {
+        let claim = Claim {
+            task: TaskKind::Imputation,
+            context: "Florence belongs to the country Italy.".to_string(),
+            query: "city: Copenhagen; country: Denmark; timezone: ?".to_string(),
+        };
+        let p = render_pcq(&claim);
+        assert!(p.contains("Punch! Home Design"), "demonstrations included");
+        let back = parse_pcq(&p).unwrap();
+        assert_eq!(back, claim);
+    }
+
+    #[test]
+    fn parsers_reject_other_prompts() {
+        assert!(parse_prm("hello").is_none());
+        assert!(parse_pri("hello").is_none());
+        assert!(parse_pdp("hello").is_none());
+        assert!(parse_pcq("hello").is_none());
+    }
+
+    #[test]
+    fn pcq_final_claim_wins_over_demos() {
+        let claim = Claim {
+            task: TaskKind::ErrorDetection,
+            context: "ctx".to_string(),
+            query: "city: sheffxeld?".to_string(),
+        };
+        let back = parse_pcq(&render_pcq(&claim)).unwrap();
+        assert_eq!(back.task, TaskKind::ErrorDetection);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cloze-question generation skill: answering `p_cq`.
+//!
+//! The model learns the claim→cloze mapping from the in-prompt
+//! demonstrations. A capable model emits the canonical cloze; an incapable
+//! one falls back to near-verbatim concatenation — which is exactly the
+//! degradation the target-prompt-construction ablation measures.
+
+use crate::profile::LlmProfile;
+use crate::protocol::{render_cloze, render_simple, Claim};
+use crate::Dice;
+
+/// Answers `p_cq`: the cloze question for `claim`.
+pub fn generate_cloze(claim: &Claim, profile: &LlmProfile, dice: &Dice) -> String {
+    let follows = dice.chance(
+        &format!("{}|{}", claim.query, claim.context),
+        "pcq-follow",
+        profile.effective_instruction(),
+    );
+    if follows {
+        render_cloze(claim)
+    } else {
+        // Failed to imitate the demonstrations; produces a flat restatement.
+        render_simple(claim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{claim_query_imputation, SerializedRecord, TaskKind};
+
+    fn claim() -> Claim {
+        Claim {
+            task: TaskKind::Imputation,
+            context: "Florence belongs to the country Italy.".to_string(),
+            query: claim_query_imputation(
+                &SerializedRecord::new(vec![("city".into(), "Copenhagen".into())]),
+                "timezone",
+            ),
+        }
+    }
+
+    #[test]
+    fn strong_model_emits_cloze() {
+        let out = generate_cloze(&claim(), &LlmProfile::gpt4_turbo(), &Dice::new(1));
+        assert!(out.contains("is __."), "got {out}");
+    }
+
+    #[test]
+    fn weak_model_sometimes_flat() {
+        let profile = LlmProfile::gptj_6b();
+        let mut flat = 0;
+        for i in 0..40 {
+            let mut c = claim();
+            c.context = format!("Context number {i}.");
+            let out = generate_cloze(&c, &profile, &Dice::new(3));
+            if out.starts_with("Task: ") {
+                flat += 1;
+            }
+        }
+        assert!(flat > 10, "weak model should often fail: {flat}/40");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_cloze(&claim(), &LlmProfile::gpt3_175b(), &Dice::new(2));
+        let b = generate_cloze(&claim(), &LlmProfile::gpt3_175b(), &Dice::new(2));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,503 @@
+//! By-example transformation induction: the model's in-context program
+//! synthesis.
+//!
+//! Given `(input, output)` demonstrations, the skill searches a small
+//! program space — token rearrangement with literal glue, case mapping,
+//! dictionary decoding (months, romans), numeric scaling, and knowledge-base
+//! relations — for a program consistent with *all* examples, then applies it
+//! to the query. Knowledge-base relations are where the simulated LLM beats
+//! a pure search engine like TDE: `Germany → GER` has no syntactic program,
+//! only a semantic one.
+
+use unidm_world::Predicate;
+
+use crate::kb::KnowledgeBase;
+
+/// English month names (the dictionary knowledge every LLM has).
+const MONTHS: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+const ROMANS: [&str; 10] = ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
+
+/// KB relations worth probing during induction.
+const KB_RELATIONS: &[Predicate] = &[
+    Predicate::CountryIso,
+    Predicate::CountryContinent,
+    Predicate::CountryTimezone,
+    Predicate::CityCountry,
+    Predicate::CityTimezone,
+    Predicate::BrandManufacturer,
+    Predicate::ProductManufacturer,
+];
+
+/// One piece of a synthesized output.
+#[allow(missing_docs)] // field names are self-describing slice coordinates
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// Literal text.
+    Lit(String),
+    /// The whole `idx`-th token.
+    Token(usize),
+    /// A fixed character slice of the `idx`-th token.
+    Slice { idx: usize, start: usize, len: usize },
+    /// A fixed slice parsed as a number and reprinted (strips zeros).
+    SliceNum { idx: usize, start: usize, len: usize },
+    /// First character of the token (initials).
+    FirstChar(usize),
+    /// A fixed slice decoded as a month number → full month name.
+    MonthName { idx: usize, start: usize, len: usize },
+    /// A fixed slice decoded as a month number → 3-letter abbreviation.
+    MonthAbbr { idx: usize, start: usize, len: usize },
+    /// The token parsed as a number and multiplied by `factor`.
+    NumScale { idx: usize, factor: i64 },
+}
+
+/// A transformation program synthesized from examples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Program {
+    /// Token rearrangement with literal glue.
+    Rearrange(Vec<Piece>),
+    /// Whole-string uppercase.
+    Upper,
+    /// Whole-string lowercase.
+    Lower,
+    /// Title case per word.
+    Title,
+    /// Dictionary: month number → name.
+    MonthFromNumber,
+    /// Dictionary: roman numeral → number.
+    RomanToNumber,
+    /// Knowledge-base relation, forward direction.
+    KbForward(Predicate),
+    /// Knowledge-base relation, reverse direction.
+    KbReverse(Predicate),
+}
+
+impl Program {
+    /// Applies the program to `input`; `None` when it does not apply (e.g. a
+    /// knowledge gap or missing token).
+    pub fn apply(&self, input: &str, kb: &KnowledgeBase) -> Option<String> {
+        match self {
+            Program::Upper => Some(input.to_uppercase()),
+            Program::Lower => Some(input.to_lowercase()),
+            Program::Title => Some(title_case(input)),
+            Program::MonthFromNumber => {
+                let m: usize = input.trim().parse().ok()?;
+                (1..=12).contains(&m).then(|| MONTHS[m - 1].to_string())
+            }
+            Program::RomanToNumber => ROMANS
+                .iter()
+                .position(|r| r.eq_ignore_ascii_case(input.trim()))
+                .map(|i| (i + 1).to_string()),
+            Program::KbForward(p) => kb.lookup(input, *p).map(str::to_string),
+            Program::KbReverse(p) => kb.lookup_reverse(input, *p).map(str::to_string),
+            Program::Rearrange(pieces) => {
+                let tokens = tokens_of(input);
+                let mut out = String::new();
+                for piece in pieces {
+                    out.push_str(&apply_piece(piece, &tokens)?);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(c) => c.to_uppercase().collect::<String>() + &cs.as_str().to_lowercase(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn tokens_of(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.push(c);
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn slice(token: &str, start: usize, len: usize) -> Option<&str> {
+    // Tokens are ASCII-alnum by construction, so byte slicing is safe here;
+    // bail out defensively otherwise.
+    if !token.is_ascii() {
+        return None;
+    }
+    token.get(start..start + len)
+}
+
+fn apply_piece(piece: &Piece, tokens: &[String]) -> Option<String> {
+    match piece {
+        Piece::Lit(s) => Some(s.clone()),
+        Piece::Token(i) => tokens.get(*i).cloned(),
+        Piece::Slice { idx, start, len } => {
+            slice(tokens.get(*idx)?, *start, *len).map(str::to_string)
+        }
+        Piece::SliceNum { idx, start, len } => {
+            let s = slice(tokens.get(*idx)?, *start, *len)?;
+            s.parse::<i64>().ok().map(|n| n.to_string())
+        }
+        Piece::FirstChar(i) => tokens.get(*i)?.chars().next().map(|c| c.to_string()),
+        Piece::MonthName { idx, start, len } => {
+            let m: usize = slice(tokens.get(*idx)?, *start, *len)?.parse().ok()?;
+            (1..=12).contains(&m).then(|| MONTHS[m - 1].to_string())
+        }
+        Piece::MonthAbbr { idx, start, len } => {
+            let m: usize = slice(tokens.get(*idx)?, *start, *len)?.parse().ok()?;
+            (1..=12).contains(&m).then(|| MONTHS[m - 1][0..3].to_string())
+        }
+        Piece::NumScale { idx, factor } => {
+            let n: i64 = tokens.get(*idx)?.parse().ok()?;
+            Some((n * factor).to_string())
+        }
+    }
+}
+
+/// Synthesizes a program consistent with every example.
+///
+/// Whole-string programs (case, dictionaries, KB relations) are tried first;
+/// otherwise a bounded DFS aligns the first example's output against its
+/// input tokens and surviving candidates are verified on the rest.
+pub fn induce(examples: &[(String, String)], kb: &KnowledgeBase) -> Option<Program> {
+    if examples.is_empty() {
+        return None;
+    }
+    let whole: &[Program] = &[
+        Program::Upper,
+        Program::Lower,
+        Program::Title,
+        Program::MonthFromNumber,
+        Program::RomanToNumber,
+    ];
+    for prog in whole {
+        if verifies(prog, examples, kb) {
+            return Some(prog.clone());
+        }
+    }
+    for &p in KB_RELATIONS {
+        let fwd = Program::KbForward(p);
+        if verifies(&fwd, examples, kb) {
+            return Some(fwd);
+        }
+        let rev = Program::KbReverse(p);
+        if verifies(&rev, examples, kb) {
+            return Some(rev);
+        }
+    }
+    // Numeric scaling ("5 km" → "5000 m") needs the factor from the data.
+    if let Some(prog) = induce_scale(examples) {
+        if verifies(&prog, examples, kb) {
+            return Some(prog);
+        }
+    }
+    // Token rearrangement via bounded DFS on the first example.
+    let (input, output) = &examples[0];
+    let tokens = tokens_of(input);
+    let mut budget = 50_000usize;
+    let mut pieces = Vec::new();
+    let mut found = Vec::new();
+    dfs(output, 0, &tokens, &mut pieces, &mut found, &mut budget);
+    for candidate in found {
+        // A program with no input dependence is a constant, not a
+        // transformation; an LLM asked to generalise would not emit it.
+        if candidate.iter().all(|p| matches!(p, Piece::Lit(_))) {
+            continue;
+        }
+        let prog = Program::Rearrange(candidate);
+        if verifies(&prog, examples, kb) {
+            return Some(prog);
+        }
+    }
+    None
+}
+
+fn verifies(prog: &Program, examples: &[(String, String)], kb: &KnowledgeBase) -> bool {
+    examples
+        .iter()
+        .all(|(i, o)| prog.apply(i, kb).as_deref() == Some(o.as_str()))
+}
+
+fn induce_scale(examples: &[(String, String)]) -> Option<Program> {
+    let (i0, o0) = &examples[0];
+    let ti = tokens_of(i0);
+    let to = tokens_of(o0);
+    let a: i64 = ti.first()?.parse().ok()?;
+    let b: i64 = to.first()?.parse().ok()?;
+    if a == 0 || b % a != 0 {
+        return None;
+    }
+    let factor = b / a;
+    let mut pieces = vec![Piece::NumScale { idx: 0, factor }];
+    let rest = o0.strip_prefix(&to[0])?;
+    if !rest.is_empty() {
+        pieces.push(Piece::Lit(rest.to_string()));
+    }
+    Some(Program::Rearrange(pieces))
+}
+
+/// Depth-first alignment of `output[pos..]` against the input tokens.
+/// Collects up to a handful of complete decompositions.
+fn dfs(
+    output: &str,
+    pos: usize,
+    tokens: &[String],
+    pieces: &mut Vec<Piece>,
+    found: &mut Vec<Vec<Piece>>,
+    budget: &mut usize,
+) {
+    if *budget == 0 || found.len() >= 64 {
+        return;
+    }
+    *budget -= 1;
+    if pos >= output.len() {
+        found.push(pieces.clone());
+        return;
+    }
+    let rest = &output[pos..];
+
+    // Candidate: whole token match (longest tokens first).
+    let mut idxs: Vec<usize> = (0..tokens.len()).collect();
+    idxs.sort_by_key(|&i| std::cmp::Reverse(tokens[i].len()));
+    for &i in &idxs {
+        let t = &tokens[i];
+        if t.len() >= 2 && rest.starts_with(t.as_str()) {
+            pieces.push(Piece::Token(i));
+            dfs(output, pos + t.len(), tokens, pieces, found, budget);
+            pieces.pop();
+        }
+    }
+    // Candidate: fixed slices of tokens (len >= 2) matching the rest.
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ascii() || t.len() < 2 {
+            continue;
+        }
+        for start in 0..t.len() {
+            for len in (2..=(t.len() - start).min(8)).rev() {
+                let Some(s) = slice(t, start, len) else { continue };
+                if rest.starts_with(s) && s.len() != t.len() {
+                    pieces.push(Piece::Slice { idx: i, start, len });
+                    dfs(output, pos + len, tokens, pieces, found, budget);
+                    pieces.pop();
+                }
+                // Numeric re-print of the slice ("05" → "5"). Offered even
+                // when it prints identically to the raw slice, because a
+                // later example may need the zero-stripping variant.
+                if let Ok(n) = s.parse::<i64>() {
+                    let printed = n.to_string();
+                    // Runs of zeros printing as a bare "0" are degenerate.
+                    let degenerate = printed == "0" && len > 1;
+                    if !degenerate && rest.starts_with(&printed) {
+                        pieces.push(Piece::SliceNum { idx: i, start, len });
+                        dfs(output, pos + printed.len(), tokens, pieces, found, budget);
+                        pieces.pop();
+                    }
+                }
+                // Month decodings of two-digit slices.
+                if len == 2 {
+                    if let Ok(m) = s.parse::<usize>() {
+                        if (1..=12).contains(&m) {
+                            let name = MONTHS[m - 1];
+                            if rest.starts_with(name) {
+                                pieces.push(Piece::MonthName { idx: i, start, len });
+                                dfs(output, pos + name.len(), tokens, pieces, found, budget);
+                                pieces.pop();
+                            }
+                            let abbr = &name[0..3];
+                            if rest.starts_with(abbr) {
+                                pieces.push(Piece::MonthAbbr { idx: i, start, len });
+                                dfs(output, pos + 3, tokens, pieces, found, budget);
+                                pieces.pop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Candidate: first character of a token (initials).
+    for (i, t) in tokens.iter().enumerate() {
+        if let Some(c) = t.chars().next() {
+            if rest.starts_with(c) {
+                pieces.push(Piece::FirstChar(i));
+                dfs(output, pos + c.len_utf8(), tokens, pieces, found, budget);
+                pieces.pop();
+            }
+        }
+    }
+    // Candidate: one literal character (last resort keeps programs small).
+    if let Some(c) = rest.chars().next() {
+        if !c.is_alphanumeric() || tokens.iter().all(|t| !t.contains(c)) {
+            match pieces.last_mut() {
+                Some(Piece::Lit(s)) => {
+                    s.push(c);
+                    dfs(output, pos + c.len_utf8(), tokens, pieces, found, budget);
+                    if let Some(Piece::Lit(s)) = pieces.last_mut() {
+                        s.pop();
+                    }
+                }
+                _ => {
+                    pieces.push(Piece::Lit(c.to_string()));
+                    dfs(output, pos + c.len_utf8(), tokens, pieces, found, budget);
+                    pieces.pop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_world::World;
+
+    fn kb() -> KnowledgeBase {
+        KnowledgeBase::from_world(&World::generate(7), 1.0, 1)
+    }
+
+    fn ex(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn induces_date_reorder() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("2021-03-15", "03/15/2021"), ("1999-12-01", "12/01/1999")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("2005-07-04", &kb).unwrap(), "07/04/2005");
+    }
+
+    #[test]
+    fn induces_compact_date_split() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("20210315", "2021-03-15"), ("19991201", "1999-12-01")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("20050704", &kb).unwrap(), "2005-07-04");
+    }
+
+    #[test]
+    fn induces_pretty_date_with_month_abbr() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("20210315", "Mar 15 2021"), ("19990405", "Apr 5 1999")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("20201103", &kb).unwrap(), "Nov 3 2020");
+    }
+
+    #[test]
+    fn induces_initials() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("John Smith", "J. Smith"), ("Mary Jones", "M. Jones")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("Alan Turing", &kb).unwrap(), "A. Turing");
+    }
+
+    #[test]
+    fn induces_name_swap() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("John Smith", "Smith, John"), ("Mary Jones", "Jones, Mary")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("Alan Turing", &kb).unwrap(), "Turing, Alan");
+    }
+
+    #[test]
+    fn induces_case_ops() {
+        let kb = kb();
+        assert_eq!(
+            induce(&ex(&[("abc", "ABC"), ("xy", "XY")]), &kb),
+            Some(Program::Upper)
+        );
+        assert_eq!(
+            induce(&ex(&[("hello world", "Hello World")]), &kb),
+            Some(Program::Title)
+        );
+    }
+
+    #[test]
+    fn induces_month_dictionary() {
+        let kb = kb();
+        let prog = induce(&ex(&[("03", "March"), ("11", "November")]), &kb).unwrap();
+        assert_eq!(prog.apply("07", &kb).unwrap(), "July");
+    }
+
+    #[test]
+    fn induces_roman() {
+        let kb = kb();
+        let prog = induce(&ex(&[("III", "3"), ("IX", "9")]), &kb).unwrap();
+        assert_eq!(prog.apply("VII", &kb).unwrap(), "7");
+    }
+
+    #[test]
+    fn induces_kb_relation() {
+        let kb = kb();
+        let prog = induce(&ex(&[("Germany", "GER"), ("Italy", "ITA")]), &kb)
+            .expect("country→iso known");
+        assert_eq!(prog, Program::KbForward(Predicate::CountryIso));
+        assert_eq!(prog.apply("France", &kb).unwrap(), "FRA");
+    }
+
+    #[test]
+    fn kb_relation_with_gap_returns_none_on_apply() {
+        let empty = KnowledgeBase::empty();
+        let prog = Program::KbForward(Predicate::CountryIso);
+        assert_eq!(prog.apply("Germany", &empty), None);
+    }
+
+    #[test]
+    fn induces_numeric_scale() {
+        let kb = kb();
+        let prog = induce(&ex(&[("5 km", "5000 m"), ("12 km", "12000 m")]), &kb)
+            .expect("scale inducible");
+        assert_eq!(prog.apply("3 km", &kb).unwrap(), "3000 m");
+    }
+
+    #[test]
+    fn induces_phone_paren() {
+        let kb = kb();
+        let prog = induce(
+            &ex(&[("404/262-7379", "(404) 262-7379"), ("212/759-5941", "(212) 759-5941")]),
+            &kb,
+        )
+        .expect("inducible");
+        assert_eq!(prog.apply("310/859-8744", &kb).unwrap(), "(310) 859-8744");
+    }
+
+    #[test]
+    fn uninducible_returns_none() {
+        let kb = kb();
+        assert!(induce(&ex(&[("abc", "qqqqzzz91")]), &kb).is_none());
+        assert!(induce(&[], &kb).is_none());
+    }
+}

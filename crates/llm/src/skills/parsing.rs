@@ -1,0 +1,94 @@
+//! Context-data-parsing skill: answering `p_dp`.
+//!
+//! Converting `attr: value` pairs into fluent text is, as the paper notes,
+//! "an easy job for LLMs": the relations are common and fixed. Strong models
+//! do it near-perfectly; weak models occasionally drop a clause, which later
+//! costs them at answer time.
+
+use crate::profile::LlmProfile;
+use crate::protocol::{naturalize_record, PdpRequest, SerializedRecord};
+use crate::Dice;
+
+/// Answers `p_dp`: one natural sentence per record, newline separated.
+pub fn parse_context(req: &PdpRequest, profile: &LlmProfile, dice: &Dice) -> String {
+    let mut out = Vec::with_capacity(req.records.len());
+    for (i, rec) in req.records.iter().enumerate() {
+        let rendered = rec.render();
+        // A weak model sometimes drops a clause while rewriting.
+        let keep_all = dice.chance(
+            &format!("{rendered}#{i}"),
+            "pdp-complete",
+            profile.effective_instruction(),
+        );
+        let rec = if keep_all || rec.pairs.len() <= 2 {
+            rec.clone()
+        } else {
+            let drop = dice.pick(&rendered, "pdp-drop", rec.pairs.len() - 1) + 1;
+            SerializedRecord::new(
+                rec.pairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != drop)
+                    .map(|(_, p)| p.clone())
+                    .collect(),
+            )
+        };
+        out.push(naturalize_record(&rec));
+    }
+    out.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_natural_sentence;
+
+    fn record() -> SerializedRecord {
+        SerializedRecord::new(vec![
+            ("city".into(), "Florence".into()),
+            ("country".into(), "Italy".into()),
+            ("timezone".into(), "Central European Time".into()),
+        ])
+    }
+
+    #[test]
+    fn strong_model_keeps_all_clauses() {
+        let req = PdpRequest { records: vec![record()] };
+        let out = parse_context(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1));
+        let back = parse_natural_sentence(&out).unwrap();
+        assert_eq!(back.get("country"), Some("Italy"));
+        assert_eq!(back.get("timezone"), Some("Central European Time"));
+    }
+
+    #[test]
+    fn one_sentence_per_record() {
+        let req = PdpRequest { records: vec![record(), record(), record()] };
+        let out = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(1));
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn weak_model_drops_clauses_sometimes() {
+        let mut dropped = 0;
+        let profile = LlmProfile::gptj_6b();
+        for i in 0..50 {
+            let mut rec = record();
+            rec.pairs[0].1 = format!("City{i}");
+            let req = PdpRequest { records: vec![rec] };
+            let out = parse_context(&req, &profile, &Dice::new(9));
+            let back = parse_natural_sentence(&out).unwrap();
+            if back.pairs.len() < 3 {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 5, "weak model should degrade: {dropped}/50");
+    }
+
+    #[test]
+    fn deterministic() {
+        let req = PdpRequest { records: vec![record()] };
+        let a = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(4));
+        let b = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(4));
+        assert_eq!(a, b);
+    }
+}

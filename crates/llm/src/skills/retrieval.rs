@@ -1,0 +1,309 @@
+//! Retrieval skills: answering `p_rm` (attribute selection) and `p_ri`
+//! (instance relevance scoring).
+
+use unidm_text::distance::jaccard;
+use unidm_text::Embedder;
+
+use crate::kb::KnowledgeBase;
+use crate::profile::LlmProfile;
+use crate::protocol::{PriRequest, PrmRequest, TaskKind};
+use crate::Dice;
+
+/// Attribute pairs a pretrained model "knows" to be semantically linked —
+/// the internal knowledge `p_rm` elicits (target keyword, helpful keyword,
+/// strength).
+const ATTRIBUTE_AFFINITY: &[(&str, &str, f64)] = &[
+    ("timezone", "country", 1.0),
+    ("timezone", "city", 0.9),
+    ("country", "city", 1.0),
+    ("country", "iso", 0.9),
+    ("country", "postal", 0.5),
+    ("city", "addr", 0.95),
+    ("city", "phone", 0.85),
+    ("city", "county", 0.6),
+    ("city", "zip", 0.7),
+    ("city", "state", 0.55),
+    ("manufacturer", "name", 1.0),
+    ("manufacturer", "description", 0.9),
+    ("manufacturer", "brand", 0.95),
+    ("artist", "song", 0.9),
+    ("artist", "album", 0.85),
+    ("artist", "genre", 0.7),
+    ("brewery", "name", 0.9),
+    ("college", "player", 0.9),
+    ("population", "city", 0.6),
+    ("income", "education", 0.7),
+    ("income", "occupation", 0.6),
+    ("nation", "gold", 0.8),
+    ("gold", "nation", 0.9),
+    ("silver", "nation", 0.9),
+    ("bronze", "nation", 0.9),
+];
+
+/// How strongly a pretrained model links `candidate` to `target`.
+fn affinity(target: &str, candidate: &str) -> f64 {
+    let t = target.to_lowercase();
+    let c = candidate.to_lowercase();
+    let table_hit = ATTRIBUTE_AFFINITY
+        .iter()
+        .filter(|(a, b, _)| t.contains(a) && c.contains(b))
+        .map(|(_, _, s)| *s)
+        .fold(0.0, f64::max);
+    // An attribute literally named in the query (e.g. "gold" in "how many
+    // gold medals…") is evidently relevant.
+    let named = t
+        .split(|ch: char| !ch.is_alphanumeric())
+        .any(|w| !w.is_empty() && w == c);
+    if named {
+        table_hit.max(0.95)
+    } else {
+        table_hit
+    }
+}
+
+/// Answers `p_rm`: ranks candidate attributes by semantic affinity with the
+/// target, with capability noise, and returns the best ones (comma list).
+pub fn select_attributes(
+    req: &PrmRequest,
+    profile: &LlmProfile,
+    dice: &Dice,
+    _kb: &KnowledgeBase,
+) -> String {
+    // The target attribute is the last comma-element of the query
+    // ("Copenhagen, timezone" → "timezone").
+    let target = req
+        .query
+        .rsplit(',')
+        .next()
+        .unwrap_or(&req.query)
+        .trim()
+        .to_string();
+    let embedder = Embedder::default();
+    let target_emb = embedder.embed(&target);
+    let mut scored: Vec<(f64, &String)> = req
+        .candidates
+        .iter()
+        .map(|c| {
+            let known = affinity(&target, c);
+            // Fall back on name similarity when no explicit link is known.
+            let fallback = 0.3 * f64::from(target_emb.cosine(&embedder.embed(c)));
+            let mut score = known.max(fallback);
+            // Capability noise: weaker models mis-rank attributes.
+            let noise_span = 1.0 - profile.effective_instruction();
+            score += noise_span * (dice.uniform(&format!("{}|{c}", req.query), "prm-noise") - 0.5);
+            (score, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Emit every clearly helpful attribute (capped at three); always at
+    // least the top one. The paper's imputation default ends up with one
+    // attribute, its TableQA example with two ("Nation" and "Gold").
+    let mut picked: Vec<&str> = Vec::new();
+    for (score, attr) in &scored {
+        if picked.is_empty() || (*score >= 0.6 && picked.len() < 3) {
+            picked.push(attr);
+        }
+    }
+    picked.join(", ")
+}
+
+/// Answers `p_ri`: scores each instance 0–3 for relevance to the query.
+///
+/// Relevance is lexical-semantic similarity between the instance and the
+/// query — what an LLM actually computes when asked this — with per-instance
+/// capability noise.
+pub fn score_instances(
+    req: &PriRequest,
+    profile: &LlmProfile,
+    dice: &Dice,
+    kb: &KnowledgeBase,
+) -> String {
+    // The attribute the query marks as missing ("city: ?"): an instance
+    // that lacks it cannot demonstrate anything, however similar it looks.
+    let missing_attr: Option<String> = crate::protocol::SerializedRecord::parse(&req.query)
+        .and_then(|r| {
+            r.pairs
+                .iter()
+                .find(|(_, v)| v == "?")
+                .map(|(a, _)| a.clone())
+        });
+    let mut sims: Vec<f64> = Vec::with_capacity(req.instances.len());
+    for inst in &req.instances {
+        let text = inst.render();
+        let mut sim = jaccard(&req.query, &text);
+        // Semantic bonus: instances sharing a KB-linked value with the query
+        // (e.g. same street, same brand) are more relevant than raw token
+        // overlap suggests.
+        if shares_linked_value(&req.query, inst, kb, req.task) {
+            sim = (sim + 0.6).min(1.0);
+        }
+        if let Some(attr) = &missing_attr {
+            if inst.get(attr).is_none() {
+                sim *= 0.15;
+            }
+        }
+        sims.push(sim);
+    }
+    // Relevance is judged relative to the best candidate, like a model
+    // ranking instances against each other rather than on an absolute scale.
+    let max_sim = sims.iter().copied().fold(0.0f64, f64::max).max(1e-9);
+    let mut out: Vec<String> = Vec::with_capacity(req.instances.len());
+    for (i, (inst, sim)) in req.instances.iter().zip(&sims).enumerate() {
+        let rel = sim / max_sim;
+        let noise_span = (1.0 - profile.effective_instruction()) * 1.5;
+        let noisy = rel
+            + noise_span * (dice.uniform(&format!("{}#{i}", inst.render()), "pri-noise") - 0.5);
+        let score = (noisy * 3.4).floor().clamp(0.0, 3.0) as u8;
+        out.push(format!("{}:{}", i + 1, score));
+    }
+    out.join(", ")
+}
+
+/// True when the instance and the query share a discriminative linked value
+/// — same street, same phone area code, same leading brand token, or (for
+/// error detection) the same exact attribute value. Venue-type words like
+/// "Cafe" are deliberately not enough: relevance is judged per attribute,
+/// the way a model reading both records attribute-by-attribute would.
+fn shares_linked_value(
+    query: &str,
+    inst: &crate::protocol::SerializedRecord,
+    _kb: &KnowledgeBase,
+    task: TaskKind,
+) -> bool {
+    if task != TaskKind::Imputation && task != TaskKind::ErrorDetection {
+        return false;
+    }
+    let Some(query_rec) = crate::protocol::SerializedRecord::parse(query) else {
+        return false;
+    };
+    for (attr, qv) in &query_rec.pairs {
+        if qv.is_empty() || qv == "?" {
+            continue;
+        }
+        let Some(iv) = inst.get(attr) else { continue };
+        let a = attr.to_lowercase();
+        let matched = if a.contains("addr") || a.contains("address") {
+            let base = street_base(qv);
+            !base.is_empty() && street_base(iv) == base
+        } else if a.contains("phone") {
+            area_code(qv).is_some() && area_code(qv) == area_code(iv)
+        } else if a.contains("name") || a.contains("title") {
+            // Shared leading brand/venue token, if it is not the last word
+            // (avoids matching on generic suffixes).
+            let qb = qv.split_whitespace().next().unwrap_or("");
+            let ib = iv.split_whitespace().next().unwrap_or("");
+            qb.len() >= 3 && qb.eq_ignore_ascii_case(ib)
+        } else {
+            false
+        };
+        if matched {
+            return true;
+        }
+    }
+    false
+}
+
+/// The street part of an address ("224 S. Beverly Dr." → "s. beverly dr.").
+fn street_base(addr: &str) -> String {
+    addr.split_whitespace()
+        .skip_while(|w| w.chars().all(|c| c.is_ascii_digit()))
+        .collect::<Vec<_>>()
+        .join(" ")
+        .to_lowercase()
+}
+
+/// The leading area code of a phone number ("310/859-8744" → "310").
+fn area_code(phone: &str) -> Option<String> {
+    let code: String = phone.chars().take_while(|c| c.is_ascii_digit()).collect();
+    (code.len() >= 3).then_some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::SerializedRecord;
+    use unidm_world::World;
+
+    fn setup() -> (LlmProfile, Dice, KnowledgeBase) {
+        let world = World::generate(7);
+        (
+            LlmProfile::gpt3_175b(),
+            Dice::new(1),
+            KnowledgeBase::from_world(&world, 0.9, 1),
+        )
+    }
+
+    #[test]
+    fn affinity_country_for_timezone() {
+        assert!(affinity("timezone", "country") > affinity("timezone", "population"));
+    }
+
+    #[test]
+    fn selects_country_for_timezone_imputation() {
+        let (p, d, kb) = setup();
+        let req = PrmRequest {
+            task: TaskKind::Imputation,
+            query: "Copenhagen, timezone".into(),
+            candidates: vec!["country".into(), "population".into(), "postalcode".into()],
+        };
+        let out = select_attributes(&req, &p, &d, &kb);
+        assert!(out.contains("country"), "got {out}");
+    }
+
+    #[test]
+    fn weak_model_noisier_selection() {
+        let (_, d, kb) = setup();
+        let strong = LlmProfile::gpt4_turbo();
+        let weak = LlmProfile::gptj_6b();
+        let mut strong_hits = 0;
+        let mut weak_hits = 0;
+        for i in 0..60 {
+            let req = PrmRequest {
+                task: TaskKind::Imputation,
+                query: format!("City{i}, timezone"),
+                candidates: vec!["country".into(), "population".into(), "phone".into()],
+            };
+            if select_attributes(&req, &strong, &d, &kb).contains("country") {
+                strong_hits += 1;
+            }
+            if select_attributes(&req, &weak, &d, &kb).contains("country") {
+                weak_hits += 1;
+            }
+        }
+        assert!(strong_hits >= weak_hits, "{strong_hits} vs {weak_hits}");
+    }
+
+    #[test]
+    fn scores_relevant_instance_higher() {
+        let (p, d, kb) = setup();
+        let relevant = SerializedRecord::new(vec![
+            ("name".into(), "Jack's Grill".into()),
+            ("addr".into(), "10668 Pico Blvd".into()),
+        ]);
+        let irrelevant = SerializedRecord::new(vec![
+            ("name".into(), "Tofu Palace".into()),
+            ("addr".into(), "99 Elm St".into()),
+        ]);
+        let req = PriRequest {
+            task: TaskKind::Imputation,
+            query: "Border Grill, 100 Pico Blvd, city".into(),
+            instances: vec![relevant, irrelevant],
+        };
+        let out = score_instances(&req, &p, &d, &kb);
+        let scores = crate::protocol::parse_pri_response(&out);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0].1 >= scores[1].1, "{out}");
+    }
+
+    #[test]
+    fn score_output_parseable() {
+        let (p, d, kb) = setup();
+        let req = PriRequest {
+            task: TaskKind::Imputation,
+            query: "x, y".into(),
+            instances: vec![SerializedRecord::new(vec![("a".into(), "b".into())]); 5],
+        };
+        let out = score_instances(&req, &p, &d, &kb);
+        assert_eq!(crate::protocol::parse_pri_response(&out).len(), 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Information extraction (appendix E, Table 11): SWDE-style NBA player
+//! pages.
+//!
+//! Each document is a semi-structured HTML-ish page about one player. Three
+//! page templates model the real benchmark's heterogeneity:
+//!
+//! * `Infobox` — regular `<tr><th>field</th><td>value</td></tr>` rows, easy
+//!   for rule-synthesis systems (Evaporate) and for parsing alike;
+//! * `Prose` — values embedded in running text, where synthesized extraction
+//!   rules break but language understanding works;
+//! * `Messy` — inconsistent markup and reordered fields, hard for everyone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+use unidm_world::World;
+
+/// One semi-structured document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Raw page text (HTML-ish).
+    pub text: String,
+    /// Which template produced it.
+    pub template: Template,
+}
+
+/// Page template kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Template {
+    /// Regular infobox rows.
+    Infobox,
+    /// Values inside running prose.
+    Prose,
+    /// Inconsistent, reordered markup.
+    Messy,
+}
+
+/// A closed-schema extraction benchmark.
+#[derive(Debug, Clone)]
+pub struct ExtractionDataset {
+    /// Documents, one per player.
+    pub docs: Vec<Document>,
+    /// The attributes to populate.
+    pub attrs: Vec<String>,
+    /// Ground truth per document: attribute → value.
+    pub truth: Vec<BTreeMap<String, String>>,
+}
+
+impl ExtractionDataset {
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if there are no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Builds the NBA-player extraction benchmark over all world players.
+pub fn nba_players(world: &World, seed: u64) -> ExtractionDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let attrs: Vec<String> =
+        ["player", "height", "position", "college"].map(String::from).to_vec();
+    let mut docs = Vec::new();
+    let mut truth = Vec::new();
+    for p in &world.nba.players {
+        let template = match rng.gen_range(0..10) {
+            0..=4 => Template::Infobox,
+            5..=7 => Template::Prose,
+            _ => Template::Messy,
+        };
+        let text = render(&mut rng, template, p);
+        docs.push(Document { text, template });
+        let mut t = BTreeMap::new();
+        t.insert("player".to_string(), p.name.clone());
+        t.insert("height".to_string(), p.height.clone());
+        t.insert("position".to_string(), p.position.clone());
+        t.insert("college".to_string(), p.college.clone());
+        truth.push(t);
+    }
+    ExtractionDataset { docs, attrs, truth }
+}
+
+fn render<R: Rng>(rng: &mut R, template: Template, p: &unidm_world::nba::Player) -> String {
+    match template {
+        Template::Infobox => format!(
+            "<html><h1>{name}</h1><table class=\"infobox\">\n\
+             <tr><th>Height</th><td>{height}</td></tr>\n\
+             <tr><th>Position</th><td>{position}</td></tr>\n\
+             <tr><th>College</th><td>{college}</td></tr>\n\
+             </table><p>{name} currently plays for the {team}.</p></html>",
+            name = p.name,
+            height = p.height,
+            position = p.position,
+            college = p.college,
+            team = p.team,
+        ),
+        Template::Prose => format!(
+            "<html><h2>{name}</h2><p>{name} is an American professional basketball \
+             player for the {team} of the NBA. Standing {height} tall, he plays the \
+             {position} position. He played college basketball at {college} before \
+             entering the draft.</p></html>",
+            name = p.name,
+            team = p.team,
+            height = p.height,
+            position = p.position,
+            college = p.college,
+        ),
+        Template::Messy => {
+            // Random field order, mixed tags, stray whitespace.
+            let mut fields = vec![
+                format!("<span>college = {}</span>", p.college),
+                format!("<li>pos: {}</li>", p.position),
+                format!("<div>ht&nbsp;{}</div>", p.height),
+            ];
+            let swap = rng.gen_range(0..fields.len());
+            fields.swap(0, swap);
+            format!(
+                "<html><title>{name} | stats</title>{fields}<footer>{team}</footer></html>",
+                name = p.name,
+                fields = fields.join("  "),
+                team = p.team,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_one_doc_per_player() {
+        let w = World::generate(7);
+        let ds = nba_players(&w, 3);
+        assert_eq!(ds.len(), w.nba.players.len());
+        assert_eq!(ds.truth.len(), ds.docs.len());
+    }
+
+    #[test]
+    fn truth_values_appear_in_docs() {
+        let w = World::generate(7);
+        let ds = nba_players(&w, 3);
+        for (doc, truth) in ds.docs.iter().zip(&ds.truth) {
+            assert!(doc.text.contains(&truth["player"]));
+            assert!(doc.text.contains(&truth["height"]));
+        }
+    }
+
+    #[test]
+    fn templates_mixed() {
+        let w = World::generate(7);
+        let ds = nba_players(&w, 3);
+        let kinds: std::collections::HashSet<Template> =
+            ds.docs.iter().map(|d| d.template).collect();
+        assert_eq!(kinds.len(), 3, "all templates present");
+    }
+
+    #[test]
+    fn infobox_regular_shape() {
+        let w = World::generate(7);
+        let ds = nba_players(&w, 3);
+        for d in ds.docs.iter().filter(|d| d.template == Template::Infobox) {
+            assert!(d.text.contains("<tr><th>Height</th>"));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Join-discovery benchmark in the NextiaJD style (appendix D, Figure 5).
+//!
+//! Candidate pairs of columns from different tables are labelled joinable
+//! ("Good"/"High" quality: high containment with comparable cardinality) or
+//! not. Besides plain containment pairs, the generator emits:
+//!
+//! * *formatting-noise positives* — same domain but case/whitespace mangled,
+//!   which depress embedding-based scores (WarpGate) more than LLM
+//!   instance reasoning;
+//! * *look-alike negatives* — different domains with the same surface format
+//!   (two person-name columns), which inflate embedding similarity.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use unidm_world::{names, World};
+
+/// One candidate column pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinCandidate {
+    /// Qualified left column name ("fifa_ranking.country_abrv").
+    pub left_name: String,
+    /// Sampled values of the left column.
+    pub left_values: Vec<String>,
+    /// Qualified right column name.
+    pub right_name: String,
+    /// Sampled values of the right column.
+    pub right_values: Vec<String>,
+    /// Ground truth: is this pair joinable at Good/High quality?
+    pub joinable: bool,
+}
+
+/// A join-discovery benchmark.
+#[derive(Debug, Clone)]
+pub struct JoinDiscoveryDataset {
+    /// All candidate pairs.
+    pub pairs: Vec<JoinCandidate>,
+}
+
+impl JoinDiscoveryDataset {
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of joinable pairs.
+    pub fn positives(&self) -> usize {
+        self.pairs.iter().filter(|p| p.joinable).count()
+    }
+}
+
+/// Builds `n_pairs` candidate pairs (≈ half positive, half negative).
+///
+/// The paper uses a NextiaJD subset with 4404 pairs (2239 positive / 2164
+/// negative); pass `n_pairs = 4404` to match, or fewer for quick runs.
+pub fn nextiajd(world: &World, seed: u64, n_pairs: usize) -> JoinDiscoveryDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pools = value_pools(world);
+    let mut pairs = Vec::with_capacity(n_pairs);
+    for i in 0..n_pairs {
+        let positive = i % 2 == 0;
+        let pair = if positive {
+            gen_positive(&mut rng, &pools)
+        } else {
+            gen_negative(&mut rng, &pools)
+        };
+        pairs.push(pair);
+    }
+    pairs.shuffle(&mut rng);
+    JoinDiscoveryDataset { pairs }
+}
+
+/// A named pool of domain values to cut columns from.
+struct Pool {
+    name: &'static str,
+    values: Vec<String>,
+}
+
+fn value_pools(world: &World) -> Vec<Pool> {
+    let mut pools = Vec::new();
+    pools.push(Pool {
+        name: "country_full",
+        values: world.geo.countries.iter().map(|c| c.name.clone()).collect(),
+    });
+    pools.push(Pool {
+        name: "ISO",
+        values: world.geo.countries.iter().map(|c| c.iso3.clone()).collect(),
+    });
+    pools.push(Pool {
+        name: "city",
+        values: world.geo.cities.iter().map(|c| c.name.clone()).collect(),
+    });
+    pools.push(Pool {
+        name: "timezone",
+        values: world
+            .geo
+            .countries
+            .iter()
+            .map(|c| c.timezone.clone())
+            .collect(),
+    });
+    pools.push(Pool {
+        name: "restaurant",
+        values: world
+            .dining
+            .restaurants
+            .iter()
+            .map(|r| r.name.clone())
+            .collect(),
+    });
+    pools.push(Pool {
+        name: "product",
+        values: world
+            .products
+            .products
+            .iter()
+            .map(|p| p.name.clone())
+            .collect(),
+    });
+    pools.push(Pool {
+        name: "brand",
+        values: world
+            .products
+            .manufacturers
+            .iter()
+            .map(|m| m.brand.clone())
+            .collect(),
+    });
+    pools.push(Pool {
+        name: "artist",
+        values: world.music.artists.iter().map(|a| a.name.clone()).collect(),
+    });
+    pools.push(Pool {
+        name: "player",
+        values: world.nba.players.iter().map(|p| p.name.clone()).collect(),
+    });
+    pools.push(Pool {
+        name: "county",
+        values: world
+            .hospital
+            .hospitals
+            .iter()
+            .map(|h| h.county.clone())
+            .collect(),
+    });
+    pools
+}
+
+fn sample_values<R: Rng>(rng: &mut R, pool: &[String], k: usize) -> Vec<String> {
+    let mut vals: Vec<String> = pool.to_vec();
+    vals.shuffle(rng);
+    vals.truncate(k.min(vals.len()));
+    vals
+}
+
+fn mangle<R: Rng>(rng: &mut R, values: &[String]) -> Vec<String> {
+    values
+        .iter()
+        .map(|v| match rng.gen_range(0..3) {
+            0 => v.to_uppercase(),
+            1 => v.to_lowercase(),
+            _ => format!(" {v}"),
+        })
+        .collect()
+}
+
+fn gen_positive<R: Rng>(rng: &mut R, pools: &[Pool]) -> JoinCandidate {
+    let pool = &pools[rng.gen_range(0..pools.len())];
+    let k = rng.gen_range(8..20);
+    let left = sample_values(rng, &pool.values, k);
+    // High containment: right side re-samples from the same domain with
+    // most of the left values present.
+    let mut right = left.clone();
+    right.shuffle(rng);
+    let keep = (right.len() as f64 * rng.gen_range(0.8..1.0)) as usize;
+    right.truncate(keep.max(1));
+    right.extend(sample_values(rng, &pool.values, 3));
+    let formatting_noise = rng.gen_bool(0.35);
+    let right = if formatting_noise { mangle(rng, &right) } else { right };
+    JoinCandidate {
+        left_name: format!("{}_a.{}", pool.name, pool.name),
+        left_values: left,
+        right_name: format!("{}_b.{}", pool.name, pool.name),
+        right_values: right,
+        joinable: true,
+    }
+}
+
+fn gen_negative<R: Rng>(rng: &mut R, pools: &[Pool]) -> JoinCandidate {
+    // Look-alike negatives: two disjoint halves of a generated name domain,
+    // or two different pools.
+    if rng.gen_bool(0.4) {
+        // Same surface format (person-like names), disjoint values.
+        let left: Vec<String> = (0..12).map(|_| names::person(rng)).collect();
+        let right: Vec<String> = (0..12).map(|_| names::person(rng)).collect();
+        JoinCandidate {
+            left_name: "customers.name".to_string(),
+            left_values: left,
+            right_name: "employees.name".to_string(),
+            right_values: right,
+            joinable: false,
+        }
+    } else {
+        let i = rng.gen_range(0..pools.len());
+        let j = loop {
+            let j = rng.gen_range(0..pools.len());
+            if j != i {
+                break j;
+            }
+        };
+        let k = rng.gen_range(8..20);
+        JoinCandidate {
+            left_name: format!("{}_t.{}", pools[i].name, pools[i].name),
+            left_values: sample_values(rng, &pools[i].values, k),
+            right_name: format!("{}_t.{}", pools[j].name, pools[j].name),
+            right_values: sample_values(rng, &pools[j].values, k),
+            joinable: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_labels() {
+        let w = World::generate(7);
+        let ds = nextiajd(&w, 3, 400);
+        assert_eq!(ds.len(), 400);
+        let pos = ds.positives();
+        assert!((180..=220).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn positive_pairs_overlap() {
+        let w = World::generate(7);
+        let ds = nextiajd(&w, 3, 100);
+        for p in ds.pairs.iter().filter(|p| p.joinable) {
+            let left: std::collections::HashSet<String> =
+                p.left_values.iter().map(|v| v.trim().to_lowercase()).collect();
+            let inter = p
+                .right_values
+                .iter()
+                .filter(|v| left.contains(&v.trim().to_lowercase()))
+                .count();
+            assert!(inter > 0, "{} vs {}", p.left_name, p.right_name);
+        }
+    }
+
+    #[test]
+    fn negative_lookalikes_exist() {
+        let w = World::generate(7);
+        let ds = nextiajd(&w, 3, 200);
+        let lookalikes = ds
+            .pairs
+            .iter()
+            .filter(|p| !p.joinable && p.left_name == "customers.name")
+            .count();
+        assert!(lookalikes > 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = World::generate(7);
+        let a = nextiajd(&w, 9, 50);
+        let b = nextiajd(&w, 9, 50);
+        assert_eq!(a.pairs, b.pairs);
+    }
+}

@@ -1,0 +1,37 @@
+//! Benchmark dataset generators for the UniDM reproduction.
+//!
+//! Every dataset the paper evaluates on is regenerated here from the
+//! synthetic [`unidm_world::World`], with ground truth known by
+//! construction:
+//!
+//! | Paper dataset | Module | Task |
+//! |---|---|---|
+//! | Restaurant, Buy | [`imputation`] | data imputation |
+//! | StackOverflow, Bing-QueryLogs (TDE) | [`transformation`] | data transformation |
+//! | Hospital, Adult | [`errors`] | error detection |
+//! | Beer, Amazon-Google, iTunes-Amazon, Walmart-Amazon (Magellan) | [`matching`] | entity resolution |
+//! | WikiTableQuestions (Fig. 3) | [`tableqa`] | table question answering |
+//! | NextiaJD (Fig. 5) | [`joins`] | join discovery |
+//! | SWDE NBA players (Table 11) | [`extraction`] | information extraction |
+//!
+//! Generators are deterministic functions of `(world, seed)`; the same seed
+//! reproduces the same benchmark bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod errors;
+pub mod extraction;
+pub mod imputation;
+pub mod joins;
+pub mod matching;
+pub mod tableqa;
+pub mod transformation;
+
+pub use errors::ErrorDetectionDataset;
+pub use extraction::ExtractionDataset;
+pub use imputation::ImputationDataset;
+pub use joins::JoinDiscoveryDataset;
+pub use matching::MatchingDataset;
+pub use tableqa::TableQaDataset;
+pub use transformation::TransformationDataset;

@@ -1,0 +1,452 @@
+//! Data-transformation benchmarks following the TDE setup: StackOverflow and
+//! Bing-QueryLogs.
+//!
+//! Each case gives a few input→output examples plus one query input; the
+//! system must produce the transformed query. Tasks split into three kinds:
+//!
+//! * [`TransformKind::Syntactic`] — pure string surgery (substring, reorder,
+//!   pad, case). Search-based engines like TDE excel here.
+//! * [`TransformKind::Dictionary`] — require a fixed lookup table (month
+//!   names, roman numerals). TDE ships such tables; LLMs know them.
+//! * [`TransformKind::Semantic`] — require world knowledge (country → ISO
+//!   code, city → country). Only knowledge-backed systems can do these,
+//!   which is why TDE collapses on Bing-QueryLogs (32% in the paper).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use unidm_world::{names, World};
+
+/// What capability a transformation task exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// Pure string manipulation.
+    Syntactic,
+    /// Needs a closed lookup table (months, romans).
+    Dictionary,
+    /// Needs open world knowledge.
+    Semantic,
+}
+
+/// One transformation case: examples, a query input, and ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformationCase {
+    /// Human-readable task name.
+    pub task: String,
+    /// Demonstration pairs (input, output).
+    pub examples: Vec<(String, String)>,
+    /// The query input to transform.
+    pub input: String,
+    /// Ground-truth output.
+    pub truth: String,
+    /// The capability the task exercises.
+    pub kind: TransformKind,
+}
+
+/// A transformation benchmark.
+#[derive(Debug, Clone)]
+pub struct TransformationDataset {
+    /// Dataset name.
+    pub name: String,
+    /// All cases.
+    pub cases: Vec<TransformationCase>,
+}
+
+impl TransformationDataset {
+    /// Number of cases.
+    pub fn len(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// True if there are no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+}
+
+/// English month names, indexed by month-1.
+pub const MONTHS: [&str; 12] = [
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// The concrete transformation tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    IsoDateToUs,
+    CompactDateToIso,
+    PhoneParen,
+    NameLastFirst,
+    NameInitial,
+    EmailDomain,
+    Upper,
+    TitleCase,
+    ExtractYear,
+    JoinDash,
+    MonthNumToName,
+    CompactDateToPretty,
+    RomanToNumber,
+    CountryToIso,
+    IsoToCountry,
+    CityToCountry,
+    CountryToContinent,
+    CityToTimezone,
+    KmToM,
+}
+
+impl Task {
+    fn kind(self) -> TransformKind {
+        use Task::*;
+        match self {
+            IsoDateToUs | CompactDateToIso | PhoneParen | NameLastFirst | NameInitial
+            | EmailDomain | Upper | TitleCase | ExtractYear | JoinDash => {
+                TransformKind::Syntactic
+            }
+            MonthNumToName | CompactDateToPretty | RomanToNumber => TransformKind::Dictionary,
+            CountryToIso | IsoToCountry | CityToCountry | CountryToContinent | CityToTimezone
+            | KmToM => TransformKind::Semantic,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        use Task::*;
+        match self {
+            IsoDateToUs => "iso-date-to-us",
+            CompactDateToIso => "compact-date-to-iso",
+            PhoneParen => "phone-parenthesise",
+            NameLastFirst => "name-last-first",
+            NameInitial => "name-initial",
+            EmailDomain => "email-domain",
+            Upper => "uppercase",
+            TitleCase => "title-case",
+            ExtractYear => "extract-year",
+            JoinDash => "join-with-dash",
+            MonthNumToName => "month-number-to-name",
+            CompactDateToPretty => "compact-date-to-pretty",
+            RomanToNumber => "roman-to-number",
+            CountryToIso => "country-to-iso",
+            IsoToCountry => "iso-to-country",
+            CityToCountry => "city-to-country",
+            CountryToContinent => "country-to-continent",
+            CityToTimezone => "city-to-timezone",
+            KmToM => "km-to-m",
+        }
+    }
+
+    fn gen_input<R: Rng>(self, rng: &mut R, world: &World) -> String {
+        use Task::*;
+        match self {
+            IsoDateToUs | ExtractYear => {
+                format!(
+                    "{}-{:02}-{:02}",
+                    rng.gen_range(1980..2024),
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                )
+            }
+            CompactDateToIso | CompactDateToPretty => {
+                format!(
+                    "{}{:02}{:02}",
+                    rng.gen_range(1980..2024),
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29)
+                )
+            }
+            PhoneParen => {
+                let area = rng.gen_range(201..989);
+                names::phone(rng, area)
+            }
+            NameLastFirst | NameInitial | TitleCase => names::person(rng),
+            EmailDomain => {
+                format!("{}@{}.com", names::word(rng, 2), names::word(rng, 2))
+            }
+            Upper => names::word(rng, 3),
+            JoinDash => format!(
+                "{} {} {}",
+                rng.gen_range(100..999),
+                rng.gen_range(100..999),
+                rng.gen_range(1000..9999)
+            ),
+            MonthNumToName => format!("{:02}", rng.gen_range(1..13)),
+            RomanToNumber => {
+                const ROMANS: [&str; 10] =
+                    ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
+                ROMANS[rng.gen_range(0..10)].to_string()
+            }
+            CountryToIso | CountryToContinent => {
+                world.geo.countries[rng.gen_range(0..world.geo.countries.len())]
+                    .name
+                    .clone()
+            }
+            IsoToCountry => {
+                world.geo.countries[rng.gen_range(0..world.geo.countries.len())]
+                    .iso3
+                    .clone()
+            }
+            CityToCountry | CityToTimezone => {
+                world.geo.cities[rng.gen_range(0..world.geo.cities.len())]
+                    .name
+                    .clone()
+            }
+            KmToM => format!("{} km", rng.gen_range(1..500)),
+        }
+    }
+
+    fn apply(self, input: &str, world: &World) -> Option<String> {
+        use Task::*;
+        match self {
+            IsoDateToUs => {
+                let p: Vec<&str> = input.split('-').collect();
+                (p.len() == 3).then(|| format!("{}/{}/{}", p[1], p[2], p[0]))
+            }
+            CompactDateToIso => (input.len() == 8)
+                .then(|| format!("{}-{}-{}", &input[0..4], &input[4..6], &input[6..8])),
+            PhoneParen => {
+                let p: Vec<&str> = input.split('/').collect();
+                (p.len() == 2).then(|| format!("({}) {}", p[0], p[1]))
+            }
+            NameLastFirst => {
+                let w: Vec<&str> = input.split_whitespace().collect();
+                (w.len() == 2).then(|| format!("{}, {}", w[1], w[0]))
+            }
+            NameInitial => {
+                let w: Vec<&str> = input.split_whitespace().collect();
+                (w.len() == 2).then(|| format!("{}. {}", &w[0][0..1], w[1]))
+            }
+            EmailDomain => input.split('@').nth(1).map(|s| s.to_string()),
+            Upper => Some(input.to_uppercase()),
+            TitleCase => Some(names::capitalize(&input.to_lowercase())),
+            ExtractYear => input.split('-').next().map(|s| s.to_string()),
+            JoinDash => Some(input.split_whitespace().collect::<Vec<_>>().join("-")),
+            MonthNumToName => {
+                let m: usize = input.parse().ok()?;
+                (1..=12).contains(&m).then(|| MONTHS[m - 1].to_string())
+            }
+            CompactDateToPretty => {
+                if input.len() != 8 {
+                    return None;
+                }
+                let m: usize = input[4..6].parse().ok()?;
+                if !(1..=12).contains(&m) {
+                    return None;
+                }
+                let day: usize = input[6..8].parse().ok()?;
+                Some(format!("{} {} {}", &MONTHS[m - 1][0..3], day, &input[0..4]))
+            }
+            RomanToNumber => {
+                const ROMANS: [&str; 10] =
+                    ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
+                ROMANS
+                    .iter()
+                    .position(|r| *r == input)
+                    .map(|i| (i + 1).to_string())
+            }
+            CountryToIso => world
+                .geo
+                .countries
+                .iter()
+                .find(|c| c.name == input)
+                .map(|c| c.iso3.clone()),
+            IsoToCountry => world
+                .geo
+                .countries
+                .iter()
+                .find(|c| c.iso3 == input)
+                .map(|c| c.name.clone()),
+            CityToCountry => world
+                .geo
+                .city(input)
+                .map(|c| world.geo.country_of(c).name.clone()),
+            CountryToContinent => world
+                .geo
+                .countries
+                .iter()
+                .find(|c| c.name == input)
+                .map(|c| c.continent.clone()),
+            CityToTimezone => world
+                .geo
+                .city(input)
+                .map(|c| world.geo.country_of(c).timezone.clone()),
+            KmToM => {
+                let n: i64 = input.split_whitespace().next()?.parse().ok()?;
+                Some(format!("{} m", n * 1000))
+            }
+        }
+    }
+}
+
+const SYNTACTIC: &[Task] = &[
+    Task::IsoDateToUs,
+    Task::CompactDateToIso,
+    Task::PhoneParen,
+    Task::NameLastFirst,
+    Task::NameInitial,
+    Task::EmailDomain,
+    Task::Upper,
+    Task::TitleCase,
+    Task::ExtractYear,
+    Task::JoinDash,
+];
+const DICTIONARY: &[Task] = &[Task::MonthNumToName, Task::CompactDateToPretty, Task::RomanToNumber];
+const SEMANTIC: &[Task] = &[
+    Task::CountryToIso,
+    Task::IsoToCountry,
+    Task::CityToCountry,
+    Task::CountryToContinent,
+    Task::CityToTimezone,
+    Task::KmToM,
+];
+
+/// Builds the StackOverflow benchmark: mostly syntactic transformations
+/// (the real benchmark is scraped from programming Q&A).
+pub fn stackoverflow(world: &World, seed: u64, n_cases: usize) -> TransformationDataset {
+    build(world, seed, n_cases, "StackOverflow", &[(SYNTACTIC, 70), (DICTIONARY, 20), (SEMANTIC, 10)])
+}
+
+/// Builds the Bing-QueryLogs benchmark: dominated by semantic
+/// transformations from search-log rewrites.
+pub fn bing_querylogs(world: &World, seed: u64, n_cases: usize) -> TransformationDataset {
+    build(world, seed, n_cases, "Bing-QueryLogs", &[(SYNTACTIC, 25), (DICTIONARY, 15), (SEMANTIC, 60)])
+}
+
+fn build(
+    world: &World,
+    seed: u64,
+    n_cases: usize,
+    name: &str,
+    mix: &[(&[Task], u32)],
+) -> TransformationDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let total_weight: u32 = mix.iter().map(|(_, w)| w).sum();
+    let mut cases = Vec::with_capacity(n_cases);
+    while cases.len() < n_cases {
+        let mut roll = rng.gen_range(0..total_weight);
+        let pool = mix
+            .iter()
+            .find(|(_, w)| {
+                if roll < *w {
+                    true
+                } else {
+                    roll -= w;
+                    false
+                }
+            })
+            .map(|(p, _)| *p)
+            .expect("weights cover roll");
+        let task = *pool.choose(&mut rng).expect("non-empty pool");
+        let mut examples = Vec::new();
+        let n_examples = rng.gen_range(2..4);
+        let mut ok = true;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n_examples {
+            let inp = task.gen_input(&mut rng, world);
+            match task.apply(&inp, world) {
+                Some(out) if seen.insert(inp.clone()) => examples.push((inp, out)),
+                Some(_) => {}
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || examples.len() < 2 {
+            continue;
+        }
+        let input = loop {
+            let cand = task.gen_input(&mut rng, world);
+            if seen.insert(cand.clone()) {
+                break cand;
+            }
+        };
+        let Some(truth) = task.apply(&input, world) else {
+            continue;
+        };
+        cases.push(TransformationCase {
+            task: task.name().to_string(),
+            examples,
+            input,
+            truth,
+            kind: task.kind(),
+        });
+    }
+    TransformationDataset { name: name.to_string(), cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(7)
+    }
+
+    #[test]
+    fn stackoverflow_mostly_syntactic() {
+        let ds = stackoverflow(&world(), 3, 200);
+        let syn = ds
+            .cases
+            .iter()
+            .filter(|c| c.kind == TransformKind::Syntactic)
+            .count();
+        assert!(syn > 100, "syntactic share {syn}/200");
+    }
+
+    #[test]
+    fn bing_mostly_semantic() {
+        let ds = bing_querylogs(&world(), 3, 200);
+        let sem = ds
+            .cases
+            .iter()
+            .filter(|c| c.kind == TransformKind::Semantic)
+            .count();
+        assert!(sem > 90, "semantic share {sem}/200");
+    }
+
+    #[test]
+    fn examples_consistent_with_truth() {
+        let w = world();
+        let ds = stackoverflow(&w, 5, 100);
+        for c in &ds.cases {
+            assert!(c.examples.len() >= 2);
+            assert!(!c.truth.is_empty());
+            assert!(!c.examples.iter().any(|(i, _)| i == &c.input));
+        }
+    }
+
+    #[test]
+    fn task_applications_known_values() {
+        let w = world();
+        assert_eq!(Task::IsoDateToUs.apply("2021-03-15", &w).unwrap(), "03/15/2021");
+        assert_eq!(Task::CompactDateToIso.apply("20210315", &w).unwrap(), "2021-03-15");
+        assert_eq!(
+            Task::CompactDateToPretty.apply("20210315", &w).unwrap(),
+            "Mar 15 2021"
+        );
+        assert_eq!(Task::PhoneParen.apply("404/262-7379", &w).unwrap(), "(404) 262-7379");
+        assert_eq!(Task::NameLastFirst.apply("John Smith", &w).unwrap(), "Smith, John");
+        assert_eq!(Task::NameInitial.apply("John Smith", &w).unwrap(), "J. Smith");
+        assert_eq!(Task::MonthNumToName.apply("03", &w).unwrap(), "March");
+        assert_eq!(Task::RomanToNumber.apply("III", &w).unwrap(), "3");
+        assert_eq!(Task::CountryToIso.apply("Germany", &w).unwrap(), "GER");
+        assert_eq!(Task::CityToCountry.apply("Florence", &w).unwrap(), "Italy");
+        assert_eq!(Task::KmToM.apply("5 km", &w).unwrap(), "5000 m");
+        assert_eq!(Task::JoinDash.apply("415 399 0499", &w).unwrap(), "415-399-0499");
+    }
+
+    #[test]
+    fn invalid_inputs_yield_none() {
+        let w = world();
+        assert!(Task::MonthNumToName.apply("13", &w).is_none());
+        assert!(Task::CompactDateToIso.apply("2021", &w).is_none());
+        assert!(Task::CityToCountry.apply("Notacity", &w).is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let w = world();
+        let a = bing_querylogs(&w, 11, 50);
+        let b = bing_querylogs(&w, 11, 50);
+        assert_eq!(a.cases, b.cases);
+    }
+}

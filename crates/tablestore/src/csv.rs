@@ -1,0 +1,160 @@
+//! Dependency-free CSV serialisation for tables.
+//!
+//! Supports quoting with `"` and embedded commas/newlines — enough for
+//! fixtures, debugging dumps and round-trip tests. Not a general CSV parser.
+
+use crate::{Schema, Table, TableError, Value};
+
+/// Serialises a table to CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = table.schema().names().map(escape).collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        let cells: Vec<String> = row.values().iter().map(|v| escape(&v.as_text())).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text (with a header row) into a table named `name`.
+///
+/// Values are parsed with [`Value::parse`], so numerics become typed values
+/// and empty cells become nulls.
+///
+/// # Errors
+///
+/// Returns [`TableError::Csv`] for malformed input (unterminated quotes or
+/// ragged rows) and [`TableError::DuplicateAttribute`] for repeated headers.
+pub fn from_csv(name: &str, text: &str) -> Result<Table, TableError> {
+    let rows = parse_rows(text)?;
+    let mut iter = rows.into_iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| TableError::Csv("missing header row".into()))?;
+    let schema = Schema::from_names(header)?;
+    let mut table = Table::new(name, schema);
+    for (i, row) in iter.enumerate() {
+        if row.len() != table.schema().len() {
+            return Err(TableError::Csv(format!(
+                "row {} has {} cells, expected {}",
+                i + 1,
+                row.len(),
+                table.schema().len()
+            )));
+        }
+        table
+            .push_row(row.iter().map(|c| Value::parse(c)).collect())
+            .expect("arity checked above");
+    }
+    Ok(table)
+}
+
+fn escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>, TableError> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut cell)),
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                _ => cell.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv("unterminated quote".into()));
+    }
+    if any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let mut t = Table::builder("t").columns(["a", "b"]).build();
+        t.push_row(vec![Value::text("x"), Value::Int(1)]).unwrap();
+        t.push_row(vec![Value::Null, Value::Float(2.5)]).unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv("t", &csv).unwrap();
+        assert_eq!(back.row_count(), 2);
+        assert_eq!(back.cell(0, "b").unwrap(), &Value::Int(1));
+        assert!(back.cell(1, "a").unwrap().is_null());
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let mut t = Table::builder("t").columns(["q"]).build();
+        t.push_row(vec![Value::text("a,b \"c\"")]).unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv("t", &csv).unwrap();
+        assert_eq!(back.cell(0, "q").unwrap(), &Value::text("a,b \"c\""));
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let csv = "h\n\"line1\nline2\"\n";
+        let t = from_csv("t", csv).unwrap();
+        assert_eq!(t.cell(0, "h").unwrap(), &Value::text("line1\nline2"));
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = from_csv("t", "a,b\n1\n").unwrap_err();
+        assert!(matches!(err, TableError::Csv(_)));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(from_csv("t", ""), Err(TableError::Csv(_))));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(from_csv("t", "a\n\"oops\n"), Err(TableError::Csv(_))));
+    }
+
+    #[test]
+    fn crlf_handled() {
+        let t = from_csv("t", "a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.cell(0, "a").unwrap(), &Value::Int(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for table-store operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by table-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A referenced attribute does not exist in the schema.
+    UnknownAttribute(String),
+    /// A referenced row index is out of bounds.
+    RowOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The number of rows in the table.
+        len: usize,
+    },
+    /// A row had the wrong number of values for the schema.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of attributes in the schema.
+        expected: usize,
+    },
+    /// A table name was not found in the data lake.
+    UnknownTable(String),
+    /// A schema declared the same attribute name twice.
+    DuplicateAttribute(String),
+    /// CSV input could not be parsed.
+    Csv(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            TableError::RowOutOfBounds { index, len } => {
+                write!(f, "row index {index} out of bounds for table with {len} rows")
+            }
+            TableError::ArityMismatch { got, expected } => {
+                write!(f, "row has {got} values but schema has {expected} attributes")
+            }
+            TableError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            TableError::DuplicateAttribute(a) => {
+                write!(f, "attribute `{a}` declared more than once")
+            }
+            TableError::Csv(msg) => write!(f, "csv parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for TableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TableError::UnknownAttribute("tz".into()).to_string(),
+            "unknown attribute `tz`"
+        );
+        assert_eq!(
+            TableError::ArityMismatch { got: 2, expected: 3 }.to_string(),
+            "row has 2 values but schema has 3 attributes"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TableError>();
+    }
+}

@@ -1,0 +1,48 @@
+//! In-memory relational table store: the data-lake substrate of the UniDM
+//! reproduction.
+//!
+//! The paper assumes a data lake `D = {D1, ..., Dl}` of relational tables
+//! with heterogeneous schemas and *no* declared join relations. This crate
+//! implements that substrate:
+//!
+//! * [`Value`] — a dynamically typed cell value (null, text, int, float, bool).
+//! * [`Schema`] / [`Column`] — ordered attribute lists.
+//! * [`Record`] — one tuple, aligned with a schema.
+//! * [`Table`] — named schema + rows, with builders, projection, sampling
+//!   and per-column statistics.
+//! * [`DataLake`] — a named collection of tables.
+//! * [`csv`] — a dependency-free CSV round-trip for fixtures and debugging.
+//!
+//! # Examples
+//!
+//! ```
+//! use unidm_tablestore::{Table, Value};
+//!
+//! let mut t = Table::builder("cities")
+//!     .column("city")
+//!     .column("country")
+//!     .build();
+//! t.push_row(vec![Value::text("Florence"), Value::text("Italy")]).unwrap();
+//! assert_eq!(t.row_count(), 1);
+//! assert_eq!(t.cell(0, "country").unwrap().to_string(), "Italy");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+mod error;
+mod lake;
+mod record;
+mod schema;
+mod stats;
+mod table;
+mod value;
+
+pub use error::TableError;
+pub use lake::DataLake;
+pub use record::Record;
+pub use schema::{Column, DataType, Schema};
+pub use stats::ColumnStats;
+pub use table::{Table, TableBuilder};
+pub use value::Value;

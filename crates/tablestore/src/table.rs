@@ -1,0 +1,317 @@
+//! Tables: named schema + rows.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ColumnStats, Record, Schema, TableError, Value};
+
+/// A named relational table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Record>,
+}
+
+impl Table {
+    /// Creates an empty table with the given name and schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table { name: name.into(), schema, rows: Vec::new() }
+    }
+
+    /// Starts a [`TableBuilder`].
+    pub fn builder(name: impl Into<String>) -> TableBuilder {
+        TableBuilder { name: name.into(), columns: Vec::new() }
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows in order.
+    pub fn rows(&self) -> &[Record] {
+        &self.rows
+    }
+
+    /// Mutable access to all rows.
+    pub fn rows_mut(&mut self) -> &mut [Record] {
+        &mut self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ArityMismatch`] if the value count differs from
+    /// the schema width.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), TableError> {
+        if values.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                got: values.len(),
+                expected: self.schema.len(),
+            });
+        }
+        self.rows.push(Record::new(values));
+        Ok(())
+    }
+
+    /// The row at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`] if `index >= row_count()`.
+    pub fn row(&self, index: usize) -> Result<&Record, TableError> {
+        self.rows.get(index).ok_or(TableError::RowOutOfBounds {
+            index,
+            len: self.rows.len(),
+        })
+    }
+
+    /// The cell at (`row`, `attr`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`] or
+    /// [`TableError::UnknownAttribute`].
+    pub fn cell(&self, row: usize, attr: &str) -> Result<&Value, TableError> {
+        self.row(row)?.field(&self.schema, attr)
+    }
+
+    /// Overwrites the cell at (`row`, `attr`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`] or
+    /// [`TableError::UnknownAttribute`].
+    pub fn set_cell(&mut self, row: usize, attr: &str, value: Value) -> Result<(), TableError> {
+        let schema = self.schema.clone();
+        let len = self.rows.len();
+        let rec = self
+            .rows
+            .get_mut(row)
+            .ok_or(TableError::RowOutOfBounds { index: row, len })?;
+        rec.set_field(&schema, attr, value)
+    }
+
+    /// Iterator over the values of one column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::UnknownAttribute`] for an unknown column.
+    pub fn column(&self, attr: &str) -> Result<impl Iterator<Item = &Value> + '_, TableError> {
+        let idx = self.schema.require(attr)?;
+        Ok(self.rows.iter().filter_map(move |r| r.get(idx)))
+    }
+
+    /// Statistics over one column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::UnknownAttribute`] for an unknown column.
+    pub fn column_stats(&self, attr: &str) -> Result<ColumnStats, TableError> {
+        Ok(ColumnStats::compute(self.column(attr)?))
+    }
+
+    /// A new table with only the given attributes (in the given order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::UnknownAttribute`] for unknown names, or
+    /// [`TableError::DuplicateAttribute`] if `attrs` repeats a name.
+    pub fn project(&self, attrs: &[&str]) -> Result<Table, TableError> {
+        let schema = Schema::from_names(attrs.iter().map(|s| s.to_string()))?;
+        let mut t = Table::new(self.name.clone(), schema);
+        for r in &self.rows {
+            let p = r.project(&self.schema, attrs)?;
+            t.rows.push(p);
+        }
+        Ok(t)
+    }
+
+    /// Uniformly samples up to `k` distinct row indices, excluding `exclude`.
+    pub fn sample_rows<R: Rng>(&self, rng: &mut R, k: usize, exclude: &[usize]) -> Vec<usize> {
+        let excl: std::collections::HashSet<usize> = exclude.iter().copied().collect();
+        let mut candidates: Vec<usize> =
+            (0..self.rows.len()).filter(|i| !excl.contains(i)).collect();
+        candidates.shuffle(rng);
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Indices of rows whose `attr` value equals `value` (by answer key).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::UnknownAttribute`] for an unknown column.
+    pub fn find(&self, attr: &str, value: &Value) -> Result<Vec<usize>, TableError> {
+        let idx = self.schema.require(attr)?;
+        let key = value.answer_key();
+        Ok(self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.get(idx).is_some_and(|v| v.answer_key() == key))
+            .map(|(i, _)| i)
+            .collect())
+    }
+}
+
+/// Builder for [`Table`], collecting column names before creation.
+///
+/// # Examples
+///
+/// ```
+/// use unidm_tablestore::Table;
+/// let t = Table::builder("people").column("name").column("age").build();
+/// assert_eq!(t.schema().len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    columns: Vec<String>,
+}
+
+impl TableBuilder {
+    /// Adds a column.
+    pub fn column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push(name.into());
+        self
+    }
+
+    /// Adds several columns.
+    pub fn columns<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.columns.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column name is duplicated; builders are used with literal
+    /// names where a duplicate is a programming error.
+    pub fn build(self) -> Table {
+        let schema = Schema::from_names(self.columns).expect("duplicate column name in builder");
+        Table::new(self.name, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn city_table() -> Table {
+        let mut t = Table::builder("cities")
+            .columns(["city", "country", "timezone"])
+            .build();
+        for (c, n, z) in [
+            ("Florence", "Italy", "CET"),
+            ("Alicante", "Spain", "CET"),
+            ("Antwerp", "Belgium", "CET"),
+            ("Copenhagen", "Denmark", "CET"),
+        ] {
+            t.push_row(vec![Value::text(c), Value::text(n), Value::text(z)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = city_table();
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.cell(1, "country").unwrap(), &Value::text("Spain"));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = city_table();
+        assert!(matches!(
+            t.push_row(vec![Value::text("x")]),
+            Err(TableError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn row_out_of_bounds() {
+        let t = city_table();
+        assert!(matches!(t.row(99), Err(TableError::RowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn set_cell_roundtrip() {
+        let mut t = city_table();
+        t.set_cell(3, "timezone", Value::Null).unwrap();
+        assert!(t.cell(3, "timezone").unwrap().is_null());
+    }
+
+    #[test]
+    fn column_iterator() {
+        let t = city_table();
+        let countries: Vec<String> =
+            t.column("country").unwrap().map(|v| v.to_string()).collect();
+        assert_eq!(countries, vec!["Italy", "Spain", "Belgium", "Denmark"]);
+        assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn project_preserves_rows() {
+        let t = city_table();
+        let p = t.project(&["timezone", "city"]).unwrap();
+        assert_eq!(p.schema().names().collect::<Vec<_>>(), vec!["timezone", "city"]);
+        assert_eq!(p.row_count(), 4);
+        assert_eq!(p.cell(0, "city").unwrap(), &Value::text("Florence"));
+    }
+
+    #[test]
+    fn sample_excludes() {
+        let t = city_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = t.sample_rows(&mut rng, 10, &[0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(&0));
+    }
+
+    #[test]
+    fn sample_truncates() {
+        let t = city_table();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(t.sample_rows(&mut rng, 2, &[]).len(), 2);
+    }
+
+    #[test]
+    fn find_by_answer_key() {
+        let t = city_table();
+        let hits = t.find("country", &Value::text("italy")).unwrap();
+        assert_eq!(hits, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn builder_duplicate_panics() {
+        let _ = Table::builder("t").column("a").column("a").build();
+    }
+}

@@ -1,0 +1,246 @@
+//! Classic string distance and similarity measures.
+//!
+//! These power the non-LLM baselines (Magellan's feature vector, HoloDetect's
+//! noisy-channel features, IMP's neighbour search) and the random/manual
+//! context selection strategies of the FM baseline.
+
+use crate::tokenize::{char_ngrams, words};
+
+/// Levenshtein edit distance between `a` and `b`.
+///
+/// Runs in `O(|a| * |b|)` time and `O(min(|a|, |b|))` space.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(unidm_text::distance::levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(unidm_text::distance::levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        if ac.len() <= bc.len() {
+            (ac, bc)
+        } else {
+            (bc, ac)
+        }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein similarity normalised to `[0, 1]`; `1.0` means equal strings.
+///
+/// Two empty strings are defined to have similarity `1.0`.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == *ca {
+                b_used[j] = true;
+                matches_a.push((i, j));
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched characters out of order.
+    let mut b_order: Vec<usize> = matches_a.iter().map(|&(_, j)| j).collect();
+    let sorted = {
+        let mut s = b_order.clone();
+        s.sort_unstable();
+        s
+    };
+    let mut transpositions = 0usize;
+    b_order.sort_by_key(|&j| matches_a.iter().position(|&(_, jj)| jj == j));
+    for (x, y) in b_order.iter().zip(sorted.iter()) {
+        if x != y {
+            transpositions += 1;
+        }
+    }
+    let t = transpositions as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity in `[0, 1]`, boosting common prefixes.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    j + prefix * 0.1 * (1.0 - j)
+}
+
+/// Jaccard similarity of the word-token sets of `a` and `b`.
+///
+/// Two texts with no tokens at all have similarity `1.0`.
+pub fn jaccard(a: &str, b: &str) -> f64 {
+    let sa: std::collections::BTreeSet<String> = words(a).into_iter().collect();
+    let sb: std::collections::BTreeSet<String> = words(b).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Sørensen–Dice coefficient over character bigrams, in `[0, 1]`.
+pub fn dice_bigrams(a: &str, b: &str) -> f64 {
+    let ga: Vec<String> = char_ngrams(a, 2);
+    let gb: Vec<String> = char_ngrams(b, 2);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for g in &ga {
+        *counts.entry(g.clone()).or_insert(0usize) += 1;
+    }
+    let mut inter = 0usize;
+    for g in &gb {
+        if let Some(c) = counts.get_mut(g) {
+            if *c > 0 {
+                *c -= 1;
+                inter += 1;
+            }
+        }
+    }
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Overlap (containment) coefficient of word-token sets: `|A ∩ B| / min(|A|, |B|)`.
+///
+/// This is the measure WarpGate-style join discovery uses on column values.
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let sa: std::collections::BTreeSet<String> = words(a).into_iter().collect();
+    let sb: std::collections::BTreeSet<String> = words(b).into_iter().collect();
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    inter / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_identity() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn levenshtein_unicode() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn normalized_levenshtein_bounds() {
+        for (a, b) in [("a", "b"), ("same", "same"), ("", "x"), ("abcd", "wxyz")] {
+            let s = normalized_levenshtein(a, b);
+            assert!((0.0..=1.0).contains(&s), "{a} vs {b} -> {s}");
+        }
+        assert_eq!(normalized_levenshtein("", ""), 1.0);
+        assert_eq!(normalized_levenshtein("same", "same"), 1.0);
+        assert_eq!(normalized_levenshtein("abcd", "wxyz"), 0.0);
+    }
+
+    #[test]
+    fn jaro_identity_and_disjoint() {
+        assert!((jaro("martha", "martha") - 1.0).abs() < 1e-12);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_prefers_prefix() {
+        let jw_prefix = jaro_winkler("prefixed", "prefixes");
+        let jw_suffix = jaro_winkler("xprefixed", "yprefixed");
+        assert!(jw_prefix > jw_suffix);
+    }
+
+    #[test]
+    fn jaro_winkler_bounds() {
+        for (a, b) in [("dwayne", "duane"), ("dixon", "dicksonx"), ("", "")] {
+            let s = jaro_winkler(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn jaccard_tokens() {
+        assert!((jaccard("red blue", "blue red") - 1.0).abs() < 1e-12);
+        assert!((jaccard("red blue", "blue green") - (1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("a", ""), 0.0);
+    }
+
+    #[test]
+    fn dice_bigrams_similar_strings() {
+        assert!(dice_bigrams("night", "nacht") > 0.0);
+        assert!((dice_bigrams("abc", "abc") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_containment() {
+        // All tokens of the smaller set contained in the larger one.
+        assert!((overlap_coefficient("GER ITA", "GER ITA FRA ESP") - 1.0).abs() < 1e-12);
+        assert_eq!(overlap_coefficient("AAA", "BBB"), 0.0);
+        assert_eq!(overlap_coefficient("", "x"), 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Text utilities shared across the UniDM reproduction.
+//!
+//! This crate provides the low-level lexical machinery every other layer
+//! builds on:
+//!
+//! * [`tokenize`] — word segmentation and a subword-approximating token
+//!   counter used for LLM token accounting (paper Table 7).
+//! * [`distance`] — classic string distances (Levenshtein, Jaro-Winkler,
+//!   Jaccard, Dice) used by retrieval baselines and error detectors.
+//! * [`embed`] — deterministic hashed character-n-gram embeddings with cosine
+//!   similarity, the substrate for IMP/Ditto/WarpGate-style baselines.
+//! * [`tfidf`] — a small TF-IDF corpus model for instance weighting.
+//! * [`format`] — string format signatures (digit/letter/punctuation shape)
+//!   used by the TDE baseline and the error-detection generators.
+//! * [`normalize`] — canonicalisation helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use unidm_text::distance::normalized_levenshtein;
+//! use unidm_text::embed::Embedder;
+//!
+//! let sim = normalized_levenshtein("holoclean", "holodetect");
+//! assert!(sim > 0.3 && sim < 1.0);
+//!
+//! let e = Embedder::default();
+//! let a = e.embed("Central European Time");
+//! let b = e.embed("Central European Timezone");
+//! assert!(a.cosine(&b) > 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod embed;
+pub mod format;
+pub mod normalize;
+pub mod tfidf;
+pub mod tokenize;
+
+pub use distance::{jaccard, jaro_winkler, levenshtein, normalized_levenshtein};
+pub use embed::{Embedder, Embedding};
+pub use tokenize::{count_tokens, words};

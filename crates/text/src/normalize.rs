@@ -1,0 +1,89 @@
+//! String canonicalisation helpers.
+
+/// Lowercases, trims, and collapses internal whitespace runs to single spaces.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(unidm_text::normalize::canonical("  Los   ANGELES "), "los angeles");
+/// ```
+pub fn canonical(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.trim().chars() {
+        if ch.is_whitespace() {
+            if !last_space {
+                out.push(' ');
+                last_space = true;
+            }
+        } else {
+            out.extend(ch.to_lowercase());
+            last_space = false;
+        }
+    }
+    out
+}
+
+/// Like [`canonical`] but also strips punctuation, keeping only letters,
+/// digits and single spaces. Used for answer matching: an LLM answer of
+/// `"Beverly Hills."` should equal the ground truth `"beverly hills"`.
+pub fn answer_key(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for ch in s.trim().chars() {
+        if ch.is_alphanumeric() {
+            out.extend(ch.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Title-cases each word: `"los angeles"` → `"Los Angeles"`.
+pub fn title_case(s: &str) -> String {
+    s.split_whitespace()
+        .map(|w| {
+            let mut cs = w.chars();
+            match cs.next() {
+                Some(first) => first.to_uppercase().collect::<String>() + cs.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_basic() {
+        assert_eq!(canonical("New  York"), "new york");
+        assert_eq!(canonical(""), "");
+        assert_eq!(canonical("\tA\nB\t"), "a b");
+    }
+
+    #[test]
+    fn answer_key_strips_punct() {
+        assert_eq!(answer_key("Beverly Hills."), "beverly hills");
+        assert_eq!(answer_key("  \"Yes\" "), "yes");
+        assert_eq!(answer_key("U.S. Highway 431"), "u s highway 431");
+    }
+
+    #[test]
+    fn answer_key_equates_variants() {
+        assert_eq!(answer_key("Bill Evans"), answer_key("bill evans"));
+        assert_ne!(answer_key("Bill Evans"), answer_key("Bill Frisell"));
+    }
+
+    #[test]
+    fn title_case_works() {
+        assert_eq!(title_case("los angeles"), "Los Angeles");
+        assert_eq!(title_case(""), "");
+        assert_eq!(title_case("a"), "A");
+    }
+}

@@ -1,0 +1,108 @@
+//! Beers and breweries behind the Beer ER benchmark.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::names;
+
+/// Beer styles.
+pub const STYLES: &[&str] = &[
+    "American IPA", "Imperial Stout", "Pale Ale", "Pilsner", "Hefeweizen", "Porter", "Saison",
+    "Amber Ale", "Brown Ale", "Lager",
+];
+
+/// A beer entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beer {
+    /// Beer name.
+    pub name: String,
+    /// Brewery name.
+    pub brewery: String,
+    /// Style, one of [`STYLES`].
+    pub style: String,
+    /// Alcohol by volume, percent.
+    pub abv: f64,
+}
+
+/// The beer slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct BeerWorld {
+    /// All beers.
+    pub beers: Vec<Beer>,
+}
+
+const BEER_WORDS: &[&str] = &[
+    "Hoppy", "Golden", "Dark", "Old", "Double", "Wild", "Lazy", "Raging", "Crooked", "Foggy",
+];
+const BEER_NOUNS: &[&str] = &[
+    "Trail", "Moon", "Creek", "Badger", "Anchor", "Harvest", "Summit", "Coyote", "Barrel",
+    "Lighthouse",
+];
+const BREWERY_SUFFIX: &[&str] = &["Brewing Co.", "Brewery", "Ales", "Beer Works"];
+
+impl BeerWorld {
+    /// Generates `n_breweries` breweries with about `beers_per` beers each.
+    pub fn generate<R: Rng>(rng: &mut R, n_breweries: usize, beers_per: usize) -> Self {
+        let mut beers = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n_breweries {
+            let brewery = format!(
+                "{} {}",
+                names::proper(rng),
+                BREWERY_SUFFIX.choose(rng).expect("ne")
+            );
+            for _ in 0..beers_per {
+                let name = format!(
+                    "{} {}",
+                    BEER_WORDS.choose(rng).expect("ne"),
+                    BEER_NOUNS.choose(rng).expect("ne")
+                );
+                let key = format!("{brewery}|{name}");
+                if !seen.insert(key.to_lowercase()) {
+                    continue;
+                }
+                beers.push(Beer {
+                    name,
+                    brewery: brewery.clone(),
+                    style: STYLES.choose(rng).expect("ne").to_string(),
+                    abv: f64::from(rng.gen_range(38..120)) / 10.0,
+                });
+            }
+        }
+        BeerWorld { beers }
+    }
+
+    /// Facts: beer→brewery and beer→style.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for b in &self.beers {
+            out.push(Fact::new(&b.name, Predicate::BeerBrewery, &b.brewery));
+            out.push(Fact::new(&b.name, Predicate::BeerStyle, &b.style));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_beers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = BeerWorld::generate(&mut rng, 20, 4);
+        assert!(w.beers.len() > 60);
+        assert!(w.beers.iter().all(|b| b.abv >= 3.8 && b.abv <= 12.0));
+        assert!(w.beers.iter().all(|b| STYLES.contains(&b.style.as_str())));
+    }
+
+    #[test]
+    fn facts_two_per_beer() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = BeerWorld::generate(&mut rng, 5, 3);
+        assert_eq!(w.facts().len(), w.beers.len() * 2);
+    }
+}

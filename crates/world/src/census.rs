@@ -1,0 +1,192 @@
+//! Census domains: the categorical vocabulary of the Adult benchmark.
+//!
+//! The Adult (census income) dataset is used by the paper for error
+//! detection. Its power is that every categorical column has a small closed
+//! domain, so out-of-domain values are detectable both statistically
+//! (HoloClean/HoloDetect) and semantically (the LLM knows "Bachelors" is an
+//! education level and "Bxchelors" is not).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+
+/// Work classes.
+pub const WORKCLASS: &[&str] = &[
+    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov",
+    "Without-pay",
+];
+
+/// Education levels with years of schooling.
+pub const EDUCATION: &[(&str, u8)] = &[
+    ("Bachelors", 13),
+    ("HS-grad", 9),
+    ("11th", 7),
+    ("Masters", 14),
+    ("9th", 5),
+    ("Some-college", 10),
+    ("Assoc-acdm", 12),
+    ("Assoc-voc", 11),
+    ("Doctorate", 16),
+    ("Prof-school", 15),
+    ("5th-6th", 3),
+    ("10th", 6),
+    ("7th-8th", 4),
+    ("12th", 8),
+];
+
+/// Marital statuses.
+pub const MARITAL: &[&str] = &[
+    "Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed",
+    "Married-spouse-absent",
+];
+
+/// Occupations.
+pub const OCCUPATION: &[&str] = &[
+    "Tech-support", "Craft-repair", "Other-service", "Sales", "Exec-managerial",
+    "Prof-specialty", "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical",
+    "Farming-fishing", "Transport-moving", "Protective-serv",
+];
+
+/// Relationship categories.
+pub const RELATIONSHIP: &[&str] =
+    &["Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried"];
+
+/// Race categories (mirroring the original dataset's vocabulary).
+pub const RACE: &[&str] =
+    &["White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"];
+
+/// Sex categories.
+pub const SEX: &[&str] = &["Male", "Female"];
+
+/// Income brackets.
+pub const INCOME: &[&str] = &["<=50K", ">50K"];
+
+/// One synthetic census respondent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Person {
+    /// Age in years.
+    pub age: u8,
+    /// Work class.
+    pub workclass: String,
+    /// Education level.
+    pub education: String,
+    /// Marital status.
+    pub marital_status: String,
+    /// Occupation.
+    pub occupation: String,
+    /// Relationship.
+    pub relationship: String,
+    /// Race.
+    pub race: String,
+    /// Sex.
+    pub sex: String,
+    /// Hours worked per week.
+    pub hours_per_week: u8,
+    /// Income bracket.
+    pub income: String,
+}
+
+/// Samples one coherent census respondent.
+pub fn sample_person<R: Rng>(rng: &mut R) -> Person {
+    let (education, edu_years) = *EDUCATION.choose(rng).expect("ne");
+    let age = rng.gen_range(17..90);
+    // Income correlates with education and hours — gives the statistical
+    // detectors something to model.
+    let hours = rng.gen_range(20..80);
+    let income_score = u32::from(edu_years) * 3 + u32::from(hours) + rng.gen_range(0..40);
+    let income = if income_score > 95 { INCOME[1] } else { INCOME[0] };
+    Person {
+        age,
+        workclass: WORKCLASS.choose(rng).expect("ne").to_string(),
+        education: education.to_string(),
+        marital_status: MARITAL.choose(rng).expect("ne").to_string(),
+        occupation: OCCUPATION.choose(rng).expect("ne").to_string(),
+        relationship: RELATIONSHIP.choose(rng).expect("ne").to_string(),
+        race: RACE.choose(rng).expect("ne").to_string(),
+        sex: SEX.choose(rng).expect("ne").to_string(),
+        hours_per_week: hours,
+        income: income.to_string(),
+    }
+}
+
+/// Facts: every domain token is a `ValidToken` of its column; education
+/// levels additionally carry their years of schooling.
+pub fn facts() -> Vec<Fact> {
+    let mut out = Vec::new();
+    let domains: &[(&str, &[&str])] = &[
+        ("workclass", WORKCLASS),
+        ("marital status", MARITAL),
+        ("occupation", OCCUPATION),
+        ("relationship", RELATIONSHIP),
+        ("race", RACE),
+        ("sex", SEX),
+        ("income", INCOME),
+    ];
+    for (domain, tokens) in domains {
+        for t in *tokens {
+            out.push(Fact::new(*t, Predicate::ValidToken, *domain));
+        }
+    }
+    for (edu, years) in EDUCATION {
+        out.push(Fact::new(*edu, Predicate::ValidToken, "education"));
+        out.push(Fact::new(*edu, Predicate::EducationYears, years.to_string()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_in_domains() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let p = sample_person(&mut rng);
+            assert!(WORKCLASS.contains(&p.workclass.as_str()));
+            assert!(EDUCATION.iter().any(|(e, _)| *e == p.education));
+            assert!((17..90).contains(&p.age));
+            assert!(INCOME.contains(&p.income.as_str()));
+        }
+    }
+
+    #[test]
+    fn income_correlates_with_education() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut high_edu_high_income = 0;
+        let mut low_edu_high_income = 0;
+        let mut high_n = 0;
+        let mut low_n = 0;
+        for _ in 0..2000 {
+            let p = sample_person(&mut rng);
+            let years = EDUCATION.iter().find(|(e, _)| *e == p.education).unwrap().1;
+            if years >= 14 {
+                high_n += 1;
+                if p.income == ">50K" {
+                    high_edu_high_income += 1;
+                }
+            } else if years <= 6 {
+                low_n += 1;
+                if p.income == ">50K" {
+                    low_edu_high_income += 1;
+                }
+            }
+        }
+        let high_rate = f64::from(high_edu_high_income) / f64::from(high_n.max(1));
+        let low_rate = f64::from(low_edu_high_income) / f64::from(low_n.max(1));
+        assert!(high_rate > low_rate);
+    }
+
+    #[test]
+    fn facts_cover_all_domains() {
+        let f = facts();
+        assert!(f.iter().any(|f| f.subject == "Bachelors"));
+        assert!(f
+            .iter()
+            .any(|f| f.subject == "Exec-managerial" && f.object == "occupation"));
+        assert!(f.iter().any(|f| f.predicate == Predicate::EducationYears));
+    }
+}

@@ -1,0 +1,197 @@
+//! Restaurants: the domain behind the Restaurant imputation benchmark.
+//!
+//! Restaurants live on real streets of real cities, and their phone numbers
+//! use the city's area code — exactly the regularities the paper's case
+//! study exploits ("Ruth's Chris Steak House ... 224 S. Beverly Dr." is in
+//! Beverly Hills because nearby records on the same street say so).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::geo::GeoWorld;
+use crate::names;
+
+/// Cuisine types used by the restaurant benchmark.
+pub const CUISINES: &[&str] = &[
+    "american", "italian", "french", "seafood", "steakhouses", "japanese", "mexican", "thai",
+    "indian", "mediterranean", "chinese", "bbq",
+];
+
+const NAME_SUFFIXES: &[&str] = &[
+    "Grill", "Bistro", "Cafe", "Kitchen", "House", "Tavern", "Diner", "Trattoria", "Brasserie",
+    "Place",
+];
+
+/// A restaurant entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Restaurant {
+    /// Restaurant name.
+    pub name: String,
+    /// Street address ("224 S. Beverly Dr.") using one of the city's streets.
+    pub address: String,
+    /// Index of the city in the [`GeoWorld`].
+    pub city: usize,
+    /// Phone number using the city's area code.
+    pub phone: String,
+    /// Cuisine type, one of [`CUISINES`].
+    pub cuisine: String,
+}
+
+/// The dining slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct DiningWorld {
+    /// All restaurants.
+    pub restaurants: Vec<Restaurant>,
+}
+
+impl DiningWorld {
+    /// Generates `n` restaurants placed on streets of the given geography,
+    /// concentrated in `n_cities` cities.
+    ///
+    /// Restaurants cluster the way the real Restaurant benchmark does: a
+    /// handful of metro areas, several venues per street, so instance-wise
+    /// retrieval can find informative neighbours (same street or area code ⇒
+    /// same city).
+    pub fn generate<R: Rng>(rng: &mut R, geo: &GeoWorld, n_cities: usize, n: usize) -> Self {
+        assert!(!geo.cities.is_empty(), "geography must have cities");
+        let city_pool: Vec<usize> = {
+            let mut idxs: Vec<usize> = (0..geo.cities.len()).collect();
+            idxs.shuffle(rng);
+            idxs.truncate(n_cities.max(1).min(geo.cities.len()));
+            idxs
+        };
+        let mut restaurants: Vec<Restaurant> = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while restaurants.len() < n {
+            let city_idx = city_pool[rng.gen_range(0..city_pool.len())];
+            let city = &geo.cities[city_idx];
+            let street = city
+                .streets
+                .choose(rng)
+                .cloned()
+                .unwrap_or_else(|| "Main St.".to_string());
+            // Usually one, occasionally two venues per chosen street: real
+            // city tables rarely contain same-street duplicates, so model
+            // knowledge, not neighbour lookup, has to carry the task.
+            let burst = rng.gen_range(1..=2usize);
+            for _ in 0..burst {
+                if restaurants.len() >= n {
+                    break;
+                }
+                let name = gen_name(rng);
+                if !seen.insert(name.to_lowercase()) {
+                    continue;
+                }
+                let number = rng.gen_range(1..9999);
+                restaurants.push(Restaurant {
+                    name,
+                    address: format!("{number} {street}"),
+                    city: city_idx,
+                    phone: names::phone(rng, city.area_code),
+                    cuisine: CUISINES.choose(rng).expect("non-empty").to_string(),
+                });
+            }
+        }
+        DiningWorld { restaurants }
+    }
+
+    /// Facts this domain contributes: restaurant→city and restaurant→cuisine.
+    ///
+    /// Restaurant knowledge is "long tail" for a language model; the
+    /// simulated LLM keeps it with lower coverage than geography facts.
+    pub fn facts(&self, geo: &GeoWorld) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for r in &self.restaurants {
+            let city = &geo.cities[r.city];
+            out.push(Fact::new(&r.name, Predicate::RestaurantCity, &city.name));
+            out.push(Fact::new(&r.name, Predicate::RestaurantCuisine, &r.cuisine));
+        }
+        out
+    }
+}
+
+fn gen_name<R: Rng>(rng: &mut R) -> String {
+    match rng.gen_range(0..3) {
+        0 => format!("{}'s {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
+        1 => format!("{} {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
+        _ => format!("The {} {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (GeoWorld, DiningWorld) {
+        let mut rng = StdRng::seed_from_u64(21);
+        let geo = GeoWorld::generate(&mut rng, 40);
+        let dining = DiningWorld::generate(&mut rng, &geo, 8, 120);
+        (geo, dining)
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let (_, d) = setup();
+        assert_eq!(d.restaurants.len(), 120);
+    }
+
+    #[test]
+    fn phones_match_city_area_code() {
+        let (g, d) = setup();
+        for r in &d.restaurants {
+            let code = g.cities[r.city].area_code.to_string();
+            assert!(r.phone.starts_with(&code), "{} vs {}", r.phone, code);
+        }
+    }
+
+    #[test]
+    fn addresses_use_city_streets() {
+        let (g, d) = setup();
+        for r in &d.restaurants {
+            let base = names::street_base(&r.address);
+            assert!(g.cities[r.city].streets.contains(&base));
+        }
+    }
+
+    #[test]
+    fn some_streets_shared() {
+        let (_, d) = setup();
+        let mut by_street = std::collections::HashMap::new();
+        for r in &d.restaurants {
+            *by_street
+                .entry(names::street_base(&r.address))
+                .or_insert(0usize) += 1;
+        }
+        assert!(by_street.values().any(|&c| c >= 2), "clustered streets expected");
+    }
+
+    #[test]
+    fn names_unique() {
+        let (_, d) = setup();
+        let set: std::collections::HashSet<String> = d
+            .restaurants
+            .iter()
+            .map(|r| r.name.to_lowercase())
+            .collect();
+        assert_eq!(set.len(), d.restaurants.len());
+    }
+
+    #[test]
+    fn facts_emitted() {
+        let (g, d) = setup();
+        let facts = d.facts(&g);
+        assert_eq!(facts.len(), d.restaurants.len() * 2);
+    }
+
+    #[test]
+    fn cuisines_valid() {
+        let (_, d) = setup();
+        assert!(d
+            .restaurants
+            .iter()
+            .all(|r| CUISINES.contains(&r.cuisine.as_str())));
+    }
+}

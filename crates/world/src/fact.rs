@@ -1,0 +1,195 @@
+//! Facts: subject–predicate–object triples with natural-language templates.
+
+use std::fmt;
+
+/// The relation a [`Fact`] asserts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Predicate {
+    /// City → its country.
+    CityCountry,
+    /// City → its timezone.
+    CityTimezone,
+    /// Country → its timezone.
+    CountryTimezone,
+    /// City → its postal-code prefix.
+    CityPostal,
+    /// Street → the city it is in.
+    StreetCity,
+    /// Phone area code → the city it serves.
+    AreaCodeCity,
+    /// Restaurant → the city it is in.
+    RestaurantCity,
+    /// Restaurant → its cuisine type.
+    RestaurantCuisine,
+    /// Product → its manufacturer.
+    ProductManufacturer,
+    /// Product → its category.
+    ProductCategory,
+    /// Brand token → the manufacturer it identifies.
+    BrandManufacturer,
+    /// Song → its artist.
+    SongArtist,
+    /// Artist → their genre.
+    ArtistGenre,
+    /// Beer → its brewery.
+    BeerBrewery,
+    /// Beer → its style.
+    BeerStyle,
+    /// Hospital → its county.
+    HospitalCounty,
+    /// Hospital → its city.
+    HospitalCity,
+    /// Known-valid token of a domain (object = domain name).
+    ValidToken,
+    /// Country → its ISO3 abbreviation.
+    CountryIso,
+    /// Country → its continent.
+    CountryContinent,
+    /// NBA player → their college.
+    PlayerCollege,
+    /// NBA player → their height.
+    PlayerHeight,
+    /// NBA player → their position.
+    PlayerPosition,
+    /// Education level → typical years of schooling (census).
+    EducationYears,
+}
+
+impl Predicate {
+    /// Renders a fact of this predicate as fluent natural language.
+    ///
+    /// These templates are the "scientific articles" of the synthetic world:
+    /// the phrasing the simulated LLM saw during pretraining, and the target
+    /// phrasing of UniDM's context-parsing step.
+    pub fn render(&self, subject: &str, object: &str) -> String {
+        match self {
+            Predicate::CityCountry => format!("{subject} is a city of {object}"),
+            Predicate::CityTimezone => {
+                format!("{subject} is in the {object} timezone")
+            }
+            Predicate::CountryTimezone => {
+                format!("the country {subject} is in the {object} timezone")
+            }
+            Predicate::CityPostal => {
+                format!("postal codes in {subject} start with {object}")
+            }
+            Predicate::StreetCity => format!("{subject} is a street in {object}"),
+            Predicate::AreaCodeCity => {
+                format!("the {subject} area code serves {object}")
+            }
+            Predicate::RestaurantCity => {
+                format!("{subject} is located in the city of {object}")
+            }
+            Predicate::RestaurantCuisine => {
+                format!("{subject} serves {object} food")
+            }
+            Predicate::ProductManufacturer => {
+                format!("{subject} is manufactured by {object}")
+            }
+            Predicate::ProductCategory => {
+                format!("{subject} belongs to the {object} category")
+            }
+            Predicate::BrandManufacturer => {
+                format!("{subject} is a brand of {object}")
+            }
+            Predicate::SongArtist => format!("{subject} is a song by {object}"),
+            Predicate::ArtistGenre => format!("{subject} plays {object} music"),
+            Predicate::BeerBrewery => format!("{subject} is brewed by {object}"),
+            Predicate::BeerStyle => format!("{subject} is a {object}"),
+            Predicate::HospitalCounty => {
+                format!("{subject} is in {object} county")
+            }
+            Predicate::HospitalCity => {
+                format!("{subject} is located in {object}")
+            }
+            Predicate::ValidToken => format!("{subject} is a valid {object}"),
+            Predicate::CountryIso => {
+                format!("{subject} is abbreviated as {object}")
+            }
+            Predicate::CountryContinent => {
+                format!("{subject} is located in {object}")
+            }
+            Predicate::PlayerCollege => {
+                format!("{subject} played college basketball at {object}")
+            }
+            Predicate::PlayerHeight => format!("{subject} is {object} tall"),
+            Predicate::PlayerPosition => {
+                format!("{subject} plays the {object} position")
+            }
+            Predicate::EducationYears => {
+                format!("{subject} corresponds to {object} years of education")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One subject–predicate–object triple of world knowledge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    /// Subject entity, canonically cased.
+    pub subject: String,
+    /// The asserted relation.
+    pub predicate: Predicate,
+    /// Object entity.
+    pub object: String,
+}
+
+impl Fact {
+    /// Creates a fact.
+    pub fn new(
+        subject: impl Into<String>,
+        predicate: Predicate,
+        object: impl Into<String>,
+    ) -> Self {
+        Fact { subject: subject.into(), predicate, object: object.into() }
+    }
+
+    /// Natural-language rendering of the fact.
+    pub fn render(&self) -> String {
+        self.predicate.render(&self.subject, &self.object)
+    }
+
+    /// Canonical lookup key: lowercase subject.
+    pub fn subject_key(&self) -> String {
+        self.subject.to_lowercase()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_templates() {
+        let f = Fact::new("Florence", Predicate::CityCountry, "Italy");
+        assert_eq!(f.render(), "Florence is a city of Italy");
+        let f = Fact::new("Germany", Predicate::CountryIso, "GER");
+        assert_eq!(f.render(), "Germany is abbreviated as GER");
+    }
+
+    #[test]
+    fn subject_key_lowercases() {
+        let f = Fact::new("Beverly Dr", Predicate::StreetCity, "Beverly Hills");
+        assert_eq!(f.subject_key(), "beverly dr");
+    }
+
+    #[test]
+    fn predicate_display_nonempty() {
+        assert_eq!(Predicate::CityCountry.to_string(), "CityCountry");
+    }
+
+    #[test]
+    fn facts_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let mut s = BTreeSet::new();
+        s.insert(Fact::new("a", Predicate::CityCountry, "b"));
+        s.insert(Fact::new("a", Predicate::CityCountry, "b"));
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! FIFA rankings: the two-table join-discovery example of appendix D
+//! (`fifa_ranking.country_abrv` vs `countries_and_continents.ISO`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::geo::GeoWorld;
+
+/// One row of the FIFA ranking table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankingEntry {
+    /// Rank, 1-based.
+    pub rank: u32,
+    /// Full country name (matches a [`GeoWorld`] country).
+    pub country_full: String,
+    /// Country abbreviation (the ISO3 code).
+    pub country_abrv: String,
+    /// Rank change since last period.
+    pub rank_change: i32,
+}
+
+/// The FIFA slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct FifaWorld {
+    /// Ranking entries ordered by rank.
+    pub ranking: Vec<RankingEntry>,
+}
+
+impl FifaWorld {
+    /// Ranks a shuffled subset of the geography's countries.
+    pub fn generate<R: Rng>(rng: &mut R, geo: &GeoWorld) -> Self {
+        let mut order: Vec<usize> = (0..geo.countries.len()).collect();
+        order.shuffle(rng);
+        let ranking = order
+            .into_iter()
+            .enumerate()
+            .map(|(i, ci)| {
+                let c = &geo.countries[ci];
+                RankingEntry {
+                    rank: (i + 1) as u32,
+                    country_full: c.name.clone(),
+                    country_abrv: c.iso3.clone(),
+                    rank_change: rng.gen_range(-9..10),
+                }
+            })
+            .collect();
+        FifaWorld { ranking }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranks_all_countries_once() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let geo = GeoWorld::generate(&mut rng, 10);
+        let fifa = FifaWorld::generate(&mut rng, &geo);
+        assert_eq!(fifa.ranking.len(), geo.countries.len());
+        let names: std::collections::HashSet<&str> =
+            fifa.ranking.iter().map(|r| r.country_full.as_str()).collect();
+        assert_eq!(names.len(), geo.countries.len());
+        for (i, r) in fifa.ranking.iter().enumerate() {
+            assert_eq!(r.rank as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_geo() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let geo = GeoWorld::generate(&mut rng, 0);
+        let fifa = FifaWorld::generate(&mut rng, &geo);
+        for r in &fifa.ranking {
+            let c = geo
+                .countries
+                .iter()
+                .find(|c| c.name == r.country_full)
+                .unwrap();
+            assert_eq!(c.iso3, r.country_abrv);
+        }
+    }
+}

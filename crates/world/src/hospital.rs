@@ -1,0 +1,164 @@
+//! Hospitals: the domain behind the Hospital error-detection benchmark.
+//!
+//! The real Hospital dataset (used by HoloClean and HoloDetect) lists US
+//! providers with name, address, city, county, state, zip, phone and quality
+//! measure codes. Errors are mostly typos ("mxrshxll" for "marshall"), which
+//! is exactly what our error injector produces.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::names;
+
+/// A hospital entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hospital {
+    /// Provider name, e.g. "Marshall Medical Center".
+    pub name: String,
+    /// Street address.
+    pub address: String,
+    /// City name.
+    pub city: String,
+    /// County name.
+    pub county: String,
+    /// Two-letter state code.
+    pub state: String,
+    /// Zip code.
+    pub zip: String,
+    /// Phone number.
+    pub phone: String,
+    /// Quality measure code, e.g. "SCIP-CARD-2".
+    pub measure_code: String,
+    /// Human-readable measure name.
+    pub measure_name: String,
+}
+
+/// The hospital slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct HospitalWorld {
+    /// All hospital rows (one per provider × measure).
+    pub hospitals: Vec<Hospital>,
+}
+
+const STATES: &[&str] = &["AL", "AK", "CA", "GA", "IL", "NY", "TX", "WA", "OH", "FL"];
+const HOSPITAL_KINDS: &[&str] = &[
+    "Medical Center", "Regional Hospital", "Community Hospital", "Memorial Hospital",
+    "General Hospital",
+];
+const MEASURE_FAMILIES: &[(&str, &str)] = &[
+    ("SCIP-CARD", "surgery patients on beta blocker therapy"),
+    ("SCIP-INF", "surgery patients given prophylactic antibiotics"),
+    ("SCIP-VTE", "surgery patients with venous thromboembolism prophylaxis"),
+    ("AMI", "heart attack patients given aspirin at arrival"),
+    ("HF", "heart failure patients given discharge instructions"),
+    ("PN", "pneumonia patients given initial antibiotic timely"),
+];
+
+impl HospitalWorld {
+    /// Generates `n` hospital rows spread over synthetic counties and cities.
+    pub fn generate<R: Rng>(rng: &mut R, n: usize) -> Self {
+        // A pool of counties/cities so values repeat (frequency statistics
+        // matter for HoloClean-style detection). Each city belongs to one
+        // county — the functional dependency real provider tables exhibit,
+        // which makes corrupted counties repairable from same-city rows.
+        let counties: Vec<String> = (0..12).map(|_| names::proper(rng)).collect();
+        let cities: Vec<(String, String)> = (0..16)
+            .map(|_| {
+                let city = names::proper(rng);
+                let county = counties.choose(rng).expect("ne").clone();
+                (city, county)
+            })
+            .collect();
+        let mut hospitals = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (city, county) = cities.choose(rng).expect("ne").clone();
+            let base = names::proper(rng);
+            let kind = HOSPITAL_KINDS.choose(rng).expect("ne");
+            let (fam, desc) = MEASURE_FAMILIES.choose(rng).expect("ne");
+            let code = format!("{fam}-{}", rng.gen_range(1..5));
+            let area = rng.gen_range(205..989);
+            hospitals.push(Hospital {
+                name: format!("{base} {kind}"),
+                address: format!("{} u s highway {} north", rng.gen_range(100..9999), rng.gen_range(1..999)),
+                city: city.clone(),
+                county,
+                state: STATES.choose(rng).expect("ne").to_string(),
+                zip: format!("{:05}", rng.gen_range(10000..99999)),
+                phone: names::phone(rng, area),
+                measure_code: code,
+                measure_name: desc.to_string(),
+            });
+        }
+        HospitalWorld { hospitals }
+    }
+
+    /// Facts: valid tokens per column domain plus hospital→city/county.
+    ///
+    /// The `ValidToken` facts are what lets the simulated LLM judge
+    /// "sheffxeld" invalid: it never saw that token as a city.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for h in &self.hospitals {
+            if seen.insert(("city", h.city.clone())) {
+                out.push(Fact::new(&h.city, Predicate::ValidToken, "city"));
+            }
+            if seen.insert(("county", h.county.clone())) {
+                out.push(Fact::new(&h.county, Predicate::ValidToken, "county"));
+            }
+            if seen.insert(("measure", h.measure_code.clone())) {
+                out.push(Fact::new(&h.measure_code, Predicate::ValidToken, "measure code"));
+            }
+            out.push(Fact::new(&h.name, Predicate::HospitalCity, &h.city));
+            out.push(Fact::new(&h.name, Predicate::HospitalCounty, &h.county));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> HospitalWorld {
+        let mut rng = StdRng::seed_from_u64(17);
+        HospitalWorld::generate(&mut rng, 100)
+    }
+
+    #[test]
+    fn generates_requested() {
+        assert_eq!(world().hospitals.len(), 100);
+    }
+
+    #[test]
+    fn zips_five_digits() {
+        assert!(world().hospitals.iter().all(|h| h.zip.len() == 5));
+    }
+
+    #[test]
+    fn counties_repeat() {
+        let w = world();
+        let distinct: std::collections::HashSet<&str> =
+            w.hospitals.iter().map(|h| h.county.as_str()).collect();
+        assert!(distinct.len() < w.hospitals.len() / 2);
+    }
+
+    #[test]
+    fn facts_mark_valid_tokens() {
+        let w = world();
+        let facts = w.facts();
+        let city = &w.hospitals[0].city;
+        assert!(facts
+            .iter()
+            .any(|f| f.predicate == Predicate::ValidToken && &f.subject == city));
+    }
+
+    #[test]
+    fn measure_codes_formatted() {
+        let w = world();
+        assert!(w.hospitals.iter().all(|h| h.measure_code.contains('-')));
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic world knowledge for the UniDM reproduction.
+//!
+//! The paper evaluates UniDM on benchmark datasets (Restaurant, Buy,
+//! Hospital, Adult, Magellan ER pairs, NextiaJD, SWDE NBA, ...) whose power
+//! comes from *real-world regularities*: cities determine countries and
+//! timezones, product names reveal manufacturers, street addresses pin down
+//! neighbourhoods. Since the original datasets and the pretrained LLMs that
+//! memorised those regularities are unavailable offline, this crate builds a
+//! deterministic synthetic world exhibiting the same regularities.
+//!
+//! Two consumers share it:
+//!
+//! * `unidm-synthdata` renders the world into benchmark tables with ground
+//!   truth (the "data lake" side), and
+//! * `unidm-llm` loads a *partial, noisy* view of the world's [`Fact`]s as
+//!   the simulated LLM's pretraining knowledge (the "model" side).
+//!
+//! Because both sides are views of one world, retrieval-augmented prompting
+//! behaves like in the paper: facts missing from the model's memory can
+//! still be recovered from retrieved context records.
+//!
+//! # Examples
+//!
+//! ```
+//! use unidm_world::World;
+//!
+//! let world = World::generate(42);
+//! assert!(world.geo.cities.len() > 100);
+//! let facts = world.facts();
+//! assert!(facts.len() > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beer;
+pub mod census;
+pub mod dining;
+pub mod fact;
+pub mod fifa;
+pub mod geo;
+pub mod hospital;
+pub mod music;
+pub mod names;
+pub mod nba;
+pub mod products;
+mod world;
+
+pub use fact::{Fact, Predicate};
+pub use world::World;

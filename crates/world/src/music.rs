@@ -1,0 +1,158 @@
+//! Music: artists and songs behind the iTunes-Amazon ER benchmark and the
+//! paper's "Genre: Jazz; Artist: ?" prompt example.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::names;
+
+/// Music genres.
+pub const GENRES: &[&str] = &[
+    "jazz", "rock", "folk", "pop", "classical", "hip hop", "electronic", "country", "blues",
+    "reggae",
+];
+
+/// A recording artist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artist {
+    /// Artist name.
+    pub name: String,
+    /// Genre, one of [`GENRES`].
+    pub genre: String,
+}
+
+/// A song entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Song {
+    /// Track title.
+    pub title: String,
+    /// Index into [`MusicWorld::artists`].
+    pub artist: usize,
+    /// Album name.
+    pub album: String,
+    /// Track length in seconds.
+    pub seconds: u32,
+    /// Price in dollars.
+    pub price: f64,
+}
+
+/// The music slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct MusicWorld {
+    /// All artists.
+    pub artists: Vec<Artist>,
+    /// All songs.
+    pub songs: Vec<Song>,
+}
+
+const TITLE_WORDS: &[&str] = &[
+    "Midnight", "River", "Golden", "Broken", "Silent", "Electric", "Summer", "Winter", "Neon",
+    "Velvet", "Distant", "Burning", "Paper", "Crystal", "Wild",
+];
+const TITLE_NOUNS: &[&str] = &[
+    "Road", "Heart", "City", "Dream", "Fire", "Rain", "Sky", "Train", "Mirror", "Garden",
+    "Ocean", "Shadow", "Letter", "Dance", "Echo",
+];
+
+impl MusicWorld {
+    /// Generates `n_artists` artists with about `songs_per_artist` songs each.
+    pub fn generate<R: Rng>(rng: &mut R, n_artists: usize, songs_per_artist: usize) -> Self {
+        let mut artists = Vec::with_capacity(n_artists);
+        let mut seen = std::collections::HashSet::new();
+        while artists.len() < n_artists {
+            let name = names::person(rng);
+            if !seen.insert(name.to_lowercase()) {
+                continue;
+            }
+            artists.push(Artist {
+                name,
+                genre: GENRES.choose(rng).expect("ne").to_string(),
+            });
+        }
+        let mut songs = Vec::new();
+        let mut seen_titles = std::collections::HashSet::new();
+        for (ai, _artist) in artists.iter().enumerate() {
+            let album = format!(
+                "{} {}",
+                TITLE_WORDS.choose(rng).expect("ne"),
+                TITLE_NOUNS.choose(rng).expect("ne")
+            );
+            for _ in 0..songs_per_artist {
+                let title = format!(
+                    "{} {}",
+                    TITLE_WORDS.choose(rng).expect("ne"),
+                    TITLE_NOUNS.choose(rng).expect("ne")
+                );
+                let full = format!("{title} ({ai})");
+                if !seen_titles.insert(full.to_lowercase()) {
+                    continue;
+                }
+                songs.push(Song {
+                    title,
+                    artist: ai,
+                    album: album.clone(),
+                    seconds: rng.gen_range(110..420),
+                    price: f64::from(rng.gen_range(69..199)) / 100.0,
+                });
+            }
+        }
+        MusicWorld { artists, songs }
+    }
+
+    /// The artist of `song`.
+    pub fn artist_of(&self, song: &Song) -> &Artist {
+        &self.artists[song.artist]
+    }
+
+    /// Facts: song→artist and artist→genre.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for a in &self.artists {
+            out.push(Fact::new(&a.name, Predicate::ArtistGenre, &a.genre));
+        }
+        for s in &self.songs {
+            out.push(Fact::new(&s.title, Predicate::SongArtist, &self.artist_of(s).name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> MusicWorld {
+        let mut rng = StdRng::seed_from_u64(8);
+        MusicWorld::generate(&mut rng, 30, 5)
+    }
+
+    #[test]
+    fn sizes() {
+        let w = world();
+        assert_eq!(w.artists.len(), 30);
+        assert!(w.songs.len() >= 30 * 4);
+    }
+
+    #[test]
+    fn genres_valid() {
+        let w = world();
+        assert!(w.artists.iter().all(|a| GENRES.contains(&a.genre.as_str())));
+    }
+
+    #[test]
+    fn songs_reference_artists() {
+        let w = world();
+        assert!(w.songs.iter().all(|s| s.artist < w.artists.len()));
+    }
+
+    #[test]
+    fn facts_present() {
+        let w = world();
+        let f = w.facts();
+        assert!(f.iter().any(|f| f.predicate == Predicate::ArtistGenre));
+        assert!(f.iter().any(|f| f.predicate == Predicate::SongArtist));
+    }
+}

@@ -1,0 +1,125 @@
+//! NBA players: the domain behind the SWDE information-extraction benchmark
+//! (appendix E) and its Wikipedia-style player pages.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::names;
+
+/// Basketball positions.
+pub const POSITIONS: &[&str] = &[
+    "Point guard", "Shooting guard", "Small forward", "Power forward", "Center",
+    "Small forward / Power forward", "Power forward / Center",
+];
+
+/// Colleges.
+pub const COLLEGES: &[&str] = &[
+    "Texas", "Michigan State", "Duke", "Kentucky", "Kansas", "North Carolina", "UCLA",
+    "Gonzaga", "Arizona", "Villanova", "Syracuse", "Georgetown",
+];
+
+/// An NBA player entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Player {
+    /// Player name.
+    pub name: String,
+    /// Height like "6 ft 10 in".
+    pub height: String,
+    /// Position, one of [`POSITIONS`].
+    pub position: String,
+    /// College, one of [`COLLEGES`] or "NA" for international players.
+    pub college: String,
+    /// Current team city + nickname.
+    pub team: String,
+}
+
+/// The NBA slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct NbaWorld {
+    /// All players.
+    pub players: Vec<Player>,
+}
+
+const TEAMS: &[&str] = &[
+    "Phoenix Suns", "Boston Celtics", "Dallas Mavericks", "Denver Nuggets", "Miami Heat",
+    "Milwaukee Bucks", "Golden State Warriors", "New York Knicks",
+];
+
+impl NbaWorld {
+    /// Generates `n` players (10% international, college = "NA").
+    pub fn generate<R: Rng>(rng: &mut R, n: usize) -> Self {
+        let mut players = Vec::with_capacity(n);
+        let mut seen = std::collections::HashSet::new();
+        while players.len() < n {
+            let name = names::person(rng);
+            if !seen.insert(name.to_lowercase()) {
+                continue;
+            }
+            let feet = rng.gen_range(5..8);
+            let inches = rng.gen_range(0..12);
+            let college = if rng.gen_bool(0.1) {
+                "NA".to_string()
+            } else {
+                COLLEGES.choose(rng).expect("ne").to_string()
+            };
+            players.push(Player {
+                name,
+                height: format!("{feet} ft {inches} in"),
+                position: POSITIONS.choose(rng).expect("ne").to_string(),
+                college,
+                team: TEAMS.choose(rng).expect("ne").to_string(),
+            });
+        }
+        NbaWorld { players }
+    }
+
+    /// Facts: player→college/height/position, plus the position and college
+    /// vocabularies (every basketball-literate model knows the positions).
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for pos in POSITIONS {
+            out.push(Fact::new(*pos, Predicate::ValidToken, "position"));
+        }
+        for col in COLLEGES {
+            out.push(Fact::new(*col, Predicate::ValidToken, "college"));
+        }
+        for p in &self.players {
+            out.push(Fact::new(&p.name, Predicate::PlayerCollege, &p.college));
+            out.push(Fact::new(&p.name, Predicate::PlayerHeight, &p.height));
+            out.push(Fact::new(&p.name, Predicate::PlayerPosition, &p.position));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_unique_players() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = NbaWorld::generate(&mut rng, 80);
+        assert_eq!(w.players.len(), 80);
+        let set: std::collections::HashSet<&str> =
+            w.players.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(set.len(), 80);
+    }
+
+    #[test]
+    fn heights_formatted() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = NbaWorld::generate(&mut rng, 20);
+        assert!(w.players.iter().all(|p| p.height.contains("ft")));
+    }
+
+    #[test]
+    fn facts_three_per_player_plus_vocab() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let w = NbaWorld::generate(&mut rng, 10);
+        assert_eq!(w.facts().len(), 30 + POSITIONS.len() + COLLEGES.len());
+    }
+}

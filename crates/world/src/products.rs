@@ -1,0 +1,198 @@
+//! Products: the domain behind Buy imputation and the product ER benchmarks
+//! (Amazon-Google, Walmart-Amazon).
+//!
+//! Product names embed their brand token ("Punch! Home Design ..." is made
+//! by Punch! Software), which is the regularity both the Buy imputation task
+//! and a pretrained model's product knowledge rely on.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::fact::{Fact, Predicate};
+use crate::names;
+
+/// Product categories.
+pub const CATEGORIES: &[&str] = &[
+    "software", "camera", "laptop", "printer", "router", "monitor", "tablet", "headphones",
+    "keyboard", "speaker",
+];
+
+/// A manufacturer with its identifying brand token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manufacturer {
+    /// Full company name, e.g. "Kelvar Software".
+    pub name: String,
+    /// The short brand token embedded in product names, e.g. "Kelvar".
+    pub brand: String,
+}
+
+/// A product entity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Product {
+    /// Canonical product name, starting with the brand token.
+    pub name: String,
+    /// Index into [`ProductWorld::manufacturers`].
+    pub manufacturer: usize,
+    /// Category, one of [`CATEGORIES`].
+    pub category: String,
+    /// List price in dollars.
+    pub price: f64,
+    /// Model code like "KX-450".
+    pub model_code: String,
+}
+
+/// The product slice of the synthetic world.
+#[derive(Debug, Clone, Default)]
+pub struct ProductWorld {
+    /// All manufacturers.
+    pub manufacturers: Vec<Manufacturer>,
+    /// All products.
+    pub products: Vec<Product>,
+}
+
+const COMPANY_SUFFIX: &[&str] = &["Software", "Electronics", "Systems", "Technologies", "Labs"];
+const LINE_WORDS: &[&str] = &[
+    "Studio", "Pro", "Design", "Office", "Vision", "Stream", "Power", "Ultra",
+];
+
+impl ProductWorld {
+    /// Generates `n_manufacturers` manufacturers with roughly
+    /// `products_per_brand` products each.
+    pub fn generate<R: Rng>(rng: &mut R, n_manufacturers: usize, products_per_brand: usize) -> Self {
+        let mut manufacturers = Vec::with_capacity(n_manufacturers);
+        let mut seen_brands = std::collections::HashSet::new();
+        while manufacturers.len() < n_manufacturers {
+            let brand = names::proper(rng);
+            if !seen_brands.insert(brand.to_lowercase()) {
+                continue;
+            }
+            let suffix = COMPANY_SUFFIX.choose(rng).expect("ne");
+            manufacturers.push(Manufacturer {
+                name: format!("{brand} {suffix}"),
+                brand,
+            });
+        }
+
+        let mut products = Vec::new();
+        let mut seen_products = std::collections::HashSet::new();
+        for (mi, m) in manufacturers.iter().enumerate() {
+            for _ in 0..products_per_brand {
+                let line = format!(
+                    "{} {}",
+                    LINE_WORDS.choose(rng).expect("ne"),
+                    LINE_WORDS.choose(rng).expect("ne")
+                );
+                let model_code = format!(
+                    "{}{}-{}",
+                    m.brand.chars().next().expect("brand non-empty"),
+                    char::from(b'A' + rng.gen_range(0..26u8)),
+                    rng.gen_range(100..9999)
+                );
+                let name = format!("{} {} {}", m.brand, line, model_code);
+                if !seen_products.insert(name.to_lowercase()) {
+                    continue;
+                }
+                products.push(Product {
+                    name,
+                    manufacturer: mi,
+                    category: CATEGORIES.choose(rng).expect("ne").to_string(),
+                    price: f64::from(rng.gen_range(999..99999)) / 100.0,
+                    model_code,
+                });
+            }
+        }
+        // Subsidiary brands: ~6% of products are sold under one brand but
+        // manufactured by a different (parent) company — the wrinkle that
+        // keeps title-matching imputers from being perfect on Buy.
+        let n_products = products.len();
+        for i in 0..n_products {
+            if rng.gen_bool(0.06) {
+                let other = rng.gen_range(0..manufacturers.len());
+                products[i].manufacturer = other;
+            }
+        }
+        ProductWorld { manufacturers, products }
+    }
+
+    /// The manufacturer of `product`.
+    pub fn manufacturer_of(&self, product: &Product) -> &Manufacturer {
+        &self.manufacturers[product.manufacturer]
+    }
+
+    /// Facts: product→manufacturer, product→category, brand→manufacturer.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        for m in &self.manufacturers {
+            out.push(Fact::new(&m.brand, Predicate::BrandManufacturer, &m.name));
+        }
+        for p in &self.products {
+            let m = self.manufacturer_of(p);
+            out.push(Fact::new(&p.name, Predicate::ProductManufacturer, &m.name));
+            out.push(Fact::new(&p.name, Predicate::ProductCategory, &p.category));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> ProductWorld {
+        let mut rng = StdRng::seed_from_u64(33);
+        ProductWorld::generate(&mut rng, 25, 8)
+    }
+
+    #[test]
+    fn sizes() {
+        let w = world();
+        assert_eq!(w.manufacturers.len(), 25);
+        assert!(w.products.len() > 25 * 6, "near 8 products per brand");
+    }
+
+    #[test]
+    fn product_names_embed_brand_mostly() {
+        // ~6% of products are subsidiary brands whose manufacturer differs
+        // from the title brand; everything else starts with its maker's
+        // brand token.
+        let w = world();
+        let mismatched = w
+            .products
+            .iter()
+            .filter(|p| !p.name.starts_with(w.manufacturer_of(p).brand.as_str()))
+            .count();
+        let rate = mismatched as f64 / w.products.len() as f64;
+        assert!(rate < 0.15, "subsidiaries stay rare: {rate}");
+    }
+
+    #[test]
+    fn prices_positive() {
+        let w = world();
+        assert!(w.products.iter().all(|p| p.price > 0.0));
+    }
+
+    #[test]
+    fn facts_include_brand_links() {
+        let w = world();
+        let facts = w.facts();
+        assert!(facts
+            .iter()
+            .any(|f| f.predicate == Predicate::BrandManufacturer));
+        let per_product = facts
+            .iter()
+            .filter(|f| f.predicate == Predicate::ProductManufacturer)
+            .count();
+        assert_eq!(per_product, w.products.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let wa = ProductWorld::generate(&mut a, 5, 3);
+        let wb = ProductWorld::generate(&mut b, 5, 3);
+        assert_eq!(wa.products[0].name, wb.products[0].name);
+    }
+}

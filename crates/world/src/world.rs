@@ -1,0 +1,115 @@
+//! The composed synthetic world.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::beer::BeerWorld;
+use crate::census;
+use crate::dining::DiningWorld;
+use crate::fact::Fact;
+use crate::fifa::FifaWorld;
+use crate::geo::GeoWorld;
+use crate::hospital::HospitalWorld;
+use crate::music::MusicWorld;
+use crate::nba::NbaWorld;
+use crate::products::ProductWorld;
+
+/// The full synthetic world, deterministically derived from one seed.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Geography (countries, cities, streets, area codes).
+    pub geo: GeoWorld,
+    /// Restaurants placed on the geography.
+    pub dining: DiningWorld,
+    /// Manufacturers and products.
+    pub products: ProductWorld,
+    /// Artists and songs.
+    pub music: MusicWorld,
+    /// Beers and breweries.
+    pub beer: BeerWorld,
+    /// Hospitals and quality measures.
+    pub hospital: HospitalWorld,
+    /// FIFA rankings over the geography's countries.
+    pub fifa: FifaWorld,
+    /// NBA players.
+    pub nba: NbaWorld,
+}
+
+impl World {
+    /// Generates the default-size world from `seed`.
+    ///
+    /// Sizes are chosen so that each benchmark has a few hundred rows —
+    /// comparable to the original datasets' evaluation splits — while keeping
+    /// a full experiment suite fast enough to run in CI.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let geo = GeoWorld::generate(&mut rng, 150);
+        let dining = DiningWorld::generate(&mut rng, &geo, 12, 600);
+        let products = ProductWorld::generate(&mut rng, 40, 10);
+        let music = MusicWorld::generate(&mut rng, 50, 6);
+        let beer = BeerWorld::generate(&mut rng, 30, 6);
+        let hospital = HospitalWorld::generate(&mut rng, 250);
+        let fifa = FifaWorld::generate(&mut rng, &geo);
+        let nba = NbaWorld::generate(&mut rng, 120);
+        World { geo, dining, products, music, beer, hospital, fifa, nba }
+    }
+
+    /// Every fact the world asserts, across all domains.
+    ///
+    /// This is the "training corpus" of the simulated LLM: `unidm-llm`
+    /// samples a coverage-limited subset as the model's pretraining memory.
+    pub fn facts(&self) -> Vec<Fact> {
+        let mut out = self.geo.facts();
+        out.extend(self.dining.facts(&self.geo));
+        out.extend(self.products.facts());
+        out.extend(self.music.facts());
+        out.extend(self.beer.facts());
+        out.extend(self.hospital.facts());
+        out.extend(census::facts());
+        out.extend(self.nba.facts());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Predicate;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = World::generate(99);
+        let b = World::generate(99);
+        assert_eq!(a.geo.cities.len(), b.geo.cities.len());
+        assert_eq!(a.dining.restaurants[7].name, b.dining.restaurants[7].name);
+        assert_eq!(a.products.products[11].name, b.products.products[11].name);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(1);
+        let b = World::generate(2);
+        let same = a
+            .dining
+            .restaurants
+            .iter()
+            .zip(&b.dining.restaurants)
+            .filter(|(x, y)| x.name == y.name)
+            .count();
+        assert!(same < a.dining.restaurants.len() / 2);
+    }
+
+    #[test]
+    fn facts_span_domains() {
+        let w = World::generate(5);
+        let facts = w.facts();
+        assert!(facts.len() > 2000, "got {}", facts.len());
+        let preds: std::collections::HashSet<Predicate> =
+            facts.iter().map(|f| f.predicate).collect();
+        assert!(preds.contains(&Predicate::CityTimezone));
+        assert!(preds.contains(&Predicate::ProductManufacturer));
+        assert!(preds.contains(&Predicate::RestaurantCity));
+        assert!(preds.contains(&Predicate::ValidToken));
+        assert!(preds.contains(&Predicate::PlayerCollege));
+    }
+}

@@ -1,0 +1,62 @@
+//! Data transformation by example: UniDM against the search-based TDE
+//! baseline on syntactic and semantic cases (paper Table 2's mechanism).
+//!
+//! ```text
+//! cargo run --example data_transformation
+//! ```
+
+use unidm::{PipelineConfig, Task, UniDm};
+use unidm_baselines::tde;
+use unidm_llm::{LlmProfile, MockLlm};
+use unidm_tablestore::DataLake;
+use unidm_world::World;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = World::generate(42);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 42);
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
+    let lake = DataLake::new();
+
+    let cases: Vec<(&str, Vec<(&str, &str)>, &str, &str)> = vec![
+        (
+            "compact date -> pretty (dictionary)",
+            vec![("20210315", "Mar 15 2021"), ("19990405", "Apr 5 1999")],
+            "20201103",
+            "Nov 3 2020",
+        ),
+        (
+            "name -> initials (syntactic)",
+            vec![("John Smith", "J. Smith"), ("Mary Jones", "M. Jones")],
+            "Alan Turing",
+            "A. Turing",
+        ),
+        (
+            "country -> ISO code (semantic)",
+            vec![("Japan", "JPN"), ("Uruguay", "URY")],
+            "Mexico",
+            "MEX",
+        ),
+    ];
+
+    println!("== Data transformation by example ==\n");
+    for (label, examples, input, truth) in cases {
+        let examples: Vec<(String, String)> = examples
+            .into_iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect();
+        let task = Task::Transformation { examples: examples.clone(), input: input.to_string() };
+        let unidm_out = unidm.run(&lake, &task)?.answer;
+        let tde_out = tde::transform(&examples, input);
+        println!("{label}");
+        println!("  examples: {examples:?}");
+        println!("  input:    {input}   (truth: {truth})");
+        println!("  UniDM:    {unidm_out}");
+        println!("  TDE:      {tde_out}\n");
+    }
+    println!(
+        "TDE's pure program search handles the syntactic cases but has no\n\
+         semantic operator for country codes — the gap that collapses it on\n\
+         Bing-QueryLogs in Table 2."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Join discovery (paper appendix D, Figure 4): is
+//! `fifa_ranking.country_abrv` joinable with `countries_and_continents.ISO`?
+//!
+//! ```text
+//! cargo run --example join_discovery
+//! ```
+
+use unidm::{PipelineConfig, Task, UniDm};
+use unidm_llm::{LlmProfile, MockLlm};
+use unidm_tablestore::DataLake;
+use unidm_world::World;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = World::generate(42);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 42);
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
+    let lake = DataLake::new();
+
+    // The two columns of the paper's Figure 4.
+    let abrv: Vec<String> = world
+        .fifa
+        .ranking
+        .iter()
+        .take(12)
+        .map(|r| r.country_abrv.clone())
+        .collect();
+    let iso: Vec<String> = world
+        .geo
+        .countries
+        .iter()
+        .map(|c| c.iso3.clone())
+        .collect();
+    let full: Vec<String> = world
+        .fifa
+        .ranking
+        .iter()
+        .take(12)
+        .map(|r| r.country_full.clone())
+        .collect();
+    let populations: Vec<String> = world
+        .geo
+        .cities
+        .iter()
+        .take(12)
+        .map(|c| c.population.to_string())
+        .collect();
+
+    println!("== Join discovery (Figure 4) ==\n");
+    for (left_name, left, right_name, right) in [
+        ("fifa_ranking.country_abrv", &abrv, "countries_and_continents.ISO", &iso),
+        ("fifa_ranking.country_full", &full, "countries_and_continents.ISO", &iso),
+        ("cities.population", &populations, "countries_and_continents.ISO", &iso),
+    ] {
+        let task = Task::JoinDiscovery {
+            left_name: left_name.into(),
+            left_values: left.clone(),
+            right_name: right_name.into(),
+            right_values: right.clone(),
+        };
+        let out = unidm.run(&lake, &task)?;
+        println!("{left_name}  vs  {right_name}");
+        println!("  sample: {:?} vs {:?}", &left[..4.min(left.len())], &right[..4.min(right.len())]);
+        println!("  -> {}\n", out.answer);
+    }
+    println!(
+        "Note: country_full joins ISO through the model's abbreviation knowledge\n\
+         (\"Germany is abbreviated as GER\") even though the raw values never overlap —\n\
+         the semantic-join case embedding baselines miss."
+    );
+    Ok(())
+}

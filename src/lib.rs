@@ -1,0 +1,15 @@
+//! Umbrella crate for the UniDM reproduction workspace.
+//!
+//! Re-exports every member crate under a stable name so the repository-level
+//! examples and integration tests can use one import root. Downstream users
+//! should depend on the individual crates ([`unidm`], [`unidm_llm`], ...)
+//! directly.
+
+pub use unidm;
+pub use unidm_baselines as baselines;
+pub use unidm_eval as eval;
+pub use unidm_llm as llm;
+pub use unidm_synthdata as synthdata;
+pub use unidm_tablestore as tablestore;
+pub use unidm_text as text;
+pub use unidm_world as world;

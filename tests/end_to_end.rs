@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: generator → pipeline → metrics.
+
+use unidm::{PipelineConfig, Task, UniDm};
+use unidm_eval::metrics::answers_match;
+use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
+use unidm_synthdata::{imputation, matching, tableqa};
+use unidm_tablestore::DataLake;
+use unidm_world::World;
+
+fn setup() -> (World, MockLlm) {
+    let world = World::generate(1234);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1234);
+    (world, llm)
+}
+
+#[test]
+fn whole_experiment_is_deterministic() {
+    let run = || {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 9, 20);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let unidm = UniDm::new(&llm, PipelineConfig::paper_default().with_seed(9));
+        ds.targets
+            .iter()
+            .map(|t| {
+                unidm
+                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .unwrap()
+                    .answer
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run(), "same seed, same world, same answers");
+}
+
+#[test]
+fn pipeline_beats_no_context_on_restaurants() {
+    let (world, llm) = setup();
+    let ds = imputation::restaurant(&world, 9, 40);
+    let lake: DataLake = [ds.table.clone()].into_iter().collect();
+    let score = |config: PipelineConfig| {
+        let unidm = UniDm::new(&llm, config);
+        ds.targets
+            .iter()
+            .filter(|t| {
+                let out = unidm
+                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .unwrap();
+                answers_match(&out.answer, &t.truth.to_string())
+            })
+            .count()
+    };
+    let full = score(PipelineConfig::paper_default().with_seed(9));
+    let bare = score(PipelineConfig::all_off().with_seed(9));
+    assert!(full >= bare, "full pipeline {full} vs bare {bare}");
+    assert!(full >= 30, "full pipeline should be strong: {full}/40");
+}
+
+#[test]
+fn usage_accounting_is_consistent() {
+    let (world, llm) = setup();
+    let ds = imputation::buy(&world, 9, 5);
+    let lake: DataLake = [ds.table.clone()].into_iter().collect();
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default().with_seed(9));
+    llm.reset_usage();
+    let mut sum = 0usize;
+    for t in &ds.targets {
+        let out = unidm
+            .run(&lake, &Task::imputation("buy", t.row, "manufacturer", "name"))
+            .unwrap();
+        assert!(out.usage.total() > 0);
+        sum += out.usage.total();
+    }
+    assert_eq!(
+        sum,
+        llm.usage().total(),
+        "per-run deltas must add up to the model's cumulative counter"
+    );
+}
+
+#[test]
+fn er_task_handles_all_four_benchmarks() {
+    let (world, llm) = setup();
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default().with_seed(9));
+    let lake = DataLake::new();
+    for ds in [
+        matching::beer(&world, 9),
+        matching::amazon_google(&world, 9),
+        matching::itunes_amazon(&world, 9),
+        matching::walmart_amazon(&world, 9),
+    ] {
+        let pair = &ds.pairs[0];
+        let task = Task::EntityResolution {
+            a: unidm_eval::matching::to_serialized(&ds.schema, &pair.a),
+            b: unidm_eval::matching::to_serialized(&ds.schema, &pair.b),
+            pool: Vec::new(),
+        };
+        let out = unidm.run(&lake, &task).unwrap();
+        let ans = out.answer.trim().to_lowercase();
+        assert!(ans == "yes" || ans == "no", "{}: got {ans}", ds.name);
+    }
+}
+
+#[test]
+fn tableqa_walkthrough_matches_figure3() {
+    let (world, llm) = setup();
+    let ds = tableqa::medals(&world, 9, 8, 12);
+    let lake: DataLake = [ds.table.clone()].into_iter().collect();
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default().with_seed(9));
+    let correct = ds
+        .questions
+        .iter()
+        .filter(|q| {
+            let out = unidm
+                .run(&lake, &Task::TableQa { table: "medals".into(), question: q.question.clone() })
+                .unwrap();
+            out.answer == q.answer.to_string()
+        })
+        .count();
+    assert!(correct * 10 >= ds.questions.len() * 7, "correct {correct}/12");
+}
+
+#[test]
+fn weaker_model_is_not_better() {
+    let world = World::generate(1234);
+    let strong = MockLlm::new(&world, LlmProfile::gpt4_turbo(), 1234);
+    let weak = MockLlm::new(&world, LlmProfile::gptj_6b(), 1234);
+    let ds = imputation::restaurant(&world, 9, 40);
+    let lake: DataLake = [ds.table.clone()].into_iter().collect();
+    let score = |llm: &dyn LanguageModel| {
+        let unidm = UniDm::new(llm, PipelineConfig::paper_default().with_seed(9));
+        ds.targets
+            .iter()
+            .filter(|t| {
+                let out = unidm
+                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .unwrap();
+                answers_match(&out.answer, &t.truth.to_string())
+            })
+            .count()
+    };
+    let s = score(&strong);
+    let w = score(&weak);
+    assert!(s >= w, "GPT-4-level {s} vs GPT-J-level {w}");
+}
+
+#[test]
+fn extraction_task_end_to_end() {
+    let (world, llm) = setup();
+    let ds = unidm_synthdata::extraction::nba_players(&world, 9);
+    let unidm = UniDm::new(&llm, PipelineConfig::paper_default().with_seed(9));
+    let lake = DataLake::new();
+    let mut f1_sum = 0.0;
+    let n = 20.min(ds.len());
+    for (doc, truth) in ds.docs.iter().zip(&ds.truth).take(n) {
+        let task = Task::Extraction { document: doc.text.clone(), attr: "height".into() };
+        let answer = unidm.run(&lake, &task).unwrap().answer;
+        let answer = if answer == "unknown" { String::new() } else { answer };
+        f1_sum += unidm_eval::metrics::text_f1(&answer, &truth["height"]);
+    }
+    assert!(f1_sum / n as f64 > 0.5, "height extraction mean F1 {:.2}", f1_sum / n as f64);
+}

@@ -1,0 +1,142 @@
+//! Property tests over substrate invariants: metrics, distances, the table
+//! store, program induction, and the deterministic dice.
+
+use proptest::prelude::*;
+
+use unidm_baselines::tde;
+use unidm_eval::metrics::{at_threshold, text_f1, Confusion};
+use unidm_llm::{Dice, KnowledgeBase};
+use unidm_tablestore::{csv, Table, Value};
+use unidm_text::distance::{jaccard, jaro_winkler, levenshtein, normalized_levenshtein};
+use unidm_text::Embedder;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn levenshtein_is_a_metric(a in ".{0,24}", b in ".{0,24}", c in ".{0,24}") {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn similarity_scores_bounded(a in ".{0,30}", b in ".{0,30}") {
+        for s in [normalized_levenshtein(&a, &b), jaro_winkler(&a, &b), jaccard(&a, &b)] {
+            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+        }
+    }
+
+    #[test]
+    fn embedding_cosine_bounded_and_reflexive(a in ".{1,40}", b in ".{1,40}") {
+        let e = Embedder::default();
+        let ea = e.embed(&a);
+        let eb = e.embed(&b);
+        let sim = ea.cosine(&eb);
+        prop_assert!((-1.0..=1.0).contains(&sim));
+        if ea.norm() > 0.0 {
+            prop_assert!((ea.cosine(&ea) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn token_count_monotone(a in ".{0,60}", b in ".{0,60}") {
+        let joined = format!("{a}{b}");
+        prop_assert!(unidm_text::count_tokens(&joined) + 1 >= unidm_text::count_tokens(&a));
+    }
+
+    #[test]
+    fn confusion_f1_bounded(tp in 0usize..200, fp in 0usize..200, fn_ in 0usize..200, tn in 0usize..200) {
+        let c = Confusion { tp, fp, fn_, tn };
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        // F1 is the harmonic mean: it lies between precision and recall.
+        let lo = c.precision().min(c.recall());
+        let hi = c.precision().max(c.recall());
+        if c.tp + c.fp + c.fn_ > 0 && c.f1() > 0.0 {
+            prop_assert!(c.f1() + 1e-9 >= lo && c.f1() <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_monotonicity(scored in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..50)) {
+        // Raising the threshold can only reduce predicted positives.
+        let low = at_threshold(&scored, 0.2);
+        let high = at_threshold(&scored, 0.8);
+        prop_assert!(low.tp + low.fp >= high.tp + high.fp);
+    }
+
+    #[test]
+    fn text_f1_symmetric_and_bounded(a in "[a-z ]{0,30}", b in "[a-z ]{0,30}") {
+        let f = text_f1(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&f));
+        prop_assert!((f - text_f1(&b, &a)).abs() < 1e-9, "precision/recall swap symmetry");
+    }
+
+    #[test]
+    fn csv_roundtrip(rows in proptest::collection::vec(
+        proptest::collection::vec("[A-Za-z0-9 ,\"\n.']{0,16}", 3..4), 0..8)
+    ) {
+        let mut t = Table::builder("t").columns(["a", "b", "c"]).build();
+        for row in &rows {
+            t.push_row(row.iter().map(|c| Value::text(c.clone())).collect()).unwrap();
+        }
+        let text = csv::to_csv(&t);
+        let back = csv::from_csv("t", &text).expect("roundtrip parse");
+        prop_assert_eq!(back.row_count(), t.row_count());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let attr = ["a", "b", "c"][j];
+                // Values re-parse by type; compare canonical text forms.
+                let expected = Value::parse(cell);
+                prop_assert_eq!(back.cell(i, attr).unwrap().answer_key(), expected.answer_key());
+            }
+        }
+    }
+
+    #[test]
+    fn dice_is_pure(seed in any::<u64>(), ctx in ".{0,20}", tag in "[a-z]{1,8}", p in 0.0f64..1.0) {
+        let d1 = Dice::new(seed);
+        let d2 = Dice::new(seed);
+        prop_assert_eq!(d1.uniform(&ctx, &tag), d2.uniform(&ctx, &tag));
+        prop_assert_eq!(d1.chance(&ctx, &tag, p), d2.chance(&ctx, &tag, p));
+    }
+
+    #[test]
+    fn tde_program_reproduces_its_examples(
+        year in 1980u32..2024, month in 1u32..13, day in 1u32..29,
+        year2 in 1980u32..2024, month2 in 1u32..13, day2 in 1u32..29,
+    ) {
+        // Synthesize from two iso→us date examples, then verify the program
+        // reproduces both training outputs exactly (soundness of search).
+        let mk = |y: u32, m: u32, d: u32| (format!("{y}-{m:02}-{d:02}"), format!("{m:02}/{d:02}/{y}"));
+        let examples = vec![mk(year, month, day), mk(year2, month2, day2)];
+        if let Some(prog) = tde::synthesize(&examples) {
+            for (i, o) in &examples {
+                let got = prog.apply(i);
+                prop_assert_eq!(got.as_deref(), Some(o.as_str()));
+            }
+        }
+    }
+
+    #[test]
+    fn llm_induction_is_sound(
+        first in "[a-z]{2,8}", last in "[a-z]{2,8}",
+        first2 in "[a-z]{2,8}", last2 in "[a-z]{2,8}",
+    ) {
+        // Whatever program induction finds must reproduce the examples.
+        let kb = KnowledgeBase::empty();
+        let examples = vec![
+            (format!("{first} {last}"), format!("{last}, {first}")),
+            (format!("{first2} {last2}"), format!("{last2}, {first2}")),
+        ];
+        if let Some(prog) = unidm_llm::skills::induce::induce(&examples, &kb) {
+            for (i, o) in &examples {
+                let got = prog.apply(i, &kb);
+                prop_assert_eq!(got.as_deref(), Some(o.as_str()));
+            }
+        }
+    }
+}
