@@ -30,7 +30,12 @@ impl Cmi {
     /// # Errors
     ///
     /// Returns table errors for invalid references.
-    pub fn fit(table: &Table, target_attr: &str, k: Option<usize>, seed: u64) -> Result<Self, TableError> {
+    pub fn fit(
+        table: &Table,
+        target_attr: &str,
+        k: Option<usize>,
+        seed: u64,
+    ) -> Result<Self, TableError> {
         let n = table.row_count();
         let k = k
             .unwrap_or_else(|| ((n as f64).sqrt() * 2.0).round() as usize)
@@ -105,7 +110,10 @@ impl Cmi {
     pub fn impute(&self, table: &Table, row: usize, attr: &str) -> Result<String, TableError> {
         let target_idx = table.schema().require(attr)?;
         if row >= self.assignments.len() {
-            return Err(TableError::RowOutOfBounds { index: row, len: self.assignments.len() });
+            return Err(TableError::RowOutOfBounds {
+                index: row,
+                len: self.assignments.len(),
+            });
         }
         let cluster = self.assignments[row];
         let mut counts: HashMap<String, usize> = HashMap::new();
@@ -152,12 +160,17 @@ mod tests {
     #[test]
     fn clusters_recover_structure() {
         // Two clean clusters on (type, country) determining city.
-        let mut t = Table::builder("t").columns(["type", "country", "city"]).build();
+        let mut t = Table::builder("t")
+            .columns(["type", "country", "city"])
+            .build();
         for _ in 0..10 {
-            t.push_row(vec!["sushi".into(), "Japan".into(), "Tokyo".into()]).unwrap();
-            t.push_row(vec!["tapas".into(), "Spain".into(), "Madrid".into()]).unwrap();
+            t.push_row(vec!["sushi".into(), "Japan".into(), "Tokyo".into()])
+                .unwrap();
+            t.push_row(vec!["tapas".into(), "Spain".into(), "Madrid".into()])
+                .unwrap();
         }
-        t.push_row(vec!["sushi".into(), "Japan".into(), Value::Null]).unwrap();
+        t.push_row(vec!["sushi".into(), "Japan".into(), Value::Null])
+            .unwrap();
         let cmi = Cmi::fit(&t, "city", Some(2), 1).unwrap();
         assert_eq!(cmi.impute(&t, 20, "city").unwrap(), "Tokyo");
     }
@@ -166,7 +179,8 @@ mod tests {
     fn k_defaults_to_sqrt() {
         let mut t = Table::builder("t").columns(["a", "b"]).build();
         for i in 0..25 {
-            t.push_row(vec![format!("x{}", i % 3).into(), Value::Int(i)]).unwrap();
+            t.push_row(vec![format!("x{}", i % 3).into(), Value::Int(i)])
+                .unwrap();
         }
         let cmi = Cmi::fit(&t, "b", None, 1).unwrap();
         assert_eq!(cmi.k(), 10, "2×sqrt(25)");
@@ -176,8 +190,11 @@ mod tests {
     fn deterministic_for_seed() {
         let mut t = Table::builder("t").columns(["a", "b"]).build();
         for i in 0..30 {
-            t.push_row(vec![format!("v{}", i % 4).into(), format!("w{}", i % 2).into()])
-                .unwrap();
+            t.push_row(vec![
+                format!("v{}", i % 4).into(),
+                format!("w{}", i % 2).into(),
+            ])
+            .unwrap();
         }
         let a = Cmi::fit(&t, "b", Some(3), 9).unwrap();
         let b = Cmi::fit(&t, "b", Some(3), 9).unwrap();

@@ -29,9 +29,7 @@ pub fn features(a: &Record, b: &Record) -> PairFeatures {
     let embedder = Embedder::default();
     let ea = embedder.embed(&a.text_blob());
     let eb = embedder.embed(&b.text_blob());
-    let nums = |r: &Record| -> Vec<f64> {
-        r.values().iter().filter_map(|v| v.as_f64()).collect()
-    };
+    let nums = |r: &Record| -> Vec<f64> { r.values().iter().filter_map(|v| v.as_f64()).collect() };
     let na = nums(a);
     let nb = nums(b);
     let numeric_agreement = if na.is_empty() || nb.is_empty() {
@@ -64,13 +62,22 @@ impl Ditto {
             .iter()
             .map(|p| (features(&p.a, &p.b), p.is_match))
             .collect();
-        let mut best = (Ditto { weights: [0.5, 0.4, 0.1], threshold: 0.5 }, -1.0f64);
+        let mut best = (
+            Ditto {
+                weights: [0.5, 0.4, 0.1],
+                threshold: 0.5,
+            },
+            -1.0f64,
+        );
         for w0 in [0.3f64, 0.5, 0.7] {
             for w1 in [0.1f64, 0.3, 0.5] {
                 let w2: f64 = (1.0 - w0 - w1).max(0.0);
                 for t in 0..=30 {
                     let threshold = 0.2 + t as f64 * 0.02;
-                    let model = Ditto { weights: [w0, w1, w2], threshold };
+                    let model = Ditto {
+                        weights: [w0, w1, w2],
+                        threshold,
+                    };
                     let f1 = model.f1_on(&feats);
                     if f1 > best.1 {
                         best = (model, f1);

@@ -47,24 +47,51 @@ fn candidate_rules(attr: &str) -> Vec<Rule> {
             suffix: "</td>".to_string(),
         },
         // Key-value spans: "attr = value<"
-        Rule { prefix: format!("{attr} = "), suffix: "<".to_string() },
+        Rule {
+            prefix: format!("{attr} = "),
+            suffix: "<".to_string(),
+        },
     ];
     match attr {
         "player" => {
-            rules.push(Rule { prefix: "<h1>".into(), suffix: "</h1>".into() });
-            rules.push(Rule { prefix: "<h2>".into(), suffix: "</h2>".into() });
-            rules.push(Rule { prefix: "<title>".into(), suffix: " |".into() });
+            rules.push(Rule {
+                prefix: "<h1>".into(),
+                suffix: "</h1>".into(),
+            });
+            rules.push(Rule {
+                prefix: "<h2>".into(),
+                suffix: "</h2>".into(),
+            });
+            rules.push(Rule {
+                prefix: "<title>".into(),
+                suffix: " |".into(),
+            });
         }
         "height" => {
-            rules.push(Rule { prefix: "ht&nbsp;".into(), suffix: "<".into() });
-            rules.push(Rule { prefix: "Standing ".into(), suffix: " tall".into() });
+            rules.push(Rule {
+                prefix: "ht&nbsp;".into(),
+                suffix: "<".into(),
+            });
+            rules.push(Rule {
+                prefix: "Standing ".into(),
+                suffix: " tall".into(),
+            });
         }
         "position" => {
-            rules.push(Rule { prefix: "pos: ".into(), suffix: "<".into() });
-            rules.push(Rule { prefix: "plays the ".into(), suffix: " position".into() });
+            rules.push(Rule {
+                prefix: "pos: ".into(),
+                suffix: "<".into(),
+            });
+            rules.push(Rule {
+                prefix: "plays the ".into(),
+                suffix: " position".into(),
+            });
         }
         "college" => {
-            rules.push(Rule { prefix: "college = ".into(), suffix: "<".into() });
+            rules.push(Rule {
+                prefix: "college = ".into(),
+                suffix: "<".into(),
+            });
             rules.push(Rule {
                 prefix: "college basketball at ".into(),
                 suffix: " before".into(),
@@ -198,14 +225,21 @@ mod tests {
             f1_ensemble > f1_single,
             "ensemble {f1_ensemble:.3} vs single {f1_single:.3}"
         );
-        assert!(f1_ensemble > 0.6, "ensemble should be strong: {f1_ensemble:.3}");
+        assert!(
+            f1_ensemble > 0.6,
+            "ensemble should be strong: {f1_ensemble:.3}"
+        );
     }
 
     #[test]
     fn rule_extracts_infobox_row() {
-        let r = Rule { prefix: "<th>Height</th><td>".into(), suffix: "</td>".into() };
+        let r = Rule {
+            prefix: "<th>Height</th><td>".into(),
+            suffix: "</td>".into(),
+        };
         assert_eq!(
-            r.apply("<tr><th>Height</th><td>6 ft 10 in</td></tr>").as_deref(),
+            r.apply("<tr><th>Height</th><td>6 ft 10 in</td></tr>")
+                .as_deref(),
             Some("6 ft 10 in")
         );
         assert_eq!(r.apply("no table here"), None);
@@ -231,6 +265,9 @@ mod tests {
                 d.template != extraction::Template::Infobox && !p.contains_key("height")
             })
             .count();
-        assert!(misses > 0, "single-rule extraction should miss non-infobox pages");
+        assert!(
+            misses > 0,
+            "single-rule extraction should miss non-infobox pages"
+        );
     }
 }

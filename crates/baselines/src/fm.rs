@@ -51,7 +51,12 @@ impl std::fmt::Debug for Fm<'_> {
 impl<'a> Fm<'a> {
     /// Creates an FM runner with the paper's default of 3 demonstrations.
     pub fn new(llm: &'a dyn LanguageModel, strategy: ContextStrategy, seed: u64) -> Self {
-        Fm { llm, strategy, demos: 3, seed }
+        Fm {
+            llm,
+            strategy,
+            demos: 3,
+            seed,
+        }
     }
 
     /// Imputes `attr` of row `row` in `table`.
@@ -59,12 +64,7 @@ impl<'a> Fm<'a> {
     /// # Errors
     ///
     /// Propagates LLM and table errors.
-    pub fn impute(
-        &self,
-        table: &Table,
-        row: usize,
-        attr: &str,
-    ) -> Result<String, FmError> {
+    pub fn impute(&self, table: &Table, row: usize, attr: &str) -> Result<String, FmError> {
         let record = serialize_row(table, row, attr)?;
         // Demonstration pool: rows with a known target value.
         let idx = table.schema().require(attr).map_err(FmError::Table)?;
@@ -78,10 +78,14 @@ impl<'a> Fm<'a> {
                     .is_some_and(|v| !v.is_null())
             })
             .collect();
-        let chosen = self.select(&pool, |r| {
-            let rec = serialize_row(table, *r, attr).unwrap_or_default();
-            rec.render()
-        }, &record.render());
+        let chosen = self.select(
+            &pool,
+            |r| {
+                let rec = serialize_row(table, *r, attr).unwrap_or_default();
+                rec.render()
+            },
+            &record.render(),
+        );
         let mut demos = Vec::with_capacity(chosen.len());
         for r in chosen {
             let demo_rec = serialize_row(table, r, attr)?;
@@ -141,22 +145,13 @@ impl<'a> Fm<'a> {
     /// # Errors
     ///
     /// Propagates LLM errors.
-    pub fn transform(
-        &self,
-        examples: &[(String, String)],
-        input: &str,
-    ) -> Result<String, FmError> {
+    pub fn transform(&self, examples: &[(String, String)], input: &str) -> Result<String, FmError> {
         let prompt = render_fm_transformation(examples, input);
         Ok(self.llm.complete(&prompt).map_err(FmError::Llm)?.text)
     }
 
     /// Selects up to `self.demos` pool members per the strategy.
-    fn select<T: Copy>(
-        &self,
-        pool: &[T],
-        text_of: impl Fn(&T) -> String,
-        query: &str,
-    ) -> Vec<T> {
+    fn select<T: Copy>(&self, pool: &[T], text_of: impl Fn(&T) -> String, query: &str) -> Vec<T> {
         match self.strategy {
             ContextStrategy::Random => {
                 let mut rng = StdRng::seed_from_u64(self.seed);
@@ -168,7 +163,7 @@ impl<'a> Fm<'a> {
             ContextStrategy::Manual => {
                 let model = TfIdf::fit(
                     pool.iter()
-                        .map(|t| text_of(t))
+                        .map(&text_of)
                         .collect::<Vec<_>>()
                         .iter()
                         .map(String::as_str),
@@ -262,9 +257,7 @@ mod tests {
             ds.targets
                 .iter()
                 .filter(|t| {
-                    fm.impute(&ds.table, t.row, "city")
-                        .unwrap()
-                        .to_lowercase()
+                    fm.impute(&ds.table, t.row, "city").unwrap().to_lowercase()
                         == t.truth.to_string().to_lowercase()
                 })
                 .count()
@@ -308,7 +301,10 @@ mod tests {
                 clean_flagged += 1;
             }
         }
-        assert!(clean_flagged < 10, "clean cells mostly pass: {clean_flagged}/30");
+        assert!(
+            clean_flagged < 10,
+            "clean cells mostly pass: {clean_flagged}/30"
+        );
         let mut dirty_flagged = 0;
         for c in ds.cells.iter().take(30) {
             assert!(c.is_error, "head cells are errors by construction");
@@ -316,7 +312,10 @@ mod tests {
                 dirty_flagged += 1;
             }
         }
-        assert!(dirty_flagged > 20, "errors mostly caught: {dirty_flagged}/30");
+        assert!(
+            dirty_flagged > 20,
+            "errors mostly caught: {dirty_flagged}/30"
+        );
     }
 
     #[test]
@@ -330,7 +329,9 @@ mod tests {
             .map(|p| (rec_of(&ds, &p.a), rec_of(&ds, &p.b), p.is_match))
             .collect();
         let p = &ds.pairs[0];
-        let _ = fm.resolve(&rec_of(&ds, &p.a), &rec_of(&ds, &p.b), &pool).unwrap();
+        let _ = fm
+            .resolve(&rec_of(&ds, &p.a), &rec_of(&ds, &p.b), &pool)
+            .unwrap();
     }
 
     fn rec_of(

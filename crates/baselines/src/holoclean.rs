@@ -29,7 +29,9 @@ pub fn impute(table: &Table, row: usize, attr: &str) -> Result<String, TableErro
         if i == target_idx {
             continue;
         }
-        let Some(evidence) = record.get(i) else { continue };
+        let Some(evidence) = record.get(i) else {
+            continue;
+        };
         if evidence.is_null() {
             continue;
         }
@@ -81,10 +83,7 @@ pub fn detect_error(table: &Table, row: usize, attr: &str) -> Result<bool, Table
     }
     // Numeric columns: flag > 3 sigma outliers.
     if let Some(x) = numeric_only(&value) {
-        let nums: Vec<f64> = table
-            .column(attr)?
-            .filter_map(numeric_only)
-            .collect();
+        let nums: Vec<f64> = table.column(attr)?.filter_map(numeric_only).collect();
         if nums.len() >= 8 {
             let mean = nums.iter().sum::<f64>() / nums.len() as f64;
             let var = nums.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / nums.len() as f64;
@@ -118,7 +117,9 @@ mod tests {
     #[test]
     fn imputes_from_cooccurrence_when_present() {
         // Build a table where `country` determines `timezone`.
-        let mut t = Table::builder("t").columns(["city", "country", "tz"]).build();
+        let mut t = Table::builder("t")
+            .columns(["city", "country", "tz"])
+            .build();
         for (c, n, z) in [
             ("A", "Spain", "CET"),
             ("B", "Spain", "CET"),
@@ -128,7 +129,8 @@ mod tests {
         ] {
             t.push_row(vec![c.into(), n.into(), z.into()]).unwrap();
         }
-        t.push_row(vec!["F".into(), "Spain".into(), Value::Null]).unwrap();
+        t.push_row(vec!["F".into(), "Spain".into(), Value::Null])
+            .unwrap();
         assert_eq!(impute(&t, 5, "tz").unwrap(), "CET");
     }
 
@@ -136,7 +138,8 @@ mod tests {
     fn falls_back_to_mode_without_signal() {
         let mut t = Table::builder("t").columns(["name", "city"]).build();
         for i in 0..6 {
-            t.push_row(vec![format!("N{i}").into(), "Springfield".into()]).unwrap();
+            t.push_row(vec![format!("N{i}").into(), "Springfield".into()])
+                .unwrap();
         }
         t.push_row(vec!["X".into(), Value::Null]).unwrap();
         assert_eq!(impute(&t, 6, "city").unwrap().to_lowercase(), "springfield");
@@ -175,7 +178,10 @@ mod tests {
             }
         }
         assert!(total_err > 0);
-        assert!(tp * 2 >= total_err, "most age outliers detected: {tp}/{total_err}");
+        assert!(
+            tp * 2 >= total_err,
+            "most age outliers detected: {tp}/{total_err}"
+        );
     }
 
     #[test]

@@ -96,7 +96,14 @@ impl ColumnModel {
         } else {
             (0.0, 0.0)
         };
-        Ok(ColumnModel { value_freq, non_null, modal_signature, trigram_counts: trigrams, mean, sd })
+        Ok(ColumnModel {
+            value_freq,
+            non_null,
+            modal_signature,
+            trigram_counts: trigrams,
+            mean,
+            sd,
+        })
     }
 
     fn features(&self, value: &str, numeric: Option<f64>) -> CellFeatures {
@@ -106,8 +113,7 @@ impl ColumnModel {
             .copied()
             .unwrap_or(0) as f64
             / self.non_null.max(1) as f64;
-        let format_agreement =
-            FormatSignature::of(value).agreement(&self.modal_signature);
+        let format_agreement = FormatSignature::of(value).agreement(&self.modal_signature);
         let grams = letter_trigrams(value);
         let novelty = if grams.is_empty() {
             0.0
@@ -122,7 +128,12 @@ impl ColumnModel {
             (Some(x), true) => ((x - self.mean) / self.sd).abs(),
             _ => 0.0,
         };
-        CellFeatures { frequency, format_agreement, novelty, numeric_z }
+        CellFeatures {
+            frequency,
+            format_agreement,
+            novelty,
+            numeric_z,
+        }
     }
 }
 
@@ -132,7 +143,11 @@ impl HoloDetect {
     /// # Errors
     ///
     /// Returns table errors for invalid references.
-    pub fn fit(table: &Table, attrs: &[String], seed: &[LabeledExample]) -> Result<Self, TableError> {
+    pub fn fit(
+        table: &Table,
+        attrs: &[String],
+        seed: &[LabeledExample],
+    ) -> Result<Self, TableError> {
         let mut column_models = HashMap::new();
         for attr in attrs {
             column_models.insert(attr.clone(), ColumnModel::fit(table, attr)?);
@@ -162,7 +177,11 @@ impl HoloDetect {
                     (false, false) => {}
                 }
             }
-            let f1 = if tp == 0.0 { 0.0 } else { 2.0 * tp / (2.0 * tp + fp + fn_) };
+            let f1 = if tp == 0.0 {
+                0.0
+            } else {
+                2.0 * tp / (2.0 * tp + fp + fn_)
+            };
             if f1 > best.1 {
                 best = (th, f1);
             }
@@ -232,7 +251,10 @@ mod tests {
             }
         }
         let f1 = 2.0 * tp as f64 / (2.0 * tp as f64 + fp as f64 + fn_ as f64);
-        assert!(f1 > 0.7, "HoloDetect should reach high F1: {f1:.3} (tp {tp} fp {fp} fn {fn_})");
+        assert!(
+            f1 > 0.7,
+            "HoloDetect should reach high F1: {f1:.3} (tp {tp} fp {fp} fn {fn_})"
+        );
     }
 
     #[test]

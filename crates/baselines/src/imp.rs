@@ -44,7 +44,10 @@ impl Imp {
             let mut text: String = fields
                 .join(" ")
                 .split_whitespace()
-                .filter(|w| !w.chars().all(|c| c.is_ascii_digit() || !c.is_alphanumeric()))
+                .filter(|w| {
+                    !w.chars()
+                        .all(|c| c.is_ascii_digit() || !c.is_alphanumeric())
+                })
                 .collect::<Vec<_>>()
                 .join(" ");
             // Position bias: encoders weight a title's leading token (the
@@ -53,11 +56,19 @@ impl Imp {
                 text = format!("{first} {text}");
             }
             texts.push(text);
-            let label = rec.get(target_idx).filter(|v| !v.is_null()).map(|v| v.to_string());
+            let label = rec
+                .get(target_idx)
+                .filter(|v| !v.is_null())
+                .map(|v| v.to_string());
             labels.push(label);
         }
         let model = TfIdf::fit(texts.iter().map(String::as_str));
-        Ok(Imp { model, texts, labels, k: k.max(1) })
+        Ok(Imp {
+            model,
+            texts,
+            labels,
+            k: k.max(1),
+        })
     }
 
     /// Imputes the target attribute of `row` by weighted k-NN vote.
@@ -77,7 +88,10 @@ impl Imp {
             .enumerate()
             .filter(|(i, (_, label))| *i != row && label.is_some())
             .map(|(_, (t, label))| {
-                (self.model.similarity(query, t), label.as_deref().unwrap_or(""))
+                (
+                    self.model.similarity(query, t),
+                    label.as_deref().unwrap_or(""),
+                )
             })
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));

@@ -23,8 +23,16 @@ pub struct MagellanFeatures {
 
 /// Computes the feature vector.
 pub fn features(a: &Record, b: &Record) -> MagellanFeatures {
-    let fa = a.values().first().map(|v| v.to_string()).unwrap_or_default();
-    let fb = b.values().first().map(|v| v.to_string()).unwrap_or_default();
+    let fa = a
+        .values()
+        .first()
+        .map(|v| v.to_string())
+        .unwrap_or_default();
+    let fb = b
+        .values()
+        .first()
+        .map(|v| v.to_string())
+        .unwrap_or_default();
     MagellanFeatures {
         jaccard: jaccard(&a.text_blob(), &b.text_blob()),
         edit: normalized_levenshtein(&fa.to_lowercase(), &fb.to_lowercase()),
@@ -55,8 +63,18 @@ impl Magellan {
             .iter()
             .map(|p| (features(&p.a, &p.b), p.is_match))
             .collect();
-        let mut best = (Magellan { feature: SplitFeature::Jaccard, threshold: 0.5 }, -1.0f64);
-        for feature in [SplitFeature::Jaccard, SplitFeature::Edit, SplitFeature::Overlap] {
+        let mut best = (
+            Magellan {
+                feature: SplitFeature::Jaccard,
+                threshold: 0.5,
+            },
+            -1.0f64,
+        );
+        for feature in [
+            SplitFeature::Jaccard,
+            SplitFeature::Edit,
+            SplitFeature::Overlap,
+        ] {
             for t in 0..=40 {
                 let threshold = t as f64 / 40.0;
                 let model = Magellan { feature, threshold };
@@ -69,7 +87,11 @@ impl Magellan {
                         (false, false) => {}
                     }
                 }
-                let f1 = if tp == 0.0 { 0.0 } else { 2.0 * tp / (2.0 * tp + fp + fn_) };
+                let f1 = if tp == 0.0 {
+                    0.0
+                } else {
+                    2.0 * tp / (2.0 * tp + fp + fn_)
+                };
                 if f1 > best.1 {
                     best = (model, f1);
                 }
@@ -121,7 +143,10 @@ mod tests {
         let f1_beer = f1_of(&m_beer, &beer.pairs);
         let f1_hard = f1_of(&m_hard, &hard.pairs);
         assert!(f1_beer > 0.6, "beer f1 {f1_beer:.3}");
-        assert!(f1_beer > f1_hard, "beer {f1_beer:.3} vs amazon-google {f1_hard:.3}");
+        assert!(
+            f1_beer > f1_hard,
+            "beer {f1_beer:.3} vs amazon-google {f1_hard:.3}"
+        );
     }
 
     #[test]

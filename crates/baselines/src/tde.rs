@@ -14,7 +14,11 @@ enum TdePiece {
     /// Whole input token.
     Token(usize),
     /// Fixed byte slice of a token.
-    Slice { idx: usize, start: usize, len: usize },
+    Slice {
+        idx: usize,
+        start: usize,
+        len: usize,
+    },
     /// First character of a token.
     FirstChar(usize),
 }
@@ -101,12 +105,23 @@ fn synthesize_cased(examples: &[(String, String)], casing: Casing) -> Option<Tde
     let mut pieces = Vec::new();
     let mut found = Vec::new();
     let mut budget = 30_000usize;
-    dfs(&target, 0, &tokens, casing, &mut pieces, &mut found, &mut budget);
+    dfs(
+        &target,
+        0,
+        &tokens,
+        casing,
+        &mut pieces,
+        &mut found,
+        &mut budget,
+    );
     for candidate in found {
         if candidate.iter().all(|p| matches!(p, TdePiece::Lit(_))) {
             continue;
         }
-        let prog = TdeProgram { pieces: candidate, casing };
+        let prog = TdeProgram {
+            pieces: candidate,
+            casing,
+        };
         if examples
             .iter()
             .all(|(i, o)| prog.apply(i).as_deref() == Some(o.as_str()))
@@ -156,7 +171,9 @@ fn dfs(
         }
         for start in 0..t.len() {
             for len in (2..=(t.len() - start).min(8)).rev() {
-                let Some(s) = t.get(start..start + len) else { continue };
+                let Some(s) = t.get(start..start + len) else {
+                    continue;
+                };
                 if s.len() != t.len() && matches_cased(rest, s, casing) {
                     pieces.push(TdePiece::Slice { idx: i, start, len });
                     dfs(output, pos + len, tokens, casing, pieces, found, budget);
@@ -169,7 +186,15 @@ fn dfs(
         if let Some(c) = t.chars().next() {
             if matches_cased(rest, &c.to_string(), casing) {
                 pieces.push(TdePiece::FirstChar(i));
-                dfs(output, pos + c.len_utf8(), tokens, casing, pieces, found, budget);
+                dfs(
+                    output,
+                    pos + c.len_utf8(),
+                    tokens,
+                    casing,
+                    pieces,
+                    found,
+                    budget,
+                );
                 pieces.pop();
             }
         }
@@ -179,14 +204,30 @@ fn dfs(
             match pieces.last_mut() {
                 Some(TdePiece::Lit(s)) => {
                     s.push(c);
-                    dfs(output, pos + c.len_utf8(), tokens, casing, pieces, found, budget);
+                    dfs(
+                        output,
+                        pos + c.len_utf8(),
+                        tokens,
+                        casing,
+                        pieces,
+                        found,
+                        budget,
+                    );
                     if let Some(TdePiece::Lit(s)) = pieces.last_mut() {
                         s.pop();
                     }
                 }
                 _ => {
                     pieces.push(TdePiece::Lit(c.to_string()));
-                    dfs(output, pos + c.len_utf8(), tokens, casing, pieces, found, budget);
+                    dfs(
+                        output,
+                        pos + c.len_utf8(),
+                        tokens,
+                        casing,
+                        pieces,
+                        found,
+                        budget,
+                    );
                     pieces.pop();
                 }
             }
@@ -208,13 +249,19 @@ mod tests {
     use super::*;
 
     fn ex(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
-        pairs.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
     }
 
     #[test]
     fn solves_date_reorder() {
-        let p = synthesize(&ex(&[("2021-03-15", "03/15/2021"), ("1999-12-01", "12/01/1999")]))
-            .unwrap();
+        let p = synthesize(&ex(&[
+            ("2021-03-15", "03/15/2021"),
+            ("1999-12-01", "12/01/1999"),
+        ]))
+        .unwrap();
         assert_eq!(p.apply("2005-07-04").unwrap(), "07/04/2005");
     }
 
@@ -230,18 +277,27 @@ mod tests {
     #[test]
     fn solves_name_swap_and_initials() {
         assert_eq!(
-            transform(&ex(&[("John Smith", "Smith, John"), ("Mary Jones", "Jones, Mary")]), "Alan Turing"),
+            transform(
+                &ex(&[("John Smith", "Smith, John"), ("Mary Jones", "Jones, Mary")]),
+                "Alan Turing"
+            ),
             "Turing, Alan"
         );
         assert_eq!(
-            transform(&ex(&[("John Smith", "J. Smith"), ("Mary Jones", "M. Jones")]), "Alan Turing"),
+            transform(
+                &ex(&[("John Smith", "J. Smith"), ("Mary Jones", "M. Jones")]),
+                "Alan Turing"
+            ),
             "A. Turing"
         );
     }
 
     #[test]
     fn solves_uppercase() {
-        assert_eq!(transform(&ex(&[("abc", "ABC"), ("xy", "XY")]), "hello"), "HELLO");
+        assert_eq!(
+            transform(&ex(&[("abc", "ABC"), ("xy", "XY")]), "hello"),
+            "HELLO"
+        );
     }
 
     #[test]

@@ -19,10 +19,20 @@ fn bench_substrates(c: &mut Criterion) {
         b.iter(|| black_box(embedder.embed("Ruth's Chris Steak House, 224 S. Beverly Dr.")))
     });
     group.bench_function("levenshtein", |b| {
-        b.iter(|| black_box(distance::levenshtein("holoclean baseline", "holodetect baseline")))
+        b.iter(|| {
+            black_box(distance::levenshtein(
+                "holoclean baseline",
+                "holodetect baseline",
+            ))
+        })
     });
     group.bench_function("jaro_winkler", |b| {
-        b.iter(|| black_box(distance::jaro_winkler("punch home design", "punch software design")))
+        b.iter(|| {
+            black_box(distance::jaro_winkler(
+                "punch home design",
+                "punch software design",
+            ))
+        })
     });
     group.finish();
 

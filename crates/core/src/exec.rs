@@ -1,0 +1,599 @@
+//! Parallel batch execution: a worker pool fanning [`UniDm`] runs over many
+//! tasks, and a concurrent prompt cache deduplicating repeated LLM calls.
+//!
+//! The paper's experiments (Tables 1–11) execute thousands of independent
+//! pipeline runs per dataset. Two properties of the pipeline make batch
+//! execution profitable:
+//!
+//! * **Independence** — each run is a pure function of `(model, config,
+//!   lake, task)`, so runs can execute on any thread in any order and still
+//!   produce bit-identical answers and per-run usage
+//!   ([`BatchRunner`]).
+//! * **Redundancy** — tasks on the same table issue near-identical
+//!   retrieval (`p_rm`, `p_ri`) and parsing (`p_dp`) prompts; a
+//!   prompt-level memo turns that redundancy into saved tokens and
+//!   throughput ([`PromptCache`]).
+//!
+//! ```
+//! use unidm::{BatchRunner, PipelineConfig, PromptCache, Task};
+//! use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
+//! use unidm_tablestore::{DataLake, Table, Value};
+//! use unidm_world::World;
+//!
+//! let world = World::generate(42);
+//! let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+//! let cache = PromptCache::unbounded(&llm);
+//!
+//! let mut cities = Table::builder("cities").columns(["city", "country", "timezone"]).build();
+//! cities.push_row(vec![
+//!     Value::text("Florence"), Value::text("Italy"), Value::text("Central European Time"),
+//! ]).unwrap();
+//! cities.push_row(vec![Value::text("Copenhagen"), Value::text("Denmark"), Value::Null]).unwrap();
+//! let lake: DataLake = [cities].into_iter().collect();
+//!
+//! let tasks = vec![Task::imputation("cities", 1, "timezone", "city")];
+//! let runner = BatchRunner::new(&cache, PipelineConfig::paper_default());
+//! let outputs = runner.run(&lake, &tasks);
+//! assert_eq!(outputs[0].as_ref().unwrap().answer, "Central European Time");
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use unidm_llm::{Completion, LanguageModel, LlmError, Usage};
+use unidm_tablestore::DataLake;
+
+use crate::pipeline::{RunOutput, UniDm};
+use crate::task::Task;
+use crate::{PipelineConfig, UniDmError};
+
+/// Hit/miss/saving statistics of a [`PromptCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Completions served from the cache.
+    pub hits: usize,
+    /// Completions that had to go to the model.
+    pub misses: usize,
+    /// Entries evicted to stay within capacity.
+    pub evictions: usize,
+    /// Tokens (prompt + completion) the model did not have to process
+    /// because a hit short-circuited the call.
+    pub tokens_saved: usize,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (zero when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// prompt → (completion, last-use stamp).
+    entries: HashMap<String, (Completion, u64)>,
+    /// last-use stamp → prompt: the recency index that makes LRU eviction
+    /// O(log n) instead of a full scan of `entries`.
+    recency: BTreeMap<u64, String>,
+    /// Monotonic use counter driving LRU eviction.
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl CacheInner {
+    /// Returns the memoized completion for `prompt`, refreshing its
+    /// recency, or `None` on a miss.
+    fn touch(&mut self, prompt: &str) -> Option<Completion> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let (completion, last_used) = self.entries.get_mut(prompt)?;
+        self.recency.remove(last_used);
+        self.recency.insert(stamp, prompt.to_string());
+        *last_used = stamp;
+        Some(completion.clone())
+    }
+
+    /// Inserts (or refreshes) `prompt`, evicting the least-recently-used
+    /// entry when over `capacity`.
+    fn insert(&mut self, prompt: &str, completion: Completion, capacity: usize) {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some((_, old_stamp)) = self.entries.insert(prompt.to_string(), (completion, stamp)) {
+            // A racing miss on the same prompt already inserted it; drop
+            // the stale recency slot.
+            self.recency.remove(&old_stamp);
+        }
+        self.recency.insert(stamp, prompt.to_string());
+        if self.entries.len() > capacity {
+            if let Some((_, victim)) = self.recency.pop_first() {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+/// A concurrent prompt → completion memo layered over any
+/// [`LanguageModel`].
+///
+/// The cache is itself a `LanguageModel`, so it slots transparently under
+/// [`UniDm`] or [`BatchRunner`]: repeated prompts — retrieval and parsing
+/// calls shared by tasks on the same table, duplicate final claims —
+/// are answered from memory without consuming model tokens.
+///
+/// Determinism is preserved by construction: the deterministic substrate
+/// returns the same completion for the same prompt, so serving a memoized
+/// completion changes nothing about answers or per-run usage — only about
+/// what the *inner* model actually processed. Cached completions report
+/// the usage of the original call, which keeps per-run accounting via
+/// [`unidm_llm::UsageMeter`] identical with and without the cache; the
+/// inner model's own counter only grows on misses, and the difference is
+/// tracked as [`CacheStats::tokens_saved`].
+///
+/// Bounded caches evict the least-recently-used entry. Lookups never block
+/// on the underlying model: the lock is released while a miss is being
+/// completed, so concurrent workers only serialize on the map itself.
+pub struct PromptCache<'a> {
+    inner: &'a dyn LanguageModel,
+    capacity: usize,
+    state: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for PromptCache<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PromptCache")
+            .field("inner", &self.inner.name())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> PromptCache<'a> {
+    /// Creates a cache holding at most `capacity` completions (LRU
+    /// eviction).
+    pub fn new(inner: &'a dyn LanguageModel, capacity: usize) -> Self {
+        PromptCache {
+            inner,
+            capacity: capacity.max(1),
+            state: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// Creates a cache that never evicts.
+    pub fn unbounded(inner: &'a dyn LanguageModel) -> Self {
+        PromptCache {
+            inner,
+            capacity: usize::MAX,
+            state: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// A snapshot of the hit/miss/eviction statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock poisoned").stats
+    }
+
+    /// Number of completions currently held.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache holds no completions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (statistics are kept).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.entries.clear();
+        state.recency.clear();
+    }
+}
+
+impl LanguageModel for PromptCache<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+        {
+            let mut state = self.state.lock().expect("cache lock poisoned");
+            if let Some(completion) = state.touch(prompt) {
+                state.stats.hits += 1;
+                state.stats.tokens_saved += completion.usage.total();
+                return Ok(completion);
+            }
+            state.stats.misses += 1;
+        }
+        // Complete the miss without holding the lock: concurrent workers
+        // must not serialize on the model. Two threads racing on the same
+        // prompt both pay for it — the insert below is idempotent because
+        // the substrate is deterministic.
+        let completion = self.inner.complete(prompt)?;
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.insert(prompt, completion.clone(), self.capacity);
+        Ok(completion)
+    }
+
+    fn usage(&self) -> Usage {
+        // Tokens the inner model actually processed; cache hits do not
+        // appear here. Per-run attribution happens in `UniDm::run`.
+        self.inner.usage()
+    }
+
+    fn reset_usage(&self) {
+        self.inner.reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
+/// A parallel batch executor for [`UniDm`] runs.
+///
+/// Fans the tasks of a batch out across a pool of scoped worker threads
+/// that share one model reference. Results come back in task order, each
+/// carrying its own [`RunOutput::usage`] metered per run — never diffed
+/// from the model's global counter — so the output is bit-for-bit
+/// identical to running the same tasks serially.
+#[derive(Clone, Copy)]
+pub struct BatchRunner<'a> {
+    llm: &'a dyn LanguageModel,
+    config: PipelineConfig,
+    workers: usize,
+}
+
+impl std::fmt::Debug for BatchRunner<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRunner")
+            .field("llm", &self.llm.name())
+            .field("config", &self.config)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl<'a> BatchRunner<'a> {
+    /// Creates a runner with one worker per available CPU (capped at 8 —
+    /// the pipeline is compute-light, so more threads only add contention
+    /// on the shared model).
+    pub fn new(llm: &'a dyn LanguageModel, config: PipelineConfig) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
+        BatchRunner {
+            llm,
+            config,
+            workers: parallelism,
+        }
+    }
+
+    /// Overrides the worker count (`1` executes serially on the calling
+    /// thread).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The pipeline configuration the workers run with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs every task over `lake`, returning one result per task in task
+    /// order.
+    ///
+    /// Individual task failures do not abort the batch: each slot carries
+    /// its own `Result`, mirroring what a serial loop over
+    /// [`UniDm::run`] would collect.
+    pub fn run(&self, lake: &DataLake, tasks: &[Task]) -> Vec<Result<RunOutput, UniDmError>> {
+        let workers = self.workers.min(tasks.len());
+        if workers <= 1 {
+            let unidm = UniDm::new(self.llm, self.config);
+            return tasks.iter().map(|task| unidm.run(lake, task)).collect();
+        }
+        let slots: Vec<OnceLock<Result<RunOutput, UniDmError>>> =
+            tasks.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let unidm = UniDm::new(self.llm, self.config);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(task) = tasks.get(i) else { break };
+                        let result = unidm.run(lake, task);
+                        slots[i].set(result).expect("slot claimed exactly once");
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Like [`BatchRunner::run`], but flattens each result to its answer
+    /// text (empty string on error) — the shape the accuracy harnesses
+    /// consume.
+    pub fn answers(&self, lake: &DataLake, tasks: &[Task]) -> Vec<String> {
+        self.run(lake, tasks)
+            .into_iter()
+            .map(|r| r.map(|o| o.answer).unwrap_or_default())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_llm::protocol::SerializedRecord;
+    use unidm_llm::{LlmProfile, MockLlm};
+    use unidm_synthdata::{imputation, tableqa};
+    use unidm_world::World;
+
+    fn setup() -> (World, MockLlm) {
+        let world = World::generate(7);
+        let llm = MockLlm::new(&world, LlmProfile::gpt4_turbo(), 1);
+        (world, llm)
+    }
+
+    fn imputation_tasks(ds: &unidm_synthdata::ImputationDataset, n: usize) -> Vec<Task> {
+        ds.targets
+            .iter()
+            .take(n)
+            .map(|t| Task::imputation(ds.table.name(), t.row, "city", "name"))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 30);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks = imputation_tasks(&ds, 30);
+        let config = PipelineConfig::paper_default();
+
+        let serial = BatchRunner::new(&llm, config)
+            .with_workers(1)
+            .run(&lake, &tasks);
+        let parallel = BatchRunner::new(&llm, config)
+            .with_workers(6)
+            .run(&lake, &tasks);
+
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let s = s.as_ref().expect("serial run ok");
+            let p = p.as_ref().expect("parallel run ok");
+            assert_eq!(s.answer, p.answer);
+            assert_eq!(
+                s.usage, p.usage,
+                "per-run usage must not depend on scheduling"
+            );
+        }
+    }
+
+    #[test]
+    fn per_run_usage_ignores_other_runs_on_shared_model() {
+        // Run the same task twice against a model whose global counter
+        // already moved: metered per-run usage must be identical, proving
+        // it is not derived from the global counter.
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 5);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
+        let task = Task::imputation("restaurants", ds.targets[0].row, "city", "name");
+        let first = unidm.run(&lake, &task).unwrap();
+        llm.complete("unrelated traffic from another tenant")
+            .unwrap();
+        let second = unidm.run(&lake, &task).unwrap();
+        assert_eq!(first.usage, second.usage);
+        assert!(first.usage.total() > 0);
+    }
+
+    #[test]
+    fn batch_preserves_order_and_isolates_failures() {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 6);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let mut tasks = imputation_tasks(&ds, 6);
+        // Poison the middle of the batch with a reference to a missing
+        // table; its neighbours must still succeed.
+        tasks.insert(3, Task::imputation("no_such_table", 0, "a", "b"));
+        let results = BatchRunner::new(&llm, PipelineConfig::paper_default())
+            .with_workers(4)
+            .run(&lake, &tasks);
+        assert_eq!(results.len(), 7);
+        assert!(matches!(results[3], Err(UniDmError::Table(_))));
+        for (i, r) in results.iter().enumerate() {
+            if i != 3 {
+                assert!(r.is_ok(), "slot {i} should have survived the poisoned slot");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_repeated_prompts_and_saves_tokens() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm);
+        let a = cache.complete("The quick brown fox").unwrap();
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                misses: 1,
+                ..CacheStats::default()
+            }
+        );
+        let b = cache.complete("The quick brown fox").unwrap();
+        assert_eq!(a, b, "hit must return the memoized completion verbatim");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.tokens_saved, a.usage.total());
+        // The inner model processed the prompt exactly once.
+        assert_eq!(llm.usage(), a.usage);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let (_, llm) = setup();
+        let cache = PromptCache::new(&llm, 2);
+        cache.complete("prompt one").unwrap();
+        cache.complete("prompt two").unwrap();
+        // Touch "prompt one" so "prompt two" becomes the LRU victim.
+        cache.complete("prompt one").unwrap();
+        cache.complete("prompt three").unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // "one" and "three" hit; "two" was evicted and misses again.
+        let before = cache.stats();
+        cache.complete("prompt one").unwrap();
+        cache.complete("prompt three").unwrap();
+        cache.complete("prompt two").unwrap();
+        let after = cache.stats();
+        assert_eq!(after.hits - before.hits, 2);
+        assert_eq!(after.misses - before.misses, 1);
+    }
+
+    #[test]
+    fn cache_propagates_model_errors() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm);
+        assert!(cache.complete("  ").is_err());
+        assert_eq!(cache.len(), 0, "errors must not be memoized");
+    }
+
+    #[test]
+    fn cached_batch_same_answers_fewer_model_tokens() {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 25);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks = imputation_tasks(&ds, 25);
+        let config = PipelineConfig::paper_default();
+
+        llm.reset_usage();
+        let plain = BatchRunner::new(&llm, config)
+            .with_workers(4)
+            .run(&lake, &tasks);
+        let plain_tokens = llm.usage().total();
+
+        llm.reset_usage();
+        let cache = PromptCache::unbounded(&llm);
+        let cached = BatchRunner::new(&cache, config)
+            .with_workers(4)
+            .run(&lake, &tasks);
+        let cached_tokens = llm.usage().total();
+
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.as_ref().unwrap().answer, b.as_ref().unwrap().answer);
+        }
+        assert!(
+            cache.stats().hits > 0,
+            "tasks on one table must share prompts"
+        );
+        assert!(
+            cached_tokens < plain_tokens,
+            "cache should save model tokens: {cached_tokens} vs {plain_tokens}"
+        );
+    }
+
+    #[test]
+    fn concurrency_smoke_all_task_kinds_share_one_model() {
+        let (world, llm) = setup();
+        let imp = imputation::restaurant(&world, 3, 4);
+        let qa = tableqa::medals(&world, 3, 8, 3);
+        let docs = unidm_synthdata::extraction::nba_players(&world, 3);
+        let lake: DataLake = [imp.table.clone(), qa.table.clone()].into_iter().collect();
+
+        let rec = |pairs: &[(&str, &str)]| {
+            SerializedRecord::new(
+                pairs
+                    .iter()
+                    .map(|(a, v)| ((*a).to_string(), (*v).to_string()))
+                    .collect(),
+            )
+        };
+        let mut tasks = vec![
+            Task::Transformation {
+                examples: vec![
+                    ("20000101".into(), "2000-01-01".into()),
+                    ("19991231".into(), "1999-12-31".into()),
+                ],
+                input: "20210315".into(),
+            },
+            Task::ErrorDetection {
+                table: "restaurants".into(),
+                row: 0,
+                attr: "city".into(),
+            },
+            Task::EntityResolution {
+                a: rec(&[("name", "Blue Bottle"), ("city", "Oakland")]),
+                b: rec(&[("name", "Blue Bottle Coffee"), ("city", "Oakland")]),
+                pool: vec![(
+                    rec(&[("name", "Ritual")]),
+                    rec(&[("name", "Ritual Coffee")]),
+                    true,
+                )],
+            },
+            Task::JoinDiscovery {
+                left_name: "fifa_ranking.country_abrv".into(),
+                left_values: vec!["GER".into(), "ITA".into(), "FRA".into()],
+                right_name: "countries.ISO".into(),
+                right_values: vec!["GER".into(), "ITA".into(), "IND".into()],
+            },
+            Task::Extraction {
+                document: docs.docs[0].text.clone(),
+                attr: "height".into(),
+            },
+            Task::TableQa {
+                table: "medals".into(),
+                question: qa.questions[0].question.clone(),
+            },
+        ];
+        tasks.extend(imputation_tasks(&imp, 4));
+
+        let cache = PromptCache::new(&llm, 256);
+        let runner = BatchRunner::new(&cache, PipelineConfig::paper_default()).with_workers(7);
+        let serial = runner.with_workers(1).run(&lake, &tasks);
+        let parallel = runner.run(&lake, &tasks);
+        for (kind, (s, p)) in tasks
+            .iter()
+            .map(Task::kind)
+            .zip(serial.iter().zip(&parallel))
+        {
+            let s = s
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{kind:?} serial failed: {e}"));
+            let p = p
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{kind:?} parallel failed: {e}"));
+            assert_eq!(
+                s.answer, p.answer,
+                "{kind:?} answer must not depend on scheduling"
+            );
+            assert_eq!(
+                s.usage, p.usage,
+                "{kind:?} usage must not depend on scheduling"
+            );
+        }
+    }
+}

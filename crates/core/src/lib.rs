@@ -19,6 +19,28 @@
 //! Each step can be disabled through [`PipelineConfig`], reproducing the
 //! paper's ablations (Tables 8–10).
 //!
+//! # Batch execution
+//!
+//! One evaluation regenerates thousands of independent pipeline runs, so
+//! the crate ships a parallel batch engine ([`exec`]):
+//!
+//! * [`BatchRunner`] fans a `Vec<Task>` out across a scoped worker pool
+//!   sharing one `&dyn LanguageModel` (the trait requires `Send + Sync`).
+//!   Results return in task order and are bit-for-bit identical to a
+//!   serial loop — including per-run [`RunOutput`] usage, which is metered
+//!   locally per run (via [`unidm_llm::UsageMeter`]) rather than diffed
+//!   from the model's global counter.
+//! * [`PromptCache`] memoizes prompt → completion pairs behind the same
+//!   `LanguageModel` trait. Tasks over the same table repeat most of their
+//!   retrieval (`p_rm`, `p_ri`) and parsing (`p_dp`) prompts, so layering
+//!   the cache under a batch deduplicates those calls; [`CacheStats`]
+//!   reports hits, misses, evictions and tokens saved.
+//!
+//! The eval harness (`unidm-eval`) drives every per-table accuracy loop
+//! through this engine, and `cargo run -p unidm-bench --bin throughput`
+//! measures the serial / batched / batched+cached regimes against each
+//! other.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -59,6 +81,7 @@
 
 mod config;
 mod error;
+pub mod exec;
 pub mod html;
 pub mod parsing;
 pub mod pipeline;
@@ -68,5 +91,6 @@ mod task;
 
 pub use config::PipelineConfig;
 pub use error::UniDmError;
+pub use exec::{BatchRunner, CacheStats, PromptCache};
 pub use pipeline::{RunOutput, Trace, UniDm};
 pub use task::Task;

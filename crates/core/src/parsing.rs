@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn parsing_disabled_yields_pairs() {
-        let cfg = PipelineConfig { context_parsing: false, ..PipelineConfig::paper_default() };
+        let cfg = PipelineConfig {
+            context_parsing: false,
+            ..PipelineConfig::paper_default()
+        };
         let c = parse_context(&llm(), &cfg, &records()).unwrap();
         assert!(c.starts_with("city: Florence"));
     }

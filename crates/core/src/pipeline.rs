@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use unidm_llm::protocol::{
     claim_query_er, claim_query_imputation, naturalize_record, Claim, SerializedRecord,
 };
-use unidm_llm::{LanguageModel, Usage};
+use unidm_llm::{LanguageModel, Usage, UsageMeter};
 use unidm_tablestore::{DataLake, Table};
 
 use crate::retrieval::{instance_wise, meta_wise, Context};
@@ -69,50 +69,75 @@ impl<'a> UniDm<'a> {
 
     /// Runs the pipeline on `task` over `lake` (Algorithm 1).
     ///
+    /// Per-run token cost is metered locally: every LLM call of this run
+    /// goes through a fresh [`UsageMeter`] that sums the per-call usage
+    /// reported inside each [`unidm_llm::Completion`]. The shared model's
+    /// cumulative counter is never read, so concurrent runs against one
+    /// model each report exactly their own cost.
+    ///
     /// # Errors
     ///
     /// Returns [`UniDmError::InvalidTask`] for references outside the lake,
     /// and propagates LLM/table errors.
     pub fn run(&self, lake: &DataLake, task: &Task) -> Result<RunOutput, UniDmError> {
-        let usage_before = self.llm.usage();
-        let (answer, trace) = match task {
-            Task::Imputation { table, row, attr, key_attr } => {
-                self.run_imputation(lake, table, *row, attr, key_attr)?
-            }
+        let meter = UsageMeter::new(self.llm);
+        let (answer, trace) = self.dispatch(&meter, lake, task)?;
+        Ok(RunOutput {
+            answer,
+            usage: meter.used(),
+            trace,
+        })
+    }
+
+    fn dispatch(
+        &self,
+        llm: &dyn LanguageModel,
+        lake: &DataLake,
+        task: &Task,
+    ) -> Result<(String, Trace), UniDmError> {
+        match task {
+            Task::Imputation {
+                table,
+                row,
+                attr,
+                key_attr,
+            } => self.run_imputation(llm, lake, table, *row, attr, key_attr),
             Task::Transformation { examples, input } => {
-                self.run_transformation(examples, input)?
+                self.run_transformation(llm, examples, input)
             }
             Task::ErrorDetection { table, row, attr } => {
-                self.run_error_detection(lake, table, *row, attr)?
+                self.run_error_detection(llm, lake, table, *row, attr)
             }
-            Task::EntityResolution { a, b, pool } => self.run_er(a, b, pool)?,
-            Task::TableQa { table, question } => self.run_tableqa(lake, table, question)?,
-            Task::JoinDiscovery { left_name, left_values, right_name, right_values } => {
-                self.run_join(left_name, left_values, right_name, right_values)?
-            }
-            Task::Extraction { document, attr } => self.run_extraction(document, attr)?,
-        };
-        let usage_after = self.llm.usage();
-        let usage = Usage {
-            prompt_tokens: usage_after.prompt_tokens - usage_before.prompt_tokens,
-            completion_tokens: usage_after.completion_tokens - usage_before.completion_tokens,
-        };
-        Ok(RunOutput { answer, usage, trace })
+            Task::EntityResolution { a, b, pool } => self.run_er(llm, a, b, pool),
+            Task::TableQa { table, question } => self.run_tableqa(llm, lake, table, question),
+            Task::JoinDiscovery {
+                left_name,
+                left_values,
+                right_name,
+                right_values,
+            } => self.run_join(llm, left_name, left_values, right_name, right_values),
+            Task::Extraction { document, attr } => self.run_extraction(llm, document, attr),
+        }
     }
 
     fn finish(
         &self,
+        llm: &dyn LanguageModel,
         claim: Claim,
         selected_attrs: Vec<String>,
         context: &Context,
     ) -> Result<(String, Trace), UniDmError> {
-        let target_prompt = prompting::build_target_prompt(self.llm, &self.config, &claim)?;
-        let answer = prompting::answer(self.llm, &target_prompt)?;
+        let target_prompt = prompting::build_target_prompt(llm, &self.config, &claim)?;
+        let answer = prompting::answer(llm, &target_prompt)?;
         Ok((
             answer,
             Trace {
                 selected_attrs,
-                context_records: context.records.iter().map(SerializedRecord::render).collect(),
+                context_records: context
+                    .records
+                    .iter()
+                    .map(SerializedRecord::render)
+                    .collect(),
                 context_text: claim.context,
                 target_prompt,
             },
@@ -138,6 +163,7 @@ impl<'a> UniDm<'a> {
 
     fn run_imputation(
         &self,
+        llm: &dyn LanguageModel,
         lake: &DataLake,
         table: &str,
         row: usize,
@@ -150,16 +176,16 @@ impl<'a> UniDm<'a> {
         let key = record.get(key_attr).unwrap_or_default().to_string();
         let meta_query = format!("{key}, {attr}");
         let attrs = meta_wise(
-            self.llm,
+            llm,
             &self.config,
-            crate::task::Task::imputation("", 0, "", "").kind(),
+            unidm_llm::protocol::TaskKind::Imputation,
             &meta_query,
             table,
             attr,
         )?;
         let instance_query = claim_query_imputation(&record, attr);
         let context = instance_wise(
-            self.llm,
+            llm,
             &self.config,
             unidm_llm::protocol::TaskKind::Imputation,
             &instance_query,
@@ -169,17 +195,18 @@ impl<'a> UniDm<'a> {
             attr,
             key_attr,
         )?;
-        let context_text = parsing::parse_context(self.llm, &self.config, &context.records)?;
+        let context_text = parsing::parse_context(llm, &self.config, &context.records)?;
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::Imputation,
             context: context_text,
             query: instance_query,
         };
-        self.finish(claim, attrs, &context)
+        self.finish(llm, claim, attrs, &context)
     }
 
     fn run_transformation(
         &self,
+        llm: &dyn LanguageModel,
         examples: &[(String, String)],
         input: &str,
     ) -> Result<(String, Trace), UniDmError> {
@@ -192,18 +219,22 @@ impl<'a> UniDm<'a> {
                 ])
             })
             .collect();
-        let context = Context { attrs: Vec::new(), records };
-        let context_text = parsing::parse_context(self.llm, &self.config, &context.records)?;
+        let context = Context {
+            attrs: Vec::new(),
+            records,
+        };
+        let context_text = parsing::parse_context(llm, &self.config, &context.records)?;
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::Transformation,
             context: context_text,
             query: format!("{input}: ?"),
         };
-        self.finish(claim, Vec::new(), &context)
+        self.finish(llm, claim, Vec::new(), &context)
     }
 
     fn run_error_detection(
         &self,
+        llm: &dyn LanguageModel,
         lake: &DataLake,
         table: &str,
         row: usize,
@@ -213,21 +244,16 @@ impl<'a> UniDm<'a> {
         let value = table.cell(row, attr)?.to_string();
         let query = format!("{attr}: {value}?");
         let attrs = meta_wise(
-            self.llm,
+            llm,
             &self.config,
             unidm_llm::protocol::TaskKind::ErrorDetection,
             &query,
             table,
             attr,
         )?;
-        let key_attr = table
-            .schema()
-            .names()
-            .next()
-            .unwrap_or(attr)
-            .to_string();
+        let key_attr = table.schema().names().next().unwrap_or(attr).to_string();
         let context = instance_wise(
-            self.llm,
+            llm,
             &self.config,
             unidm_llm::protocol::TaskKind::ErrorDetection,
             &query,
@@ -237,24 +263,23 @@ impl<'a> UniDm<'a> {
             attr,
             &key_attr,
         )?;
-        let context_text = parsing::parse_context(self.llm, &self.config, &context.records)?;
+        let context_text = parsing::parse_context(llm, &self.config, &context.records)?;
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::ErrorDetection,
             context: context_text,
             query,
         };
-        self.finish(claim, attrs, &context)
+        self.finish(llm, claim, attrs, &context)
     }
 
     fn run_er(
         &self,
+        llm: &dyn LanguageModel,
         a: &SerializedRecord,
         b: &SerializedRecord,
         pool: &[(SerializedRecord, SerializedRecord, bool)],
     ) -> Result<(String, Trace), UniDmError> {
-        let nat = |r: &SerializedRecord| {
-            naturalize_record(r).trim_end_matches('.').to_string()
-        };
+        let nat = |r: &SerializedRecord| naturalize_record(r).trim_end_matches('.').to_string();
         // Demonstration retrieval: the labelled pool plays the role of the
         // data lake; pick the pairs most relevant to the query pair.
         let query_text = format!("{} versus {}", nat(a), nat(b));
@@ -262,10 +287,17 @@ impl<'a> UniDm<'a> {
             .iter()
             .map(|(da, db, label)| {
                 SerializedRecord::new(vec![
-                    ("entities".to_string(), format!("{} versus {}", nat(da), nat(db))),
+                    (
+                        "entities".to_string(),
+                        format!("{} versus {}", nat(da), nat(db)),
+                    ),
                     (
                         "label".to_string(),
-                        if *label { "the same".to_string() } else { "different".to_string() },
+                        if *label {
+                            "the same".to_string()
+                        } else {
+                            "different".to_string()
+                        },
                     ),
                 ])
             })
@@ -277,7 +309,7 @@ impl<'a> UniDm<'a> {
             demo_records.shuffle(&mut rng);
             demo_records.truncate(self.config.sample_size);
             // Respect the model's context window (entity pairs are long).
-            let budget = self.llm.context_window().saturating_sub(256);
+            let budget = llm.context_window().saturating_sub(256);
             let mut used = unidm_text::count_tokens(&query_text) + 64;
             let mut fit = 0usize;
             for rec in &demo_records {
@@ -294,7 +326,7 @@ impl<'a> UniDm<'a> {
                 &query_text,
                 &demo_records,
             );
-            let reply = self.llm.complete(&prompt)?;
+            let reply = llm.complete(&prompt)?;
             let mut scores = unidm_llm::protocol::parse_pri_response(&reply.text);
             scores.sort_by_key(|&(i, s)| (std::cmp::Reverse(s), i));
             let records = scores
@@ -302,31 +334,38 @@ impl<'a> UniDm<'a> {
                 .take(self.config.top_k)
                 .filter_map(|(i, _)| demo_records.get(i).cloned())
                 .collect();
-            Context { attrs: Vec::new(), records }
+            Context {
+                attrs: Vec::new(),
+                records,
+            }
         } else {
             let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xE12);
             demo_records.shuffle(&mut rng);
             demo_records.truncate(self.config.top_k);
-            Context { attrs: Vec::new(), records: demo_records }
+            Context {
+                attrs: Vec::new(),
+                records: demo_records,
+            }
         };
-        let context_text = parsing::parse_context(self.llm, &self.config, &context.records)?;
+        let context_text = parsing::parse_context(llm, &self.config, &context.records)?;
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::EntityResolution,
             context: context_text,
             query: claim_query_er(&nat(a), &nat(b)),
         };
-        self.finish(claim, Vec::new(), &context)
+        self.finish(llm, claim, Vec::new(), &context)
     }
 
     fn run_tableqa(
         &self,
+        llm: &dyn LanguageModel,
         lake: &DataLake,
         table: &str,
         question: &str,
     ) -> Result<(String, Trace), UniDmError> {
         let table = lake.require(table)?;
         let attrs = meta_wise(
-            self.llm,
+            llm,
             &self.config,
             unidm_llm::protocol::TaskKind::TableQa,
             question,
@@ -343,7 +382,7 @@ impl<'a> UniDm<'a> {
             [first, .., last] => (first.clone(), last.clone()),
         };
         let context = instance_wise(
-            self.llm,
+            llm,
             &self.config,
             unidm_llm::protocol::TaskKind::TableQa,
             question,
@@ -353,17 +392,18 @@ impl<'a> UniDm<'a> {
             &target,
             &key,
         )?;
-        let context_text = parsing::parse_context(self.llm, &self.config, &context.records)?;
+        let context_text = parsing::parse_context(llm, &self.config, &context.records)?;
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::TableQa,
             context: context_text,
             query: question.to_string(),
         };
-        self.finish(claim, attrs, &context)
+        self.finish(llm, claim, attrs, &context)
     }
 
     fn run_join(
         &self,
+        llm: &dyn LanguageModel,
         left_name: &str,
         left_values: &[String],
         right_name: &str,
@@ -388,17 +428,22 @@ impl<'a> UniDm<'a> {
             context: context_text,
             query: format!("{left_name} VERSUS {right_name}"),
         };
-        self.finish(claim, Vec::new(), &Context::default())
+        self.finish(llm, claim, Vec::new(), &Context::default())
     }
 
-    fn run_extraction(&self, document: &str, attr: &str) -> Result<(String, Trace), UniDmError> {
+    fn run_extraction(
+        &self,
+        llm: &dyn LanguageModel,
+        document: &str,
+        attr: &str,
+    ) -> Result<(String, Trace), UniDmError> {
         let text = crate::html::strip_tags(document);
         let claim = Claim {
             task: unidm_llm::protocol::TaskKind::Extraction,
             context: text,
             query: attr.to_string(),
         };
-        self.finish(claim, Vec::new(), &Context::default())
+        self.finish(llm, claim, Vec::new(), &Context::default())
     }
 }
 
@@ -429,7 +474,10 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 15, "GPT-4-level pipeline should be strong: {correct}/20");
+        assert!(
+            correct >= 15,
+            "GPT-4-level pipeline should be strong: {correct}/20"
+        );
     }
 
     #[test]
@@ -439,7 +487,10 @@ mod tests {
         let lake: DataLake = [ds.table.clone()].into_iter().collect();
         let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
         let out = unidm
-            .run(&lake, &Task::imputation("restaurants", ds.targets[0].row, "city", "name"))
+            .run(
+                &lake,
+                &Task::imputation("restaurants", ds.targets[0].row, "city", "name"),
+            )
             .unwrap();
         assert!(!out.trace.selected_attrs.is_empty());
         assert_eq!(out.trace.context_records.len(), 3);
@@ -470,7 +521,10 @@ mod tests {
         let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
         let mut correct = 0;
         for q in &ds.questions {
-            let task = Task::TableQa { table: "medals".into(), question: q.question.clone() };
+            let task = Task::TableQa {
+                table: "medals".into(),
+                question: q.question.clone(),
+            };
             let out = unidm.run(&lake, &task).unwrap();
             if out.answer == q.answer.to_string() {
                 correct += 1;
@@ -499,7 +553,10 @@ mod tests {
         let ds = unidm_synthdata::extraction::nba_players(&world, 3);
         let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
         let doc = &ds.docs[0];
-        let task = Task::Extraction { document: doc.text.clone(), attr: "height".into() };
+        let task = Task::Extraction {
+            document: doc.text.clone(),
+            attr: "height".into(),
+        };
         let out = unidm.run(&DataLake::new(), &task).unwrap();
         // Height extraction should succeed on most documents; check shape.
         assert!(out.answer == ds.truth[0]["height"] || out.answer == "unknown");

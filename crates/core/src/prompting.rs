@@ -72,8 +72,10 @@ mod tests {
 
     #[test]
     fn disabled_prompt_is_flat() {
-        let cfg =
-            PipelineConfig { prompt_construction: false, ..PipelineConfig::paper_default() };
+        let cfg = PipelineConfig {
+            prompt_construction: false,
+            ..PipelineConfig::paper_default()
+        };
         let p = build_target_prompt(&llm(), &cfg, &claim()).unwrap();
         assert!(p.starts_with("Task: "));
     }

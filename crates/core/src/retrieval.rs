@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use unidm_llm::protocol::{render_pri, render_prm, parse_pri_response, SerializedRecord, TaskKind};
+use unidm_llm::protocol::{parse_pri_response, render_pri, render_prm, SerializedRecord, TaskKind};
 use unidm_llm::LanguageModel;
 use unidm_tablestore::Table;
 
@@ -117,7 +117,10 @@ pub fn instance_wise(
     let exclude: Vec<usize> = exclude_row.into_iter().collect();
     let sampled = table.sample_rows(&mut rng, config.sample_size, &exclude);
     if sampled.is_empty() {
-        return Ok(Context { attrs: attrs.to_vec(), records: Vec::new() });
+        return Ok(Context {
+            attrs: attrs.to_vec(),
+            records: Vec::new(),
+        });
     }
 
     let serialize_row = |row: usize| -> Result<SerializedRecord, UniDmError> {
@@ -228,7 +231,10 @@ mod tests {
         let (world, llm) = setup();
         let table = imputation::restaurant_table(&world);
         let target_rec = table.row(0).unwrap();
-        let addr = target_rec.field(table.schema(), "addr").unwrap().to_string();
+        let addr = target_rec
+            .field(table.schema(), "addr")
+            .unwrap()
+            .to_string();
         let query = format!("name: X; addr: {addr}; city: ?");
         let ctx = instance_wise(
             &llm,
@@ -273,7 +279,9 @@ mod tests {
         // Build a table where row 0's street reappears in row 1 only; the
         // scored retrieval should keep that neighbour.
         let (_, llm) = setup();
-        let mut t = Table::builder("r").columns(["name", "addr", "city"]).build();
+        let mut t = Table::builder("r")
+            .columns(["name", "addr", "city"])
+            .build();
         t.push_row(vec![
             "Target Grill".into(),
             "100 Pico Blvd".into(),
@@ -307,7 +315,9 @@ mod tests {
         )
         .unwrap();
         assert!(
-            ctx.records.iter().any(|r| r.get("name") == Some("Neighbour")),
+            ctx.records
+                .iter()
+                .any(|r| r.get("name") == Some("Neighbour")),
             "neighbour on the same street should be retrieved: {:?}",
             ctx.records
         );

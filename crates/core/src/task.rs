@@ -87,7 +87,11 @@ impl Task {
 
     /// Convenience constructor for error detection tasks.
     pub fn error_detection(table: impl Into<String>, row: usize, attr: impl Into<String>) -> Self {
-        Task::ErrorDetection { table: table.into(), row, attr: attr.into() }
+        Task::ErrorDetection {
+            table: table.into(),
+            row,
+            attr: attr.into(),
+        }
     }
 
     /// The protocol-level task kind.
@@ -121,11 +125,17 @@ mod tests {
         assert_eq!(t.kind(), TaskKind::Imputation);
         assert!(t.uses_retrieval());
 
-        let t = Task::Transformation { examples: vec![], input: "x".into() };
+        let t = Task::Transformation {
+            examples: vec![],
+            input: "x".into(),
+        };
         assert_eq!(t.kind(), TaskKind::Transformation);
         assert!(!t.uses_retrieval());
 
-        let t = Task::Extraction { document: "<html/>".into(), attr: "player".into() };
+        let t = Task::Extraction {
+            document: "<html/>".into(),
+            attr: "player".into(),
+        };
         assert!(!t.uses_retrieval());
     }
 

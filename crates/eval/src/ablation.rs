@@ -31,22 +31,72 @@ impl AblationRow {
     /// The paper's six imputation-ablation rows (Tables 8 and 9), in order.
     pub fn imputation_rows() -> Vec<AblationRow> {
         vec![
-            AblationRow { instance: false, meta: false, prompt: false, parsing: false },
-            AblationRow { instance: true, meta: false, prompt: false, parsing: false },
-            AblationRow { instance: false, meta: true, prompt: false, parsing: false },
-            AblationRow { instance: true, meta: true, prompt: false, parsing: false },
-            AblationRow { instance: true, meta: true, prompt: true, parsing: false },
-            AblationRow { instance: true, meta: true, prompt: true, parsing: true },
+            AblationRow {
+                instance: false,
+                meta: false,
+                prompt: false,
+                parsing: false,
+            },
+            AblationRow {
+                instance: true,
+                meta: false,
+                prompt: false,
+                parsing: false,
+            },
+            AblationRow {
+                instance: false,
+                meta: true,
+                prompt: false,
+                parsing: false,
+            },
+            AblationRow {
+                instance: true,
+                meta: true,
+                prompt: false,
+                parsing: false,
+            },
+            AblationRow {
+                instance: true,
+                meta: true,
+                prompt: true,
+                parsing: false,
+            },
+            AblationRow {
+                instance: true,
+                meta: true,
+                prompt: true,
+                parsing: true,
+            },
         ]
     }
 
     /// The paper's four transformation-ablation rows (Table 10).
     pub fn transformation_rows() -> Vec<AblationRow> {
         vec![
-            AblationRow { instance: false, meta: false, prompt: false, parsing: false },
-            AblationRow { instance: false, meta: false, prompt: true, parsing: false },
-            AblationRow { instance: false, meta: false, prompt: false, parsing: true },
-            AblationRow { instance: false, meta: false, prompt: true, parsing: true },
+            AblationRow {
+                instance: false,
+                meta: false,
+                prompt: false,
+                parsing: false,
+            },
+            AblationRow {
+                instance: false,
+                meta: false,
+                prompt: true,
+                parsing: false,
+            },
+            AblationRow {
+                instance: false,
+                meta: false,
+                prompt: false,
+                parsing: true,
+            },
+            AblationRow {
+                instance: false,
+                meta: false,
+                prompt: true,
+                parsing: true,
+            },
         ]
     }
 
@@ -156,7 +206,13 @@ mod tests {
         assert_eq!(AblationRow::imputation_rows().len(), 6);
         assert_eq!(AblationRow::transformation_rows().len(), 4);
         assert_eq!(
-            AblationRow { instance: true, meta: true, prompt: true, parsing: true }.label(),
+            AblationRow {
+                instance: true,
+                meta: true,
+                prompt: true,
+                parsing: true
+            }
+            .label(),
             "I+M+T+C"
         );
         assert_eq!(AblationRow::imputation_rows()[0].label(), "none");

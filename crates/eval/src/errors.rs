@@ -1,6 +1,6 @@
 //! Table 3 — F1 on the error detection task.
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::{fm, holoclean, holodetect::HoloDetect};
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::{errors, ErrorDetectionDataset};
@@ -11,7 +11,8 @@ use crate::metrics::Confusion;
 use crate::report::TableReport;
 use crate::ExperimentConfig;
 
-/// F1 of the UniDM pipeline on an error-detection dataset.
+/// F1 of the UniDM pipeline on an error-detection dataset (runs batched
+/// across the worker pool).
 pub fn unidm_f1(
     llm: &dyn LanguageModel,
     ds: &ErrorDetectionDataset,
@@ -19,11 +20,14 @@ pub fn unidm_f1(
     queries: usize,
 ) -> Confusion {
     let lake: DataLake = [ds.table.clone()].into_iter().collect();
-    let runner = UniDm::new(llm, pipeline);
+    let cells = &ds.cells[..queries.min(ds.cells.len())];
+    let tasks: Vec<Task> = cells
+        .iter()
+        .map(|cell| Task::error_detection(ds.table.name(), cell.row, cell.attr.clone()))
+        .collect();
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
     let mut c = Confusion::default();
-    for cell in ds.cells.iter().take(queries) {
-        let task = Task::error_detection(ds.table.name(), cell.row, cell.attr.clone());
-        let answer = runner.run(&lake, &task).map(|o| o.answer).unwrap_or_default();
+    for (answer, cell) in answers.iter().zip(cells) {
         let predicted = answer.trim().eq_ignore_ascii_case("yes");
         c.record(predicted, cell.is_error);
     }
@@ -87,8 +91,8 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
             .map(|ds| {
                 let mut c = Confusion::default();
                 for cell in ds.cells.iter().take(q) {
-                    let p = holoclean::detect_error(&ds.table, cell.row, &cell.attr)
-                        .unwrap_or(false);
+                    let p =
+                        holoclean::detect_error(&ds.table, cell.row, &cell.attr).unwrap_or(false);
                     c.record(p, cell.is_error);
                 }
                 c.f1() * 100.0
@@ -112,7 +116,9 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
                 let model = HoloDetect::fit(&ds.table, &ds.attrs, &seed).expect("fit");
                 let mut c = Confusion::default();
                 for cell in ds.cells.iter().take(q) {
-                    let p = model.detect(&ds.table, cell.row, &cell.attr).unwrap_or(false);
+                    let p = model
+                        .detect(&ds.table, cell.row, &cell.attr)
+                        .unwrap_or(false);
                     c.record(p, cell.is_error);
                 }
                 c.f1() * 100.0
@@ -131,8 +137,13 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
         datasets
             .iter()
             .map(|ds| {
-                unidm_f1(&llm, ds, PipelineConfig::paper_default().with_seed(config.seed), q)
-                    .f1()
+                unidm_f1(
+                    &llm,
+                    ds,
+                    PipelineConfig::paper_default().with_seed(config.seed),
+                    q,
+                )
+                .f1()
                     * 100.0
             })
             .collect(),
@@ -151,7 +162,10 @@ mod tests {
             let unidm = report.cell("UniDM", ds).unwrap();
             let holoclean = report.cell("HoloClean", ds).unwrap();
             let holodetect = report.cell("HoloDetect", ds).unwrap();
-            assert!(unidm > holoclean, "{ds}: unidm {unidm} vs holoclean {holoclean}");
+            assert!(
+                unidm > holoclean,
+                "{ds}: unidm {unidm} vs holoclean {holoclean}"
+            );
             assert!(
                 unidm + 12.0 >= holodetect,
                 "{ds}: unidm {unidm} vs holodetect {holodetect}"

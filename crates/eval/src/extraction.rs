@@ -1,6 +1,6 @@
 //! Table 11 — text F1 on the information-extraction task (SWDE NBA).
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::evaporate;
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::{extraction, ExtractionDataset};
@@ -11,27 +11,37 @@ use crate::metrics::text_f1;
 use crate::report::TableReport;
 use crate::ExperimentConfig;
 
-/// Mean text F1 of the UniDM pipeline over documents × attributes.
+/// Mean text F1 of the UniDM pipeline over documents × attributes (runs
+/// batched across the worker pool).
 pub fn unidm_f1(
     llm: &dyn LanguageModel,
     ds: &ExtractionDataset,
     pipeline: PipelineConfig,
     queries: usize,
 ) -> f64 {
-    let runner = UniDm::new(llm, pipeline);
     let lake = DataLake::new();
-    let mut sum = 0.0;
-    let mut n = 0usize;
+    let mut tasks = Vec::new();
+    let mut truths: Vec<&String> = Vec::new();
     for (doc, truth) in ds.docs.iter().zip(&ds.truth).take(queries) {
         for attr in &ds.attrs {
-            let task = Task::Extraction { document: doc.text.clone(), attr: attr.clone() };
-            let answer = runner.run(&lake, &task).map(|o| o.answer).unwrap_or_default();
-            let answer = if answer == "unknown" { String::new() } else { answer };
-            sum += text_f1(&answer, &truth[attr]);
-            n += 1;
+            tasks.push(Task::Extraction {
+                document: doc.text.clone(),
+                attr: attr.clone(),
+            });
+            truths.push(&truth[attr]);
         }
     }
-    sum / n.max(1) as f64
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
+    let mut sum = 0.0;
+    for (answer, truth) in answers.iter().zip(&truths) {
+        let answer = if answer == "unknown" {
+            ""
+        } else {
+            answer.as_str()
+        };
+        sum += text_f1(answer, truth);
+    }
+    sum / tasks.len().max(1) as f64
 }
 
 /// Mean text F1 of an Evaporate extraction result.
@@ -64,14 +74,24 @@ pub fn table11(config: ExperimentConfig) -> TableReport {
         vec!["NBA player".into()],
     );
     let single = evaporate::extract_single(sample, &ds.docs, &ds.attrs);
-    report.push("Evaporate-code", vec![evaporate_f1(&single, &ds, q) * 100.0]);
+    report.push(
+        "Evaporate-code",
+        vec![evaporate_f1(&single, &ds, q) * 100.0],
+    );
     let ensemble = evaporate::extract_ensemble(sample, &ds.docs, &ds.attrs);
-    report.push("Evaporate-code+", vec![evaporate_f1(&ensemble, &ds, q) * 100.0]);
+    report.push(
+        "Evaporate-code+",
+        vec![evaporate_f1(&ensemble, &ds, q) * 100.0],
+    );
     report.push(
         "UniDM",
         vec![
-            unidm_f1(&llm, &ds, PipelineConfig::paper_default().with_seed(config.seed), q)
-                * 100.0,
+            unidm_f1(
+                &llm,
+                &ds,
+                PipelineConfig::paper_default().with_seed(config.seed),
+                q,
+            ) * 100.0,
         ],
     );
     report
@@ -90,6 +110,9 @@ mod tests {
         // The paper's ordering: code < UniDM < code+.
         assert!(ensemble > single, "code+ {ensemble} vs code {single}");
         assert!(unidm > single, "unidm {unidm} vs code {single}");
-        assert!(ensemble > unidm - 8.0, "code+ {ensemble} should rival unidm {unidm}");
+        assert!(
+            ensemble > unidm - 8.0,
+            "code+ {ensemble} should rival unidm {unidm}"
+        );
     }
 }

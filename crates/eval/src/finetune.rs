@@ -33,9 +33,14 @@ pub fn table5(config: ExperimentConfig) -> TableReport {
 
     let eval_pair = |llm: &MockLlm| -> (f64, f64) {
         let fm_score = fm_f1(llm, &ds, fm::ContextStrategy::Manual, q, config.seed).f1() * 100.0;
-        let unidm_score =
-            unidm_f1(llm, &ds, PipelineConfig::paper_default().with_seed(config.seed), q).f1()
-                * 100.0;
+        let unidm_score = unidm_f1(
+            llm,
+            &ds,
+            PipelineConfig::paper_default().with_seed(config.seed),
+            q,
+        )
+        .f1()
+            * 100.0;
         (fm_score, unidm_score)
     };
 
@@ -75,8 +80,17 @@ mod tests {
         let llama_tuned = report.cell("LLaMA2-7B (fine-tune)", "UniDM").unwrap();
         // Fine-tuning lifts the small models dramatically, approaching the
         // 175B model — the paper's central Table 5 claim.
-        assert!(tuned > raw + 15.0, "fine-tune should lift GPT-J: {raw} -> {tuned}");
-        assert!(llama_tuned + 25.0 > gpt3, "tuned 7B approaches 175B: {llama_tuned} vs {gpt3}");
-        assert!(report.cell("LLaMA2-7B", "FM").unwrap().is_nan(), "paper reports NA");
+        assert!(
+            tuned > raw + 15.0,
+            "fine-tune should lift GPT-J: {raw} -> {tuned}"
+        );
+        assert!(
+            llama_tuned + 25.0 > gpt3,
+            "tuned 7B approaches 175B: {llama_tuned} vs {gpt3}"
+        );
+        assert!(
+            report.cell("LLaMA2-7B", "FM").unwrap().is_nan(),
+            "paper reports NA"
+        );
     }
 }

@@ -1,6 +1,6 @@
 //! Table 1 — accuracy on the data imputation task.
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::{cmi::Cmi, fm, holoclean, imp::Imp};
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::{imputation, ImputationDataset};
@@ -11,7 +11,8 @@ use crate::metrics::{answers_match, Accuracy};
 use crate::report::TableReport;
 use crate::ExperimentConfig;
 
-/// Accuracy of the UniDM pipeline on an imputation dataset.
+/// Accuracy of the UniDM pipeline on an imputation dataset (runs batched
+/// across the worker pool).
 pub fn unidm_accuracy(
     llm: &dyn LanguageModel,
     ds: &ImputationDataset,
@@ -19,20 +20,22 @@ pub fn unidm_accuracy(
     queries: usize,
 ) -> Accuracy {
     let lake: DataLake = [ds.table.clone()].into_iter().collect();
-    let runner = UniDm::new(llm, pipeline);
+    let targets = &ds.targets[..queries.min(ds.targets.len())];
+    let tasks: Vec<Task> = targets
+        .iter()
+        .map(|t| {
+            Task::imputation(
+                ds.table.name(),
+                t.row,
+                ds.target_attr.clone(),
+                ds.key_attr.clone(),
+            )
+        })
+        .collect();
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
     let mut acc = Accuracy::default();
-    for t in ds.targets.iter().take(queries) {
-        let task = Task::imputation(
-            ds.table.name(),
-            t.row,
-            ds.target_attr.clone(),
-            ds.key_attr.clone(),
-        );
-        let answer = runner
-            .run(&lake, &task)
-            .map(|o| o.answer)
-            .unwrap_or_default();
-        acc.record(answers_match(&answer, &t.truth.to_string()));
+    for (answer, t) in answers.iter().zip(targets) {
+        acc.record(answers_match(answer, &t.truth.to_string()));
     }
     acc
 }
@@ -84,11 +87,12 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
     );
     let q = config.queries;
 
-    let row =
-        |name: &str, f: &mut dyn FnMut(&ImputationDataset) -> Accuracy, report: &mut TableReport| {
-            let cells: Vec<f64> = datasets.iter().map(|ds| f(ds).percent()).collect();
-            report.push(name, cells);
-        };
+    let row = |name: &str,
+               f: &mut dyn FnMut(&ImputationDataset) -> Accuracy,
+               report: &mut TableReport| {
+        let cells: Vec<f64> = datasets.iter().map(|ds| f(ds).percent()).collect();
+        report.push(name, cells);
+    };
 
     row(
         "HoloClean",
@@ -102,9 +106,13 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
     row(
         "CMI",
         &mut |ds| {
-            let model = Cmi::fit(&ds.table, &ds.target_attr, None, config.seed)
-                .expect("valid dataset");
-            classic_accuracy(ds, q, |r| model.impute(&ds.table, r, &ds.target_attr).unwrap_or_default())
+            let model =
+                Cmi::fit(&ds.table, &ds.target_attr, None, config.seed).expect("valid dataset");
+            classic_accuracy(ds, q, |r| {
+                model
+                    .impute(&ds.table, r, &ds.target_attr)
+                    .unwrap_or_default()
+            })
         },
         &mut report,
     );
@@ -129,14 +137,24 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
     row(
         "UniDM (random)",
         &mut |ds| {
-            unidm_accuracy(&llm, ds, PipelineConfig::random_context().with_seed(config.seed), q)
+            unidm_accuracy(
+                &llm,
+                ds,
+                PipelineConfig::random_context().with_seed(config.seed),
+                q,
+            )
         },
         &mut report,
     );
     row(
         "UniDM",
         &mut |ds| {
-            unidm_accuracy(&llm, ds, PipelineConfig::paper_default().with_seed(config.seed), q)
+            unidm_accuracy(
+                &llm,
+                ds,
+                PipelineConfig::paper_default().with_seed(config.seed),
+                q,
+            )
         },
         &mut report,
     );
@@ -157,9 +175,18 @@ mod tests {
             let holoclean = report.cell("HoloClean", ds).unwrap();
             let fm_rand = report.cell("FM (random)", ds).unwrap();
             let fm_man = report.cell("FM (manual)", ds).unwrap();
-            assert!(unidm > holoclean, "{ds}: unidm {unidm} vs holoclean {holoclean}");
-            assert!(unidm + 1e-9 >= fm_rand, "{ds}: unidm {unidm} vs fm-random {fm_rand}");
-            assert!(fm_man + 10.0 >= fm_rand, "{ds}: manual {fm_man} vs random {fm_rand}");
+            assert!(
+                unidm > holoclean,
+                "{ds}: unidm {unidm} vs holoclean {holoclean}"
+            );
+            assert!(
+                unidm + 1e-9 >= fm_rand,
+                "{ds}: unidm {unidm} vs fm-random {fm_rand}"
+            );
+            assert!(
+                fm_man + 10.0 >= fm_rand,
+                "{ds}: manual {fm_man} vs random {fm_rand}"
+            );
         }
     }
 }

@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::warpgate;
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::{joins, JoinDiscoveryDataset};
@@ -71,27 +71,31 @@ impl fmt::Display for SweepReport {
     }
 }
 
-/// Joinability scores of the UniDM pipeline over a dataset's pairs.
+/// Joinability scores of the UniDM pipeline over a dataset's pairs (runs
+/// batched across the worker pool).
 pub fn unidm_scores(
     llm: &dyn LanguageModel,
     ds: &JoinDiscoveryDataset,
     pipeline: PipelineConfig,
     queries: usize,
 ) -> Vec<(f64, bool)> {
-    let runner = UniDm::new(llm, pipeline);
     let lake = DataLake::new();
-    let mut scored = Vec::new();
-    for pair in ds.pairs.iter().take(queries) {
-        let task = Task::JoinDiscovery {
+    let pairs = &ds.pairs[..queries.min(ds.pairs.len())];
+    let tasks: Vec<Task> = pairs
+        .iter()
+        .map(|pair| Task::JoinDiscovery {
             left_name: pair.left_name.clone(),
             left_values: pair.left_values.clone(),
             right_name: pair.right_name.clone(),
             right_values: pair.right_values.clone(),
-        };
-        let answer = runner.run(&lake, &task).map(|o| o.answer).unwrap_or_default();
-        scored.push((parse_joinability(&answer), pair.joinable));
-    }
-    scored
+        })
+        .collect();
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
+    answers
+        .iter()
+        .zip(pairs)
+        .map(|(answer, pair)| (parse_joinability(answer), pair.joinable))
+        .collect()
 }
 
 /// Parses "Yes (joinability: 83%)" into `0.83`.
@@ -148,8 +152,14 @@ pub fn fig5(config: ExperimentConfig) -> SweepReport {
         title: "Figure 5. F1-score, precision and recall on join discovery (NextiaJD subset)."
             .to_string(),
         series: vec![
-            SweepSeries { system: "WarpGate".into(), points: wg },
-            SweepSeries { system: "UniDM".into(), points: ud },
+            SweepSeries {
+                system: "WarpGate".into(),
+                points: wg,
+            },
+            SweepSeries {
+                system: "UniDM".into(),
+                points: ud,
+            },
         ],
     }
 }
@@ -170,7 +180,10 @@ mod tests {
         let report = fig5(ExperimentConfig::quick());
         let wg = report.mean_f1("WarpGate").unwrap();
         let ud = report.mean_f1("UniDM").unwrap();
-        assert!(ud > wg, "UniDM mean F1 {ud:.3} should beat WarpGate {wg:.3}");
+        assert!(
+            ud > wg,
+            "UniDM mean F1 {ud:.3} should beat WarpGate {wg:.3}"
+        );
         assert!(ud > 0.7, "UniDM should be strong: {ud:.3}");
     }
 

@@ -47,12 +47,18 @@ pub struct ExperimentConfig {
 impl ExperimentConfig {
     /// Paper-scale run: a few hundred queries per cell.
     pub fn paper() -> Self {
-        ExperimentConfig { seed: 42, queries: 150 }
+        ExperimentConfig {
+            seed: 42,
+            queries: 150,
+        }
     }
 
     /// Quick run for tests and smoke checks.
     pub fn quick() -> Self {
-        ExperimentConfig { seed: 42, queries: 30 }
+        ExperimentConfig {
+            seed: 42,
+            queries: 30,
+        }
     }
 }
 

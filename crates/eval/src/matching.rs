@@ -1,6 +1,6 @@
 //! Table 4 — F1 on the entity resolution task.
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::{ditto::Ditto, fm, magellan::Magellan};
 use unidm_llm::protocol::SerializedRecord;
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
@@ -24,14 +24,14 @@ pub fn to_serialized(schema: &Schema, record: &Record) -> SerializedRecord {
     )
 }
 
-/// F1 of the UniDM pipeline on an ER dataset.
+/// F1 of the UniDM pipeline on an ER dataset (runs batched across the
+/// worker pool).
 pub fn unidm_f1(
     llm: &dyn LanguageModel,
     ds: &MatchingDataset,
     pipeline: PipelineConfig,
     queries: usize,
 ) -> Confusion {
-    let runner = UniDm::new(llm, pipeline);
     let lake = DataLake::new();
     // Demonstration pool: a slice of the labelled training pairs.
     let pool: Vec<(SerializedRecord, SerializedRecord, bool)> = ds
@@ -46,14 +46,18 @@ pub fn unidm_f1(
             )
         })
         .collect();
-    let mut c = Confusion::default();
-    for pair in ds.pairs.iter().take(queries) {
-        let task = Task::EntityResolution {
+    let pairs = &ds.pairs[..queries.min(ds.pairs.len())];
+    let tasks: Vec<Task> = pairs
+        .iter()
+        .map(|pair| Task::EntityResolution {
             a: to_serialized(&ds.schema, &pair.a),
             b: to_serialized(&ds.schema, &pair.b),
             pool: pool.clone(),
-        };
-        let answer = runner.run(&lake, &task).map(|o| o.answer).unwrap_or_default();
+        })
+        .collect();
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
+    let mut c = Confusion::default();
+    for (answer, pair) in answers.iter().zip(pairs) {
         c.record(answer.trim().eq_ignore_ascii_case("yes"), pair.is_match);
     }
     c
@@ -162,8 +166,13 @@ pub fn table4(config: ExperimentConfig) -> TableReport {
         datasets
             .iter()
             .map(|ds| {
-                unidm_f1(&llm, ds, PipelineConfig::paper_default().with_seed(config.seed), q)
-                    .f1()
+                unidm_f1(
+                    &llm,
+                    ds,
+                    PipelineConfig::paper_default().with_seed(config.seed),
+                    q,
+                )
+                .f1()
                     * 100.0
             })
             .collect(),
@@ -188,6 +197,9 @@ mod tests {
             ditto_ag + 5.0 > unidm_ag,
             "ditto {ditto_ag} should rival/beat unidm {unidm_ag} on A-G"
         );
-        assert!(unidm_beer > 80.0, "beer should be near-solved: {unidm_beer}");
+        assert!(
+            unidm_beer > 80.0,
+            "beer should be near-solved: {unidm_beer}"
+        );
     }
 }

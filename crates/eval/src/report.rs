@@ -25,12 +25,19 @@ pub struct Row {
 impl TableReport {
     /// Creates an empty report.
     pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
-        TableReport { title: title.into(), columns, rows: Vec::new() }
+        TableReport {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
     pub fn push(&mut self, method: impl Into<String>, cells: Vec<f64>) {
-        self.rows.push(Row { method: method.into(), cells });
+        self.rows.push(Row {
+            method: method.into(),
+            cells,
+        });
     }
 
     /// The cell for (method, column), if present.
@@ -88,10 +95,7 @@ mod tests {
     use super::*;
 
     fn report() -> TableReport {
-        let mut r = TableReport::new(
-            "Table X",
-            vec!["Restaurant".to_string(), "Buy".to_string()],
-        );
+        let mut r = TableReport::new("Table X", vec!["Restaurant".to_string(), "Buy".to_string()]);
         r.push("HoloClean", vec![33.1, 16.2]);
         r.push("UniDM", vec![93.0, 98.5]);
         r

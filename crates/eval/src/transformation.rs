@@ -1,6 +1,6 @@
 //! Table 2 — accuracy on the data transformation task.
 
-use unidm::{PipelineConfig, Task, UniDm};
+use unidm::{BatchRunner, PipelineConfig, Task};
 use unidm_baselines::{fm, tde};
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::{transformation, TransformationDataset};
@@ -11,23 +11,27 @@ use crate::metrics::Accuracy;
 use crate::report::TableReport;
 use crate::ExperimentConfig;
 
-/// Exact-match accuracy of the UniDM pipeline on a transformation dataset.
+/// Exact-match accuracy of the UniDM pipeline on a transformation dataset
+/// (runs batched across the worker pool).
 pub fn unidm_accuracy(
     llm: &dyn LanguageModel,
     ds: &TransformationDataset,
     pipeline: PipelineConfig,
     queries: usize,
 ) -> Accuracy {
-    let runner = UniDm::new(llm, pipeline);
     let lake = DataLake::new();
-    let mut acc = Accuracy::default();
-    for case in ds.cases.iter().take(queries) {
-        let task = Task::Transformation {
+    let cases = &ds.cases[..queries.min(ds.cases.len())];
+    let tasks: Vec<Task> = cases
+        .iter()
+        .map(|case| Task::Transformation {
             examples: case.examples.clone(),
             input: case.input.clone(),
-        };
-        let answer = runner.run(&lake, &task).map(|o| o.answer).unwrap_or_default();
-        acc.record(answer == case.truth);
+        })
+        .collect();
+    let answers = BatchRunner::new(llm, pipeline).answers(&lake, &tasks);
+    let mut acc = Accuracy::default();
+    for (answer, case) in answers.iter().zip(cases) {
+        acc.record(*answer == case.truth);
     }
     acc
 }
@@ -74,7 +78,10 @@ pub fn table2(config: ExperimentConfig) -> TableReport {
     let q = config.queries;
     report.push(
         "TDE",
-        datasets.iter().map(|ds| tde_accuracy(ds, q).percent()).collect(),
+        datasets
+            .iter()
+            .map(|ds| tde_accuracy(ds, q).percent())
+            .collect(),
     );
     report.push(
         "FM",
@@ -88,8 +95,13 @@ pub fn table2(config: ExperimentConfig) -> TableReport {
         datasets
             .iter()
             .map(|ds| {
-                unidm_accuracy(&llm, ds, PipelineConfig::paper_default().with_seed(config.seed), q)
-                    .percent()
+                unidm_accuracy(
+                    &llm,
+                    ds,
+                    PipelineConfig::paper_default().with_seed(config.seed),
+                    q,
+                )
+                .percent()
             })
             .collect(),
     );
@@ -111,6 +123,9 @@ mod tests {
         // TDE on both.
         assert!(tde_so > tde_bing, "TDE SO {tde_so} vs Bing {tde_bing}");
         assert!(unidm_so > tde_so, "UniDM {unidm_so} vs TDE {tde_so}");
-        assert!(unidm_bing > tde_bing, "UniDM {unidm_bing} vs TDE {tde_bing}");
+        assert!(
+            unidm_bing > tde_bing,
+            "UniDM {unidm_bing} vs TDE {tde_bing}"
+        );
     }
 }

@@ -21,7 +21,10 @@ impl fmt::Display for LlmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LlmError::PromptTooLong { tokens, limit } => {
-                write!(f, "prompt of {tokens} tokens exceeds context window of {limit}")
+                write!(
+                    f,
+                    "prompt of {tokens} tokens exceeds context window of {limit}"
+                )
             }
             LlmError::EmptyPrompt => write!(f, "prompt is empty"),
         }
@@ -36,7 +39,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LlmError::PromptTooLong { tokens: 9000, limit: 4096 };
+        let e = LlmError::PromptTooLong {
+            tokens: 9000,
+            limit: 4096,
+        };
         assert!(e.to_string().contains("9000"));
         assert_eq!(LlmError::EmptyPrompt.to_string(), "prompt is empty");
     }

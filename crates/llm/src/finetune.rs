@@ -48,7 +48,11 @@ pub fn fine_tune(model: &MockLlm, examples: usize, epochs: usize) -> (MockLlm, F
         domain_adaptation,
         ..model.profile().clone()
     };
-    let report = FineTuneReport { examples, epochs, domain_adaptation };
+    let report = FineTuneReport {
+        examples,
+        epochs,
+        domain_adaptation,
+    };
     (model.with_profile(profile), report)
 }
 
@@ -84,9 +88,7 @@ mod tests {
         let (tuned, report) = fine_tune(&base, 6144, 30);
         assert!(tuned.profile().name.contains("fine-tune"));
         assert!(report.domain_adaptation > 0.9);
-        assert!(
-            tuned.profile().effective_instruction() > base.profile().effective_instruction()
-        );
+        assert!(tuned.profile().effective_instruction() > base.profile().effective_instruction());
         // Memory unchanged: fine-tuning does not add world knowledge.
         assert_eq!(tuned.kb().len(), base.kb().len());
     }

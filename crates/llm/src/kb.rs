@@ -49,15 +49,92 @@ fn familiarity(pred: Predicate) -> f64 {
 /// independent of world-fact coverage. Includes the generic nouns the
 /// synthetic generators use in addresses, venue names and product lines.
 const COMMON_WORDS: &[&str] = &[
-    "the", "a", "an", "of", "in", "on", "at", "and", "or", "to", "is", "for", "with", "by",
-    "u", "s", "us", "no", "yes", "north", "south", "east", "west", "highway", "street",
-    "avenue", "ave", "blvd", "boulevard", "drive", "dr", "road", "rd", "lane", "ln", "way",
-    "st", "medical", "center", "hospital", "regional", "community", "memorial", "general",
-    "grill", "bistro", "cafe", "kitchen", "house", "tavern", "diner", "trattoria",
-    "brasserie", "place", "brewing", "brewery", "ales", "beer", "works", "co", "inc",
-    "software", "electronics", "systems", "technologies", "labs", "studio", "pro", "design",
-    "office", "vision", "stream", "power", "ultra", "home", "max", "prime", "edge", "air",
-    "core", "flex", "series", "old", "new", "little", "big",
+    "the",
+    "a",
+    "an",
+    "of",
+    "in",
+    "on",
+    "at",
+    "and",
+    "or",
+    "to",
+    "is",
+    "for",
+    "with",
+    "by",
+    "u",
+    "s",
+    "us",
+    "no",
+    "yes",
+    "north",
+    "south",
+    "east",
+    "west",
+    "highway",
+    "street",
+    "avenue",
+    "ave",
+    "blvd",
+    "boulevard",
+    "drive",
+    "dr",
+    "road",
+    "rd",
+    "lane",
+    "ln",
+    "way",
+    "st",
+    "medical",
+    "center",
+    "hospital",
+    "regional",
+    "community",
+    "memorial",
+    "general",
+    "grill",
+    "bistro",
+    "cafe",
+    "kitchen",
+    "house",
+    "tavern",
+    "diner",
+    "trattoria",
+    "brasserie",
+    "place",
+    "brewing",
+    "brewery",
+    "ales",
+    "beer",
+    "works",
+    "co",
+    "inc",
+    "software",
+    "electronics",
+    "systems",
+    "technologies",
+    "labs",
+    "studio",
+    "pro",
+    "design",
+    "office",
+    "vision",
+    "stream",
+    "power",
+    "ultra",
+    "home",
+    "max",
+    "prime",
+    "edge",
+    "air",
+    "core",
+    "flex",
+    "series",
+    "old",
+    "new",
+    "little",
+    "big",
 ];
 
 /// A coverage-limited fact store.
@@ -103,8 +180,10 @@ impl KnowledgeBase {
         }
         self.facts
             .insert((fact.subject_key(), fact.predicate), fact.object.clone());
-        self.reverse
-            .insert((fact.object.to_lowercase(), fact.predicate), fact.subject.clone());
+        self.reverse.insert(
+            (fact.object.to_lowercase(), fact.predicate),
+            fact.subject.clone(),
+        );
         for w in fact.subject.split_whitespace() {
             self.vocab.insert(w.to_lowercase());
         }
@@ -229,8 +308,14 @@ mod tests {
     fn lookup_case_insensitive() {
         let w = world();
         let kb = KnowledgeBase::from_world(&w, 1.0, 1);
-        assert_eq!(kb.lookup("copenhagen", Predicate::CityCountry), Some("Denmark"));
-        assert_eq!(kb.lookup("COPENHAGEN", Predicate::CityCountry), Some("Denmark"));
+        assert_eq!(
+            kb.lookup("copenhagen", Predicate::CityCountry),
+            Some("Denmark")
+        );
+        assert_eq!(
+            kb.lookup("COPENHAGEN", Predicate::CityCountry),
+            Some("Denmark")
+        );
     }
 
     #[test]
@@ -238,7 +323,10 @@ mod tests {
         let w = world();
         let kb = KnowledgeBase::from_world(&w, 1.0, 1);
         let (p, o) = kb
-            .lookup_any("Florence", &[Predicate::CityTimezone, Predicate::CityCountry])
+            .lookup_any(
+                "Florence",
+                &[Predicate::CityTimezone, Predicate::CityCountry],
+            )
             .unwrap();
         assert_eq!(p, Predicate::CityTimezone);
         assert_eq!(o, "Central European Time");

@@ -50,5 +50,5 @@ pub use determinism::Dice;
 pub use error::LlmError;
 pub use kb::KnowledgeBase;
 pub use mock::MockLlm;
-pub use model::{Completion, LanguageModel, Usage};
+pub use model::{Completion, LanguageModel, Usage, UsageMeter};
 pub use profile::LlmProfile;

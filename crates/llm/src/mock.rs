@@ -1,6 +1,6 @@
 //! `MockLlm`: the deterministic simulated language model.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use unidm_text::count_tokens;
 use unidm_world::World;
@@ -55,7 +55,12 @@ impl MockLlm {
     /// Creates a model with an explicit knowledge base (e.g. empty, for
     /// testing pure in-context behaviour).
     pub fn with_kb(profile: LlmProfile, kb: KnowledgeBase, seed: u64) -> Self {
-        MockLlm { profile, kb, dice: Dice::new(seed), usage: Mutex::new(Usage::default()) }
+        MockLlm {
+            profile,
+            kb,
+            dice: Dice::new(seed),
+            usage: Mutex::new(Usage::default()),
+        }
     }
 
     /// The model's capability profile.
@@ -120,17 +125,20 @@ impl LanguageModel for MockLlm {
             });
         }
         let text = self.respond(prompt);
-        let usage = Usage { prompt_tokens, completion_tokens: count_tokens(&text) };
-        self.usage.lock().add(usage);
+        let usage = Usage {
+            prompt_tokens,
+            completion_tokens: count_tokens(&text),
+        };
+        self.usage.lock().expect("usage lock poisoned").add(usage);
         Ok(Completion { text, usage })
     }
 
     fn usage(&self) -> Usage {
-        *self.usage.lock()
+        *self.usage.lock().expect("usage lock poisoned")
     }
 
     fn reset_usage(&self) {
-        *self.usage.lock() = Usage::default();
+        *self.usage.lock().expect("usage lock poisoned") = Usage::default();
     }
 
     fn context_window(&self) -> usize {
@@ -155,12 +163,18 @@ mod tests {
     #[test]
     fn too_long_prompt_rejected() {
         let m = MockLlm::with_kb(
-            LlmProfile { context_window: 10, ..LlmProfile::gpt3_175b() },
+            LlmProfile {
+                context_window: 10,
+                ..LlmProfile::gpt3_175b()
+            },
             KnowledgeBase::empty(),
             1,
         );
         let long = "word ".repeat(100);
-        assert!(matches!(m.complete(&long), Err(LlmError::PromptTooLong { .. })));
+        assert!(matches!(
+            m.complete(&long),
+            Err(LlmError::PromptTooLong { .. })
+        ));
     }
 
     #[test]
@@ -181,7 +195,10 @@ mod tests {
         let prompt = render_pri(
             TaskKind::Imputation,
             "Copenhagen, timezone",
-            &[SerializedRecord::new(vec![("city".into(), "Florence".into())])],
+            &[SerializedRecord::new(vec![(
+                "city".into(),
+                "Florence".into(),
+            )])],
         );
         let reply = m.complete(&prompt).unwrap();
         assert!(!crate::protocol::parse_pri_response(&reply.text).is_empty());

@@ -1,5 +1,7 @@
 //! The `LanguageModel` trait and token accounting.
 
+use std::sync::Mutex;
+
 use crate::LlmError;
 
 /// Token usage of one or more completions.
@@ -39,7 +41,15 @@ pub struct Completion {
 /// written against this trait; [`crate::MockLlm`] is the offline
 /// implementation. The trait is object-safe so pipelines can hold
 /// `&dyn LanguageModel`.
-pub trait LanguageModel {
+///
+/// Implementations must be `Send + Sync`: the batch execution engine fans
+/// pipeline runs out across worker threads that share one model reference,
+/// so any interior mutability (usage counters, caches) must be
+/// thread-safe. Per-call token cost is reported inside each
+/// [`Completion`]; the cumulative [`LanguageModel::usage`] counter is a
+/// convenience for whole-process accounting and must never be diffed to
+/// attribute cost to an individual run (concurrent runs interleave).
+pub trait LanguageModel: Send + Sync {
     /// A human-readable model name ("GPT-3-175B").
     fn name(&self) -> &str;
 
@@ -65,15 +75,85 @@ pub trait LanguageModel {
     }
 }
 
+/// A pass-through model wrapper that meters the tokens of every completion
+/// it forwards.
+///
+/// This is how the pipeline attributes cost to a single run without
+/// touching the underlying model's global counter: wrap the shared model in
+/// a fresh `UsageMeter` for the run, make every call through the meter, and
+/// read [`UsageMeter::used`] at the end. Sound under concurrency because
+/// the meter is private to the run while the inner model is shared.
+pub struct UsageMeter<'a> {
+    inner: &'a dyn LanguageModel,
+    used: Mutex<Usage>,
+}
+
+impl<'a> UsageMeter<'a> {
+    /// Wraps `inner`, starting from zero used tokens.
+    pub fn new(inner: &'a dyn LanguageModel) -> Self {
+        UsageMeter {
+            inner,
+            used: Mutex::new(Usage::default()),
+        }
+    }
+
+    /// Tokens consumed through this meter so far.
+    pub fn used(&self) -> Usage {
+        *self.used.lock().expect("usage lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for UsageMeter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UsageMeter")
+            .field("inner", &self.inner.name())
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+impl LanguageModel for UsageMeter<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+        let completion = self.inner.complete(prompt)?;
+        self.used
+            .lock()
+            .expect("usage lock poisoned")
+            .add(completion.usage);
+        Ok(completion)
+    }
+
+    fn usage(&self) -> Usage {
+        self.used()
+    }
+
+    fn reset_usage(&self) {
+        *self.used.lock().expect("usage lock poisoned") = Usage::default();
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn usage_totals() {
-        let mut u = Usage { prompt_tokens: 10, completion_tokens: 5 };
+        let mut u = Usage {
+            prompt_tokens: 10,
+            completion_tokens: 5,
+        };
         assert_eq!(u.total(), 15);
-        u.add(Usage { prompt_tokens: 1, completion_tokens: 2 });
+        u.add(Usage {
+            prompt_tokens: 1,
+            completion_tokens: 2,
+        });
         assert_eq!(u.prompt_tokens, 11);
         assert_eq!(u.completion_tokens, 7);
     }
@@ -81,5 +161,66 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         fn _takes(_m: &dyn LanguageModel) {}
+    }
+
+    #[test]
+    fn models_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn LanguageModel>();
+        assert_send_sync::<UsageMeter<'_>>();
+    }
+
+    struct FixedModel;
+
+    impl LanguageModel for FixedModel {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn complete(&self, _prompt: &str) -> Result<Completion, LlmError> {
+            Ok(Completion {
+                text: "ok".into(),
+                usage: Usage {
+                    prompt_tokens: 7,
+                    completion_tokens: 3,
+                },
+            })
+        }
+
+        fn usage(&self) -> Usage {
+            Usage::default()
+        }
+
+        fn reset_usage(&self) {}
+    }
+
+    #[test]
+    fn usage_meter_accounts_locally() {
+        let model = FixedModel;
+        let meter = UsageMeter::new(&model);
+        assert_eq!(meter.used(), Usage::default());
+        meter.complete("a").unwrap();
+        meter.complete("b").unwrap();
+        assert_eq!(
+            meter.used(),
+            Usage {
+                prompt_tokens: 14,
+                completion_tokens: 6
+            }
+        );
+        // The meter is its own counter: the inner model's global usage is
+        // untouched, and resetting the meter does not reach through.
+        assert_eq!(model.usage(), Usage::default());
+        meter.reset_usage();
+        assert_eq!(meter.used(), Usage::default());
+    }
+
+    #[test]
+    fn usage_meter_forwards_identity() {
+        let model = FixedModel;
+        let meter = UsageMeter::new(&model);
+        assert_eq!(meter.name(), "fixed");
+        assert_eq!(meter.context_window(), usize::MAX);
+        assert_eq!(meter.complete("x").unwrap().text, "ok");
     }
 }

@@ -232,9 +232,16 @@ fn split_imputation_query(query: &str) -> (String, String, SerializedRecord) {
 }
 
 fn split_er_query(query: &str) -> (String, String) {
-    let a = super::bracketed_after(query, "Entity A is").unwrap_or("").to_string();
-    let rest = query.split_once("Entity B is").map(|(_, r)| r).unwrap_or("");
-    let b = super::bracketed_after(&format!("x{rest}"), "x").unwrap_or("").to_string();
+    let a = super::bracketed_after(query, "Entity A is")
+        .unwrap_or("")
+        .to_string();
+    let rest = query
+        .split_once("Entity B is")
+        .map(|(_, r)| r)
+        .unwrap_or("");
+    let b = super::bracketed_after(&format!("x{rest}"), "x")
+        .unwrap_or("")
+        .to_string();
     (a, b)
 }
 
@@ -286,7 +293,15 @@ fn parse_join_lines(lines: &[String]) -> Option<(AnswerPayload, Vec<String>)> {
     }
     let (right, right_values) = columns.pop()?;
     let (left, left_values) = columns.pop()?;
-    Some((AnswerPayload::Join { left, right, left_values, right_values }, context_lines))
+    Some((
+        AnswerPayload::Join {
+            left,
+            right,
+            left_values,
+            right_values,
+        },
+        context_lines,
+    ))
 }
 
 /// Parses any final-answer prompt (cloze or simple) into an
@@ -455,7 +470,9 @@ pub fn parse_answer_request(prompt: &str) -> Option<AnswerRequest> {
                 ContextKind::Tabular
             },
             context_lines,
-            payload: AnswerPayload::Extraction { attr: attr.to_string() },
+            payload: AnswerPayload::Extraction {
+                attr: attr.to_string(),
+            },
         });
     }
 
@@ -475,7 +492,11 @@ fn parse_simple(prompt: &str) -> Option<AnswerRequest> {
     let payload = match task {
         TaskKind::Imputation => {
             let (subject, attr, record) = split_imputation_query(query);
-            AnswerPayload::Imputation { subject, attr, record }
+            AnswerPayload::Imputation {
+                subject,
+                attr,
+                record,
+            }
         }
         TaskKind::Transformation => {
             let mut examples = Vec::new();
@@ -508,12 +529,16 @@ fn parse_simple(prompt: &str) -> Option<AnswerRequest> {
             let (a, b) = split_er_query(query);
             AnswerPayload::EntityResolution { a, b }
         }
-        TaskKind::TableQa => AnswerPayload::TableQa { question: query.to_string() },
+        TaskKind::TableQa => AnswerPayload::TableQa {
+            question: query.to_string(),
+        },
         TaskKind::JoinDiscovery => {
             let (payload, _) = parse_join_lines(&context_lines)?;
             payload
         }
-        TaskKind::Extraction => AnswerPayload::Extraction { attr: query.to_string() },
+        TaskKind::Extraction => AnswerPayload::Extraction {
+            attr: query.to_string(),
+        },
     };
     Some(AnswerRequest {
         task,
@@ -553,7 +578,11 @@ mod tests {
         assert_eq!(req.form, PromptForm::Cloze);
         assert_eq!(req.context_kind, ContextKind::Natural);
         match req.payload {
-            AnswerPayload::Imputation { subject, attr, record } => {
+            AnswerPayload::Imputation {
+                subject,
+                attr,
+                record,
+            } => {
                 assert_eq!(subject, "Copenhagen");
                 assert_eq!(attr, "timezone");
                 assert_eq!(record.get("country"), Some("Denmark"));
@@ -577,7 +606,10 @@ mod tests {
         match req.payload {
             AnswerPayload::Transformation { examples, input } => {
                 assert_eq!(examples.len(), 2);
-                assert_eq!(examples[0], ("20000101".to_string(), "2000-01-01".to_string()));
+                assert_eq!(
+                    examples[0],
+                    ("20000101".to_string(), "2000-01-01".to_string())
+                );
                 assert_eq!(input, "20210315");
             }
             p => panic!("wrong payload {p:?}"),
@@ -655,7 +687,12 @@ mod tests {
         let cloze = render_cloze(&claim);
         let req = parse_answer_request(&cloze).unwrap();
         match req.payload {
-            AnswerPayload::Join { left, right, left_values, right_values } => {
+            AnswerPayload::Join {
+                left,
+                right,
+                left_values,
+                right_values,
+            } => {
                 assert_eq!(left, "fifa.country_abrv");
                 assert_eq!(right, "geo.ISO");
                 assert_eq!(left_values, vec!["GER", "ITA"]);

@@ -20,7 +20,10 @@ pub fn render_fm_imputation(
 ) -> String {
     let mut out = String::new();
     for (rec, answer) in demonstrations {
-        out.push_str(&format!("{}\nWhat is the {attr}? {answer}\n\n", rec.render()));
+        out.push_str(&format!(
+            "{}\nWhat is the {attr}? {answer}\n\n",
+            rec.render()
+        ));
     }
     out.push_str(&format!("{}\nWhat is the {attr}?", record.render()));
     out
@@ -118,7 +121,11 @@ pub fn parse_fm(prompt: &str) -> Option<AnswerRequest> {
                 ContextKind::Serialized
             },
             context_lines,
-            payload: AnswerPayload::Imputation { subject, attr: attr.to_string(), record },
+            payload: AnswerPayload::Imputation {
+                subject,
+                attr: attr.to_string(),
+                record,
+            },
         });
     }
 
@@ -173,7 +180,10 @@ pub fn parse_fm(prompt: &str) -> Option<AnswerRequest> {
                 ContextKind::Serialized
             },
             context_lines,
-            payload: AnswerPayload::ErrorDetection { attr: attr.to_string(), value },
+            payload: AnswerPayload::ErrorDetection {
+                attr: attr.to_string(),
+                value,
+            },
         });
     }
 
@@ -194,7 +204,11 @@ pub fn parse_fm(prompt: &str) -> Option<AnswerRequest> {
         return Some(AnswerRequest {
             task: TaskKind::Transformation,
             form: PromptForm::FewShot,
-            context_kind: if examples.is_empty() { ContextKind::Empty } else { ContextKind::Serialized },
+            context_kind: if examples.is_empty() {
+                ContextKind::Empty
+            } else {
+                ContextKind::Serialized
+            },
             context_lines: Vec::new(),
             payload: AnswerPayload::Transformation { examples, input },
         });

@@ -130,7 +130,10 @@ mod tests {
 
     #[test]
     fn bracketed_extraction() {
-        assert_eq!(bracketed_after("task is [data imputation].", "task is"), Some("data imputation"));
+        assert_eq!(
+            bracketed_after("task is [data imputation].", "task is"),
+            Some("data imputation")
+        );
         assert_eq!(bracketed_after("x [a [b] c] y", "x"), Some("a [b] c"));
         assert_eq!(bracketed_after("no brackets", "no"), None);
     }

@@ -41,7 +41,11 @@ pub fn parse_prm(prompt: &str) -> Option<PrmRequest> {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .collect();
-    Some(PrmRequest { task, query, candidates })
+    Some(PrmRequest {
+        task,
+        query,
+        candidates,
+    })
 }
 
 /// A parsed instance-wise retrieval request (`p_ri`).
@@ -86,7 +90,11 @@ pub fn parse_pri(prompt: &str) -> Option<PriRequest> {
             instances.push(rec);
         }
     }
-    Some(PriRequest { task, query, instances })
+    Some(PriRequest {
+        task,
+        query,
+        instances,
+    })
 }
 
 /// Parses the `p_ri` *response*: `"1:3, 2:0, ..."` → 0-based `(index, score)`.
@@ -202,7 +210,11 @@ pub fn parse_pcq(prompt: &str) -> Option<Claim> {
     let task = TaskKind::from_description(bracketed_after(tail, "The task is")?)?;
     let context = bracketed_after(tail, "The context is")?.to_string();
     let query = bracketed_after(tail, "The target query is")?.to_string();
-    Some(Claim { task, context, query })
+    Some(Claim {
+        task,
+        context,
+        query,
+    })
 }
 
 #[cfg(test)]

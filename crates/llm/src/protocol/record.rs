@@ -227,16 +227,16 @@ mod tests {
     fn render_parse_roundtrip() {
         let r = city_record();
         let s = r.render();
-        assert_eq!(s, "city: Florence; country: Italy; timezone: Central European Time");
+        assert_eq!(
+            s,
+            "city: Florence; country: Italy; timezone: Central European Time"
+        );
         assert_eq!(SerializedRecord::parse(&s), Some(r));
     }
 
     #[test]
     fn render_skips_empty() {
-        let r = SerializedRecord::new(vec![
-            ("a".into(), "x".into()),
-            ("b".into(), String::new()),
-        ]);
+        let r = SerializedRecord::new(vec![("a".into(), "x".into()), ("b".into(), String::new())]);
         assert_eq!(r.render(), "a: x");
     }
 

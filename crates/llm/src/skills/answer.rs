@@ -40,20 +40,33 @@ struct ContextFact {
 }
 
 /// Answers a parsed final-answer request.
-pub fn answer(req: &AnswerRequest, profile: &LlmProfile, dice: &Dice, kb: &KnowledgeBase) -> String {
+pub fn answer(
+    req: &AnswerRequest,
+    profile: &LlmProfile,
+    dice: &Dice,
+    kb: &KnowledgeBase,
+) -> String {
     let form = prompt_form_factor(req.form);
     let read_p = profile.context_fidelity * context_kind_factor(req.context_kind) * form;
     let reason_p = profile.effective_reasoning() * form;
     let facts = read_context(req, read_p, dice);
     match &req.payload {
-        AnswerPayload::Imputation { subject, attr, record } => {
-            impute(subject, attr, record, &facts, reason_p, profile, dice, kb)
-        }
+        AnswerPayload::Imputation {
+            subject,
+            attr,
+            record,
+        } => impute(subject, attr, record, &facts, reason_p, profile, dice, kb),
         AnswerPayload::Transformation { examples, input } => {
             // Naturalized example lines are easier to induce from than raw
             // serialized pairs — the transformation side of the parsing
             // ablation (Table 10).
-            transform(examples, input, reason_p * context_kind_factor(req.context_kind), dice, kb)
+            transform(
+                examples,
+                input,
+                reason_p * context_kind_factor(req.context_kind),
+                dice,
+                kb,
+            )
         }
         AnswerPayload::ErrorDetection { attr, value } => {
             detect_error(attr, value, &facts, reason_p, profile, dice, kb)
@@ -62,12 +75,12 @@ pub fn answer(req: &AnswerRequest, profile: &LlmProfile, dice: &Dice, kb: &Knowl
             resolve_entities(a, b, req, reason_p, profile, dice, kb)
         }
         AnswerPayload::TableQa { question } => table_qa(question, &facts, reason_p, dice),
-        AnswerPayload::Join { left_values, right_values, .. } => {
-            join_discovery(left_values, right_values, &facts, reason_p, dice, kb)
-        }
-        AnswerPayload::Extraction { attr } => {
-            extract(attr, &req.context_lines, read_p, dice, kb)
-        }
+        AnswerPayload::Join {
+            left_values,
+            right_values,
+            ..
+        } => join_discovery(left_values, right_values, &facts, reason_p, dice, kb),
+        AnswerPayload::Extraction { attr } => extract(attr, &req.context_lines, read_p, dice, kb),
     }
 }
 
@@ -118,7 +131,11 @@ fn predicates_for_attr(attr: &str) -> Vec<Predicate> {
         out.push(Predicate::CityCountry);
     }
     if a.contains("city") {
-        out.extend([Predicate::RestaurantCity, Predicate::HospitalCity, Predicate::AreaCodeCity]);
+        out.extend([
+            Predicate::RestaurantCity,
+            Predicate::HospitalCity,
+            Predicate::AreaCodeCity,
+        ]);
     }
     if a.contains("manufacturer") {
         out.extend([Predicate::ProductManufacturer, Predicate::BrandManufacturer]);
@@ -190,9 +207,10 @@ fn impute(
 
     // 1. Direct context hit: some read fact names this subject and attribute.
     //    (Reading was already gated per fact; no second gate.)
-    if let Some(f) = facts.iter().find(|f| {
-        attr_matches(&f.attr, attr) && f.subject.eq_ignore_ascii_case(subject)
-    }) {
+    if let Some(f) = facts
+        .iter()
+        .find(|f| attr_matches(&f.attr, attr) && f.subject.eq_ignore_ascii_case(subject))
+    {
         return f.value.clone();
     }
 
@@ -273,7 +291,10 @@ fn impute(
                         })
                         .map(|f| f.value.clone())
                 })
-                .or_else(|| kb.lookup(subject, Predicate::CityCountry).map(str::to_string));
+                .or_else(|| {
+                    kb.lookup(subject, Predicate::CityCountry)
+                        .map(str::to_string)
+                });
             if let Some(country) = country {
                 if let Some(f) = facts.iter().find(|f| {
                     attr_matches(&f.attr, "timezone")
@@ -301,13 +322,14 @@ fn impute(
         if a.contains("city") {
             if let Some(addr) = record.get("addr").or_else(|| record.get("address")) {
                 let base = street_base(addr);
-                if let Some(city) =
-                    kb.lookup(&unidm_world::names::capitalize(&base), Predicate::StreetCity)
-                {
+                if let Some(city) = kb.lookup(
+                    &unidm_world::names::capitalize(&base),
+                    Predicate::StreetCity,
+                ) {
                     return city.to_string();
                 }
             }
-            if let Some(code) = record.get("phone").and_then(|p| area_code(p)) {
+            if let Some(code) = record.get("phone").and_then(area_code) {
                 if let Some(city) = kb.lookup(&code, Predicate::AreaCodeCity) {
                     return city.to_string();
                 }
@@ -381,9 +403,7 @@ fn domain_for_attr(attr: &str) -> Option<&'static str> {
 /// Plausible numeric ranges the model knows for common attributes.
 fn plausible_range(attr: &str) -> Option<(f64, f64)> {
     let a = attr.to_lowercase();
-    if a.contains("age") {
-        Some((0.0, 120.0))
-    } else if a.contains("hours") {
+    if a.contains("age") || a.contains("hours") {
         Some((0.0, 120.0))
     } else if a.contains("abv") {
         Some((0.0, 70.0))
@@ -418,9 +438,9 @@ fn detect_error(
     }
 
     // Context vote: does the exact value occur among retrieved records?
-    let in_context = facts.iter().any(|f| {
-        attr_matches(&f.attr, attr) && f.value.eq_ignore_ascii_case(value)
-    });
+    let in_context = facts
+        .iter()
+        .any(|f| attr_matches(&f.attr, attr) && f.value.eq_ignore_ascii_case(value));
     if in_context {
         // Seen in the column's distribution ⇒ almost surely valid.
         if dice.chance(&tag, "ed-ctx", profile.context_fidelity) {
@@ -465,7 +485,9 @@ fn entity_similarity(a: &str, b: &str) -> f64 {
         x.len() <= 2
             && x.ends_with('.')
             && y.chars().next().is_some_and(|c| {
-                x.chars().next().is_some_and(|xc| xc.eq_ignore_ascii_case(&c))
+                x.chars()
+                    .next()
+                    .is_some_and(|xc| xc.eq_ignore_ascii_case(&c))
             })
     };
     if initial(fa, fb) || initial(fb, fa) {
@@ -474,7 +496,10 @@ fn entity_similarity(a: &str, b: &str) -> f64 {
     // Shared rare alphanumeric model codes are strong evidence.
     let code = |s: &str| {
         s.split_whitespace()
-            .map(|w| w.trim_matches(|c: char| !c.is_alphanumeric()).to_lowercase())
+            .map(|w| {
+                w.trim_matches(|c: char| !c.is_alphanumeric())
+                    .to_lowercase()
+            })
             .filter(|w| {
                 w.len() >= 4
                     && w.chars().any(|c| c.is_ascii_digit())
@@ -509,7 +534,11 @@ fn value_agreement(x: &str, y: &str) -> f64 {
             let denom = a.abs().max(b.abs()).max(1e-9);
             // Numbers that disagree are weak evidence against a match —
             // prices and durations drift across catalogues.
-            return if (a - b).abs() / denom < 0.15 { 1.0 } else { 0.25 };
+            return if (a - b).abs() / denom < 0.15 {
+                1.0
+            } else {
+                0.25
+            };
         }
     }
     let xl = x.to_lowercase();
@@ -538,10 +567,15 @@ fn field_agreement(a: &str, b: &str) -> Option<f64> {
         if va.is_empty() {
             continue;
         }
-        let key = if attr == "@subject" { "@subject" } else { attr.as_str() };
-        let Some(vb) = rb.get(key).or_else(|| {
-            (key == "@subject").then(|| rb.get("@subject")).flatten()
-        }) else {
+        let key = if attr == "@subject" {
+            "@subject"
+        } else {
+            attr.as_str()
+        };
+        let Some(vb) = rb
+            .get(key)
+            .or_else(|| (key == "@subject").then(|| rb.get("@subject")).flatten())
+        else {
             continue;
         };
         shared += 1;
@@ -554,8 +588,7 @@ fn field_agreement(a: &str, b: &str) -> Option<f64> {
         }
         agree += agreement;
     }
-    (shared >= 2)
-        .then(|| (agree / shared as f64) * 0.55f64.powi(strong_disagreements as i32))
+    (shared >= 2).then(|| (agree / shared as f64) * 0.55f64.powi(strong_disagreements as i32))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -615,7 +648,11 @@ fn resolve_entities(
     let noise = sigma * sigma_scale * (dice.uniform(&format!("{a}||{b}"), "er-noise") - 0.5) * 2.0;
     let threshold = 0.47;
     let same = sim + noise > threshold;
-    if same { "Yes".to_string() } else { "No".to_string() }
+    if same {
+        "Yes".to_string()
+    } else {
+        "No".to_string()
+    }
 }
 
 fn table_qa(question: &str, facts: &[ContextFact], reason_p: f64, dice: &Dice) -> String {
@@ -653,10 +690,7 @@ fn table_qa(question: &str, facts: &[ContextFact], reason_p: f64, dice: &Dice) -
         }
     }
     // Lookup questions: return the value whose subject appears in the question.
-    if let Some(f) = facts
-        .iter()
-        .find(|f| q.contains(&f.subject.to_lowercase()))
-    {
+    if let Some(f) = facts.iter().find(|f| q.contains(&f.subject.to_lowercase())) {
         if dice.chance(&tag, "qa-lookup", reason_p) {
             return f.value.clone();
         }
@@ -691,7 +725,9 @@ fn join_discovery(
         .iter()
         .filter(|v| {
             rels.iter().any(|&p| {
-                kb.lookup(v, p).map(str::to_lowercase).is_some_and(|o| right.contains(&o))
+                kb.lookup(v, p)
+                    .map(str::to_lowercase)
+                    .is_some_and(|o| right.contains(&o))
                     || kb
                         .lookup_reverse(v, p)
                         .map(str::to_lowercase)
@@ -699,14 +735,14 @@ fn join_discovery(
             })
         })
         .count();
-    let containment =
-        (direct.max(semantic)) as f64 / left.len().min(right.len()) as f64;
+    let containment = (direct.max(semantic)) as f64 / left.len().min(right.len()) as f64;
     // Verbalized confidence follows the usual LLM calibration curve: the
     // model rounds decisive evidence up ("16 of 20 samples match — clearly
     // joinable") and weak evidence down. A logistic link captures that.
     let confidence = 1.0 / (1.0 + (-12.0 * (containment - 0.45)).exp());
     // Reasoning noise perturbs the judged containment slightly.
-    let noise = (1.0 - reason_p) * 0.4 * (dice.uniform(&format!("{left:?}|{right:?}"), "join") - 0.5);
+    let noise =
+        (1.0 - reason_p) * 0.4 * (dice.uniform(&format!("{left:?}|{right:?}"), "join") - 0.5);
     let score = (confidence + noise).clamp(0.0, 1.0);
     let verdict = if score >= 0.5 { "Yes" } else { "No" };
     format!("{verdict} (joinability: {:.0}%)", score * 100.0)
@@ -737,7 +773,11 @@ fn extract(
     }
     if a == "position" || a == "college" {
         // Longest known vocabulary token appearing in the text.
-        let domain = if a == "position" { "position" } else { "college" };
+        let domain = if a == "position" {
+            "position"
+        } else {
+            "college"
+        };
         let mut best: Option<String> = None;
         for candidate in candidate_spans(&text) {
             if kb.is_valid_token(domain, &candidate)
@@ -837,14 +877,24 @@ mod tests {
             vec!["Copenhagen is in the timezone Central European Time.".into()],
             ContextKind::Natural,
         );
-        let out = answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1), &KnowledgeBase::empty());
+        let out = answer(
+            &req,
+            &LlmProfile::gpt4_turbo(),
+            &Dice::new(1),
+            &KnowledgeBase::empty(),
+        );
         assert_eq!(out, "Central European Time");
     }
 
     #[test]
     fn empty_kb_and_context_fails() {
         let req = imputation_req(vec![], ContextKind::Empty);
-        let out = answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1), &KnowledgeBase::empty());
+        let out = answer(
+            &req,
+            &LlmProfile::gpt4_turbo(),
+            &Dice::new(1),
+            &KnowledgeBase::empty(),
+        );
         assert_eq!(out, "unknown");
     }
 
@@ -868,7 +918,12 @@ mod tests {
                 ]),
             },
         };
-        let out = answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1), &KnowledgeBase::empty());
+        let out = answer(
+            &req,
+            &LlmProfile::gpt4_turbo(),
+            &Dice::new(1),
+            &KnowledgeBase::empty(),
+        );
         assert_eq!(out, "Beverly Hills");
     }
 
@@ -891,7 +946,9 @@ mod tests {
         // succeed on the large majority of seeds.
         let kb = kb();
         let ok = (0..20)
-            .filter(|&s| answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(s), &kb) == "2021-03-15")
+            .filter(|&s| {
+                answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(s), &kb) == "2021-03-15"
+            })
             .count();
         assert!(ok >= 16, "success on {ok}/20 seeds");
     }
@@ -935,7 +992,10 @@ mod tests {
             form: PromptForm::Cloze,
             context_kind: ContextKind::Empty,
             context_lines: vec![],
-            payload: AnswerPayload::ErrorDetection { attr: "age".into(), value: "382".into() },
+            payload: AnswerPayload::ErrorDetection {
+                attr: "age".into(),
+                value: "382".into(),
+            },
         };
         let out = answer(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1), &kb());
         assert_eq!(out, "Yes");
@@ -1058,7 +1118,9 @@ mod tests {
             form: PromptForm::Cloze,
             context_kind: ContextKind::Tabular,
             context_lines: lines.clone(),
-            payload: AnswerPayload::Extraction { attr: "height".into() },
+            payload: AnswerPayload::Extraction {
+                attr: "height".into(),
+            },
         };
         // The read gate is stochastic per seed; count successes.
         let heights = (0..20)
@@ -1068,7 +1130,9 @@ mod tests {
             .count();
         assert!(heights >= 14, "height read on {heights}/20 seeds");
         let req = AnswerRequest {
-            payload: AnswerPayload::Extraction { attr: "position".into() },
+            payload: AnswerPayload::Extraction {
+                attr: "position".into(),
+            },
             ..req
         };
         let positions = (0..20)

@@ -15,8 +15,18 @@ use crate::kb::KnowledgeBase;
 
 /// English month names (the dictionary knowledge every LLM has).
 const MONTHS: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 const ROMANS: [&str; 10] = ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
 
@@ -40,15 +50,31 @@ pub enum Piece {
     /// The whole `idx`-th token.
     Token(usize),
     /// A fixed character slice of the `idx`-th token.
-    Slice { idx: usize, start: usize, len: usize },
+    Slice {
+        idx: usize,
+        start: usize,
+        len: usize,
+    },
     /// A fixed slice parsed as a number and reprinted (strips zeros).
-    SliceNum { idx: usize, start: usize, len: usize },
+    SliceNum {
+        idx: usize,
+        start: usize,
+        len: usize,
+    },
     /// First character of the token (initials).
     FirstChar(usize),
     /// A fixed slice decoded as a month number → full month name.
-    MonthName { idx: usize, start: usize, len: usize },
+    MonthName {
+        idx: usize,
+        start: usize,
+        len: usize,
+    },
     /// A fixed slice decoded as a month number → 3-letter abbreviation.
-    MonthAbbr { idx: usize, start: usize, len: usize },
+    MonthAbbr {
+        idx: usize,
+        start: usize,
+        len: usize,
+    },
     /// The token parsed as a number and multiplied by `factor`.
     NumScale { idx: usize, factor: i64 },
 }
@@ -160,7 +186,9 @@ fn apply_piece(piece: &Piece, tokens: &[String]) -> Option<String> {
         }
         Piece::MonthAbbr { idx, start, len } => {
             let m: usize = slice(tokens.get(*idx)?, *start, *len)?.parse().ok()?;
-            (1..=12).contains(&m).then(|| MONTHS[m - 1][0..3].to_string())
+            (1..=12)
+                .contains(&m)
+                .then(|| MONTHS[m - 1][0..3].to_string())
         }
         Piece::NumScale { idx, factor } => {
             let n: i64 = tokens.get(*idx)?.parse().ok()?;
@@ -289,7 +317,9 @@ fn dfs(
         }
         for start in 0..t.len() {
             for len in (2..=(t.len() - start).min(8)).rev() {
-                let Some(s) = slice(t, start, len) else { continue };
+                let Some(s) = slice(t, start, len) else {
+                    continue;
+                };
                 if rest.starts_with(s) && s.len() != t.len() {
                     pieces.push(Piece::Slice { idx: i, start, len });
                     dfs(output, pos + len, tokens, pieces, found, budget);
@@ -462,8 +492,8 @@ mod tests {
     #[test]
     fn induces_kb_relation() {
         let kb = kb();
-        let prog = induce(&ex(&[("Germany", "GER"), ("Italy", "ITA")]), &kb)
-            .expect("country→iso known");
+        let prog =
+            induce(&ex(&[("Germany", "GER"), ("Italy", "ITA")]), &kb).expect("country→iso known");
         assert_eq!(prog, Program::KbForward(Predicate::CountryIso));
         assert_eq!(prog.apply("France", &kb).unwrap(), "FRA");
     }
@@ -478,8 +508,8 @@ mod tests {
     #[test]
     fn induces_numeric_scale() {
         let kb = kb();
-        let prog = induce(&ex(&[("5 km", "5000 m"), ("12 km", "12000 m")]), &kb)
-            .expect("scale inducible");
+        let prog =
+            induce(&ex(&[("5 km", "5000 m"), ("12 km", "12000 m")]), &kb).expect("scale inducible");
         assert_eq!(prog.apply("3 km", &kb).unwrap(), "3000 m");
     }
 
@@ -487,7 +517,10 @@ mod tests {
     fn induces_phone_paren() {
         let kb = kb();
         let prog = induce(
-            &ex(&[("404/262-7379", "(404) 262-7379"), ("212/759-5941", "(212) 759-5941")]),
+            &ex(&[
+                ("404/262-7379", "(404) 262-7379"),
+                ("212/759-5941", "(212) 759-5941"),
+            ]),
             &kb,
         )
         .expect("inducible");

@@ -47,9 +47,13 @@ mod tests {
 
     #[test]
     fn natural_beats_serialized_beats_tabular() {
-        assert!(context_kind_factor(ContextKind::Natural) > context_kind_factor(ContextKind::Serialized));
         assert!(
-            context_kind_factor(ContextKind::Serialized) > context_kind_factor(ContextKind::Tabular)
+            context_kind_factor(ContextKind::Natural)
+                > context_kind_factor(ContextKind::Serialized)
+        );
+        assert!(
+            context_kind_factor(ContextKind::Serialized)
+                > context_kind_factor(ContextKind::Tabular)
         );
     }
 

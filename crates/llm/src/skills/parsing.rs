@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn strong_model_keeps_all_clauses() {
-        let req = PdpRequest { records: vec![record()] };
+        let req = PdpRequest {
+            records: vec![record()],
+        };
         let out = parse_context(&req, &LlmProfile::gpt4_turbo(), &Dice::new(1));
         let back = parse_natural_sentence(&out).unwrap();
         assert_eq!(back.get("country"), Some("Italy"));
@@ -62,7 +64,9 @@ mod tests {
 
     #[test]
     fn one_sentence_per_record() {
-        let req = PdpRequest { records: vec![record(), record(), record()] };
+        let req = PdpRequest {
+            records: vec![record(), record(), record()],
+        };
         let out = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(1));
         assert_eq!(out.lines().count(), 3);
     }
@@ -86,7 +90,9 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let req = PdpRequest { records: vec![record()] };
+        let req = PdpRequest {
+            records: vec![record()],
+        };
         let a = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(4));
         let b = parse_context(&req, &LlmProfile::gpt3_175b(), &Dice::new(4));
         assert_eq!(a, b);

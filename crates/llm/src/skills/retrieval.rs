@@ -151,8 +151,8 @@ pub fn score_instances(
     for (i, (inst, sim)) in req.instances.iter().zip(&sims).enumerate() {
         let rel = sim / max_sim;
         let noise_span = (1.0 - profile.effective_instruction()) * 1.5;
-        let noisy = rel
-            + noise_span * (dice.uniform(&format!("{}#{i}", inst.render()), "pri-noise") - 0.5);
+        let noisy =
+            rel + noise_span * (dice.uniform(&format!("{}#{i}", inst.render()), "pri-noise") - 0.5);
         let score = (noisy * 3.4).floor().clamp(0.0, 3.0) as u8;
         out.push(format!("{}:{}", i + 1, score));
     }

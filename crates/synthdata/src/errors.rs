@@ -59,7 +59,16 @@ impl ErrorDetectionDataset {
 /// Builds the Hospital benchmark with `error_rate` (paper: 0.05) typos.
 pub fn hospital(world: &World, seed: u64, error_rate: f64) -> ErrorDetectionDataset {
     let mut t = Table::builder("hospital")
-        .columns(["name", "address", "city", "county", "state", "zip", "phone", "measure_code"])
+        .columns([
+            "name",
+            "address",
+            "city",
+            "county",
+            "state",
+            "zip",
+            "phone",
+            "measure_code",
+        ])
         .build();
     for h in &world.hospital.hospitals {
         t.push_row(vec![
@@ -137,10 +146,19 @@ fn inject_typos(
             let dirty = corrupt(&mut rng, &clean);
             table.set_cell(row, attr, dirty).expect("in range");
         }
-        cells.push(LabeledCell { row, attr: attr.to_string(), is_error, clean });
+        cells.push(LabeledCell {
+            row,
+            attr: attr.to_string(),
+            is_error,
+            clean,
+        });
     }
     let attrs = attrs.iter().map(|s| s.to_string()).collect();
-    ErrorDetectionDataset { table, cells, attrs }
+    ErrorDetectionDataset {
+        table,
+        cells,
+        attrs,
+    }
 }
 
 fn corrupt<R: Rng>(rng: &mut R, clean: &Value) -> Value {
@@ -172,7 +190,11 @@ mod tests {
     #[test]
     fn hospital_error_rate_close() {
         let ds = hospital(&world(), 3, 0.05);
-        assert!((ds.error_rate() - 0.05).abs() < 0.01, "rate {}", ds.error_rate());
+        assert!(
+            (ds.error_rate() - 0.05).abs() < 0.01,
+            "rate {}",
+            ds.error_rate()
+        );
     }
 
     #[test]

@@ -62,8 +62,9 @@ impl ExtractionDataset {
 /// Builds the NBA-player extraction benchmark over all world players.
 pub fn nba_players(world: &World, seed: u64) -> ExtractionDataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let attrs: Vec<String> =
-        ["player", "height", "position", "college"].map(String::from).to_vec();
+    let attrs: Vec<String> = ["player", "height", "position", "college"]
+        .map(String::from)
+        .to_vec();
     let mut docs = Vec::new();
     let mut truth = Vec::new();
     for p in &world.nba.players {
@@ -111,7 +112,7 @@ fn render<R: Rng>(rng: &mut R, template: Template, p: &unidm_world::nba::Player)
         ),
         Template::Messy => {
             // Random field order, mixed tags, stray whitespace.
-            let mut fields = vec![
+            let mut fields = [
                 format!("<span>college = {}</span>", p.college),
                 format!("<li>pos: {}</li>", p.position),
                 format!("<div>ht&nbsp;{}</div>", p.height),

@@ -107,7 +107,11 @@ pub fn buy(world: &World, seed: u64, n_targets: usize) -> ImputationDataset {
             let name = table.cell(row, "name").expect("in range").to_string();
             let category = name.split_whitespace().nth(1).unwrap_or("item").to_string();
             table
-                .set_cell(row, "description", Value::text(format!("{category} series")))
+                .set_cell(
+                    row,
+                    "description",
+                    Value::text(format!("{category} series")),
+                )
                 .expect("in range");
         }
     }
@@ -206,8 +210,7 @@ mod tests {
         let w = world();
         let ds = restaurant(&w, 5, 10);
         let full = restaurant_table(&w);
-        let masked: std::collections::HashSet<usize> =
-            ds.targets.iter().map(|t| t.row).collect();
+        let masked: std::collections::HashSet<usize> = ds.targets.iter().map(|t| t.row).collect();
         for row in 0..full.row_count() {
             if !masked.contains(&row) {
                 assert_eq!(

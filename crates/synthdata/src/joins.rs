@@ -83,73 +83,73 @@ struct Pool {
 }
 
 fn value_pools(world: &World) -> Vec<Pool> {
-    let mut pools = Vec::new();
-    pools.push(Pool {
-        name: "country_full",
-        values: world.geo.countries.iter().map(|c| c.name.clone()).collect(),
-    });
-    pools.push(Pool {
-        name: "ISO",
-        values: world.geo.countries.iter().map(|c| c.iso3.clone()).collect(),
-    });
-    pools.push(Pool {
-        name: "city",
-        values: world.geo.cities.iter().map(|c| c.name.clone()).collect(),
-    });
-    pools.push(Pool {
-        name: "timezone",
-        values: world
-            .geo
-            .countries
-            .iter()
-            .map(|c| c.timezone.clone())
-            .collect(),
-    });
-    pools.push(Pool {
-        name: "restaurant",
-        values: world
-            .dining
-            .restaurants
-            .iter()
-            .map(|r| r.name.clone())
-            .collect(),
-    });
-    pools.push(Pool {
-        name: "product",
-        values: world
-            .products
-            .products
-            .iter()
-            .map(|p| p.name.clone())
-            .collect(),
-    });
-    pools.push(Pool {
-        name: "brand",
-        values: world
-            .products
-            .manufacturers
-            .iter()
-            .map(|m| m.brand.clone())
-            .collect(),
-    });
-    pools.push(Pool {
-        name: "artist",
-        values: world.music.artists.iter().map(|a| a.name.clone()).collect(),
-    });
-    pools.push(Pool {
-        name: "player",
-        values: world.nba.players.iter().map(|p| p.name.clone()).collect(),
-    });
-    pools.push(Pool {
-        name: "county",
-        values: world
-            .hospital
-            .hospitals
-            .iter()
-            .map(|h| h.county.clone())
-            .collect(),
-    });
-    pools
+    vec![
+        Pool {
+            name: "country_full",
+            values: world.geo.countries.iter().map(|c| c.name.clone()).collect(),
+        },
+        Pool {
+            name: "ISO",
+            values: world.geo.countries.iter().map(|c| c.iso3.clone()).collect(),
+        },
+        Pool {
+            name: "city",
+            values: world.geo.cities.iter().map(|c| c.name.clone()).collect(),
+        },
+        Pool {
+            name: "timezone",
+            values: world
+                .geo
+                .countries
+                .iter()
+                .map(|c| c.timezone.clone())
+                .collect(),
+        },
+        Pool {
+            name: "restaurant",
+            values: world
+                .dining
+                .restaurants
+                .iter()
+                .map(|r| r.name.clone())
+                .collect(),
+        },
+        Pool {
+            name: "product",
+            values: world
+                .products
+                .products
+                .iter()
+                .map(|p| p.name.clone())
+                .collect(),
+        },
+        Pool {
+            name: "brand",
+            values: world
+                .products
+                .manufacturers
+                .iter()
+                .map(|m| m.brand.clone())
+                .collect(),
+        },
+        Pool {
+            name: "artist",
+            values: world.music.artists.iter().map(|a| a.name.clone()).collect(),
+        },
+        Pool {
+            name: "player",
+            values: world.nba.players.iter().map(|p| p.name.clone()).collect(),
+        },
+        Pool {
+            name: "county",
+            values: world
+                .hospital
+                .hospitals
+                .iter()
+                .map(|h| h.county.clone())
+                .collect(),
+        },
+    ]
 }
 
 fn sample_values<R: Rng>(rng: &mut R, pool: &[String], k: usize) -> Vec<String> {
@@ -182,7 +182,11 @@ fn gen_positive<R: Rng>(rng: &mut R, pools: &[Pool]) -> JoinCandidate {
     right.truncate(keep.max(1));
     right.extend(sample_values(rng, &pool.values, 3));
     let formatting_noise = rng.gen_bool(0.35);
-    let right = if formatting_noise { mangle(rng, &right) } else { right };
+    let right = if formatting_noise {
+        mangle(rng, &right)
+    } else {
+        right
+    };
     JoinCandidate {
         left_name: format!("{}_a.{}", pool.name, pool.name),
         left_values: left,
@@ -243,8 +247,11 @@ mod tests {
         let w = World::generate(7);
         let ds = nextiajd(&w, 3, 100);
         for p in ds.pairs.iter().filter(|p| p.joinable) {
-            let left: std::collections::HashSet<String> =
-                p.left_values.iter().map(|v| v.trim().to_lowercase()).collect();
+            let left: std::collections::HashSet<String> = p
+                .left_values
+                .iter()
+                .map(|v| v.trim().to_lowercase())
+                .collect();
             let inter = p
                 .right_values
                 .iter()

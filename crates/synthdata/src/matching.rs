@@ -107,7 +107,15 @@ pub fn beer(world: &World, seed: u64) -> MatchingDataset {
         seed,
         90,
         30,
-        Hardness { abbreviate: 0.1, drop_field: 0.1, typo: 0.1, jitter: 0.02, drop_code: 0.0, hard_negative: 0.1, word_dropout: 0.0 },
+        Hardness {
+            abbreviate: 0.1,
+            drop_field: 0.1,
+            typo: 0.1,
+            jitter: 0.02,
+            drop_code: 0.0,
+            hard_negative: 0.1,
+            word_dropout: 0.0,
+        },
         0.05,
     )
 }
@@ -137,15 +145,22 @@ pub fn amazon_google(world: &World, seed: u64) -> MatchingDataset {
         seed,
         200,
         120,
-        Hardness { abbreviate: 0.55, drop_field: 0.35, typo: 0.25, jitter: 0.35, drop_code: 0.45, hard_negative: 0.7, word_dropout: 0.35 },
+        Hardness {
+            abbreviate: 0.55,
+            drop_field: 0.35,
+            typo: 0.25,
+            jitter: 0.35,
+            drop_code: 0.45,
+            hard_negative: 0.7,
+            word_dropout: 0.35,
+        },
         0.55,
     )
 }
 
 /// Builds the iTunes-Amazon song benchmark (moderately easy).
 pub fn itunes_amazon(world: &World, seed: u64) -> MatchingDataset {
-    let schema =
-        Schema::from_names(["song", "artist", "album", "time", "price"]).expect("unique");
+    let schema = Schema::from_names(["song", "artist", "album", "time", "price"]).expect("unique");
     let recs: Vec<Record> = world
         .music
         .songs
@@ -168,7 +183,15 @@ pub fn itunes_amazon(world: &World, seed: u64) -> MatchingDataset {
         seed,
         150,
         60,
-        Hardness { abbreviate: 0.15, drop_field: 0.15, typo: 0.1, jitter: 0.05, drop_code: 0.0, hard_negative: 0.4, word_dropout: 0.0 },
+        Hardness {
+            abbreviate: 0.15,
+            drop_field: 0.15,
+            typo: 0.1,
+            jitter: 0.05,
+            drop_code: 0.0,
+            hard_negative: 0.4,
+            word_dropout: 0.0,
+        },
         0.1,
     )
 }
@@ -198,7 +221,15 @@ pub fn walmart_amazon(world: &World, seed: u64) -> MatchingDataset {
         seed,
         250,
         768,
-        Hardness { abbreviate: 0.3, drop_field: 0.25, typo: 0.15, jitter: 0.15, drop_code: 0.2, hard_negative: 0.55, word_dropout: 0.1 },
+        Hardness {
+            abbreviate: 0.3,
+            drop_field: 0.25,
+            typo: 0.15,
+            jitter: 0.15,
+            drop_code: 0.2,
+            hard_negative: 0.55,
+            word_dropout: 0.1,
+        },
         0.3,
     )
 }
@@ -310,11 +341,9 @@ fn perturb<R: Rng>(rng: &mut R, rec: &Record, h: Hardness) -> Record {
                 }
                 *v = Value::Text(out);
             }
-            Value::Float(x) => {
-                if h.jitter > 0.0 {
-                    let f = 1.0 + rng.gen_range(-h.jitter..h.jitter);
-                    *v = Value::Float((*x * f * 100.0).round() / 100.0);
-                }
+            Value::Float(x) if h.jitter > 0.0 => {
+                let f = 1.0 + rng.gen_range(-h.jitter..h.jitter);
+                *v = Value::Float((*x * f * 100.0).round() / 100.0);
             }
             _ => {}
         }
@@ -345,7 +374,11 @@ fn abbreviate(s: &str) -> String {
         return s.to_string();
     }
     let mut out: Vec<String> = Vec::with_capacity(words.len());
-    let first_initial = words[0].chars().next().map(|c| format!("{c}.")).unwrap_or_default();
+    let first_initial = words[0]
+        .chars()
+        .next()
+        .map(|c| format!("{c}."))
+        .unwrap_or_default();
     out.push(first_initial);
     for w in &words[1..] {
         out.push((*w).to_string());

@@ -89,7 +89,10 @@ pub fn medals(world: &World, seed: u64, n: usize, n_questions: usize) -> TableQa
             relevant_rows: vec![i, j],
         });
     }
-    TableQaDataset { table: t, questions }
+    TableQaDataset {
+        table: t,
+        questions,
+    }
 }
 
 #[cfg(test)]

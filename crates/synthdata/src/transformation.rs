@@ -67,8 +67,18 @@ impl TransformationDataset {
 
 /// English month names, indexed by month-1.
 pub const MONTHS: [&str; 12] = [
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// The concrete transformation tasks.
@@ -100,9 +110,7 @@ impl Task {
         use Task::*;
         match self {
             IsoDateToUs | CompactDateToIso | PhoneParen | NameLastFirst | NameInitial
-            | EmailDomain | Upper | TitleCase | ExtractYear | JoinDash => {
-                TransformKind::Syntactic
-            }
+            | EmailDomain | Upper | TitleCase | ExtractYear | JoinDash => TransformKind::Syntactic,
             MonthNumToName | CompactDateToPretty | RomanToNumber => TransformKind::Dictionary,
             CountryToIso | IsoToCountry | CityToCountry | CountryToContinent | CityToTimezone
             | KmToM => TransformKind::Semantic,
@@ -174,21 +182,17 @@ impl Task {
                     ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
                 ROMANS[rng.gen_range(0..10)].to_string()
             }
-            CountryToIso | CountryToContinent => {
-                world.geo.countries[rng.gen_range(0..world.geo.countries.len())]
-                    .name
-                    .clone()
-            }
-            IsoToCountry => {
-                world.geo.countries[rng.gen_range(0..world.geo.countries.len())]
-                    .iso3
-                    .clone()
-            }
-            CityToCountry | CityToTimezone => {
-                world.geo.cities[rng.gen_range(0..world.geo.cities.len())]
-                    .name
-                    .clone()
-            }
+            CountryToIso | CountryToContinent => world.geo.countries
+                [rng.gen_range(0..world.geo.countries.len())]
+            .name
+            .clone(),
+            IsoToCountry => world.geo.countries[rng.gen_range(0..world.geo.countries.len())]
+                .iso3
+                .clone(),
+            CityToCountry | CityToTimezone => world.geo.cities
+                [rng.gen_range(0..world.geo.cities.len())]
+            .name
+            .clone(),
             KmToM => format!("{} km", rng.gen_range(1..500)),
         }
     }
@@ -288,7 +292,11 @@ const SYNTACTIC: &[Task] = &[
     Task::ExtractYear,
     Task::JoinDash,
 ];
-const DICTIONARY: &[Task] = &[Task::MonthNumToName, Task::CompactDateToPretty, Task::RomanToNumber];
+const DICTIONARY: &[Task] = &[
+    Task::MonthNumToName,
+    Task::CompactDateToPretty,
+    Task::RomanToNumber,
+];
 const SEMANTIC: &[Task] = &[
     Task::CountryToIso,
     Task::IsoToCountry,
@@ -301,13 +309,25 @@ const SEMANTIC: &[Task] = &[
 /// Builds the StackOverflow benchmark: mostly syntactic transformations
 /// (the real benchmark is scraped from programming Q&A).
 pub fn stackoverflow(world: &World, seed: u64, n_cases: usize) -> TransformationDataset {
-    build(world, seed, n_cases, "StackOverflow", &[(SYNTACTIC, 70), (DICTIONARY, 20), (SEMANTIC, 10)])
+    build(
+        world,
+        seed,
+        n_cases,
+        "StackOverflow",
+        &[(SYNTACTIC, 70), (DICTIONARY, 20), (SEMANTIC, 10)],
+    )
 }
 
 /// Builds the Bing-QueryLogs benchmark: dominated by semantic
 /// transformations from search-log rewrites.
 pub fn bing_querylogs(world: &World, seed: u64, n_cases: usize) -> TransformationDataset {
-    build(world, seed, n_cases, "Bing-QueryLogs", &[(SYNTACTIC, 25), (DICTIONARY, 15), (SEMANTIC, 60)])
+    build(
+        world,
+        seed,
+        n_cases,
+        "Bing-QueryLogs",
+        &[(SYNTACTIC, 25), (DICTIONARY, 15), (SEMANTIC, 60)],
+    )
 }
 
 fn build(
@@ -370,7 +390,10 @@ fn build(
             kind: task.kind(),
         });
     }
-    TransformationDataset { name: name.to_string(), cases }
+    TransformationDataset {
+        name: name.to_string(),
+        cases,
+    }
 }
 
 #[cfg(test)]
@@ -417,21 +440,39 @@ mod tests {
     #[test]
     fn task_applications_known_values() {
         let w = world();
-        assert_eq!(Task::IsoDateToUs.apply("2021-03-15", &w).unwrap(), "03/15/2021");
-        assert_eq!(Task::CompactDateToIso.apply("20210315", &w).unwrap(), "2021-03-15");
+        assert_eq!(
+            Task::IsoDateToUs.apply("2021-03-15", &w).unwrap(),
+            "03/15/2021"
+        );
+        assert_eq!(
+            Task::CompactDateToIso.apply("20210315", &w).unwrap(),
+            "2021-03-15"
+        );
         assert_eq!(
             Task::CompactDateToPretty.apply("20210315", &w).unwrap(),
             "Mar 15 2021"
         );
-        assert_eq!(Task::PhoneParen.apply("404/262-7379", &w).unwrap(), "(404) 262-7379");
-        assert_eq!(Task::NameLastFirst.apply("John Smith", &w).unwrap(), "Smith, John");
-        assert_eq!(Task::NameInitial.apply("John Smith", &w).unwrap(), "J. Smith");
+        assert_eq!(
+            Task::PhoneParen.apply("404/262-7379", &w).unwrap(),
+            "(404) 262-7379"
+        );
+        assert_eq!(
+            Task::NameLastFirst.apply("John Smith", &w).unwrap(),
+            "Smith, John"
+        );
+        assert_eq!(
+            Task::NameInitial.apply("John Smith", &w).unwrap(),
+            "J. Smith"
+        );
         assert_eq!(Task::MonthNumToName.apply("03", &w).unwrap(), "March");
         assert_eq!(Task::RomanToNumber.apply("III", &w).unwrap(), "3");
         assert_eq!(Task::CountryToIso.apply("Germany", &w).unwrap(), "GER");
         assert_eq!(Task::CityToCountry.apply("Florence", &w).unwrap(), "Italy");
         assert_eq!(Task::KmToM.apply("5 km", &w).unwrap(), "5000 m");
-        assert_eq!(Task::JoinDash.apply("415 399 0499", &w).unwrap(), "415-399-0499");
+        assert_eq!(
+            Task::JoinDash.apply("415 399 0499", &w).unwrap(),
+            "415-399-0499"
+        );
     }
 
     #[test]

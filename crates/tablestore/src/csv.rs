@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn unterminated_quote_rejected() {
-        assert!(matches!(from_csv("t", "a\n\"oops\n"), Err(TableError::Csv(_))));
+        assert!(matches!(
+            from_csv("t", "a\n\"oops\n"),
+            Err(TableError::Csv(_))
+        ));
     }
 
     #[test]

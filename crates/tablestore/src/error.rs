@@ -35,10 +35,16 @@ impl fmt::Display for TableError {
         match self {
             TableError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
             TableError::RowOutOfBounds { index, len } => {
-                write!(f, "row index {index} out of bounds for table with {len} rows")
+                write!(
+                    f,
+                    "row index {index} out of bounds for table with {len} rows"
+                )
             }
             TableError::ArityMismatch { got, expected } => {
-                write!(f, "row has {got} values but schema has {expected} attributes")
+                write!(
+                    f,
+                    "row has {got} values but schema has {expected} attributes"
+                )
             }
             TableError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
             TableError::DuplicateAttribute(a) => {
@@ -62,7 +68,11 @@ mod tests {
             "unknown attribute `tz`"
         );
         assert_eq!(
-            TableError::ArityMismatch { got: 2, expected: 3 }.to_string(),
+            TableError::ArityMismatch {
+                got: 2,
+                expected: 3
+            }
+            .to_string(),
             "row has 2 values but schema has 3 attributes"
         );
     }

@@ -1,7 +1,5 @@
 //! The data lake: a named collection of tables with no declared join relations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Table, TableError};
 
 /// A data lake `D = {D1, ..., Dl}`.
@@ -9,7 +7,7 @@ use crate::{Table, TableError};
 /// Tables are stored in insertion order; names are unique, and re-adding a
 /// table with an existing name replaces it (lakes are refreshed wholesale in
 /// practice).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct DataLake {
     tables: Vec<Table>,
 }

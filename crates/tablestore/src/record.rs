@@ -1,7 +1,5 @@
 //! Records: single tuples aligned with a schema.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Schema, TableError, Value};
 
 /// One tuple of a table, stored by position.
@@ -9,7 +7,7 @@ use crate::{Schema, TableError, Value};
 /// A `Record` does not own its schema; pair it with the table's [`Schema`]
 /// for name-based access. This keeps rows compact while letting detached
 /// records (samples, retrieved context) flow through the pipeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Record {
     values: Vec<Value>,
 }

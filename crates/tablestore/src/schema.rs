@@ -1,14 +1,12 @@
 //! Schemas: ordered attribute lists.
 
-use serde::{Deserialize, Serialize};
-
 use crate::TableError;
 
 /// The declared type of a column.
 ///
 /// Data-lake columns are rarely strictly typed; the declared type is a hint
 /// used by statistics and generators, not an enforced constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DataType {
     /// Free text (the default for messy lake data).
     #[default]
@@ -22,7 +20,7 @@ pub enum DataType {
 }
 
 /// One attribute of a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Column {
     name: String,
     dtype: DataType,
@@ -31,12 +29,18 @@ pub struct Column {
 impl Column {
     /// Creates a text column.
     pub fn new(name: impl Into<String>) -> Self {
-        Column { name: name.into(), dtype: DataType::Text }
+        Column {
+            name: name.into(),
+            dtype: DataType::Text,
+        }
     }
 
     /// Creates a column with an explicit type.
     pub fn typed(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 
     /// The attribute name.
@@ -51,7 +55,7 @@ impl Column {
 }
 
 /// An ordered, duplicate-free list of attributes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schema {
     columns: Vec<Column>,
 }
@@ -149,7 +153,10 @@ mod tests {
     fn require_errors() {
         let s = Schema::from_names(["x"]).unwrap();
         assert_eq!(s.require("x").unwrap(), 0);
-        assert!(matches!(s.require("y"), Err(TableError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.require("y"),
+            Err(TableError::UnknownAttribute(_))
+        ));
     }
 
     #[test]

@@ -72,8 +72,7 @@ impl ColumnStats {
 
     /// All (value key, count) pairs sorted by descending count then key.
     pub fn sorted_counts(&self) -> Vec<(&str, usize)> {
-        let mut v: Vec<(&str, usize)> =
-            self.counts.iter().map(|(k, c)| (k.as_str(), *c)).collect();
+        let mut v: Vec<(&str, usize)> = self.counts.iter().map(|(k, c)| (k.as_str(), *c)).collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v
     }
@@ -84,7 +83,7 @@ mod tests {
     use super::*;
 
     fn stats() -> ColumnStats {
-        let vals = vec![
+        let vals = [
             Value::text("CET"),
             Value::text("CET"),
             Value::text("cet"),

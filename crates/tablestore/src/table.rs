@@ -2,12 +2,11 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::{ColumnStats, Record, Schema, TableError, Value};
 
 /// A named relational table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: String,
     schema: Schema,
@@ -17,12 +16,19 @@ pub struct Table {
 impl Table {
     /// Creates an empty table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        Table { name: name.into(), schema, rows: Vec::new() }
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Starts a [`TableBuilder`].
     pub fn builder(name: impl Into<String>) -> TableBuilder {
-        TableBuilder { name: name.into(), columns: Vec::new() }
+        TableBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     /// The table name.
@@ -271,8 +277,11 @@ mod tests {
     #[test]
     fn column_iterator() {
         let t = city_table();
-        let countries: Vec<String> =
-            t.column("country").unwrap().map(|v| v.to_string()).collect();
+        let countries: Vec<String> = t
+            .column("country")
+            .unwrap()
+            .map(|v| v.to_string())
+            .collect();
         assert_eq!(countries, vec!["Italy", "Spain", "Belgium", "Denmark"]);
         assert!(t.column("nope").is_err());
     }
@@ -281,7 +290,10 @@ mod tests {
     fn project_preserves_rows() {
         let t = city_table();
         let p = t.project(&["timezone", "city"]).unwrap();
-        assert_eq!(p.schema().names().collect::<Vec<_>>(), vec!["timezone", "city"]);
+        assert_eq!(
+            p.schema().names().collect::<Vec<_>>(),
+            vec!["timezone", "city"]
+        );
         assert_eq!(p.row_count(), 4);
         assert_eq!(p.cell(0, "city").unwrap(), &Value::text("Florence"));
     }

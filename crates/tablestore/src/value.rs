@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A single cell value in a table.
 ///
 /// Values are dynamically typed because data-lake tables are messy: the same
 /// column can hold text and numbers, and missing values are first-class
 /// ([`Value::Null`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// A missing value. Displayed as an empty string.
     #[default]

@@ -23,7 +23,10 @@ impl Embedding {
     ///
     /// Panics if `values` is empty.
     pub fn new(values: Vec<f32>) -> Self {
-        assert!(!values.is_empty(), "embedding must have at least one dimension");
+        assert!(
+            !values.is_empty(),
+            "embedding must have at least one dimension"
+        );
         Embedding(values)
     }
 
@@ -102,7 +105,10 @@ pub struct Embedder {
 
 impl Default for Embedder {
     fn default() -> Self {
-        Embedder { dim: DEFAULT_DIM, ngram: 3 }
+        Embedder {
+            dim: DEFAULT_DIM,
+            ngram: 3,
+        }
     }
 }
 

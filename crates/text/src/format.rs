@@ -106,12 +106,7 @@ impl FormatSignature {
         if n == 0 {
             return 1.0;
         }
-        let agree = self
-            .0
-            .iter()
-            .zip(&other.0)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = self.0.iter().zip(&other.0).filter(|(a, b)| a == b).count();
         agree as f64 / n as f64
     }
 }
@@ -177,7 +172,10 @@ mod tests {
     #[test]
     fn signature_date() {
         assert_eq!(FormatSignature::of("20210315").to_string(), "D8");
-        assert_eq!(FormatSignature::of("2021-03-15").to_string(), "D4'-'D2'-'D2");
+        assert_eq!(
+            FormatSignature::of("2021-03-15").to_string(),
+            "D4'-'D2'-'D2"
+        );
     }
 
     #[test]
@@ -207,7 +205,10 @@ mod tests {
         assert!((a.agreement(&b) - 1.0).abs() < 1e-12);
         let c = FormatSignature::of("not a phone");
         assert!(a.agreement(&c) < 1.0);
-        assert_eq!(FormatSignature::of("").agreement(&FormatSignature::of("")), 1.0);
+        assert_eq!(
+            FormatSignature::of("").agreement(&FormatSignature::of("")),
+            1.0
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl TfIdf {
         let va = self.vectorize(a);
         let vb = self.vectorize(b);
         if va.is_empty() || vb.is_empty() {
-            return if va.is_empty() && vb.is_empty() { 1.0 } else { 0.0 };
+            return if va.is_empty() && vb.is_empty() {
+                1.0
+            } else {
+                0.0
+            };
         }
         let mut dot = 0.0;
         for (tok, wa) in &va {

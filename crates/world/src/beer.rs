@@ -8,8 +8,16 @@ use crate::names;
 
 /// Beer styles.
 pub const STYLES: &[&str] = &[
-    "American IPA", "Imperial Stout", "Pale Ale", "Pilsner", "Hefeweizen", "Porter", "Saison",
-    "Amber Ale", "Brown Ale", "Lager",
+    "American IPA",
+    "Imperial Stout",
+    "Pale Ale",
+    "Pilsner",
+    "Hefeweizen",
+    "Porter",
+    "Saison",
+    "Amber Ale",
+    "Brown Ale",
+    "Lager",
 ];
 
 /// A beer entity.
@@ -36,7 +44,15 @@ const BEER_WORDS: &[&str] = &[
     "Hoppy", "Golden", "Dark", "Old", "Double", "Wild", "Lazy", "Raging", "Crooked", "Foggy",
 ];
 const BEER_NOUNS: &[&str] = &[
-    "Trail", "Moon", "Creek", "Badger", "Anchor", "Harvest", "Summit", "Coyote", "Barrel",
+    "Trail",
+    "Moon",
+    "Creek",
+    "Badger",
+    "Anchor",
+    "Harvest",
+    "Summit",
+    "Coyote",
+    "Barrel",
     "Lighthouse",
 ];
 const BREWERY_SUFFIX: &[&str] = &["Brewing Co.", "Brewery", "Ales", "Beer Works"];

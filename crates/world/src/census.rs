@@ -13,7 +13,12 @@ use crate::fact::{Fact, Predicate};
 
 /// Work classes.
 pub const WORKCLASS: &[&str] = &[
-    "Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov",
+    "Private",
+    "Self-emp-not-inc",
+    "Self-emp-inc",
+    "Federal-gov",
+    "Local-gov",
+    "State-gov",
     "Without-pay",
 ];
 
@@ -37,24 +42,48 @@ pub const EDUCATION: &[(&str, u8)] = &[
 
 /// Marital statuses.
 pub const MARITAL: &[&str] = &[
-    "Married-civ-spouse", "Divorced", "Never-married", "Separated", "Widowed",
+    "Married-civ-spouse",
+    "Divorced",
+    "Never-married",
+    "Separated",
+    "Widowed",
     "Married-spouse-absent",
 ];
 
 /// Occupations.
 pub const OCCUPATION: &[&str] = &[
-    "Tech-support", "Craft-repair", "Other-service", "Sales", "Exec-managerial",
-    "Prof-specialty", "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical",
-    "Farming-fishing", "Transport-moving", "Protective-serv",
+    "Tech-support",
+    "Craft-repair",
+    "Other-service",
+    "Sales",
+    "Exec-managerial",
+    "Prof-specialty",
+    "Handlers-cleaners",
+    "Machine-op-inspct",
+    "Adm-clerical",
+    "Farming-fishing",
+    "Transport-moving",
+    "Protective-serv",
 ];
 
 /// Relationship categories.
-pub const RELATIONSHIP: &[&str] =
-    &["Wife", "Own-child", "Husband", "Not-in-family", "Other-relative", "Unmarried"];
+pub const RELATIONSHIP: &[&str] = &[
+    "Wife",
+    "Own-child",
+    "Husband",
+    "Not-in-family",
+    "Other-relative",
+    "Unmarried",
+];
 
 /// Race categories (mirroring the original dataset's vocabulary).
-pub const RACE: &[&str] =
-    &["White", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other", "Black"];
+pub const RACE: &[&str] = &[
+    "White",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+    "Black",
+];
 
 /// Sex categories.
 pub const SEX: &[&str] = &["Male", "Female"];
@@ -95,7 +124,11 @@ pub fn sample_person<R: Rng>(rng: &mut R) -> Person {
     // detectors something to model.
     let hours = rng.gen_range(20..80);
     let income_score = u32::from(edu_years) * 3 + u32::from(hours) + rng.gen_range(0..40);
-    let income = if income_score > 95 { INCOME[1] } else { INCOME[0] };
+    let income = if income_score > 95 {
+        INCOME[1]
+    } else {
+        INCOME[0]
+    };
     Person {
         age,
         workclass: WORKCLASS.choose(rng).expect("ne").to_string(),
@@ -130,7 +163,11 @@ pub fn facts() -> Vec<Fact> {
     }
     for (edu, years) in EDUCATION {
         out.push(Fact::new(*edu, Predicate::ValidToken, "education"));
-        out.push(Fact::new(*edu, Predicate::EducationYears, years.to_string()));
+        out.push(Fact::new(
+            *edu,
+            Predicate::EducationYears,
+            years.to_string(),
+        ));
     }
     out
 }

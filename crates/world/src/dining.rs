@@ -14,12 +14,30 @@ use crate::names;
 
 /// Cuisine types used by the restaurant benchmark.
 pub const CUISINES: &[&str] = &[
-    "american", "italian", "french", "seafood", "steakhouses", "japanese", "mexican", "thai",
-    "indian", "mediterranean", "chinese", "bbq",
+    "american",
+    "italian",
+    "french",
+    "seafood",
+    "steakhouses",
+    "japanese",
+    "mexican",
+    "thai",
+    "indian",
+    "mediterranean",
+    "chinese",
+    "bbq",
 ];
 
 const NAME_SUFFIXES: &[&str] = &[
-    "Grill", "Bistro", "Cafe", "Kitchen", "House", "Tavern", "Diner", "Trattoria", "Brasserie",
+    "Grill",
+    "Bistro",
+    "Cafe",
+    "Kitchen",
+    "House",
+    "Tavern",
+    "Diner",
+    "Trattoria",
+    "Brasserie",
     "Place",
 ];
 
@@ -113,9 +131,21 @@ impl DiningWorld {
 
 fn gen_name<R: Rng>(rng: &mut R) -> String {
     match rng.gen_range(0..3) {
-        0 => format!("{}'s {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
-        1 => format!("{} {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
-        _ => format!("The {} {}", names::proper(rng), NAME_SUFFIXES.choose(rng).expect("ne")),
+        0 => format!(
+            "{}'s {}",
+            names::proper(rng),
+            NAME_SUFFIXES.choose(rng).expect("ne")
+        ),
+        1 => format!(
+            "{} {}",
+            names::proper(rng),
+            NAME_SUFFIXES.choose(rng).expect("ne")
+        ),
+        _ => format!(
+            "The {} {}",
+            names::proper(rng),
+            NAME_SUFFIXES.choose(rng).expect("ne")
+        ),
     }
 }
 
@@ -165,7 +195,10 @@ mod tests {
                 .entry(names::street_base(&r.address))
                 .or_insert(0usize) += 1;
         }
-        assert!(by_street.values().any(|&c| c >= 2), "clustered streets expected");
+        assert!(
+            by_street.values().any(|&c| c >= 2),
+            "clustered streets expected"
+        );
     }
 
     #[test]

@@ -147,7 +147,11 @@ impl Fact {
         predicate: Predicate,
         object: impl Into<String>,
     ) -> Self {
-        Fact { subject: subject.into(), predicate, object: object.into() }
+        Fact {
+            subject: subject.into(),
+            predicate,
+            object: object.into(),
+        }
     }
 
     /// Natural-language rendering of the fact.

@@ -60,8 +60,11 @@ mod tests {
         let geo = GeoWorld::generate(&mut rng, 10);
         let fifa = FifaWorld::generate(&mut rng, &geo);
         assert_eq!(fifa.ranking.len(), geo.countries.len());
-        let names: std::collections::HashSet<&str> =
-            fifa.ranking.iter().map(|r| r.country_full.as_str()).collect();
+        let names: std::collections::HashSet<&str> = fifa
+            .ranking
+            .iter()
+            .map(|r| r.country_full.as_str())
+            .collect();
         assert_eq!(names.len(), geo.countries.len());
         for (i, r) in fifa.ranking.iter().enumerate() {
             assert_eq!(r.rank as usize, i + 1);

@@ -64,7 +64,12 @@ const CURATED_COUNTRIES: &[(&str, &str, &str, &str)] = &[
     ("Ireland", "Greenwich Mean Time", "IRL", "Europe"),
     ("Portugal", "Western European Time", "PRT", "Europe"),
     ("Russia", "Moscow Standard Time", "RUS", "Europe"),
-    ("United States", "Eastern Standard Time", "USA", "North America"),
+    (
+        "United States",
+        "Eastern Standard Time",
+        "USA",
+        "North America",
+    ),
     ("Canada", "Eastern Standard Time", "CAN", "North America"),
     ("Mexico", "Central Standard Time", "MEX", "North America"),
     ("Brazil", "Brasilia Time", "BRA", "South America"),
@@ -199,7 +204,11 @@ impl GeoWorld {
                 Predicate::CountryTimezone,
                 &country.timezone,
             ));
-            out.push(Fact::new(&country.name, Predicate::CountryIso, &country.iso3));
+            out.push(Fact::new(
+                &country.name,
+                Predicate::CountryIso,
+                &country.iso3,
+            ));
             out.push(Fact::new(
                 &country.name,
                 Predicate::CountryContinent,
@@ -210,8 +219,16 @@ impl GeoWorld {
         for city in &self.cities {
             let country = self.country_of(city);
             out.push(Fact::new(&city.name, Predicate::CityCountry, &country.name));
-            out.push(Fact::new(&city.name, Predicate::CityTimezone, &country.timezone));
-            out.push(Fact::new(&city.name, Predicate::CityPostal, &city.postal_prefix));
+            out.push(Fact::new(
+                &city.name,
+                Predicate::CityTimezone,
+                &country.timezone,
+            ));
+            out.push(Fact::new(
+                &city.name,
+                Predicate::CityPostal,
+                &city.postal_prefix,
+            ));
             out.push(Fact::new(&city.name, Predicate::ValidToken, "city"));
             out.push(Fact::new(
                 city.area_code.to_string(),
@@ -287,8 +304,7 @@ mod tests {
         let names: std::collections::HashSet<String> =
             g.cities.iter().map(|c| c.name.to_lowercase()).collect();
         assert_eq!(names.len(), g.cities.len());
-        let codes: std::collections::HashSet<u16> =
-            g.cities.iter().map(|c| c.area_code).collect();
+        let codes: std::collections::HashSet<u16> = g.cities.iter().map(|c| c.area_code).collect();
         assert_eq!(codes.len(), g.cities.len());
     }
 

@@ -43,13 +43,22 @@ pub struct HospitalWorld {
 
 const STATES: &[&str] = &["AL", "AK", "CA", "GA", "IL", "NY", "TX", "WA", "OH", "FL"];
 const HOSPITAL_KINDS: &[&str] = &[
-    "Medical Center", "Regional Hospital", "Community Hospital", "Memorial Hospital",
+    "Medical Center",
+    "Regional Hospital",
+    "Community Hospital",
+    "Memorial Hospital",
     "General Hospital",
 ];
 const MEASURE_FAMILIES: &[(&str, &str)] = &[
     ("SCIP-CARD", "surgery patients on beta blocker therapy"),
-    ("SCIP-INF", "surgery patients given prophylactic antibiotics"),
-    ("SCIP-VTE", "surgery patients with venous thromboembolism prophylaxis"),
+    (
+        "SCIP-INF",
+        "surgery patients given prophylactic antibiotics",
+    ),
+    (
+        "SCIP-VTE",
+        "surgery patients with venous thromboembolism prophylaxis",
+    ),
     ("AMI", "heart attack patients given aspirin at arrival"),
     ("HF", "heart failure patients given discharge instructions"),
     ("PN", "pneumonia patients given initial antibiotic timely"),
@@ -80,7 +89,11 @@ impl HospitalWorld {
             let area = rng.gen_range(205..989);
             hospitals.push(Hospital {
                 name: format!("{base} {kind}"),
-                address: format!("{} u s highway {} north", rng.gen_range(100..9999), rng.gen_range(1..999)),
+                address: format!(
+                    "{} u s highway {} north",
+                    rng.gen_range(100..9999),
+                    rng.gen_range(1..999)
+                ),
                 city: city.clone(),
                 county,
                 state: STATES.choose(rng).expect("ne").to_string(),
@@ -108,7 +121,11 @@ impl HospitalWorld {
                 out.push(Fact::new(&h.county, Predicate::ValidToken, "county"));
             }
             if seen.insert(("measure", h.measure_code.clone())) {
-                out.push(Fact::new(&h.measure_code, Predicate::ValidToken, "measure code"));
+                out.push(Fact::new(
+                    &h.measure_code,
+                    Predicate::ValidToken,
+                    "measure code",
+                ));
             }
             out.push(Fact::new(&h.name, Predicate::HospitalCity, &h.city));
             out.push(Fact::new(&h.name, Predicate::HospitalCounty, &h.county));

@@ -9,7 +9,15 @@ use crate::names;
 
 /// Music genres.
 pub const GENRES: &[&str] = &[
-    "jazz", "rock", "folk", "pop", "classical", "hip hop", "electronic", "country", "blues",
+    "jazz",
+    "rock",
+    "folk",
+    "pop",
+    "classical",
+    "hip hop",
+    "electronic",
+    "country",
+    "blues",
     "reggae",
 ];
 
@@ -51,8 +59,8 @@ const TITLE_WORDS: &[&str] = &[
     "Velvet", "Distant", "Burning", "Paper", "Crystal", "Wild",
 ];
 const TITLE_NOUNS: &[&str] = &[
-    "Road", "Heart", "City", "Dream", "Fire", "Rain", "Sky", "Train", "Mirror", "Garden",
-    "Ocean", "Shadow", "Letter", "Dance", "Echo",
+    "Road", "Heart", "City", "Dream", "Fire", "Rain", "Sky", "Train", "Mirror", "Garden", "Ocean",
+    "Shadow", "Letter", "Dance", "Echo",
 ];
 
 impl MusicWorld {
@@ -112,7 +120,11 @@ impl MusicWorld {
             out.push(Fact::new(&a.name, Predicate::ArtistGenre, &a.genre));
         }
         for s in &self.songs {
-            out.push(Fact::new(&s.title, Predicate::SongArtist, &self.artist_of(s).name));
+            out.push(Fact::new(
+                &s.title,
+                Predicate::SongArtist,
+                &self.artist_of(s).name,
+            ));
         }
         out
     }

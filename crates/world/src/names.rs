@@ -9,8 +9,8 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n",
-    "p", "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
+    "b", "br", "c", "ch", "d", "dr", "f", "fl", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p",
+    "pr", "qu", "r", "s", "sh", "st", "t", "th", "tr", "v", "w", "z",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "ia", "io", "ou"];
 const CODAS: &[&str] = &[
@@ -52,17 +52,69 @@ pub fn capitalize(s: &str) -> String {
 }
 
 const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Kevin", "Karen", "Marcus", "Elena", "Dirk", "Magda", "Yao", "Lena", "Omar",
-    "Nina", "Pavel", "Ingrid",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Kevin",
+    "Karen",
+    "Marcus",
+    "Elena",
+    "Dirk",
+    "Magda",
+    "Yao",
+    "Lena",
+    "Omar",
+    "Nina",
+    "Pavel",
+    "Ingrid",
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Anderson", "Taylor", "Thomas", "Moore", "Jackson", "Martin", "Lee", "Walker",
-    "Hall", "Young", "Novak", "Petrov", "Larsen", "Okafor", "Tanaka", "Costa", "Weber",
-    "Rossi", "Dubois", "Kim",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Anderson",
+    "Taylor",
+    "Thomas",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Walker",
+    "Hall",
+    "Young",
+    "Novak",
+    "Petrov",
+    "Larsen",
+    "Okafor",
+    "Tanaka",
+    "Costa",
+    "Weber",
+    "Rossi",
+    "Dubois",
+    "Kim",
 ];
 
 /// Generates a person name ("First Last").
@@ -95,7 +147,11 @@ pub fn street_base(street: &str) -> String {
 
 /// Generates a US-style phone number with the given area code.
 pub fn phone<R: Rng>(rng: &mut R, area: u16) -> String {
-    format!("{area}/{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999))
+    format!(
+        "{area}/{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(0..9999)
+    )
 }
 
 /// Characters used as typo substitutions (varied, so identical corruptions
@@ -125,7 +181,11 @@ pub fn typo<R: Rng>(rng: &mut R, s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let replacement = loop {
         let c = *TYPO_CHARS.choose(rng).expect("non-empty");
-        if s[pos..].chars().next().is_some_and(|orig| !orig.eq_ignore_ascii_case(&c)) {
+        if s[pos..]
+            .chars()
+            .next()
+            .is_some_and(|orig| !orig.eq_ignore_ascii_case(&c))
+        {
             break c;
         }
     };

@@ -9,14 +9,29 @@ use crate::names;
 
 /// Basketball positions.
 pub const POSITIONS: &[&str] = &[
-    "Point guard", "Shooting guard", "Small forward", "Power forward", "Center",
-    "Small forward / Power forward", "Power forward / Center",
+    "Point guard",
+    "Shooting guard",
+    "Small forward",
+    "Power forward",
+    "Center",
+    "Small forward / Power forward",
+    "Power forward / Center",
 ];
 
 /// Colleges.
 pub const COLLEGES: &[&str] = &[
-    "Texas", "Michigan State", "Duke", "Kentucky", "Kansas", "North Carolina", "UCLA",
-    "Gonzaga", "Arizona", "Villanova", "Syracuse", "Georgetown",
+    "Texas",
+    "Michigan State",
+    "Duke",
+    "Kentucky",
+    "Kansas",
+    "North Carolina",
+    "UCLA",
+    "Gonzaga",
+    "Arizona",
+    "Villanova",
+    "Syracuse",
+    "Georgetown",
 ];
 
 /// An NBA player entity.
@@ -42,8 +57,14 @@ pub struct NbaWorld {
 }
 
 const TEAMS: &[&str] = &[
-    "Phoenix Suns", "Boston Celtics", "Dallas Mavericks", "Denver Nuggets", "Miami Heat",
-    "Milwaukee Bucks", "Golden State Warriors", "New York Knicks",
+    "Phoenix Suns",
+    "Boston Celtics",
+    "Dallas Mavericks",
+    "Denver Nuggets",
+    "Miami Heat",
+    "Milwaukee Bucks",
+    "Golden State Warriors",
+    "New York Knicks",
 ];
 
 impl NbaWorld {

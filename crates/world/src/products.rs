@@ -13,8 +13,16 @@ use crate::names;
 
 /// Product categories.
 pub const CATEGORIES: &[&str] = &[
-    "software", "camera", "laptop", "printer", "router", "monitor", "tablet", "headphones",
-    "keyboard", "speaker",
+    "software",
+    "camera",
+    "laptop",
+    "printer",
+    "router",
+    "monitor",
+    "tablet",
+    "headphones",
+    "keyboard",
+    "speaker",
 ];
 
 /// A manufacturer with its identifying brand token.
@@ -58,7 +66,11 @@ const LINE_WORDS: &[&str] = &[
 impl ProductWorld {
     /// Generates `n_manufacturers` manufacturers with roughly
     /// `products_per_brand` products each.
-    pub fn generate<R: Rng>(rng: &mut R, n_manufacturers: usize, products_per_brand: usize) -> Self {
+    pub fn generate<R: Rng>(
+        rng: &mut R,
+        n_manufacturers: usize,
+        products_per_brand: usize,
+    ) -> Self {
         let mut manufacturers = Vec::with_capacity(n_manufacturers);
         let mut seen_brands = std::collections::HashSet::new();
         while manufacturers.len() < n_manufacturers {
@@ -104,14 +116,15 @@ impl ProductWorld {
         // Subsidiary brands: ~6% of products are sold under one brand but
         // manufactured by a different (parent) company — the wrinkle that
         // keeps title-matching imputers from being perfect on Buy.
-        let n_products = products.len();
-        for i in 0..n_products {
+        for product in &mut products {
             if rng.gen_bool(0.06) {
-                let other = rng.gen_range(0..manufacturers.len());
-                products[i].manufacturer = other;
+                product.manufacturer = rng.gen_range(0..manufacturers.len());
             }
         }
-        ProductWorld { manufacturers, products }
+        ProductWorld {
+            manufacturers,
+            products,
+        }
     }
 
     /// The manufacturer of `product`.

@@ -51,7 +51,16 @@ impl World {
         let hospital = HospitalWorld::generate(&mut rng, 250);
         let fifa = FifaWorld::generate(&mut rng, &geo);
         let nba = NbaWorld::generate(&mut rng, 120);
-        World { geo, dining, products, music, beer, hospital, fifa, nba }
+        World {
+            geo,
+            dining,
+            products,
+            music,
+            beer,
+            hospital,
+            fifa,
+            nba,
+        }
     }
 
     /// Every fact the world asserts, across all domains.

@@ -63,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             repaired += 1;
         }
     }
-    println!(
-        "Repair: {repaired}/{attempted} flagged errors restored to their clean value"
-    );
+    println!("Repair: {repaired}/{attempted} flagged errors restored to their clean value");
     println!(
         "(corrupted counties repair via same-city rows; typo'd unique addresses are\n\
          unrecoverable by design — detection and repair are different problems)"

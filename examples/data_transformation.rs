@@ -17,7 +17,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unidm = UniDm::new(&llm, PipelineConfig::paper_default());
     let lake = DataLake::new();
 
-    let cases: Vec<(&str, Vec<(&str, &str)>, &str, &str)> = vec![
+    // (label, examples, input, expected)
+    type Case = (
+        &'static str,
+        Vec<(&'static str, &'static str)>,
+        &'static str,
+        &'static str,
+    );
+    let cases: Vec<Case> = vec![
         (
             "compact date -> pretty (dictionary)",
             vec![("20210315", "Mar 15 2021"), ("19990405", "Apr 5 1999")],
@@ -44,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .into_iter()
             .map(|(a, b)| (a.to_string(), b.to_string()))
             .collect();
-        let task = Task::Transformation { examples: examples.clone(), input: input.to_string() };
+        let task = Task::Transformation {
+            examples: examples.clone(),
+            input: input.to_string(),
+        };
         let unidm_out = unidm.run(&lake, &task)?.answer;
         let tde_out = tde::transform(&examples, input);
         println!("{label}");

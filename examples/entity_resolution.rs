@@ -32,7 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .train
         .iter()
         .take(40)
-        .map(|p| (to_serialized(&ds.schema, &p.a), to_serialized(&ds.schema, &p.b), p.is_match))
+        .map(|p| {
+            (
+                to_serialized(&ds.schema, &p.a),
+                to_serialized(&ds.schema, &p.b),
+                p.is_match,
+            )
+        })
         .collect();
     let lake = DataLake::new();
     let mut unidm_conf = Confusion::default();
@@ -54,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("UniDM  F1: {:.1}%", unidm_conf.f1() * 100.0);
-    println!("Ditto  F1: {:.1}% (fine-tuned on {} labelled pairs)", ditto_conf.f1() * 100.0, ds.train.len());
+    println!(
+        "Ditto  F1: {:.1}% (fine-tuned on {} labelled pairs)",
+        ditto_conf.f1() * 100.0,
+        ds.train.len()
+    );
 
     // Show one worked pair.
     let pair = &ds.pairs[0];

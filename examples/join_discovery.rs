@@ -24,12 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .take(12)
         .map(|r| r.country_abrv.clone())
         .collect();
-    let iso: Vec<String> = world
-        .geo
-        .countries
-        .iter()
-        .map(|c| c.iso3.clone())
-        .collect();
+    let iso: Vec<String> = world.geo.countries.iter().map(|c| c.iso3.clone()).collect();
     let full: Vec<String> = world
         .fifa
         .ranking
@@ -47,9 +42,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== Join discovery (Figure 4) ==\n");
     for (left_name, left, right_name, right) in [
-        ("fifa_ranking.country_abrv", &abrv, "countries_and_continents.ISO", &iso),
-        ("fifa_ranking.country_full", &full, "countries_and_continents.ISO", &iso),
-        ("cities.population", &populations, "countries_and_continents.ISO", &iso),
+        (
+            "fifa_ranking.country_abrv",
+            &abrv,
+            "countries_and_continents.ISO",
+            &iso,
+        ),
+        (
+            "fifa_ranking.country_full",
+            &full,
+            "countries_and_continents.ISO",
+            &iso,
+        ),
+        (
+            "cities.population",
+            &populations,
+            "countries_and_continents.ISO",
+            &iso,
+        ),
     ] {
         let task = Task::JoinDiscovery {
             left_name: left_name.into(),
@@ -59,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let out = unidm.run(&lake, &task)?;
         println!("{left_name}  vs  {right_name}");
-        println!("  sample: {:?} vs {:?}", &left[..4.min(left.len())], &right[..4.min(right.len())]);
+        println!(
+            "  sample: {:?} vs {:?}",
+            &left[..4.min(left.len())],
+            &right[..4.min(right.len())]
+        );
         println!("  -> {}\n", out.answer);
     }
     println!(

@@ -31,9 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Helsinki", "Finland", "Eastern European Time"),
         ("Tokyo", "Japan", "Japan Standard Time"),
     ] {
-        cities.push_row(vec![Value::text(city), Value::text(country), Value::text(tz)])?;
+        cities.push_row(vec![
+            Value::text(city),
+            Value::text(country),
+            Value::text(tz),
+        ])?;
     }
-    cities.push_row(vec![Value::text("Copenhagen"), Value::text("Denmark"), Value::Null])?;
+    cities.push_row(vec![
+        Value::text("Copenhagen"),
+        Value::text("Denmark"),
+        Value::Null,
+    ])?;
     let target_row = cities.row_count() - 1;
     let lake: DataLake = [cities].into_iter().collect();
 
@@ -42,13 +50,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let output = unidm.run(&lake, &task)?;
 
     println!("== UniDM quickstart: data imputation ==\n");
-    println!("Meta-wise retrieval selected attributes: {:?}", output.trace.selected_attrs);
+    println!(
+        "Meta-wise retrieval selected attributes: {:?}",
+        output.trace.selected_attrs
+    );
     println!("\nRetrieved context records:");
     for r in &output.trace.context_records {
         println!("  {r}");
     }
-    println!("\nParsed context C':\n{}", indent(&output.trace.context_text));
-    println!("\nTarget prompt (cloze question):\n{}", indent(&output.trace.target_prompt));
+    println!(
+        "\nParsed context C':\n{}",
+        indent(&output.trace.context_text)
+    );
+    println!(
+        "\nTarget prompt (cloze question):\n{}",
+        indent(&output.trace.target_prompt)
+    );
     println!("\nAnswer: {}", output.answer);
     println!("Tokens consumed: {}", output.usage.total());
     Ok(())

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut correct = 0;
     for q in &ds.questions {
-        let task = Task::TableQa { table: "medals".into(), question: q.question.clone() };
+        let task = Task::TableQa {
+            table: "medals".into(),
+            question: q.question.clone(),
+        };
         let out = unidm.run(&lake, &task)?;
         let ok = out.answer == q.answer.to_string();
         if ok {
@@ -44,16 +47,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if ok { "" } else { "  [wrong]" }
         );
     }
-    println!("\n{correct}/{} questions answered correctly", ds.questions.len());
+    println!(
+        "\n{correct}/{} questions answered correctly",
+        ds.questions.len()
+    );
 
     // Show one full trace, matching the paper's walkthrough.
     let q = &ds.questions[0];
     let out = unidm.run(
         &lake,
-        &Task::TableQa { table: "medals".into(), question: q.question.clone() },
+        &Task::TableQa {
+            table: "medals".into(),
+            question: q.question.clone(),
+        },
     )?;
     println!("\nWalkthrough for the first question:");
     println!("  Selected attributes: {:?}", out.trace.selected_attrs);
-    println!("  Parsed context:\n{}", out.trace.context_text.lines().map(|l| format!("    {l}")).collect::<Vec<_>>().join("\n"));
+    println!(
+        "  Parsed context:\n{}",
+        out.trace
+            .context_text
+            .lines()
+            .map(|l| format!("    {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
     Ok(())
 }

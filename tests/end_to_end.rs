@@ -24,7 +24,10 @@ fn whole_experiment_is_deterministic() {
             .iter()
             .map(|t| {
                 unidm
-                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .run(
+                        &lake,
+                        &Task::imputation("restaurants", t.row, "city", "name"),
+                    )
                     .unwrap()
                     .answer
             })
@@ -44,7 +47,10 @@ fn pipeline_beats_no_context_on_restaurants() {
             .iter()
             .filter(|t| {
                 let out = unidm
-                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .run(
+                        &lake,
+                        &Task::imputation("restaurants", t.row, "city", "name"),
+                    )
                     .unwrap();
                 answers_match(&out.answer, &t.truth.to_string())
             })
@@ -66,7 +72,10 @@ fn usage_accounting_is_consistent() {
     let mut sum = 0usize;
     for t in &ds.targets {
         let out = unidm
-            .run(&lake, &Task::imputation("buy", t.row, "manufacturer", "name"))
+            .run(
+                &lake,
+                &Task::imputation("buy", t.row, "manufacturer", "name"),
+            )
             .unwrap();
         assert!(out.usage.total() > 0);
         sum += out.usage.total();
@@ -112,12 +121,21 @@ fn tableqa_walkthrough_matches_figure3() {
         .iter()
         .filter(|q| {
             let out = unidm
-                .run(&lake, &Task::TableQa { table: "medals".into(), question: q.question.clone() })
+                .run(
+                    &lake,
+                    &Task::TableQa {
+                        table: "medals".into(),
+                        question: q.question.clone(),
+                    },
+                )
                 .unwrap();
             out.answer == q.answer.to_string()
         })
         .count();
-    assert!(correct * 10 >= ds.questions.len() * 7, "correct {correct}/12");
+    assert!(
+        correct * 10 >= ds.questions.len() * 7,
+        "correct {correct}/12"
+    );
 }
 
 #[test]
@@ -133,7 +151,10 @@ fn weaker_model_is_not_better() {
             .iter()
             .filter(|t| {
                 let out = unidm
-                    .run(&lake, &Task::imputation("restaurants", t.row, "city", "name"))
+                    .run(
+                        &lake,
+                        &Task::imputation("restaurants", t.row, "city", "name"),
+                    )
                     .unwrap();
                 answers_match(&out.answer, &t.truth.to_string())
             })
@@ -153,10 +174,21 @@ fn extraction_task_end_to_end() {
     let mut f1_sum = 0.0;
     let n = 20.min(ds.len());
     for (doc, truth) in ds.docs.iter().zip(&ds.truth).take(n) {
-        let task = Task::Extraction { document: doc.text.clone(), attr: "height".into() };
+        let task = Task::Extraction {
+            document: doc.text.clone(),
+            attr: "height".into(),
+        };
         let answer = unidm.run(&lake, &task).unwrap().answer;
-        let answer = if answer == "unknown" { String::new() } else { answer };
+        let answer = if answer == "unknown" {
+            String::new()
+        } else {
+            answer
+        };
         f1_sum += unidm_eval::metrics::text_f1(&answer, &truth["height"]);
     }
-    assert!(f1_sum / n as f64 > 0.5, "height extraction mean F1 {:.2}", f1_sum / n as f64);
+    assert!(
+        f1_sum / n as f64 > 0.5,
+        "height extraction mean F1 {:.2}",
+        f1_sum / n as f64
+    );
 }

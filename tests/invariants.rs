@@ -1,7 +1,12 @@
 //! Property tests over substrate invariants: metrics, distances, the table
 //! store, program induction, and the deterministic dice.
+//!
+//! Inputs are sampled deterministically (see `common::Gen`) — 128
+//! randomized cases per invariant, reproducible from the fixed seed.
 
-use proptest::prelude::*;
+mod common;
+
+use common::{Gen, ANY};
 
 use unidm_baselines::tde;
 use unidm_eval::metrics::{at_threshold, text_f1, Confusion};
@@ -10,124 +15,208 @@ use unidm_tablestore::{csv, Table, Value};
 use unidm_text::distance::{jaccard, jaro_winkler, levenshtein, normalized_levenshtein};
 use unidm_text::Embedder;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn levenshtein_is_a_metric(a in ".{0,24}", b in ".{0,24}", c in ".{0,24}") {
+#[test]
+fn levenshtein_is_a_metric() {
+    let mut g = Gen::new(0x1e7);
+    for _ in 0..CASES {
+        let a = g.string(ANY, 24);
+        let b = g.string(ANY, 24);
+        let c = g.string(ANY, 24);
         // Identity, symmetry, triangle inequality.
-        prop_assert_eq!(levenshtein(&a, &a), 0);
-        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        assert_eq!(levenshtein(&a, &a), 0);
+        assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
     }
+}
 
-    #[test]
-    fn similarity_scores_bounded(a in ".{0,30}", b in ".{0,30}") {
-        for s in [normalized_levenshtein(&a, &b), jaro_winkler(&a, &b), jaccard(&a, &b)] {
-            prop_assert!((0.0..=1.0).contains(&s), "{s}");
+#[test]
+fn similarity_scores_bounded() {
+    let mut g = Gen::new(0x51);
+    for _ in 0..CASES {
+        let a = g.string(ANY, 30);
+        let b = g.string(ANY, 30);
+        for s in [
+            normalized_levenshtein(&a, &b),
+            jaro_winkler(&a, &b),
+            jaccard(&a, &b),
+        ] {
+            assert!((0.0..=1.0).contains(&s), "{s}");
         }
     }
+}
 
-    #[test]
-    fn embedding_cosine_bounded_and_reflexive(a in ".{1,40}", b in ".{1,40}") {
-        let e = Embedder::default();
+#[test]
+fn embedding_cosine_bounded_and_reflexive() {
+    let mut g = Gen::new(0xe3bed);
+    let e = Embedder::default();
+    for _ in 0..CASES {
+        let a = {
+            let mut s = g.string(ANY, 39);
+            s.push('x');
+            s
+        };
+        let b = {
+            let mut s = g.string(ANY, 39);
+            s.push('y');
+            s
+        };
         let ea = e.embed(&a);
         let eb = e.embed(&b);
         let sim = ea.cosine(&eb);
-        prop_assert!((-1.0..=1.0).contains(&sim));
+        assert!((-1.0..=1.0).contains(&sim));
         if ea.norm() > 0.0 {
-            prop_assert!((ea.cosine(&ea) - 1.0).abs() < 1e-5);
+            assert!((ea.cosine(&ea) - 1.0).abs() < 1e-5);
         }
     }
+}
 
-    #[test]
-    fn token_count_monotone(a in ".{0,60}", b in ".{0,60}") {
+#[test]
+fn token_count_monotone() {
+    let mut g = Gen::new(0x70c);
+    for _ in 0..CASES {
+        let a = g.string(ANY, 60);
+        let b = g.string(ANY, 60);
         let joined = format!("{a}{b}");
-        prop_assert!(unidm_text::count_tokens(&joined) + 1 >= unidm_text::count_tokens(&a));
+        assert!(unidm_text::count_tokens(&joined) + 1 >= unidm_text::count_tokens(&a));
     }
+}
 
-    #[test]
-    fn confusion_f1_bounded(tp in 0usize..200, fp in 0usize..200, fn_ in 0usize..200, tn in 0usize..200) {
-        let c = Confusion { tp, fp, fn_, tn };
-        prop_assert!((0.0..=1.0).contains(&c.precision()));
-        prop_assert!((0.0..=1.0).contains(&c.recall()));
-        prop_assert!((0.0..=1.0).contains(&c.f1()));
+#[test]
+fn confusion_f1_bounded() {
+    let mut g = Gen::new(0xf1);
+    for _ in 0..CASES {
+        let c = Confusion {
+            tp: g.usize(0, 200),
+            fp: g.usize(0, 200),
+            fn_: g.usize(0, 200),
+            tn: g.usize(0, 200),
+        };
+        assert!((0.0..=1.0).contains(&c.precision()));
+        assert!((0.0..=1.0).contains(&c.recall()));
+        assert!((0.0..=1.0).contains(&c.f1()));
         // F1 is the harmonic mean: it lies between precision and recall.
         let lo = c.precision().min(c.recall());
         let hi = c.precision().max(c.recall());
         if c.tp + c.fp + c.fn_ > 0 && c.f1() > 0.0 {
-            prop_assert!(c.f1() + 1e-9 >= lo && c.f1() <= hi + 1e-9);
+            assert!(c.f1() + 1e-9 >= lo && c.f1() <= hi + 1e-9);
         }
     }
+}
 
-    #[test]
-    fn threshold_monotonicity(scored in proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..50)) {
+#[test]
+fn threshold_monotonicity() {
+    let mut g = Gen::new(0x7412);
+    for _ in 0..CASES {
+        let n = g.usize(1, 50);
+        let scored: Vec<(f64, bool)> = (0..n).map(|_| (g.f64(0.0, 1.0), g.bool())).collect();
         // Raising the threshold can only reduce predicted positives.
         let low = at_threshold(&scored, 0.2);
         let high = at_threshold(&scored, 0.8);
-        prop_assert!(low.tp + low.fp >= high.tp + high.fp);
+        assert!(low.tp + low.fp >= high.tp + high.fp);
     }
+}
 
-    #[test]
-    fn text_f1_symmetric_and_bounded(a in "[a-z ]{0,30}", b in "[a-z ]{0,30}") {
+#[test]
+fn text_f1_symmetric_and_bounded() {
+    let mut g = Gen::new(0x7e8);
+    for _ in 0..CASES {
+        let a = g.string("abcdefghijklmnopqrstuvwxyz ", 30);
+        let b = g.string("abcdefghijklmnopqrstuvwxyz ", 30);
         let f = text_f1(&a, &b);
-        prop_assert!((0.0..=1.0).contains(&f));
-        prop_assert!((f - text_f1(&b, &a)).abs() < 1e-9, "precision/recall swap symmetry");
+        assert!((0.0..=1.0).contains(&f));
+        assert!(
+            (f - text_f1(&b, &a)).abs() < 1e-9,
+            "precision/recall swap symmetry"
+        );
     }
+}
 
-    #[test]
-    fn csv_roundtrip(rows in proptest::collection::vec(
-        proptest::collection::vec("[A-Za-z0-9 ,\"\n.']{0,16}", 3..4), 0..8)
-    ) {
+#[test]
+fn csv_roundtrip() {
+    let mut g = Gen::new(0xc5f);
+    const CELL: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 ,\"\n.'";
+    for _ in 0..CASES {
+        let n_rows = g.usize(0, 8);
+        let rows: Vec<Vec<String>> = (0..n_rows)
+            .map(|_| (0..3).map(|_| g.string(CELL, 16)).collect())
+            .collect();
         let mut t = Table::builder("t").columns(["a", "b", "c"]).build();
         for row in &rows {
-            t.push_row(row.iter().map(|c| Value::text(c.clone())).collect()).unwrap();
+            t.push_row(row.iter().map(|c| Value::text(c.clone())).collect())
+                .unwrap();
         }
         let text = csv::to_csv(&t);
         let back = csv::from_csv("t", &text).expect("roundtrip parse");
-        prop_assert_eq!(back.row_count(), t.row_count());
+        assert_eq!(back.row_count(), t.row_count());
         for (i, row) in rows.iter().enumerate() {
             for (j, cell) in row.iter().enumerate() {
                 let attr = ["a", "b", "c"][j];
                 // Values re-parse by type; compare canonical text forms.
                 let expected = Value::parse(cell);
-                prop_assert_eq!(back.cell(i, attr).unwrap().answer_key(), expected.answer_key());
+                assert_eq!(
+                    back.cell(i, attr).unwrap().answer_key(),
+                    expected.answer_key()
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn dice_is_pure(seed in any::<u64>(), ctx in ".{0,20}", tag in "[a-z]{1,8}", p in 0.0f64..1.0) {
+#[test]
+fn dice_is_pure() {
+    let mut g = Gen::new(0xd1ce);
+    for _ in 0..CASES {
+        let seed = g.u64();
+        let ctx = g.string(ANY, 20);
+        let tag = {
+            let mut t = g.chars_from("abcdefghijklmnopqrstuvwxyz", 1);
+            t.push_str(&g.string("abcdefghijklmnopqrstuvwxyz", 7));
+            t
+        };
+        let p = g.f64(0.0, 1.0);
         let d1 = Dice::new(seed);
         let d2 = Dice::new(seed);
-        prop_assert_eq!(d1.uniform(&ctx, &tag), d2.uniform(&ctx, &tag));
-        prop_assert_eq!(d1.chance(&ctx, &tag, p), d2.chance(&ctx, &tag, p));
+        assert_eq!(d1.uniform(&ctx, &tag), d2.uniform(&ctx, &tag));
+        assert_eq!(d1.chance(&ctx, &tag, p), d2.chance(&ctx, &tag, p));
     }
+}
 
-    #[test]
-    fn tde_program_reproduces_its_examples(
-        year in 1980u32..2024, month in 1u32..13, day in 1u32..29,
-        year2 in 1980u32..2024, month2 in 1u32..13, day2 in 1u32..29,
-    ) {
+#[test]
+fn tde_program_reproduces_its_examples() {
+    let mut g = Gen::new(0x7de);
+    for _ in 0..CASES {
+        let mk = |g: &mut Gen| {
+            let y = g.usize(1980, 2024) as u32;
+            let m = g.usize(1, 13) as u32;
+            let d = g.usize(1, 29) as u32;
+            (format!("{y}-{m:02}-{d:02}"), format!("{m:02}/{d:02}/{y}"))
+        };
         // Synthesize from two iso→us date examples, then verify the program
         // reproduces both training outputs exactly (soundness of search).
-        let mk = |y: u32, m: u32, d: u32| (format!("{y}-{m:02}-{d:02}"), format!("{m:02}/{d:02}/{y}"));
-        let examples = vec![mk(year, month, day), mk(year2, month2, day2)];
+        let examples = vec![mk(&mut g), mk(&mut g)];
         if let Some(prog) = tde::synthesize(&examples) {
             for (i, o) in &examples {
                 let got = prog.apply(i);
-                prop_assert_eq!(got.as_deref(), Some(o.as_str()));
+                assert_eq!(got.as_deref(), Some(o.as_str()));
             }
         }
     }
+}
 
-    #[test]
-    fn llm_induction_is_sound(
-        first in "[a-z]{2,8}", last in "[a-z]{2,8}",
-        first2 in "[a-z]{2,8}", last2 in "[a-z]{2,8}",
-    ) {
+#[test]
+fn llm_induction_is_sound() {
+    let mut g = Gen::new(0x1d0ce);
+    let name = |g: &mut Gen| {
+        let len = g.usize(2, 9);
+        g.chars_from("abcdefghijklmnopqrstuvwxyz", len)
+    };
+    for _ in 0..CASES {
         // Whatever program induction finds must reproduce the examples.
         let kb = KnowledgeBase::empty();
+        let (first, last) = (name(&mut g), name(&mut g));
+        let (first2, last2) = (name(&mut g), name(&mut g));
         let examples = vec![
             (format!("{first} {last}"), format!("{last}, {first}")),
             (format!("{first2} {last2}"), format!("{last2}, {first2}")),
@@ -135,7 +224,7 @@ proptest! {
         if let Some(prog) = unidm_llm::skills::induce::induce(&examples, &kb) {
             for (i, o) in &examples {
                 let got = prog.apply(i, &kb);
-                prop_assert_eq!(got.as_deref(), Some(o.as_str()));
+                assert_eq!(got.as_deref(), Some(o.as_str()));
             }
         }
     }
