@@ -82,6 +82,11 @@ impl Cmi {
                             *counts.entry(key[d].as_str()).or_insert(0) += 1;
                         }
                     }
+                    // Sort before taking the max: ties on (count, length)
+                    // must not fall back to HashMap iteration order, which
+                    // is randomized per process.
+                    let mut counts: Vec<(&str, usize)> = counts.into_iter().collect();
+                    counts.sort_unstable();
                     if let Some((mode, _)) = counts
                         .into_iter()
                         .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v.len())))
@@ -126,6 +131,9 @@ impl Cmi {
                 }
             }
         }
+        // Deterministic tie-break (see `fit`): never let HashMap order pick.
+        let mut counts: Vec<(String, usize)> = counts.into_iter().collect();
+        counts.sort_unstable();
         if let Some((best, _)) = counts
             .into_iter()
             .max_by_key(|(v, c)| (*c, std::cmp::Reverse(v.len())))

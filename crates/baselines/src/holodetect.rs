@@ -84,10 +84,16 @@ impl ColumnModel {
                 nums.push(x);
             }
         }
+        // Sort by rendered signature before taking the max: ties on count
+        // must not fall back to HashMap iteration order, which is
+        // randomized per process.
+        let mut signatures: Vec<(String, (FormatSignature, usize))> =
+            signatures.into_iter().collect();
+        signatures.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let modal_signature = signatures
-            .into_values()
-            .max_by_key(|(_, c)| *c)
-            .map(|(s, _)| s)
+            .into_iter()
+            .max_by_key(|(_, (_, c))| *c)
+            .map(|(_, (s, _))| s)
             .unwrap_or_default();
         let (mean, sd) = if nums.len() >= 4 {
             let m = nums.iter().sum::<f64>() / nums.len() as f64;

@@ -2,16 +2,16 @@
 
 fn main() {
     let config = unidm_bench::config_from_args();
-    println!("{}", unidm_eval::imputation::table1(config));
-    println!("{}", unidm_eval::transformation::table2(config));
-    println!("{}", unidm_eval::errors::table3(config));
-    println!("{}", unidm_eval::matching::table4(config));
-    println!("{}", unidm_eval::finetune::table5(config));
-    println!("{}", unidm_eval::zoo::table6(config));
-    println!("{}", unidm_eval::tokens::table7(config));
-    println!("{}", unidm_eval::ablation::table8(config));
-    println!("{}", unidm_eval::ablation::table9(config));
-    println!("{}", unidm_eval::ablation::table10(config));
-    println!("{}", unidm_eval::extraction::table11(config));
+    println!("{}", unidm_eval::imputation::table1(config.clone()));
+    println!("{}", unidm_eval::transformation::table2(config.clone()));
+    println!("{}", unidm_eval::errors::table3(config.clone()));
+    println!("{}", unidm_eval::matching::table4(config.clone()));
+    println!("{}", unidm_eval::finetune::table5(config.clone()));
+    println!("{}", unidm_eval::zoo::table6(config.clone()));
+    println!("{}", unidm_eval::tokens::table7(config.clone()));
+    println!("{}", unidm_eval::ablation::table8(config.clone()));
+    println!("{}", unidm_eval::ablation::table9(config.clone()));
+    println!("{}", unidm_eval::ablation::table10(config.clone()));
+    println!("{}", unidm_eval::extraction::table11(config.clone()));
     println!("{}", unidm_eval::joins::fig5(config));
 }

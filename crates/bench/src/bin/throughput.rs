@@ -1,17 +1,24 @@
 //! Throughput of the batch execution engine: serial vs. batched vs.
-//! batched+cached on an imputation workload.
+//! cold-cache vs. warm-cache on an imputation workload.
 //!
-//! Reports tasks/sec, total model tokens, and cache statistics per regime,
-//! and cross-checks that all three regimes produce identical answers.
+//! The cached regimes run a sharded [`PromptCache`] at
+//! [`CanonLevel::TableStem`]; the warm regime restores the cold run's
+//! snapshot into a fresh cache first, the way a repeated eval run starts.
+//! Reports tasks/sec, model tokens, per-shard hit rates for both cached
+//! regimes, and the cold → warm tokens-saved delta; cross-checks that
+//! serial and batched answers are identical and that the two cached
+//! regimes agree with each other bit-for-bit.
 //!
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
+//! cargo run -p unidm-bench --release --bin throughput -- --cache-dir .unidm-cache
+//! #   ^ persists the snapshot, so the *next* invocation's cold regime is warm too
 //! ```
 
 use std::time::Instant;
 
-use unidm::{BatchRunner, PipelineConfig, PromptCache, Task};
+use unidm::{BatchRunner, CanonLevel, PipelineConfig, PromptCache, Task};
 use unidm_bench::config_from_args;
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::imputation;
@@ -23,7 +30,24 @@ struct Regime {
     answers: Vec<String>,
     elapsed_secs: f64,
     model_tokens: usize,
-    cache_line: Option<String>,
+    stats: Option<unidm::CacheStats>,
+    shard_stats: Vec<unidm::CacheStats>,
+}
+
+fn print_shards(shards: &[unidm::CacheStats]) {
+    for (i, s) in shards.iter().enumerate() {
+        if s.hits + s.misses == 0 {
+            continue;
+        }
+        println!(
+            "{:<16}shard {i}: {} hits / {} misses ({:.0}% hit rate), {} tokens saved",
+            "",
+            s.hits,
+            s.misses,
+            s.hit_rate() * 100.0,
+            s.tokens_saved,
+        );
+    }
 }
 
 fn main() {
@@ -47,18 +71,26 @@ fn main() {
         .collect();
     let pipeline = PipelineConfig::paper_default().with_seed(config.seed);
     let workers = BatchRunner::new(&llm, pipeline).workers();
+    let snapshot_path = config.cache.snapshot_dir.as_ref().map(|dir| {
+        let _ = std::fs::create_dir_all(dir);
+        dir.join(format!("throughput-seed{}.promptcache", config.seed))
+    });
 
     println!(
-        "Batch throughput: {} imputation tasks (Restaurant), {} workers, model {}.",
+        "Batch throughput: {} imputation tasks (Restaurant), {} workers, model {}, \
+         cache level {}.",
         tasks.len(),
         workers,
         llm.name(),
+        CanonLevel::TableStem,
     );
 
-    let run = |name: &'static str, cached: bool, workers: usize| -> Regime {
+    let run = |name: &'static str, cache: Option<&PromptCache<'_>>, workers: usize| -> Regime {
         llm.reset_usage();
-        let cache = PromptCache::unbounded(&llm);
-        let model: &dyn LanguageModel = if cached { &cache } else { &llm };
+        let model: &dyn LanguageModel = match cache {
+            Some(cache) => cache,
+            None => &llm,
+        };
         let runner = BatchRunner::new(model, pipeline).with_workers(workers);
         let start = Instant::now();
         let answers = runner.answers(&lake, &tasks);
@@ -68,25 +100,43 @@ fn main() {
             answers,
             elapsed_secs,
             model_tokens: llm.usage().total(),
-            cache_line: cached.then(|| {
-                let s = cache.stats();
-                format!(
-                    "{} hits / {} misses ({:.0}% hit rate), {} tokens saved",
-                    s.hits,
-                    s.misses,
-                    s.hit_rate() * 100.0,
-                    s.tokens_saved,
-                )
-            }),
+            stats: cache.map(PromptCache::stats),
+            shard_stats: cache.map(PromptCache::shard_stats).unwrap_or_default(),
         }
     };
 
-    let regimes = [
-        run("serial", false, 1),
-        run("batched", false, workers),
-        run("batched+cached", true, workers),
-    ];
+    let serial = run("serial", None, 1);
+    let batched = run("batched", None, workers);
 
+    // Cold cache: canonicalized, sharded, starting empty (or from a prior
+    // invocation's snapshot when --cache-dir is given).
+    let cold_cache = PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::TableStem);
+    if let Some(path) = &snapshot_path {
+        if path.exists() {
+            match cold_cache.load_from(path) {
+                Ok(n) => println!("(loaded {n} entries from {})", path.display()),
+                Err(e) => println!("(cold start: {e})"),
+            }
+        }
+    }
+    let cold = run("cold cache", Some(&cold_cache), workers);
+
+    // Warm cache: a fresh cache restored from the cold run's snapshot —
+    // the state a repeated eval run starts from.
+    let snapshot = cold_cache.snapshot();
+    let warm_cache = PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::TableStem);
+    warm_cache
+        .restore(&snapshot)
+        .expect("snapshot written by this process must restore");
+    let warm = run("warm cache", Some(&warm_cache), workers);
+    if let Some(path) = &snapshot_path {
+        match warm_cache.save_to(path) {
+            Ok(()) => println!("(saved snapshot to {})", path.display()),
+            Err(e) => println!("(snapshot not saved: {e})"),
+        }
+    }
+
+    let regimes = [serial, batched, cold, warm];
     println!(
         "{:<16}{:>12}{:>14}{:>16}{:>10}",
         "Regime", "Time (s)", "Tasks/sec", "Model tokens", "Speedup"
@@ -102,27 +152,66 @@ fn main() {
             r.model_tokens,
             baseline / r.elapsed_secs.max(1e-9),
         );
-        if let Some(line) = &r.cache_line {
-            println!("{:<16}cache: {line}", "");
-        }
+        print_shards(&r.shard_stats);
     }
 
-    for r in &regimes[1..] {
-        assert_eq!(
-            r.answers, regimes[0].answers,
-            "{} diverged from the serial answers",
-            r.name
-        );
-    }
-    let cached = regimes.last().expect("three regimes");
-    assert!(
-        cached.model_tokens < regimes[0].model_tokens,
-        "cached regime should consume fewer model tokens ({} vs {})",
-        cached.model_tokens,
-        regimes[0].model_tokens,
+    let [serial, batched, cold, warm] = &regimes;
+    let (cold_stats, warm_stats) = (
+        cold.stats.expect("cold regime is cached"),
+        warm.stats.expect("warm regime is cached"),
     );
     println!(
-        "\nAll regimes returned identical answers; cache reduced model tokens by {}.",
-        regimes[0].model_tokens - cached.model_tokens
+        "\nCold run:  {:>5.1}% hit rate, {} tokens saved, {} model tokens",
+        cold_stats.hit_rate() * 100.0,
+        cold_stats.tokens_saved,
+        cold.model_tokens,
+    );
+    println!(
+        "Warm run:  {:>5.1}% hit rate, {} tokens saved, {} model tokens",
+        warm_stats.hit_rate() * 100.0,
+        warm_stats.tokens_saved,
+        warm.model_tokens,
+    );
+    println!(
+        "Cold → warm: +{} tokens saved, -{} model tokens",
+        warm_stats
+            .tokens_saved
+            .saturating_sub(cold_stats.tokens_saved),
+        cold.model_tokens.saturating_sub(warm.model_tokens),
+    );
+
+    assert_eq!(
+        batched.answers, serial.answers,
+        "batched diverged from the serial answers"
+    );
+    assert_eq!(
+        warm.answers, cold.answers,
+        "warm cache diverged from the cold cache"
+    );
+    assert!(
+        cold.model_tokens < serial.model_tokens,
+        "cold cache should consume fewer model tokens ({} vs {})",
+        cold.model_tokens,
+        serial.model_tokens,
+    );
+    assert!(
+        warm.model_tokens <= cold.model_tokens,
+        "warm cache should consume no more model tokens ({} vs {})",
+        warm.model_tokens,
+        cold.model_tokens,
+    );
+    // >= rather than >: with --cache-dir, a repeat invocation's "cold"
+    // regime loads the persisted snapshot and both regimes hit 100%.
+    assert!(
+        warm_stats.hit_rate() >= cold_stats.hit_rate(),
+        "warm hit rate should not trail cold: {:.2} vs {:.2}",
+        warm_stats.hit_rate(),
+        cold_stats.hit_rate(),
+    );
+    println!(
+        "\nSerial and batched answers identical; cold and warm cached answers identical; \
+         cache reduced model tokens by {} (cold) and {} (warm).",
+        serial.model_tokens - cold.model_tokens,
+        serial.model_tokens - warm.model_tokens,
     );
 }

@@ -15,10 +15,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use unidm_eval::ExperimentConfig;
+use unidm_eval::{CacheConfig, ExperimentConfig};
 
-/// Parses the common CLI of the bench binaries: `--quick` selects the smoke
-/// configuration, `--seed N` overrides the seed.
+/// Parses the common CLI of the bench binaries:
+///
+/// * `--quick` selects the smoke configuration;
+/// * `--seed N` overrides the seed;
+/// * `--cache` routes driver traffic through a canonicalizing sharded
+///   prompt cache (in-memory);
+/// * `--cache-dir DIR` additionally persists per-scenario snapshots under
+///   `DIR`, so repeating the same bench invocation starts warm.
 pub fn config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut config = if args.iter().any(|a| a == "--quick") {
@@ -29,6 +35,20 @@ pub fn config_from_args() -> ExperimentConfig {
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if let Some(seed) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
             config.seed = seed;
+        }
+    }
+    if args.iter().any(|a| a == "--cache") {
+        config.cache = CacheConfig::enabled();
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--cache-dir") {
+        match args.get(pos + 1) {
+            Some(dir) if !dir.starts_with("--") => {
+                config.cache = CacheConfig::enabled().with_snapshot_dir(dir);
+            }
+            _ => eprintln!(
+                "warning: --cache-dir requires a directory argument; \
+                 snapshot persistence disabled"
+            ),
         }
     }
     config

@@ -1,0 +1,476 @@
+//! Prompt canonicalization: the cache-key layer of the prompting subsystem.
+//!
+//! The paper's pipeline prompts are highly redundant across the rows of one
+//! table — every imputation run renders the same `p_rm` preamble, the same
+//! `p_cq` demonstration block, and near-identical `p_dp` record lists — but
+//! a verbatim prompt → completion memo only deduplicates byte-identical
+//! strings. On the imputation workload that yields ~2% hit rates, because
+//! the meta-wise retrieval prompt embeds the per-row target key even though
+//! the model's answer ("which attributes help?") is a property of the
+//! *table*, not the row.
+//!
+//! [`PromptKey::canonicalize`] closes that gap. It normalizes whitespace
+//! and splits each recognized prompt into a reusable **table-level stem**
+//! (retrieval preambles, demonstration blocks, parsing instructions) plus a
+//! **per-row suffix** (the target query, the claim, the record list). At
+//! [`CanonLevel::TableStem`] it additionally rewrites the per-row part of
+//! retrieval queries to their table-level form (`"Copenhagen, timezone"` →
+//! `"*, timezone"`), so every row of a table shares one `p_rm` cache entry.
+//!
+//! Correctness under canonicalization is preserved by construction: the
+//! cache completes the *canonical* prompt text on a miss (never the raw
+//! variant), so the memo is a pure function of the canonical key.
+//! Whichever thread populates an entry, the stored completion is identical
+//! — serial and parallel batches stay bit-for-bit equal.
+//!
+//! # Examples
+//!
+//! Two rows of the same table fold to one key at table-stem level:
+//!
+//! ```
+//! use unidm::{CanonLevel, PromptKey};
+//! use unidm_llm::protocol::{render_prm, TaskKind};
+//!
+//! let candidates = vec!["country".to_string(), "population".to_string()];
+//! let row_a = render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates);
+//! let row_b = render_prm(TaskKind::Imputation, "Florence, timezone", &candidates);
+//! assert_ne!(row_a, row_b, "verbatim prompts differ per row");
+//!
+//! let key_a = PromptKey::canonicalize(&row_a, CanonLevel::TableStem);
+//! let key_b = PromptKey::canonicalize(&row_b, CanonLevel::TableStem);
+//! assert_eq!(key_a, key_b, "canonical keys fold the per-row target key");
+//! assert_eq!(key_a.suffix(), "*, timezone");
+//! ```
+
+use unidm_llm::protocol::{parse_prm, render_prm, TaskKind};
+
+/// How aggressively [`PromptKey::canonicalize`] normalizes a prompt before
+/// it is used as a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CanonLevel {
+    /// The key is the verbatim prompt: byte-identical prompts share an
+    /// entry, nothing else. This is exact memoization — cached and
+    /// uncached execution are indistinguishable down to token counts.
+    #[default]
+    Verbatim,
+    /// Whitespace is normalized (runs of blanks collapse, line edges trim)
+    /// and the prompt is split into stem + suffix, but no per-row content
+    /// is rewritten. Prompts differing only in insignificant whitespace
+    /// share an entry.
+    Whitespace,
+    /// Everything `Whitespace` does, plus per-row retrieval queries are
+    /// rewritten to their table-level form: the `p_rm` query of an
+    /// imputation run drops its row key, and an error-detection query
+    /// drops its cell value. All rows of a table then share the same
+    /// meta-retrieval entry, which is what lifts imputation hit rates
+    /// from ~2% to ≥20%.
+    TableStem,
+}
+
+impl CanonLevel {
+    /// Short lowercase name, used in logs and bench output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CanonLevel::Verbatim => "verbatim",
+            CanonLevel::Whitespace => "whitespace",
+            CanonLevel::TableStem => "table-stem",
+        }
+    }
+}
+
+impl std::fmt::Display for CanonLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A canonical cache key: a reusable stem, a per-row suffix, and the splice
+/// point where the suffix sits inside the stem.
+///
+/// The canonical prompt text — what the cache actually sends to the model
+/// on a miss — is reconstructed by [`PromptKey::text`]: the suffix inserted
+/// into the stem at the splice offset. For most prompt shapes the suffix
+/// trails the stem; for `p_rm` it is the query spliced into the middle of
+/// the preamble.
+///
+/// # Examples
+///
+/// The `p_cq` demonstration block (several hundred tokens, identical in
+/// every cloze-construction prompt) lands in the stem; only the final claim
+/// is per-row:
+///
+/// ```
+/// use unidm::{CanonLevel, PromptKey};
+/// use unidm_llm::protocol::{render_pcq, Claim, TaskKind};
+///
+/// let claim = Claim {
+///     task: TaskKind::Imputation,
+///     context: "Florence belongs to the country Italy.".into(),
+///     query: "city: Copenhagen; country: ?".into(),
+/// };
+/// let prompt = render_pcq(&claim);
+/// let key = PromptKey::canonicalize(&prompt, CanonLevel::Whitespace);
+/// assert!(key.stem().contains("Punch! Home Design"), "demos in the stem");
+/// assert!(key.suffix().contains("Copenhagen"), "claim in the suffix");
+/// assert_eq!(key.text(), prompt, "text reconstructs the prompt");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PromptKey {
+    stem: String,
+    suffix: String,
+    splice: usize,
+}
+
+impl PromptKey {
+    /// Canonicalizes `prompt` at the given level.
+    ///
+    /// At [`CanonLevel::Verbatim`] the key is the prompt itself (empty
+    /// stem). At higher levels whitespace is normalized, recognized prompt
+    /// shapes (`p_rm`, `p_ri`, `p_dp`, `p_cq`) are split into stem +
+    /// suffix, and — at [`CanonLevel::TableStem`] — retrieval queries are
+    /// generalized to their table-level form.
+    ///
+    /// Canonicalization is idempotent: canonicalizing [`PromptKey::text`]
+    /// again at the same level yields an equal key.
+    pub fn canonicalize(prompt: &str, level: CanonLevel) -> PromptKey {
+        if level == CanonLevel::Verbatim {
+            return PromptKey::whole(prompt.to_string());
+        }
+        let norm = normalize_whitespace(prompt);
+        // p_rm — re-render around the (possibly generalized) query so the
+        // key is independent of how the original prompt was spaced.
+        if let Some(req) = parse_prm(&norm) {
+            let query = if level == CanonLevel::TableStem {
+                generalize_query(req.task, &req.query)
+            } else {
+                req.query.clone()
+            };
+            let rendered = render_prm(req.task, &query, &req.candidates);
+            if let Some(pos) = rendered.find(QUERY_MARKER) {
+                let splice = pos + QUERY_MARKER.len();
+                let mut stem = rendered;
+                let end = splice + query.len();
+                stem.replace_range(splice..end, "");
+                return PromptKey {
+                    stem,
+                    suffix: query,
+                    splice,
+                };
+            }
+        }
+        // p_ri — the task header is the stem; query and candidate
+        // instances are per-row.
+        if norm.contains("Score the relevance") {
+            if let Some(pos) = norm.find("The target query is") {
+                return PromptKey::split_at(norm, pos);
+            }
+        }
+        // p_cq — instruction and demonstration block are the stem; the
+        // final claim is per-row.
+        if norm.starts_with("Write the claim as a cloze question.") {
+            if let Some(pos) = norm.rfind("\nClaim:") {
+                return PromptKey::split_at(norm, pos);
+            }
+        }
+        // p_dp — the parsing instruction is the stem; the bracketed record
+        // block is per-retrieval.
+        if let Some(pos) = norm.find(PDP_MARKER) {
+            if norm.ends_with(']') {
+                let splice = pos + PDP_MARKER.len();
+                let suffix = norm[splice..norm.len() - 1].to_string();
+                let mut stem = String::with_capacity(splice + 1);
+                stem.push_str(&norm[..splice]);
+                stem.push(']');
+                return PromptKey {
+                    stem,
+                    suffix,
+                    splice,
+                };
+            }
+        }
+        // Target prompts (cloze questions, flat claims) and anything
+        // unrecognized: wholly per-row.
+        PromptKey::whole(norm)
+    }
+
+    fn whole(text: String) -> PromptKey {
+        PromptKey {
+            stem: String::new(),
+            suffix: text,
+            splice: 0,
+        }
+    }
+
+    fn split_at(text: String, pos: usize) -> PromptKey {
+        let suffix = text[pos..].to_string();
+        let mut stem = text;
+        stem.truncate(pos);
+        PromptKey {
+            stem,
+            suffix,
+            splice: pos,
+        }
+    }
+
+    /// The reusable (table-level) part of the key.
+    pub fn stem(&self) -> &str {
+        &self.stem
+    }
+
+    /// The per-row part of the key.
+    pub fn suffix(&self) -> &str {
+        &self.suffix
+    }
+
+    /// The canonical prompt text: the suffix spliced into the stem. This
+    /// is the string a canonicalizing cache completes on a miss.
+    pub fn text(&self) -> String {
+        let mut out = String::with_capacity(self.stem.len() + self.suffix.len());
+        out.push_str(&self.stem[..self.splice]);
+        out.push_str(&self.suffix);
+        out.push_str(&self.stem[self.splice..]);
+        out
+    }
+
+    /// A stable 64-bit FNV-1a hash of the key, used for shard selection.
+    ///
+    /// Stable across runs and platforms (it hashes bytes, not `Hasher`
+    /// state), so persisted snapshots reload into the same shards.
+    pub fn hash64(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.stem.as_bytes());
+        eat(&[0xff]);
+        eat(&(self.splice as u64).to_le_bytes());
+        eat(&[0xff]);
+        eat(self.suffix.as_bytes());
+        h
+    }
+}
+
+const QUERY_MARKER: &str = "The target query is [";
+const PDP_MARKER: &str = "logical order: [";
+
+/// Collapses runs of blanks, trims line edges and the prompt's ends, and
+/// normalizes line endings to `\n`.
+fn normalize_whitespace(prompt: &str) -> String {
+    let mut out = String::with_capacity(prompt.len());
+    for line in prompt.lines() {
+        let mut pending_space = false;
+        let start = out.len();
+        for ch in line.chars() {
+            if ch == ' ' || ch == '\t' {
+                pending_space = out.len() > start;
+                continue;
+            }
+            if pending_space {
+                out.push(' ');
+                pending_space = false;
+            }
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    while out.ends_with('\n') {
+        out.pop();
+    }
+    let trimmed_start = out.trim_start_matches('\n').len();
+    out.split_off(out.len() - trimmed_start)
+}
+
+/// Rewrites a per-row retrieval query to its table-level form.
+///
+/// Meta-wise retrieval asks which attributes help a *task* — the answer
+/// depends on the table schema and the target attribute, not on which row
+/// is being repaired. Imputation queries (`"<key>, <attr>"`) drop the row
+/// key; error-detection queries (`"<attr>: <value>?"`) drop the cell
+/// value. Other task kinds (table QA questions, entity pairs) keep their
+/// query: there the query genuinely determines the answer.
+fn generalize_query(task: TaskKind, query: &str) -> String {
+    match task {
+        TaskKind::Imputation => match query.rsplit_once(',') {
+            Some((_, target)) => format!("*, {}", target.trim()),
+            None => query.to_string(),
+        },
+        TaskKind::ErrorDetection => match query.split_once(':') {
+            Some((attr, value)) if value.trim_end().ends_with('?') => {
+                format!("{}: *?", attr.trim())
+            }
+            _ => query.to_string(),
+        },
+        _ => query.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_llm::protocol::{render_pcq, render_pdp, render_pri, Claim, SerializedRecord};
+
+    fn recs() -> Vec<SerializedRecord> {
+        vec![
+            SerializedRecord::new(vec![
+                ("city".into(), "Alicante".into()),
+                ("country".into(), "Spain".into()),
+            ]),
+            SerializedRecord::new(vec![
+                ("city".into(), "Florence".into()),
+                ("country".into(), "Italy".into()),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn verbatim_is_identity() {
+        let key = PromptKey::canonicalize("  spaced   out  ", CanonLevel::Verbatim);
+        assert_eq!(key.text(), "  spaced   out  ");
+        assert_eq!(key.stem(), "");
+    }
+
+    #[test]
+    fn whitespace_normalization_folds_variants() {
+        let a = PromptKey::canonicalize("The quick  brown fox \n jumps", CanonLevel::Whitespace);
+        let b = PromptKey::canonicalize("The quick brown fox\njumps\n", CanonLevel::Whitespace);
+        assert_eq!(a, b);
+        assert_eq!(a.text(), "The quick brown fox\njumps");
+    }
+
+    #[test]
+    fn prm_splits_query_into_suffix() {
+        let candidates = vec!["country".to_string(), "population".to_string()];
+        let p = render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates);
+        let key = PromptKey::canonicalize(&p, CanonLevel::Whitespace);
+        assert_eq!(key.suffix(), "Copenhagen, timezone");
+        assert!(key.stem().contains("candidate attributes"));
+        assert_eq!(key.text(), p, "whitespace level must not rewrite content");
+    }
+
+    #[test]
+    fn table_stem_folds_prm_rows() {
+        let candidates = vec!["country".to_string(), "population".to_string()];
+        let a = render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates);
+        let b = render_prm(TaskKind::Imputation, "Florence, timezone", &candidates);
+        let ka = PromptKey::canonicalize(&a, CanonLevel::TableStem);
+        let kb = PromptKey::canonicalize(&b, CanonLevel::TableStem);
+        assert_eq!(ka, kb);
+        assert_eq!(ka.suffix(), "*, timezone");
+        // The canonical text is still a well-formed p_rm prompt.
+        let req = parse_prm(&ka.text()).expect("canonical p_rm parses");
+        assert_eq!(req.query, "*, timezone");
+        assert_eq!(req.candidates, candidates);
+    }
+
+    #[test]
+    fn table_stem_keeps_prompts_with_distinct_targets_apart() {
+        let candidates = vec!["country".to_string()];
+        let a = render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates);
+        let b = render_prm(TaskKind::Imputation, "Copenhagen, population", &candidates);
+        assert_ne!(
+            PromptKey::canonicalize(&a, CanonLevel::TableStem),
+            PromptKey::canonicalize(&b, CanonLevel::TableStem),
+            "different target attributes must not share an entry"
+        );
+    }
+
+    #[test]
+    fn table_stem_generalizes_error_detection_value() {
+        let candidates = vec!["addr".to_string()];
+        let a = render_prm(TaskKind::ErrorDetection, "city: sheffxeld?", &candidates);
+        let b = render_prm(TaskKind::ErrorDetection, "city: chicago?", &candidates);
+        let ka = PromptKey::canonicalize(&a, CanonLevel::TableStem);
+        assert_eq!(ka, PromptKey::canonicalize(&b, CanonLevel::TableStem));
+        assert_eq!(ka.suffix(), "city: *?");
+    }
+
+    #[test]
+    fn table_stem_leaves_tableqa_questions_alone() {
+        let candidates = vec!["gold".to_string()];
+        let q = "Which nation won the most gold medals?";
+        let key = PromptKey::canonicalize(
+            &render_prm(TaskKind::TableQa, q, &candidates),
+            CanonLevel::TableStem,
+        );
+        assert_eq!(key.suffix(), q, "questions determine the answer");
+    }
+
+    #[test]
+    fn pri_query_and_instances_are_per_row() {
+        let p = render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs());
+        let key = PromptKey::canonicalize(&p, CanonLevel::TableStem);
+        assert!(key.stem().starts_with("The task is"));
+        assert!(key.suffix().contains("Copenhagen"));
+        assert!(key.suffix().contains("Florence"));
+        assert_eq!(key.text(), p);
+    }
+
+    #[test]
+    fn pdp_record_block_is_the_suffix() {
+        let p = render_pdp(&recs());
+        let key = PromptKey::canonicalize(&p, CanonLevel::Whitespace);
+        assert!(key.stem().contains("convert the items"));
+        assert!(key.suffix().contains("Alicante"));
+        assert_eq!(key.text(), p);
+    }
+
+    #[test]
+    fn pcq_demonstrations_land_in_the_stem() {
+        let claim = Claim {
+            task: TaskKind::Imputation,
+            context: "Florence belongs to the country Italy.".into(),
+            query: "city: Copenhagen; country: ?".into(),
+        };
+        let p = render_pcq(&claim);
+        let key = PromptKey::canonicalize(&p, CanonLevel::TableStem);
+        assert!(key.stem().contains("Punch! Home Design"));
+        assert!(!key.suffix().contains("Punch! Home Design"));
+        assert!(key.suffix().contains("Copenhagen"));
+        assert_eq!(key.text(), p);
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let candidates = vec!["country".to_string(), "population".to_string()];
+        let prompts = vec![
+            render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates),
+            render_prm(TaskKind::ErrorDetection, "city: sheffxeld?", &candidates),
+            render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs()),
+            render_pdp(&recs()),
+            "  an   unstructured\n\n prompt ".to_string(),
+        ];
+        for level in [CanonLevel::Whitespace, CanonLevel::TableStem] {
+            for p in &prompts {
+                let once = PromptKey::canonicalize(p, level);
+                let twice = PromptKey::canonicalize(&once.text(), level);
+                assert_eq!(once, twice, "idempotence failed at {level} for {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_is_stable_and_separates_keys() {
+        let key = PromptKey::canonicalize("hello world", CanonLevel::Whitespace);
+        assert_eq!(key.hash64(), key.hash64());
+        let other = PromptKey::canonicalize("hello worlds", CanonLevel::Whitespace);
+        assert_ne!(key.hash64(), other.hash64());
+        // Stem/suffix boundary participates in the hash: ("ab", "") and
+        // ("a", "b") must not collide by concatenation.
+        let a = PromptKey {
+            stem: "ab".into(),
+            suffix: String::new(),
+            splice: 2,
+        };
+        let b = PromptKey {
+            stem: "a".into(),
+            suffix: "b".into(),
+            splice: 1,
+        };
+        assert_ne!(a.hash64(), b.hash64());
+    }
+}

@@ -1,5 +1,6 @@
 //! Parallel batch execution: a worker pool fanning [`UniDm`] runs over many
-//! tasks, and a concurrent prompt cache deduplicating repeated LLM calls.
+//! tasks, and a sharded, canonicalizing, persistable prompt cache
+//! deduplicating repeated LLM calls.
 //!
 //! The paper's experiments (Tables 1–11) execute thousands of independent
 //! pipeline runs per dataset. Two properties of the pipeline make batch
@@ -13,6 +14,18 @@
 //!   retrieval (`p_rm`, `p_ri`) and parsing (`p_dp`) prompts; a
 //!   prompt-level memo turns that redundancy into saved tokens and
 //!   throughput ([`PromptCache`]).
+//!
+//! The cache composes three mechanisms, each independently tunable:
+//!
+//! * **Canonical keys** ([`crate::canon`]) — prompts are keyed by their
+//!   [`PromptKey`], so whitespace variants and (at
+//!   [`CanonLevel::TableStem`]) per-row retrieval preambles share entries.
+//! * **Sharding** — the memo is split across N independently locked maps
+//!   selected by key hash, so concurrent [`BatchRunner`] workers contend on
+//!   1/N of the lock traffic.
+//! * **Persistence** — [`PromptCache::save_to`] / [`PromptCache::load_from`]
+//!   snapshot the memo in a versioned text format, so a second eval run
+//!   starts warm and answers its first prompts without any model call.
 //!
 //! ```
 //! use unidm::{BatchRunner, PipelineConfig, PromptCache, Task};
@@ -38,17 +51,19 @@
 //! ```
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use unidm_llm::{Completion, LanguageModel, LlmError, Usage};
 use unidm_tablestore::DataLake;
 
+use crate::canon::{CanonLevel, PromptKey};
 use crate::pipeline::{RunOutput, UniDm};
 use crate::task::Task;
 use crate::{PipelineConfig, UniDmError};
 
-/// Hit/miss/saving statistics of a [`PromptCache`].
+/// Hit/miss/saving statistics of a [`PromptCache`] (or of one shard).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Completions served from the cache.
@@ -72,11 +87,20 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Adds another stats snapshot into this one (used to aggregate
+    /// per-shard statistics).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.tokens_saved += other.tokens_saved;
+    }
 }
 
 #[derive(Debug, Default)]
 struct CacheInner {
-    /// prompt → (completion, last-use stamp).
+    /// canonical prompt → (completion, last-use stamp).
     entries: HashMap<String, (Completion, u64)>,
     /// last-use stamp → prompt: the recency index that makes LRU eviction
     /// O(log n) instead of a full scan of `entries`.
@@ -119,6 +143,64 @@ impl CacheInner {
     }
 }
 
+/// First line of every [`PromptCache`] snapshot; bumped whenever the format
+/// changes incompatibly.
+pub const SNAPSHOT_HEADER: &str = "unidm-prompt-cache v1";
+
+/// Why a snapshot could not be saved or restored.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+    /// The snapshot text is not a well-formed `unidm-prompt-cache`
+    /// document (wrong header, truncated entry, unparseable counts).
+    Parse {
+        /// 1-based line number the parser gave up on.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The snapshot was taken over a different model, so its memoized
+    /// completions would be wrong for this cache's inner model.
+    ModelMismatch {
+        /// The inner model of the cache being restored.
+        expected: String,
+        /// The model recorded in the snapshot.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Parse { line, message } => {
+                write!(f, "snapshot parse error at line {line}: {message}")
+            }
+            SnapshotError::ModelMismatch { expected, found } => write!(
+                f,
+                "snapshot model mismatch: cache wraps {expected:?} but snapshot was taken over \
+                 {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
 /// A concurrent prompt → completion memo layered over any
 /// [`LanguageModel`].
 ///
@@ -127,22 +209,71 @@ impl CacheInner {
 /// calls shared by tasks on the same table, duplicate final claims —
 /// are answered from memory without consuming model tokens.
 ///
-/// Determinism is preserved by construction: the deterministic substrate
-/// returns the same completion for the same prompt, so serving a memoized
-/// completion changes nothing about answers or per-run usage — only about
-/// what the *inner* model actually processed. Cached completions report
-/// the usage of the original call, which keeps per-run accounting via
-/// [`unidm_llm::UsageMeter`] identical with and without the cache; the
-/// inner model's own counter only grows on misses, and the difference is
-/// tracked as [`CacheStats::tokens_saved`].
+/// # Keying and canonicalization
 ///
-/// Bounded caches evict the least-recently-used entry. Lookups never block
-/// on the underlying model: the lock is released while a miss is being
-/// completed, so concurrent workers only serialize on the map itself.
+/// Lookups go through [`PromptKey::canonicalize`] at the cache's
+/// [`CanonLevel`] (default [`CanonLevel::Verbatim`], i.e. exact
+/// memoization). At higher levels a miss completes the *canonical* prompt
+/// text rather than the raw variant, which makes the memo a pure function
+/// of the canonical key: whichever worker populates an entry, the stored
+/// completion is identical, so serial and parallel batches stay
+/// bit-for-bit equal even when many raw prompts fold into one entry.
+///
+/// # Sharding
+///
+/// Entries are distributed over [`PromptCache::shards`] independently
+/// locked maps by key hash, cutting lock contention under
+/// [`BatchRunner`] parallelism. Statistics are counted per shard (exactly
+/// — every counter update happens under its shard's lock) and aggregated
+/// by [`PromptCache::stats`]; [`PromptCache::shard_stats`] exposes the
+/// per-shard breakdown. Lookups never block on the underlying model: the
+/// shard lock is released while a miss is being completed.
+///
+/// # Persistence
+///
+/// [`PromptCache::snapshot`] serializes the memo to a deterministic,
+/// versioned text document (header [`SNAPSHOT_HEADER`], the inner model's
+/// name, then one escaped prompt/completion/usage triplet per entry);
+/// [`PromptCache::restore`] loads one back, re-canonicalizing and
+/// re-sharding every entry under the receiving cache's configuration.
+/// [`PromptCache::save_to`] / [`PromptCache::load_from`] do the same
+/// through a file, which is how repeated eval runs start warm.
+///
+/// # Determinism and accounting
+///
+/// The deterministic substrate returns the same completion for the same
+/// prompt, so serving a memoized completion changes nothing about answers
+/// or per-run usage — only about what the *inner* model actually
+/// processed. Cached completions report the usage of the original call,
+/// which keeps per-run accounting via [`unidm_llm::UsageMeter`] identical
+/// with and without the cache; the inner model's own counter only grows on
+/// misses, and the difference is tracked as [`CacheStats::tokens_saved`].
+///
+/// # Examples
+///
+/// ```
+/// use unidm::{CanonLevel, PromptCache};
+/// use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
+/// use unidm_world::World;
+///
+/// let world = World::generate(42);
+/// let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+/// let cache = PromptCache::unbounded(&llm)
+///     .with_shards(4)
+///     .with_canonicalization(CanonLevel::Whitespace);
+///
+/// let a = cache.complete("The quick  brown fox").unwrap();
+/// let b = cache.complete("The quick brown fox").unwrap(); // whitespace variant: hit
+/// assert_eq!(a, b);
+/// assert_eq!(cache.stats().hits, 1);
+/// assert_eq!(cache.stats().tokens_saved, a.usage.total());
+/// ```
 pub struct PromptCache<'a> {
     inner: &'a dyn LanguageModel,
     capacity: usize,
-    state: Mutex<CacheInner>,
+    shard_capacity: usize,
+    level: CanonLevel,
+    shards: Box<[Mutex<CacheInner>]>,
 }
 
 impl std::fmt::Debug for PromptCache<'_> {
@@ -150,43 +281,165 @@ impl std::fmt::Debug for PromptCache<'_> {
         f.debug_struct("PromptCache")
             .field("inner", &self.inner.name())
             .field("capacity", &self.capacity)
+            .field("shards", &self.shards.len())
+            .field("level", &self.level)
             .field("stats", &self.stats())
             .finish()
     }
 }
 
+/// Default shard count: enough to keep eight batch workers off each
+/// other's locks without fragmenting small caches.
+const DEFAULT_SHARDS: usize = 8;
+
+fn build_shards(n: usize) -> Box<[Mutex<CacheInner>]> {
+    (0..n).map(|_| Mutex::new(CacheInner::default())).collect()
+}
+
 impl<'a> PromptCache<'a> {
     /// Creates a cache holding at most `capacity` completions (LRU
-    /// eviction).
+    /// eviction), split across the default shard count.
+    ///
+    /// The capacity budget is divided evenly across shards (each shard
+    /// gets at least one slot), so with very small capacities the
+    /// effective bound is `shards × 1`; use [`PromptCache::with_shards`]
+    /// to control the split.
     pub fn new(inner: &'a dyn LanguageModel, capacity: usize) -> Self {
-        PromptCache {
+        let capacity = capacity.max(1);
+        let mut cache = PromptCache {
             inner,
-            capacity: capacity.max(1),
-            state: Mutex::new(CacheInner::default()),
-        }
+            capacity,
+            shard_capacity: 0,
+            level: CanonLevel::Verbatim,
+            shards: build_shards(DEFAULT_SHARDS),
+        };
+        cache.shard_capacity = cache.capacity_per_shard();
+        cache
     }
 
     /// Creates a cache that never evicts.
     pub fn unbounded(inner: &'a dyn LanguageModel) -> Self {
-        PromptCache {
-            inner,
-            capacity: usize::MAX,
-            state: Mutex::new(CacheInner::default()),
+        Self::new(inner, usize::MAX)
+    }
+
+    /// Sets the shard count (rounded up to a power of two, minimum 1) and
+    /// redistributes any existing entries. Builder-style; intended at
+    /// construction time.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let entries = self.drain_entries();
+        // Statistics survive the rebuild: fold the old shard counters into
+        // the first new shard (aggregate stats stay exact; the per-shard
+        // attribution of pre-rebuild traffic is no longer meaningful).
+        let stats = self.stats();
+        self.shards = build_shards(n);
+        self.shard_capacity = self.capacity_per_shard();
+        self.lock_shard(&self.shards[0]).stats = stats;
+        self.readmit(entries);
+        self
+    }
+
+    /// Sets the canonicalization level and re-keys any existing entries.
+    /// Builder-style; intended at construction time.
+    pub fn with_canonicalization(mut self, level: CanonLevel) -> Self {
+        let entries = self.drain_entries();
+        self.level = level;
+        self.readmit(entries);
+        self
+    }
+
+    /// The canonicalization level lookups run at.
+    pub fn level(&self) -> CanonLevel {
+        self.level
+    }
+
+    /// The number of independently locked shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The total completion capacity across all shards.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn capacity_per_shard(&self) -> usize {
+        if self.capacity == usize::MAX {
+            usize::MAX
+        } else {
+            self.capacity.div_ceil(self.shards.len()).max(1)
         }
     }
 
-    /// A snapshot of the hit/miss/eviction statistics.
-    pub fn stats(&self) -> CacheStats {
-        self.state.lock().expect("cache lock poisoned").stats
+    fn shard_for(&self, key: &PromptKey) -> &Mutex<CacheInner> {
+        // Shard count is a power of two, so masking the stable FNV hash
+        // picks a shard uniformly.
+        let index = (key.hash64() as usize) & (self.shards.len() - 1);
+        &self.shards[index]
     }
 
-    /// Number of completions currently held.
+    fn lock_shard<'s>(&self, shard: &'s Mutex<CacheInner>) -> MutexGuard<'s, CacheInner> {
+        shard.lock().expect("cache shard lock poisoned")
+    }
+
+    /// Removes every entry, returning them sorted by canonical prompt (so
+    /// rebuilds are deterministic). Statistics are kept.
+    fn drain_entries(&mut self) -> Vec<(String, Completion)> {
+        let mut entries = Vec::new();
+        for shard in self.shards.iter() {
+            let mut state = self.lock_shard(shard);
+            entries.extend(
+                state
+                    .entries
+                    .drain()
+                    .map(|(prompt, (completion, _))| (prompt, completion)),
+            );
+            state.recency.clear();
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Re-inserts drained entries under the current level/shard layout.
+    fn readmit(&self, entries: Vec<(String, Completion)>) {
+        for (prompt, completion) in entries {
+            self.admit(&prompt, completion);
+        }
+    }
+
+    /// Inserts a known-good completion under the canonical key of
+    /// `prompt` without touching hit/miss counters.
+    fn admit(&self, prompt: &str, completion: Completion) {
+        let key = PromptKey::canonicalize(prompt, self.level);
+        let text = key.text();
+        let shard = self.shard_for(&key);
+        self.lock_shard(shard)
+            .insert(&text, completion, self.shard_capacity);
+    }
+
+    /// A snapshot of the aggregated hit/miss/eviction statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in self.shards.iter() {
+            total.merge(self.lock_shard(shard).stats);
+        }
+        total
+    }
+
+    /// Per-shard statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|shard| self.lock_shard(shard).stats)
+            .collect()
+    }
+
+    /// Number of completions currently held across all shards.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("cache lock poisoned")
-            .entries
-            .len()
+        self.shards
+            .iter()
+            .map(|shard| self.lock_shard(shard).entries.len())
+            .sum()
     }
 
     /// Whether the cache holds no completions.
@@ -196,10 +449,198 @@ impl<'a> PromptCache<'a> {
 
     /// Drops all entries (statistics are kept).
     pub fn clear(&self) {
-        let mut state = self.state.lock().expect("cache lock poisoned");
-        state.entries.clear();
-        state.recency.clear();
+        for shard in self.shards.iter() {
+            let mut state = self.lock_shard(shard);
+            state.entries.clear();
+            state.recency.clear();
+        }
     }
+
+    /// Serializes the memo to the versioned snapshot text format.
+    ///
+    /// The output is deterministic (entries sorted by canonical prompt)
+    /// and records the inner model's name, so [`PromptCache::restore`]
+    /// can refuse snapshots taken over a different model. Statistics are
+    /// not persisted — a restored cache starts with fresh counters.
+    pub fn snapshot(&self) -> String {
+        let mut entries: Vec<(String, Completion)> = Vec::new();
+        for shard in self.shards.iter() {
+            let state = self.lock_shard(shard);
+            entries.extend(
+                state
+                    .entries
+                    .iter()
+                    .map(|(prompt, (completion, _))| (prompt.clone(), completion.clone())),
+            );
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = format!(
+            "{SNAPSHOT_HEADER}\nmodel {}\nentries {}\n",
+            self.inner.name(),
+            entries.len()
+        );
+        for (prompt, completion) in &entries {
+            out.push_str("p ");
+            out.push_str(&escape(prompt));
+            out.push_str("\nc ");
+            out.push_str(&escape(&completion.text));
+            out.push('\n');
+            out.push_str(&format!(
+                "u {} {}\n",
+                completion.usage.prompt_tokens, completion.usage.completion_tokens
+            ));
+        }
+        out
+    }
+
+    /// Restores entries from snapshot text produced by
+    /// [`PromptCache::snapshot`], returning how many were admitted.
+    ///
+    /// Entries are re-canonicalized and re-sharded under this cache's
+    /// configuration, so a snapshot can be loaded into a cache with a
+    /// different shard count or canonicalization level. Restoring does not
+    /// count as hits or misses; subsequent lookups of restored prompts are
+    /// hits served before any model call.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Parse`] for malformed documents and
+    /// [`SnapshotError::ModelMismatch`] when the snapshot was taken over a
+    /// model with a different name.
+    pub fn restore(&self, snapshot: &str) -> Result<usize, SnapshotError> {
+        let parse_err = |line: usize, message: &str| SnapshotError::Parse {
+            line,
+            message: message.to_string(),
+        };
+        let mut lines = snapshot.lines();
+        let header = lines.next().ok_or_else(|| parse_err(1, "empty snapshot"))?;
+        if header != SNAPSHOT_HEADER {
+            return Err(parse_err(
+                1,
+                &format!("expected header {SNAPSHOT_HEADER:?}"),
+            ));
+        }
+        let model_line = lines
+            .next()
+            .ok_or_else(|| parse_err(2, "missing model line"))?;
+        let found = model_line
+            .strip_prefix("model ")
+            .ok_or_else(|| parse_err(2, "expected `model <name>`"))?;
+        if found != self.inner.name() {
+            return Err(SnapshotError::ModelMismatch {
+                expected: self.inner.name().to_string(),
+                found: found.to_string(),
+            });
+        }
+        let count_line = lines
+            .next()
+            .ok_or_else(|| parse_err(3, "missing entries line"))?;
+        let declared: usize = count_line
+            .strip_prefix("entries ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| parse_err(3, "expected `entries <count>`"))?;
+        let mut admitted = 0usize;
+        for _ in 0..declared {
+            let entry_line = 4 + admitted * 3;
+            let p_line = lines
+                .next()
+                .ok_or_else(|| parse_err(entry_line, "truncated entry"))?;
+            let prompt = p_line
+                .strip_prefix("p ")
+                .ok_or_else(|| parse_err(entry_line, "expected `p <prompt>`"))?;
+            let c_line = lines
+                .next()
+                .ok_or_else(|| parse_err(entry_line + 1, "truncated entry (missing completion)"))?;
+            let text = c_line
+                .strip_prefix("c ")
+                .ok_or_else(|| parse_err(entry_line + 1, "expected `c <completion>`"))?;
+            let u_line = lines
+                .next()
+                .ok_or_else(|| parse_err(entry_line + 2, "truncated entry (missing usage)"))?;
+            let usage = u_line
+                .strip_prefix("u ")
+                .and_then(|u| u.split_once(' '))
+                .and_then(|(p, c)| Some((p.parse().ok()?, c.parse().ok()?)))
+                .map(|(prompt_tokens, completion_tokens)| Usage {
+                    prompt_tokens,
+                    completion_tokens,
+                })
+                .ok_or_else(|| {
+                    parse_err(
+                        entry_line + 2,
+                        "expected `u <prompt-tokens> <completion-tokens>`",
+                    )
+                })?;
+            self.admit(
+                &unescape(prompt),
+                Completion {
+                    text: unescape(text),
+                    usage,
+                },
+            );
+            admitted += 1;
+        }
+        Ok(admitted)
+    }
+
+    /// Writes [`PromptCache::snapshot`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be written.
+    pub fn save_to(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.snapshot())?;
+        Ok(())
+    }
+
+    /// Restores a snapshot file written by [`PromptCache::save_to`],
+    /// returning how many entries were admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] when the file cannot be read, plus every
+    /// error [`PromptCache::restore`] can produce.
+    pub fn load_from(&self, path: impl AsRef<Path>) -> Result<usize, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        self.restore(&text)
+    }
+}
+
+/// Escapes a prompt or completion for the line-oriented snapshot format.
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`]. Unknown escapes pass through verbatim.
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 impl LanguageModel for PromptCache<'_> {
@@ -208,9 +649,12 @@ impl LanguageModel for PromptCache<'_> {
     }
 
     fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+        let key = PromptKey::canonicalize(prompt, self.level);
+        let text = key.text();
+        let shard = self.shard_for(&key);
         {
-            let mut state = self.state.lock().expect("cache lock poisoned");
-            if let Some(completion) = state.touch(prompt) {
+            let mut state = self.lock_shard(shard);
+            if let Some(completion) = state.touch(&text) {
                 state.stats.hits += 1;
                 state.stats.tokens_saved += completion.usage.total();
                 return Ok(completion);
@@ -219,11 +663,11 @@ impl LanguageModel for PromptCache<'_> {
         }
         // Complete the miss without holding the lock: concurrent workers
         // must not serialize on the model. Two threads racing on the same
-        // prompt both pay for it — the insert below is idempotent because
-        // the substrate is deterministic.
-        let completion = self.inner.complete(prompt)?;
-        let mut state = self.state.lock().expect("cache lock poisoned");
-        state.insert(prompt, completion.clone(), self.capacity);
+        // key both pay for it — the insert below is idempotent because the
+        // canonical text is completed by a deterministic substrate.
+        let completion = self.inner.complete(&text)?;
+        self.lock_shard(shard)
+            .insert(&text, completion.clone(), self.shard_capacity);
         Ok(completion)
     }
 
@@ -249,6 +693,33 @@ impl LanguageModel for PromptCache<'_> {
 /// carrying its own [`RunOutput::usage`] metered per run — never diffed
 /// from the model's global counter — so the output is bit-for-bit
 /// identical to running the same tasks serially.
+///
+/// # Examples
+///
+/// ```
+/// use unidm::{BatchRunner, PipelineConfig, Task};
+/// use unidm_llm::{LlmProfile, MockLlm};
+/// use unidm_tablestore::{DataLake, Table, Value};
+/// use unidm_world::World;
+///
+/// let world = World::generate(42);
+/// let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+/// let mut cities = Table::builder("cities").columns(["city", "country", "timezone"]).build();
+/// cities.push_row(vec![
+///     Value::text("Florence"), Value::text("Italy"), Value::text("Central European Time"),
+/// ]).unwrap();
+/// cities.push_row(vec![Value::text("Copenhagen"), Value::text("Denmark"), Value::Null]).unwrap();
+/// let lake: DataLake = [cities].into_iter().collect();
+///
+/// let tasks = vec![Task::imputation("cities", 1, "timezone", "city")];
+/// let serial = BatchRunner::new(&llm, PipelineConfig::paper_default()).with_workers(1);
+/// let parallel = serial.with_workers(4);
+/// assert_eq!(
+///     serial.answers(&lake, &tasks),
+///     parallel.answers(&lake, &tasks),
+///     "scheduling must not change answers",
+/// );
+/// ```
 #[derive(Clone, Copy)]
 pub struct BatchRunner<'a> {
     llm: &'a dyn LanguageModel,
@@ -456,7 +927,8 @@ mod tests {
     #[test]
     fn cache_evicts_least_recently_used() {
         let (_, llm) = setup();
-        let cache = PromptCache::new(&llm, 2);
+        // One shard so the LRU policy is global and observable.
+        let cache = PromptCache::new(&llm, 2).with_shards(1);
         cache.complete("prompt one").unwrap();
         cache.complete("prompt two").unwrap();
         // Touch "prompt one" so "prompt two" becomes the LRU victim.
@@ -480,6 +952,164 @@ mod tests {
         let cache = PromptCache::unbounded(&llm);
         assert!(cache.complete("  ").is_err());
         assert_eq!(cache.len(), 0, "errors must not be memoized");
+    }
+
+    #[test]
+    fn sharded_cache_distributes_entries_and_aggregates_stats() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm).with_shards(4);
+        assert_eq!(cache.shards(), 4);
+        for i in 0..32 {
+            cache
+                .complete(&format!("distinct prompt number {i}"))
+                .unwrap();
+        }
+        for i in 0..32 {
+            cache
+                .complete(&format!("distinct prompt number {i}"))
+                .unwrap();
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert!(
+            per_shard.iter().filter(|s| s.misses > 0).count() >= 2,
+            "32 distinct prompts should spread over several shards: {per_shard:?}"
+        );
+        let mut folded = CacheStats::default();
+        for s in &per_shard {
+            folded.merge(*s);
+        }
+        assert_eq!(folded, cache.stats(), "aggregate must equal shard sum");
+        assert_eq!((folded.hits, folded.misses), (32, 32));
+        assert_eq!(cache.len(), 32);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let (_, llm) = setup();
+        assert_eq!(PromptCache::unbounded(&llm).with_shards(3).shards(), 4);
+        assert_eq!(PromptCache::unbounded(&llm).with_shards(1).shards(), 1);
+        assert_eq!(PromptCache::unbounded(&llm).with_shards(0).shards(), 1);
+        assert_eq!(PromptCache::unbounded(&llm).shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn rebuilding_shards_keeps_entries() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm);
+        cache.complete("alpha").unwrap();
+        cache.complete("beta").unwrap();
+        cache.complete("alpha").unwrap();
+        let stats_before = cache.stats();
+        let cache = cache
+            .with_shards(2)
+            .with_canonicalization(CanonLevel::Whitespace);
+        assert_eq!(cache.len(), 2, "entries survive reconfiguration");
+        assert_eq!(
+            cache.stats(),
+            stats_before,
+            "statistics survive reconfiguration"
+        );
+        let before = llm.usage();
+        cache.complete("alpha").unwrap();
+        assert_eq!(llm.usage(), before, "re-keyed entry still hits");
+    }
+
+    #[test]
+    fn canonicalized_cache_folds_whitespace_variants() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::Whitespace);
+        let a = cache.complete("The quick  brown fox").unwrap();
+        let b = cache.complete(" The quick brown fox ").unwrap();
+        assert_eq!(a, b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_serves_hits_without_model_calls() {
+        let (world, llm) = setup();
+        let cache = PromptCache::unbounded(&llm);
+        cache.complete("alpha prompt").unwrap();
+        cache.complete("beta prompt\nwith a second line").unwrap();
+        let snapshot = cache.snapshot();
+        assert!(snapshot.starts_with(SNAPSHOT_HEADER));
+
+        let fresh_llm = MockLlm::new(&world, LlmProfile::gpt4_turbo(), 1);
+        let restored = PromptCache::unbounded(&fresh_llm).with_shards(2);
+        assert_eq!(restored.restore(&snapshot).unwrap(), 2);
+        assert_eq!(restored.len(), 2);
+        let reply = restored
+            .complete("beta prompt\nwith a second line")
+            .unwrap();
+        assert_eq!(
+            fresh_llm.usage(),
+            Usage::default(),
+            "restored entry must answer before any model call"
+        );
+        assert_eq!(
+            reply.text,
+            cache
+                .complete("beta prompt\nwith a second line")
+                .unwrap()
+                .text
+        );
+        assert_eq!(restored.stats().hits, 1);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let (_, llm) = setup();
+        let a = PromptCache::unbounded(&llm).with_shards(1);
+        let b = PromptCache::unbounded(&llm).with_shards(8);
+        for prompt in ["one", "two", "three"] {
+            a.complete(prompt).unwrap();
+            b.complete(prompt).unwrap();
+        }
+        assert_eq!(
+            a.snapshot(),
+            b.snapshot(),
+            "snapshot must not depend on shard layout"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_other_models_and_garbage() {
+        let (world, llm) = setup();
+        let cache = PromptCache::unbounded(&llm);
+        cache.complete("alpha").unwrap();
+        let snapshot = cache.snapshot();
+
+        let other = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+        let mismatched = PromptCache::unbounded(&other);
+        assert!(matches!(
+            mismatched.restore(&snapshot),
+            Err(SnapshotError::ModelMismatch { .. })
+        ));
+        assert!(mismatched.is_empty());
+
+        assert!(matches!(
+            cache.restore("not a snapshot"),
+            Err(SnapshotError::Parse { line: 1, .. })
+        ));
+        let truncated = snapshot.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            cache.restore(&truncated),
+            Err(SnapshotError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn escape_roundtrips_control_characters() {
+        for text in [
+            "plain",
+            "two\nlines",
+            "back\\slash",
+            "\r\n mixed \\n literal",
+        ] {
+            assert_eq!(unescape(&escape(text)), text);
+        }
     }
 
     #[test]

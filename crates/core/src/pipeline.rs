@@ -1,4 +1,12 @@
 //! The UniDM pipeline: Algorithm 1 of the paper.
+//!
+//! A [`UniDm`] holds a `&dyn LanguageModel`, so the whole pipeline composes
+//! with the execution substrates in [`crate::exec`]: hand it a
+//! [`crate::PromptCache`] to deduplicate the retrieval/parsing prompts
+//! shared across runs, and drive many runs at once with
+//! [`crate::BatchRunner`]. Per-run token cost is metered locally (see
+//! [`UniDm::run`]), so neither caching nor scheduling changes what a run
+//! reports.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -4,6 +4,12 @@
 //! `p_cq` and the LLM emits a cloze question `p_as`; otherwise the claim is
 //! concatenated directly. Either way the resulting target prompt is fed
 //! back to the LLM for the final answer.
+//!
+//! Caching note: the `p_cq` prompt is dominated by a fixed demonstration
+//! block (paper appendix A), which [`crate::canon`] places in the
+//! reusable stem of the cache key; only the final claim is the per-row
+//! suffix. Two runs whose context and query coincide therefore share one
+//! cloze-construction entry under a canonicalizing [`crate::PromptCache`].
 
 use unidm_llm::protocol::{render_pcq, render_simple, Claim};
 use unidm_llm::LanguageModel;

@@ -5,6 +5,13 @@
 //! 0–3 for relevance (`p_ri`). The top-k records projected on the selected
 //! attributes form the tabular context `C`. With retrieval disabled, both
 //! choices fall back to uniform sampling — the ablation baseline.
+//!
+//! Caching note: although `p_rm` embeds a per-row query, which attributes
+//! help is a property of the *table* (schema + target attribute), so
+//! [`crate::canon`] generalizes these queries at
+//! [`crate::CanonLevel::TableStem`] and every row of a table shares one
+//! `p_rm` cache entry. `p_ri` is genuinely per-row — relevance is judged
+//! against the target record — and is never folded.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;

@@ -138,15 +138,20 @@ impl AblationRow {
 fn imputation_ablation(config: ExperimentConfig, dataset: &str, title: &str) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("ablation-{dataset}-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let ds = match dataset {
         "Restaurant" => imputation::restaurant(&world, config.seed, config.queries),
         _ => imputation::buy(&world, config.seed, config.queries),
     };
     let mut report = TableReport::new(title, vec!["Acc".into()]);
     for row in AblationRow::imputation_rows() {
-        let acc = unidm_accuracy(&llm, &ds, row.config(config.seed), config.queries);
+        let acc = unidm_accuracy(llm, &ds, row.config(config.seed), config.queries);
         report.push(row.label(), vec![acc.percent()]);
     }
+    cached.finish();
     report
 }
 
@@ -175,6 +180,10 @@ pub fn table9(config: ExperimentConfig) -> TableReport {
 pub fn table10(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table10-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let datasets = [
         transformation::stackoverflow(&world, config.seed, config.queries),
         transformation::bing_querylogs(&world, config.seed, config.queries),
@@ -188,12 +197,12 @@ pub fn table10(config: ExperimentConfig) -> TableReport {
         let cells: Vec<f64> = datasets
             .iter()
             .map(|ds| {
-                unidm_transform_accuracy(&llm, ds, row.config(config.seed), config.queries)
-                    .percent()
+                unidm_transform_accuracy(llm, ds, row.config(config.seed), config.queries).percent()
             })
             .collect();
         report.push(row.label(), cells);
     }
+    cached.finish();
     report
 }
 

@@ -1,0 +1,212 @@
+//! Opt-in prompt caching for the experiment runners.
+//!
+//! Every table driver builds its model, then calls
+//! [`CacheConfig::attach`] with a scenario name. When caching is enabled
+//! the driver's LLM traffic flows through a sharded, canonicalizing
+//! [`PromptCache`]; when a snapshot directory is configured the cache is
+//! warm-started from (and persisted back to) a per-scenario snapshot
+//! file, so repeating an eval run answers its repeated prompts before any
+//! model call.
+//!
+//! Snapshots are keyed by scenario name — which embeds the table, the
+//! model, and the seed — and additionally carry the model name inside the
+//! file, so a snapshot taken over one model is never served to another
+//! (see [`unidm::SnapshotError::ModelMismatch`]).
+//!
+//! Caching is off by default: the paper tables are regenerated with exact
+//! memoization semantics unless the caller opts in (the bench binaries
+//! expose this as `--cache` / `--cache-dir`).
+
+use std::path::PathBuf;
+
+use unidm::{CacheStats, CanonLevel, PromptCache};
+use unidm_llm::LanguageModel;
+
+/// Prompt-cache settings shared by every experiment driver.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheConfig {
+    /// Whether drivers route their model traffic through a [`PromptCache`].
+    pub enabled: bool,
+    /// Canonicalization level of the attached caches.
+    pub level: CanonLevel,
+    /// Shard count (0 selects the cache's default).
+    pub shards: usize,
+    /// Total completion capacity (0 means unbounded).
+    pub capacity: usize,
+    /// Directory for per-scenario snapshot files; `None` keeps caches
+    /// in-memory only.
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+impl CacheConfig {
+    /// Caching enabled at [`CanonLevel::TableStem`] — the level that folds
+    /// per-row retrieval prompts and lifts imputation hit rates an order
+    /// of magnitude — with default sharding and no persistence.
+    pub fn enabled() -> Self {
+        CacheConfig {
+            enabled: true,
+            level: CanonLevel::TableStem,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Adds cross-run persistence: snapshots are loaded from and saved to
+    /// `dir` (created on first use), one file per scenario.
+    pub fn with_snapshot_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
+    /// Wraps `llm` according to this configuration.
+    ///
+    /// `scenario` names the workload (e.g. `"table1-seed42"`) and becomes
+    /// the snapshot file name; if a snapshot for it exists it is restored
+    /// before the first lookup. Load failures (missing file, mismatched
+    /// model, stale format) fall back to a cold cache — a warm start is an
+    /// optimization, never a correctness requirement.
+    pub fn attach<'a>(&self, scenario: &str, llm: &'a dyn LanguageModel) -> AttachedCache<'a> {
+        if !self.enabled {
+            return AttachedCache {
+                fallback: llm,
+                cache: None,
+                snapshot_path: None,
+                loaded: 0,
+            };
+        }
+        let mut cache = if self.capacity == 0 {
+            PromptCache::unbounded(llm)
+        } else {
+            PromptCache::new(llm, self.capacity)
+        };
+        if self.shards > 0 {
+            cache = cache.with_shards(self.shards);
+        }
+        let cache = cache.with_canonicalization(self.level);
+        let snapshot_path = self.snapshot_dir.as_ref().map(|dir| {
+            let _ = std::fs::create_dir_all(dir);
+            dir.join(format!("{scenario}.promptcache"))
+        });
+        let mut loaded = 0;
+        if let Some(path) = &snapshot_path {
+            if path.exists() {
+                match cache.load_from(path) {
+                    Ok(n) => loaded = n,
+                    Err(e) => eprintln!("warning: cold-starting {scenario}: {e}"),
+                }
+            }
+        }
+        AttachedCache {
+            fallback: llm,
+            cache: Some(cache),
+            snapshot_path,
+            loaded,
+        }
+    }
+}
+
+/// A model reference optionally wrapped in a configured [`PromptCache`]
+/// (see [`CacheConfig::attach`]).
+pub struct AttachedCache<'a> {
+    fallback: &'a dyn LanguageModel,
+    cache: Option<PromptCache<'a>>,
+    snapshot_path: Option<PathBuf>,
+    /// Entries restored from the scenario snapshot (0 on a cold start).
+    pub loaded: usize,
+}
+
+impl<'a> AttachedCache<'a> {
+    /// The model the driver should talk to: the cache when enabled, the
+    /// bare model otherwise.
+    pub fn model(&self) -> &dyn LanguageModel {
+        match &self.cache {
+            Some(cache) => cache,
+            None => self.fallback,
+        }
+    }
+
+    /// Aggregated cache statistics, when caching is enabled.
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(PromptCache::stats)
+    }
+
+    /// Persists the cache to its scenario snapshot file, if both caching
+    /// and a snapshot directory are configured. Failures are reported on
+    /// stderr and otherwise ignored — eval results never depend on the
+    /// snapshot being written.
+    pub fn finish(&self) {
+        if let (Some(cache), Some(path)) = (&self.cache, &self.snapshot_path) {
+            if let Err(e) = cache.save_to(path) {
+                eprintln!(
+                    "warning: could not persist prompt cache to {}: {e}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_llm::{LlmProfile, MockLlm};
+    use unidm_world::World;
+
+    fn llm() -> MockLlm {
+        MockLlm::new(&World::generate(7), LlmProfile::gpt3_175b(), 7)
+    }
+
+    #[test]
+    fn disabled_config_passes_the_model_through() {
+        let model = llm();
+        let attached = CacheConfig::default().attach("t", &model);
+        assert!(attached.stats().is_none());
+        attached.model().complete("hello").unwrap();
+        assert!(model.usage().total() > 0);
+        attached.finish();
+    }
+
+    #[test]
+    fn enabled_config_caches_and_persists_per_scenario() {
+        let dir = std::env::temp_dir().join(format!("unidm-cache-test-{}", std::process::id()));
+        let config = CacheConfig::enabled().with_snapshot_dir(&dir);
+
+        let model = llm();
+        let cold = config.attach("scenario-a", &model);
+        assert_eq!(cold.loaded, 0, "first run starts cold");
+        cold.model().complete("a repeated prompt").unwrap();
+        cold.model().complete("a repeated prompt").unwrap();
+        assert_eq!(cold.stats().unwrap().hits, 1);
+        cold.finish();
+
+        let fresh = llm();
+        let warm = config.attach("scenario-a", &fresh);
+        assert!(warm.loaded > 0, "second run restores the snapshot");
+        warm.model().complete("a repeated prompt").unwrap();
+        assert_eq!(
+            fresh.usage().total(),
+            0,
+            "warm run answers before any model call"
+        );
+        assert_eq!(warm.stats().unwrap().hits, 1);
+
+        // A different scenario does not see scenario-a's snapshot.
+        let other = config.attach("scenario-b", &fresh);
+        assert_eq!(other.loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_model_snapshot_falls_back_to_cold() {
+        let dir = std::env::temp_dir().join(format!("unidm-cache-mm-{}", std::process::id()));
+        let config = CacheConfig::enabled().with_snapshot_dir(&dir);
+        let gpt3 = llm();
+        let first = config.attach("shared", &gpt3);
+        first.model().complete("alpha").unwrap();
+        first.finish();
+
+        let gpt4 = MockLlm::new(&World::generate(7), LlmProfile::gpt4_turbo(), 7);
+        let second = config.attach("shared", &gpt4);
+        assert_eq!(second.loaded, 0, "wrong-model snapshot must not load");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -74,6 +74,10 @@ pub fn fm_f1(
 pub fn table3(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table3-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let datasets = [
         errors::hospital(&world, config.seed, 0.05),
         errors::adult(&world, config.seed, 250, 0.05),
@@ -129,7 +133,7 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
         "FM",
         datasets
             .iter()
-            .map(|ds| fm_f1(&llm, ds, q, config.seed).f1() * 100.0)
+            .map(|ds| fm_f1(llm, ds, q, config.seed).f1() * 100.0)
             .collect(),
     );
     report.push(
@@ -138,7 +142,7 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
             .iter()
             .map(|ds| {
                 unidm_f1(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::paper_default().with_seed(config.seed),
                     q,
@@ -148,6 +152,7 @@ pub fn table3(config: ExperimentConfig) -> TableReport {
             })
             .collect(),
     );
+    cached.finish();
     report
 }
 

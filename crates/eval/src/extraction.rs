@@ -66,6 +66,10 @@ fn evaporate_f1(
 pub fn table11(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table11-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let ds = extraction::nba_players(&world, config.seed);
     let q = config.queries.min(ds.len());
     let sample = &ds.docs[..10.min(ds.docs.len())];
@@ -87,13 +91,14 @@ pub fn table11(config: ExperimentConfig) -> TableReport {
         "UniDM",
         vec![
             unidm_f1(
-                &llm,
+                llm,
                 &ds,
                 PipelineConfig::paper_default().with_seed(config.seed),
                 q,
             ) * 100.0,
         ],
     );
+    cached.finish();
     report
 }
 

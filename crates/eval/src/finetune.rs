@@ -1,4 +1,11 @@
 //! Table 5 — fine-tuning experiments on Walmart-Amazon.
+//!
+//! This driver deliberately stays outside [`crate::CacheConfig`] wiring:
+//! fine-tuning produces a *different model* at every training budget, and
+//! a prompt → completion memo is only valid for the exact model that
+//! produced it (snapshots record the model name for the same reason —
+//! see [`unidm::SnapshotError::ModelMismatch`]). Caching across the
+//! variants would serve one model's completions to another.
 
 use unidm::PipelineConfig;
 use unidm_baselines::fm;

@@ -77,6 +77,10 @@ fn classic_accuracy(
 pub fn table1(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table1-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let datasets = [
         imputation::restaurant(&world, config.seed, config.queries),
         imputation::buy(&world, config.seed, config.queries),
@@ -126,19 +130,19 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
     );
     row(
         "FM (random)",
-        &mut |ds| fm_accuracy(&llm, ds, fm::ContextStrategy::Random, q, config.seed),
+        &mut |ds| fm_accuracy(llm, ds, fm::ContextStrategy::Random, q, config.seed),
         &mut report,
     );
     row(
         "FM (manual)",
-        &mut |ds| fm_accuracy(&llm, ds, fm::ContextStrategy::Manual, q, config.seed),
+        &mut |ds| fm_accuracy(llm, ds, fm::ContextStrategy::Manual, q, config.seed),
         &mut report,
     );
     row(
         "UniDM (random)",
         &mut |ds| {
             unidm_accuracy(
-                &llm,
+                llm,
                 ds,
                 PipelineConfig::random_context().with_seed(config.seed),
                 q,
@@ -150,7 +154,7 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
         "UniDM",
         &mut |ds| {
             unidm_accuracy(
-                &llm,
+                llm,
                 ds,
                 PipelineConfig::paper_default().with_seed(config.seed),
                 q,
@@ -158,12 +162,44 @@ pub fn table1(config: ExperimentConfig) -> TableReport {
         },
         &mut report,
     );
+    cached.finish();
     report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CacheConfig;
+
+    #[test]
+    fn table1_with_cache_warm_starts_and_reproduces_itself() {
+        let dir = std::env::temp_dir().join(format!("unidm-table1-cache-{}", std::process::id()));
+        let config =
+            ExperimentConfig::quick().with_cache(CacheConfig::enabled().with_snapshot_dir(&dir));
+
+        let cold = table1(config.clone());
+        let warm = table1(config);
+        for ds in ["Restaurant", "Buy"] {
+            for row in ["UniDM", "UniDM (random)", "FM (random)", "FM (manual)"] {
+                assert_eq!(
+                    cold.cell(row, ds),
+                    warm.cell(row, ds),
+                    "{row}/{ds}: a warm-started rerun must reproduce the cold run"
+                );
+            }
+            let unidm = cold.cell("UniDM", ds).unwrap();
+            let holoclean = cold.cell("HoloClean", ds).unwrap();
+            assert!(
+                unidm > holoclean,
+                "{ds}: cached UniDM must stay ahead of HoloClean: {unidm} vs {holoclean}"
+            );
+        }
+        assert!(
+            dir.join(format!("table1-seed{}.promptcache", 42)).exists(),
+            "snapshot persisted per scenario"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 
     #[test]
     fn table1_shape_holds() {

@@ -134,6 +134,10 @@ pub fn fig5_thresholds() -> Vec<f64> {
 pub fn fig5(config: ExperimentConfig) -> SweepReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("fig5-seed{}", config.seed), &llm);
+    let llm = cached.model();
     // The paper uses 4404 pairs; scale with the configured query budget.
     let n_pairs = (config.queries * 4).clamp(80, 4404);
     let ds = joins::nextiajd(&world, config.seed, n_pairs);
@@ -141,13 +145,14 @@ pub fn fig5(config: ExperimentConfig) -> SweepReport {
     let wg = sweep(&warpgate_scores(&ds, n_pairs), &thresholds);
     let ud = sweep(
         &unidm_scores(
-            &llm,
+            llm,
             &ds,
             PipelineConfig::paper_default().with_seed(config.seed),
             n_pairs,
         ),
         &thresholds,
     );
+    cached.finish();
     SweepReport {
         title: "Figure 5. F1-score, precision and recall on join discovery (NextiaJD subset)."
             .to_string(),

@@ -5,6 +5,12 @@
 //! rows mirror the paper's rows; the `unidm-bench` binaries print them.
 //! Runners are deterministic functions of an [`ExperimentConfig`].
 //!
+//! Drivers route their LLM traffic through the batch engine's prompt
+//! cache when [`ExperimentConfig::cache`] opts in (see [`CacheConfig`]):
+//! with a snapshot directory configured, a repeated run of the same
+//! table/seed/model scenario starts warm and serves its repeated prompts
+//! without touching the model.
+//!
 //! | Function | Paper object |
 //! |---|---|
 //! | [`imputation::table1`] | Table 1 — imputation accuracy |
@@ -22,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
 pub mod errors;
 pub mod extraction;
 pub mod finetune;
@@ -34,14 +41,19 @@ pub mod tokens;
 pub mod transformation;
 pub mod zoo;
 
+pub use cache::{AttachedCache, CacheConfig};
+
 /// Shared configuration of an experiment run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExperimentConfig {
     /// World seed (datasets and the model's knowledge derive from it).
     pub seed: u64,
     /// Number of evaluation queries per dataset (tables cap at the dataset
     /// size). The paper-scale default is 100+; CI uses less.
     pub queries: usize,
+    /// Prompt-cache settings (disabled by default — enable for warm
+    /// repeated runs).
+    pub cache: CacheConfig,
 }
 
 impl ExperimentConfig {
@@ -50,6 +62,7 @@ impl ExperimentConfig {
         ExperimentConfig {
             seed: 42,
             queries: 150,
+            cache: CacheConfig::default(),
         }
     }
 
@@ -58,7 +71,14 @@ impl ExperimentConfig {
         ExperimentConfig {
             seed: 42,
             queries: 30,
+            cache: CacheConfig::default(),
         }
+    }
+
+    /// Replaces the cache settings (builder-style).
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
     }
 }
 

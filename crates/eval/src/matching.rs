@@ -103,6 +103,10 @@ pub fn fm_f1(
 pub fn table4(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table4-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let datasets = [
         matching::beer(&world, config.seed),
         matching::amazon_google(&world, config.seed),
@@ -151,14 +155,14 @@ pub fn table4(config: ExperimentConfig) -> TableReport {
         "FM (random)",
         datasets
             .iter()
-            .map(|ds| fm_f1(&llm, ds, fm::ContextStrategy::Random, q, config.seed).f1() * 100.0)
+            .map(|ds| fm_f1(llm, ds, fm::ContextStrategy::Random, q, config.seed).f1() * 100.0)
             .collect(),
     );
     report.push(
         "FM (manual)",
         datasets
             .iter()
-            .map(|ds| fm_f1(&llm, ds, fm::ContextStrategy::Manual, q, config.seed).f1() * 100.0)
+            .map(|ds| fm_f1(llm, ds, fm::ContextStrategy::Manual, q, config.seed).f1() * 100.0)
             .collect(),
     );
     report.push(
@@ -167,7 +171,7 @@ pub fn table4(config: ExperimentConfig) -> TableReport {
             .iter()
             .map(|ds| {
                 unidm_f1(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::paper_default().with_seed(config.seed),
                     q,
@@ -177,6 +181,7 @@ pub fn table4(config: ExperimentConfig) -> TableReport {
             })
             .collect(),
     );
+    cached.finish();
     report
 }
 

@@ -15,7 +15,7 @@ use crate::ExperimentConfig;
 /// the figure is exact even though the batch executes in parallel against
 /// the shared model.
 pub fn unidm_tokens(
-    llm: &MockLlm,
+    llm: &dyn LanguageModel,
     ds: &ImputationDataset,
     pipeline: PipelineConfig,
     queries: usize,
@@ -45,7 +45,12 @@ pub fn unidm_tokens(
 }
 
 /// Mean tokens per query for the FM baseline.
-pub fn fm_tokens(llm: &MockLlm, ds: &ImputationDataset, queries: usize, seed: u64) -> f64 {
+pub fn fm_tokens(
+    llm: &dyn LanguageModel,
+    ds: &ImputationDataset,
+    queries: usize,
+    seed: u64,
+) -> f64 {
     let runner = fm::Fm::new(llm, fm::ContextStrategy::Manual, seed);
     let mut total = 0usize;
     let mut n = 0usize;
@@ -64,6 +69,10 @@ pub fn fm_tokens(llm: &MockLlm, ds: &ImputationDataset, queries: usize, seed: u6
 pub fn table7(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table7-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let q = config.queries.min(40);
     let datasets = [
         imputation::restaurant(&world, config.seed, q),
@@ -77,7 +86,7 @@ pub fn table7(config: ExperimentConfig) -> TableReport {
         "FM",
         datasets
             .iter()
-            .map(|ds| fm_tokens(&llm, ds, q, config.seed))
+            .map(|ds| fm_tokens(llm, ds, q, config.seed))
             .collect(),
     );
     report.push(
@@ -86,7 +95,7 @@ pub fn table7(config: ExperimentConfig) -> TableReport {
             .iter()
             .map(|ds| {
                 unidm_tokens(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::random_context().with_seed(config.seed),
                     q,
@@ -100,7 +109,7 @@ pub fn table7(config: ExperimentConfig) -> TableReport {
             .iter()
             .map(|ds| {
                 unidm_tokens(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::paper_default().with_seed(config.seed),
                     q,
@@ -108,6 +117,7 @@ pub fn table7(config: ExperimentConfig) -> TableReport {
             })
             .collect(),
     );
+    cached.finish();
     report
 }
 

@@ -67,6 +67,10 @@ pub fn tde_accuracy(ds: &TransformationDataset, queries: usize) -> Accuracy {
 pub fn table2(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let cached = config
+        .cache
+        .attach(&format!("table2-seed{}", config.seed), &llm);
+    let llm = cached.model();
     let datasets = [
         transformation::stackoverflow(&world, config.seed, config.queries),
         transformation::bing_querylogs(&world, config.seed, config.queries),
@@ -87,7 +91,7 @@ pub fn table2(config: ExperimentConfig) -> TableReport {
         "FM",
         datasets
             .iter()
-            .map(|ds| fm_accuracy(&llm, ds, q, config.seed).percent())
+            .map(|ds| fm_accuracy(llm, ds, q, config.seed).percent())
             .collect(),
     );
     report.push(
@@ -96,7 +100,7 @@ pub fn table2(config: ExperimentConfig) -> TableReport {
             .iter()
             .map(|ds| {
                 unidm_accuracy(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::paper_default().with_seed(config.seed),
                     q,
@@ -105,6 +109,7 @@ pub fn table2(config: ExperimentConfig) -> TableReport {
             })
             .collect(),
     );
+    cached.finish();
     report
 }
 

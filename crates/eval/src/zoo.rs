@@ -22,11 +22,16 @@ pub fn table6(config: ExperimentConfig) -> TableReport {
     );
     for profile in LlmProfile::zoo() {
         let llm = MockLlm::new(&world, profile.clone(), config.seed);
+        let cached = config.cache.attach(
+            &format!("table6-{}-seed{}", profile.name, config.seed),
+            &llm,
+        );
+        let llm = cached.model();
         let cells: Vec<f64> = datasets
             .iter()
             .map(|ds| {
                 unidm_accuracy(
-                    &llm,
+                    llm,
                     ds,
                     PipelineConfig::paper_default().with_seed(config.seed),
                     config.queries,
@@ -34,6 +39,7 @@ pub fn table6(config: ExperimentConfig) -> TableReport {
                 .percent()
             })
             .collect();
+        cached.finish();
         report.push(profile.name, cells);
     }
     report

@@ -31,7 +31,10 @@
 //!
 //! All randomness is derived by hashing `(model seed, prompt, decision tag)`
 //! — the same prompt to the same model always yields the same completion,
-//! and there is no hidden mutable RNG state.
+//! and there is no hidden mutable RNG state. That purity is what makes the
+//! execution substrates in `unidm::exec` sound: a prompt cache can memoize
+//! (and even persist) completions, and a batch pool can replay them on any
+//! thread, without changing a single answer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -83,6 +83,26 @@ pub trait LanguageModel: Send + Sync {
 /// a fresh `UsageMeter` for the run, make every call through the meter, and
 /// read [`UsageMeter::used`] at the end. Sound under concurrency because
 /// the meter is private to the run while the inner model is shared.
+///
+/// # Examples
+///
+/// ```
+/// use unidm_llm::{LanguageModel, LlmProfile, MockLlm, UsageMeter};
+/// use unidm_world::World;
+///
+/// # fn main() -> Result<(), unidm_llm::LlmError> {
+/// let world = World::generate(42);
+/// let shared = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+/// shared.complete("traffic from another tenant")?;
+///
+/// let meter = UsageMeter::new(&shared);
+/// let reply = meter.complete("The capital of Denmark is __.")?;
+/// // The meter saw exactly this run's tokens, not the shared counter.
+/// assert_eq!(meter.used(), reply.usage);
+/// assert!(shared.usage().total() > meter.used().total());
+/// # Ok(())
+/// # }
+/// ```
 pub struct UsageMeter<'a> {
     inner: &'a dyn LanguageModel,
     used: Mutex<Usage>,

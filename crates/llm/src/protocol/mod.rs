@@ -13,8 +13,8 @@
 //! | `p_ri` (instance-wise retrieval) | [`render_pri`] | [`parse_pri`] |
 //! | `p_dp` (context data parsing) | [`render_pdp`] | [`parse_pdp`] |
 //! | `p_cq` (cloze-question generation) | [`render_pcq`] | [`parse_pcq`] |
-//! | cloze questions / `p_as` | [`cloze`] module | [`cloze::parse_answer_request`] |
-//! | FM-style prompts | [`fm`] module | in-module parsers |
+//! | cloze questions / `p_as` | [`render_cloze`] | [`parse_answer_request`] |
+//! | FM-style prompts | [`render_fm_imputation`] and friends | [`parse_fm`] |
 
 mod cloze;
 mod fm;

@@ -10,7 +10,7 @@
 //! * [`embed`] — deterministic hashed character-n-gram embeddings with cosine
 //!   similarity, the substrate for IMP/Ditto/WarpGate-style baselines.
 //! * [`tfidf`] — a small TF-IDF corpus model for instance weighting.
-//! * [`format`] — string format signatures (digit/letter/punctuation shape)
+//! * [`mod@format`] — string format signatures (digit/letter/punctuation shape)
 //!   used by the TDE baseline and the error-detection generators.
 //! * [`normalize`] — canonicalisation helpers.
 //!

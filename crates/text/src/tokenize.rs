@@ -63,7 +63,7 @@ const SUBWORD_CHARS: usize = 4;
 
 /// Approximates the number of LLM tokens in `text`.
 ///
-/// Words of up to [`SUBWORD_CHARS`] characters count as one token; longer
+/// Words of up to `SUBWORD_CHARS` (4) characters count as one token; longer
 /// words count one token per started four-character chunk. Punctuation
 /// characters count one token each. The function is monotone: appending text
 /// never decreases the count.

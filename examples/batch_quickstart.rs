@@ -1,17 +1,21 @@
 //! Batched quickstart: run a whole imputation workload through the
-//! parallel batch engine with a shared prompt cache.
+//! parallel batch engine with a canonicalizing prompt cache, then rerun it
+//! warm from a snapshot.
 //!
 //! Where `quickstart` runs one task through `UniDm::run`, this example
 //! builds a batch of tasks over one table, layers a [`PromptCache`] over
-//! the model so repeated retrieval/parsing prompts are deduplicated, and
-//! fans the batch out across the worker pool with [`BatchRunner`]. Results
-//! come back in task order with exact per-run token accounting.
+//! the model — sharded, and canonicalized at [`CanonLevel::TableStem`] so
+//! every row shares the table-level retrieval entry — and fans the batch
+//! out across the worker pool with [`BatchRunner`]. It then saves the
+//! cache to a snapshot file and replays the same workload through a fresh
+//! cache warm-started from that snapshot: the second run answers entirely
+//! from memory, before any model call.
 //!
 //! ```text
 //! cargo run --example batch_quickstart
 //! ```
 
-use unidm::{BatchRunner, PipelineConfig, PromptCache, Task};
+use unidm::{BatchRunner, CanonLevel, PipelineConfig, PromptCache, Task};
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::imputation;
 use unidm_tablestore::DataLake;
@@ -39,8 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // The cache is itself a `LanguageModel`, so the runner threads it
-    // under every worker transparently.
-    let cache = PromptCache::unbounded(&llm);
+    // under every worker transparently. Table-stem canonicalization folds
+    // the per-row retrieval preambles into shared entries.
+    let cache = PromptCache::unbounded(&llm)
+        .with_shards(8)
+        .with_canonicalization(CanonLevel::TableStem);
     let runner = BatchRunner::new(&cache, PipelineConfig::paper_default().with_seed(42));
     println!(
         "Running {} imputation tasks on {} worker(s)...\n",
@@ -68,11 +75,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         llm.usage().total()
     );
     println!(
-        "Prompt cache: {} hits / {} misses ({:.0}% hit rate), {} tokens saved",
+        "Prompt cache ({} shards, {} canonicalization): {} hits / {} misses \
+         ({:.0}% hit rate), {} tokens saved",
+        cache.shards(),
+        cache.level(),
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,
         stats.tokens_saved,
     );
+
+    // Persist the memo and warm-start a second run from the snapshot —
+    // what a repeated eval run does with `--cache-dir`.
+    let snapshot_path = std::env::temp_dir().join("unidm-batch-quickstart.promptcache");
+    cache.save_to(&snapshot_path)?;
+    println!("\nSnapshot saved to {}", snapshot_path.display());
+
+    let fresh_llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 42);
+    let warm = PromptCache::unbounded(&fresh_llm)
+        .with_shards(8)
+        .with_canonicalization(CanonLevel::TableStem);
+    let restored = warm.load_from(&snapshot_path)?;
+    let warm_runner = BatchRunner::new(&warm, PipelineConfig::paper_default().with_seed(42));
+    let warm_outputs = warm_runner.run(&lake, &tasks);
+    let warm_stats = warm.stats();
+    println!(
+        "Warm start: {restored} entries restored; rerun hit {} / missed {} \
+         ({:.0}% hit rate) with {} model tokens",
+        warm_stats.hits,
+        warm_stats.misses,
+        warm_stats.hit_rate() * 100.0,
+        fresh_llm.usage().total(),
+    );
+    for (cold, warm) in outputs.iter().zip(&warm_outputs) {
+        assert_eq!(
+            cold.as_ref().map_err(Clone::clone)?.answer,
+            warm.as_ref().map_err(Clone::clone)?.answer,
+            "warm answers must match the cold run bit-for-bit"
+        );
+    }
+    let _ = std::fs::remove_file(&snapshot_path);
     Ok(())
 }
