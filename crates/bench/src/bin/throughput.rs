@@ -9,11 +9,18 @@
 //! serial and batched answers are identical and that the two cached
 //! regimes agree with each other bit-for-bit.
 //!
+//! With `--faults` (and optionally `--rate-limit`) a fifth regime runs the
+//! same cached workload through the resilient backend over a seeded fault
+//! injector, reporting retries, breaker trips and goodput on the virtual
+//! clock — and cross-checking that the faulty answers are bit-identical to
+//! the fault-free serial run.
+//!
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
 //! cargo run -p unidm-bench --release --bin throughput -- --cache-dir .unidm-cache
 //! #   ^ persists the snapshot, so the *next* invocation's cold regime is warm too
+//! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
 //! ```
 
 use std::time::Instant;
@@ -179,6 +186,61 @@ fn main() {
             .saturating_sub(cold_stats.tokens_saved),
         cold.model_tokens.saturating_sub(warm.model_tokens),
     );
+
+    if config.backend.enabled {
+        // Faulty regime: the cached workload again, but every miss now
+        // crosses the resilient backend (limiter → retry → breaker) and a
+        // seeded fault injector. Answers must not move.
+        let backend = config.backend.wrap(&llm);
+        let faulty_cache =
+            PromptCache::unbounded(backend.model()).with_canonicalization(CanonLevel::TableStem);
+        let faulty = run("faulty", Some(&faulty_cache), workers);
+        let stats = backend.stats().expect("backend enabled");
+        let virtual_secs = backend.elapsed_us() as f64 / 1e6;
+        println!(
+            "\nFaulty backend regime ({} plan, rate limit {}):",
+            config
+                .backend
+                .faults
+                .map(|_| "seeded fault")
+                .unwrap_or("fault-free"),
+            config
+                .backend
+                .rate
+                .map(|r| format!("{}/s burst {}", r.tokens_per_sec, r.burst))
+                .unwrap_or_else(|| "none".into()),
+        );
+        println!(
+            "  {} calls, {} attempts, {} retries, {} breaker trips ({} fast-fails)",
+            stats.calls,
+            stats.attempts,
+            stats.retries,
+            stats.breaker_trips,
+            stats.breaker_fast_fails,
+        );
+        println!(
+            "  {} timeouts / {} rate-limited / {} transient errors absorbed; \
+             {} throttle waits ({:.3}s virtual)",
+            stats.timeouts,
+            stats.rate_limited,
+            stats.transients,
+            stats.throttle_waits,
+            stats.throttle_wait_us as f64 / 1e6,
+        );
+        println!(
+            "  goodput: {:.1} tasks/virtual-sec over {:.3} virtual secs; \
+             attempt efficiency {:.0}%",
+            faulty.answers.len() as f64 / virtual_secs.max(1e-9),
+            virtual_secs,
+            100.0 * stats.calls as f64 / stats.attempts.max(1) as f64,
+        );
+        assert_eq!(
+            faulty.answers, serial.answers,
+            "faults and throttling must never change answers"
+        );
+        assert_eq!(stats.failures, 0, "every faulty call must complete");
+        println!("  faulty answers identical to the fault-free serial run.");
+    }
 
     assert_eq!(
         batched.answers, serial.answers,

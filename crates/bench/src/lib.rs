@@ -15,7 +15,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use unidm_eval::{CacheConfig, ExperimentConfig};
+use unidm_eval::{BackendConfig, CacheConfig, ExperimentConfig};
+use unidm_llm::FaultPlan;
 
 /// Parses the common CLI of the bench binaries:
 ///
@@ -24,7 +25,14 @@ use unidm_eval::{CacheConfig, ExperimentConfig};
 /// * `--cache` routes driver traffic through a canonicalizing sharded
 ///   prompt cache (in-memory);
 /// * `--cache-dir DIR` additionally persists per-scenario snapshots under
-///   `DIR`, so repeating the same bench invocation starts warm.
+///   `DIR`, so repeating the same bench invocation starts warm;
+/// * `--faults [none|light|moderate|heavy]` routes driver traffic through
+///   the resilient backend over a seeded fault injector (`moderate` when
+///   the level is omitted);
+/// * `--fault-seed N` seeds the fault schedule independently of the world
+///   seed;
+/// * `--rate-limit N` adds a client-side token bucket of `N` attempts per
+///   second (burst `N/10`, at least 1) to the backend.
 pub fn config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut config = if args.iter().any(|a| a == "--quick") {
@@ -48,6 +56,41 @@ pub fn config_from_args() -> ExperimentConfig {
             _ => eprintln!(
                 "warning: --cache-dir requires a directory argument; \
                  snapshot persistence disabled"
+            ),
+        }
+    }
+    let fault_seed = args
+        .iter()
+        .position(|a| a == "--fault-seed")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.seed);
+    if let Some(pos) = args.iter().position(|a| a == "--faults") {
+        let plan = args
+            .get(pos + 1)
+            .filter(|level| !level.starts_with("--"))
+            .map(|level| {
+                FaultPlan::named(level, fault_seed).unwrap_or_else(|| {
+                    eprintln!("warning: unknown fault level {level:?}; using moderate");
+                    FaultPlan::moderate(fault_seed)
+                })
+            })
+            .unwrap_or_else(|| FaultPlan::moderate(fault_seed));
+        config.backend = BackendConfig::resilient(fault_seed).with_faults(plan);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--rate-limit") {
+        match args.get(pos + 1).and_then(|s| s.parse::<u64>().ok()) {
+            Some(per_sec) if per_sec > 0 => {
+                if !config.backend.enabled {
+                    config.backend = BackendConfig::resilient(fault_seed);
+                }
+                config.backend = config
+                    .backend
+                    .with_rate_limit(per_sec, (per_sec / 10).max(1));
+            }
+            _ => eprintln!(
+                "warning: --rate-limit requires a positive attempts/sec argument; \
+                 rate limiting disabled"
             ),
         }
     }

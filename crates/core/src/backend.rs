@@ -1,0 +1,895 @@
+//! The resilient backend substrate: a production-grade client layer
+//! between the prompt cache and the model endpoint.
+//!
+//! The paper assumes a well-behaved LLM endpoint; a deployed system must
+//! survive timeouts, 429 rate limits and transient 5xx errors without
+//! corrupting results. [`ResilientBackend`] wraps any
+//! [`LanguageModel`] with the protection stack a hosted deployment needs,
+//! composed in this order:
+//!
+//! ```text
+//! PromptCache                  (hits stop here: zero rate-limit budget)
+//!   └─ ResilientBackend
+//!        ├─ concurrency gate   (bounded in-flight attempts)
+//!        ├─ circuit breaker    (fail fast while the endpoint is down)
+//!        ├─ token bucket       (client-side rate limiting, waits not errors)
+//!        └─ retry loop         (exponential backoff, seeded jitter, deadline)
+//!             └─ endpoint      (SimBackend fault injector → MockLlm, offline)
+//! ```
+//!
+//! The cache sits *above* the backend, so hits never consume rate-limit
+//! budget or retry attempts; misses flow down through the stack. Because
+//! fault injection ([`unidm_llm::SimBackend`]) decides each attempt's fate
+//! as a pure function of `(seed, prompt, attempt index)`, and successes
+//! always return the inner model's deterministic completion, a faulty run
+//! produces answers bit-identical to a fault-free run — serial, parallel,
+//! cached or not — and aggregate endpoint-attempt counts are a pure
+//! function of the workload and the plan, independent of thread
+//! scheduling (retry counts too, unless the breaker is enabled — its
+//! fast-fails consume retries in an order-sensitive way).
+//!
+//! All timing — token refill, backoff, breaker cooldown, injected latency
+//! — runs on a shared [`Clock`], by default a [`VirtualClock`], so tests
+//! replay multi-second fault schedules in microseconds of wall time.
+//!
+//! # Examples
+//!
+//! ```
+//! use unidm::backend::BackendConfig;
+//! use unidm_llm::{FaultPlan, LanguageModel, LlmProfile, MockLlm};
+//! use unidm_world::World;
+//!
+//! let world = World::generate(42);
+//! let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+//! let config = BackendConfig::resilient(7)
+//!     .with_faults(FaultPlan::heavy(7))
+//!     .with_rate_limit(50, 10);
+//! let backend = config.wrap(&llm);
+//!
+//! let reply = backend.model().complete("The capital of Denmark is __.").unwrap();
+//! assert_eq!(reply, llm.complete("The capital of Denmark is __.").unwrap(),
+//!            "faults and throttling never change the answer");
+//! let stats = backend.stats().unwrap();
+//! assert_eq!(stats.calls, 1);
+//! assert!(stats.attempts >= 1);
+//! ```
+
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use unidm_llm::{
+    Clock, Completion, Dice, FaultPlan, FaultStats, LanguageModel, LlmError, SimBackend, Usage,
+    VirtualClock,
+};
+
+/// Retry policy: bounded exponential backoff with seeded jitter.
+///
+/// Backoff for retry `n` (1-based) doubles from
+/// [`RetryPolicy::base_backoff_us`] up to [`RetryPolicy::max_backoff_us`],
+/// then is jittered into `[50%, 100%]` of that value by a deterministic
+/// draw keyed on `(seed, prompt, n)` — different prompts desynchronize,
+/// identical runs reproduce exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Maximum retries per call (0 disables retrying). The default (32)
+    /// covers every stock [`FaultPlan`]'s consecutive-fault cap with room
+    /// for breaker fast-fails, whose count under parallel contention is
+    /// interleaving-dependent (each is preceded by a cooldown-length
+    /// sleep, so a deep budget costs nothing on a virtual clock).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_backoff_us: u64,
+    /// Upper bound on a single backoff, in microseconds.
+    pub max_backoff_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 32,
+            base_backoff_us: 100_000,
+            max_backoff_us: 10_000_000,
+        }
+    }
+}
+
+/// Token-bucket rate limit: `tokens_per_sec` sustained, `burst` tokens of
+/// headroom. One token is consumed per attempt that reaches the endpoint;
+/// an empty bucket makes the caller *wait* on the clock (it never errors),
+/// so client-side throttling cannot change answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RateLimit {
+    /// Sustained attempts per second. Must be at least 1.
+    pub tokens_per_sec: u64,
+    /// Bucket capacity (burst size). Must be at least 1.
+    pub burst: u64,
+}
+
+impl RateLimit {
+    /// A limit of `tokens_per_sec` with `burst` headroom (both clamped to
+    /// at least 1).
+    pub fn per_sec(tokens_per_sec: u64, burst: u64) -> Self {
+        RateLimit {
+            tokens_per_sec: tokens_per_sec.max(1),
+            burst: burst.max(1),
+        }
+    }
+}
+
+/// Circuit-breaker policy: after `failure_threshold` consecutive attempt
+/// failures the breaker opens for `cooldown_us`, rejecting calls without
+/// touching the endpoint; the first call after the cooldown half-opens the
+/// breaker as a probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open, in microseconds.
+    pub cooldown_us: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 5,
+            cooldown_us: 1_000_000,
+        }
+    }
+}
+
+/// Configuration of the resilient backend layer.
+///
+/// Integer-only fields keep the config `Eq`/`Hash` and every timing
+/// decision exactly reproducible. The derived default is **disabled**
+/// (`enabled: false`, no rate limit, no breaker, no faults, no deadline)
+/// — wrapping with a disabled config is a pass-through, so existing eval
+/// paths are byte-identical unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BackendConfig {
+    /// Whether [`BackendConfig::wrap`] builds the protection stack at all.
+    pub enabled: bool,
+    /// Seed for backoff jitter (and anything else the backend randomizes).
+    pub seed: u64,
+    /// Maximum concurrent in-flight attempts (0 = unbounded).
+    pub max_in_flight: u32,
+    /// Client-side rate limit (`None` = unlimited).
+    pub rate: Option<RateLimit>,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Circuit breaker (`None` = disabled).
+    pub breaker: Option<BreakerPolicy>,
+    /// Per-call deadline in microseconds (0 = none): once a call has spent
+    /// this much clock time across attempts and backoffs, it fails with
+    /// [`LlmError::DeadlineExceeded`] instead of retrying further.
+    pub deadline_us: u64,
+    /// Optional fault-injection plan: when set, [`BackendConfig::wrap`]
+    /// interposes a [`SimBackend`] between the retry loop and the inner
+    /// model, sharing the backend's clock.
+    pub faults: Option<FaultPlan>,
+}
+
+impl BackendConfig {
+    /// An enabled stack with default retrying and a default circuit
+    /// breaker — the baseline a hosted deployment would start from.
+    pub fn resilient(seed: u64) -> Self {
+        BackendConfig {
+            enabled: true,
+            seed,
+            breaker: Some(BreakerPolicy::default()),
+            ..BackendConfig::default()
+        }
+    }
+
+    /// Adds a token-bucket rate limit (builder-style).
+    pub fn with_rate_limit(mut self, tokens_per_sec: u64, burst: u64) -> Self {
+        self.rate = Some(RateLimit::per_sec(tokens_per_sec, burst));
+        self
+    }
+
+    /// Replaces the retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Replaces the circuit-breaker policy (builder-style).
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Disables the circuit breaker (builder-style).
+    pub fn without_breaker(mut self) -> Self {
+        self.breaker = None;
+        self
+    }
+
+    /// Sets the per-call deadline in microseconds (builder-style).
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = deadline_us;
+        self
+    }
+
+    /// Bounds concurrent in-flight attempts (builder-style).
+    pub fn with_max_in_flight(mut self, max_in_flight: u32) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Interposes a seeded fault injector (builder-style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Wraps `inner` according to this configuration: a pass-through when
+    /// disabled, the full protection stack (on a fresh [`VirtualClock`])
+    /// when enabled.
+    pub fn wrap<'a>(&self, inner: &'a dyn LanguageModel) -> AttachedBackend<'a> {
+        if !self.enabled {
+            return AttachedBackend::Passthrough(inner);
+        }
+        AttachedBackend::Resilient(Box::new(ResilientBackend::new(inner, *self)))
+    }
+}
+
+/// Counters of everything the backend layer did.
+///
+/// With a deterministic endpoint and fault schedule, re-running the same
+/// serial workload reproduces these counters exactly. Under parallelism
+/// the schedule-driven counters (`attempts` and the per-kind fault
+/// tallies) stay workload-determined, while timing- and order-sensitive
+/// ones (`breaker_*`, `throttle_*`) may vary with interleaving —
+/// `retries` is schedule-driven only with the breaker disabled, because
+/// each breaker fast-fail also consumes a retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Logical `complete` calls that entered the backend.
+    pub calls: u64,
+    /// Attempts that reached the endpoint (each consumes one rate-limit
+    /// token).
+    pub attempts: u64,
+    /// Retries across all calls (`attempts + breaker fast-fails - calls`
+    /// for fully successful runs).
+    pub retries: u64,
+    /// Timeout errors observed from the endpoint.
+    pub timeouts: u64,
+    /// 429-style rate-limit rejections observed from the endpoint.
+    pub rate_limited: u64,
+    /// Transient 5xx-style errors observed from the endpoint.
+    pub transients: u64,
+    /// Closed→open breaker transitions.
+    pub breaker_trips: u64,
+    /// Calls rejected while the breaker was open (no endpoint attempt, no
+    /// rate-limit token).
+    pub breaker_fast_fails: u64,
+    /// Attempts that had to wait for a rate-limit token.
+    pub throttle_waits: u64,
+    /// Total clock time spent waiting for tokens, in microseconds.
+    pub throttle_wait_us: u64,
+    /// Calls that failed with [`LlmError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Calls that ultimately returned an error.
+    pub failures: u64,
+}
+
+/// One micro-token: the token bucket accounts in millionths of a token so
+/// refill arithmetic is exact integers at any rate.
+const TOKEN: u64 = 1_000_000;
+
+#[derive(Debug)]
+struct TokenBucket {
+    /// Current content in micro-tokens.
+    units: u64,
+    /// Clock time of the last refill.
+    last_us: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerHealth {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct BreakerState {
+    health: BreakerHealth,
+    consecutive_failures: u32,
+    open_until_us: u64,
+}
+
+/// The endpoint under the protection stack: the caller's model directly,
+/// or a fault injector owned by the backend when
+/// [`BackendConfig::faults`] is set.
+enum Endpoint<'a> {
+    Direct(&'a dyn LanguageModel),
+    // Boxed: the injector carries its plan and counters, and the direct
+    // path should not pay its footprint.
+    Sim(Box<SimBackend<'a>>),
+}
+
+impl Endpoint<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        match self {
+            Endpoint::Direct(m) => *m,
+            Endpoint::Sim(sim) => sim.as_ref(),
+        }
+    }
+}
+
+/// A semaphore bounding concurrent in-flight attempts.
+struct Gate {
+    limit: u32,
+    in_flight: Mutex<u32>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(limit: u32) -> Self {
+        Gate {
+            limit,
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> GatePermit<'_> {
+        let mut count = self.in_flight.lock().expect("gate lock poisoned");
+        while *count >= self.limit {
+            count = self.freed.wait(count).expect("gate lock poisoned");
+        }
+        *count += 1;
+        GatePermit { gate: self }
+    }
+}
+
+struct GatePermit<'g> {
+    gate: &'g Gate,
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut count = self.gate.in_flight.lock().expect("gate lock poisoned");
+        *count -= 1;
+        self.gate.freed.notify_one();
+    }
+}
+
+/// The resilient client layer: bounded concurrency, token-bucket rate
+/// limiting, exponential-backoff retry with seeded jitter, a circuit
+/// breaker and per-call deadlines over any [`LanguageModel`].
+///
+/// See the [module docs](self) for the layering and determinism story.
+pub struct ResilientBackend<'a> {
+    endpoint: Endpoint<'a>,
+    config: BackendConfig,
+    clock: Arc<dyn Clock>,
+    dice: Dice,
+    bucket: Option<Mutex<TokenBucket>>,
+    breaker: Option<Mutex<BreakerState>>,
+    gate: Option<Gate>,
+    stats: Mutex<BackendStats>,
+}
+
+impl std::fmt::Debug for ResilientBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResilientBackend")
+            .field("endpoint", &self.endpoint.model().name())
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> ResilientBackend<'a> {
+    /// Builds the stack over `inner` on a fresh [`VirtualClock`].
+    pub fn new(inner: &'a dyn LanguageModel, config: BackendConfig) -> Self {
+        Self::with_clock(inner, config, Arc::new(VirtualClock::new()))
+    }
+
+    /// Builds the stack over `inner` on a caller-provided clock (e.g. a
+    /// [`unidm_llm::SystemClock`] for a live endpoint).
+    pub fn with_clock(
+        inner: &'a dyn LanguageModel,
+        config: BackendConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let endpoint = match config.faults {
+            Some(plan) => {
+                Endpoint::Sim(Box::new(SimBackend::with_clock(inner, plan, clock.clone())))
+            }
+            None => Endpoint::Direct(inner),
+        };
+        let now = clock.now_micros();
+        ResilientBackend {
+            endpoint,
+            clock,
+            dice: Dice::new(config.seed),
+            bucket: config.rate.map(|rate| {
+                Mutex::new(TokenBucket {
+                    units: rate.burst * TOKEN,
+                    last_us: now,
+                })
+            }),
+            breaker: config.breaker.map(|_| {
+                Mutex::new(BreakerState {
+                    health: BreakerHealth::Closed,
+                    consecutive_failures: 0,
+                    open_until_us: 0,
+                })
+            }),
+            gate: (config.max_in_flight > 0).then(|| Gate::new(config.max_in_flight)),
+            config,
+            stats: Mutex::new(BackendStats::default()),
+        }
+    }
+
+    /// The configuration the stack runs with.
+    pub fn config(&self) -> &BackendConfig {
+        &self.config
+    }
+
+    /// The clock every timing decision runs on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// A snapshot of the backend counters.
+    pub fn stats(&self) -> BackendStats {
+        *self.stats.lock().expect("backend stats lock poisoned")
+    }
+
+    /// Injection counters of the owned fault injector, when
+    /// [`BackendConfig::faults`] is set.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.endpoint {
+            Endpoint::Sim(sim) => Some(sim.stats()),
+            Endpoint::Direct(_) => None,
+        }
+    }
+
+    fn lock_stats(&self) -> MutexGuard<'_, BackendStats> {
+        self.stats.lock().expect("backend stats lock poisoned")
+    }
+
+    /// Checks the breaker gate: `Ok` to proceed, `Err(remaining cooldown)`
+    /// to fail fast. An expired cooldown half-opens the breaker, letting
+    /// the caller through as a probe.
+    fn breaker_check(&self) -> Result<(), u64> {
+        let Some(breaker) = &self.breaker else {
+            return Ok(());
+        };
+        let mut state = breaker.lock().expect("breaker lock poisoned");
+        match state.health {
+            BreakerHealth::Closed | BreakerHealth::HalfOpen => Ok(()),
+            BreakerHealth::Open => {
+                let now = self.clock.now_micros();
+                if now >= state.open_until_us {
+                    state.health = BreakerHealth::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(state.open_until_us - now)
+                }
+            }
+        }
+    }
+
+    fn breaker_success(&self) {
+        if let Some(breaker) = &self.breaker {
+            let mut state = breaker.lock().expect("breaker lock poisoned");
+            state.health = BreakerHealth::Closed;
+            state.consecutive_failures = 0;
+        }
+    }
+
+    /// Records an attempt failure; returns whether the breaker tripped
+    /// (transitioned to open) on this failure.
+    fn breaker_failure(&self) -> bool {
+        let (Some(breaker), Some(policy)) = (&self.breaker, self.config.breaker) else {
+            return false;
+        };
+        let mut state = breaker.lock().expect("breaker lock poisoned");
+        state.consecutive_failures += 1;
+        let should_open = state.health == BreakerHealth::HalfOpen
+            || state.consecutive_failures >= policy.failure_threshold;
+        if !should_open {
+            return false;
+        }
+        let tripped = state.health != BreakerHealth::Open;
+        state.health = BreakerHealth::Open;
+        state.open_until_us = self.clock.now_micros() + policy.cooldown_us;
+        tripped
+    }
+
+    /// Takes one rate-limit token, waiting on the clock if the bucket is
+    /// empty. Returns the time waited, in microseconds.
+    fn acquire_token(&self) -> u64 {
+        let Some(bucket) = &self.bucket else {
+            return 0;
+        };
+        let rate = self.config.rate.expect("bucket implies rate");
+        let mut waited = 0u64;
+        loop {
+            {
+                let mut b = bucket.lock().expect("bucket lock poisoned");
+                let now = self.clock.now_micros();
+                let elapsed = now.saturating_sub(b.last_us);
+                let refill = u128::from(elapsed) * u128::from(rate.tokens_per_sec);
+                let cap = u128::from(rate.burst) * u128::from(TOKEN);
+                b.units = (u128::from(b.units) + refill).min(cap) as u64;
+                b.last_us = now;
+                if b.units >= TOKEN {
+                    b.units -= TOKEN;
+                    return waited;
+                }
+                // Not enough: wait exactly until one token has dripped in.
+                let deficit = TOKEN - b.units;
+                let wait = deficit.div_ceil(rate.tokens_per_sec);
+                drop(b);
+                self.clock.sleep_micros(wait);
+                waited += wait;
+            }
+        }
+    }
+
+    /// Backoff before retry `n` (1-based) of `prompt`: exponential from
+    /// the policy base, capped, then jittered into `[50%, 100%]` by a
+    /// deterministic draw.
+    fn backoff_us(&self, prompt: &str, retry: u32) -> u64 {
+        let policy = self.config.retry;
+        let doubled = policy
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(32));
+        let ceiling = doubled.min(policy.max_backoff_us);
+        let jitter = self.dice.uniform(prompt, &format!("backoff-{retry}"));
+        ceiling / 2 + ((ceiling / 2) as f64 * jitter) as u64
+    }
+}
+
+impl LanguageModel for ResilientBackend<'_> {
+    fn name(&self) -> &str {
+        self.endpoint.model().name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+        self.lock_stats().calls += 1;
+        let start = self.clock.now_micros();
+        let deadline = (self.config.deadline_us > 0).then(|| start + self.config.deadline_us);
+        let _permit = self.gate.as_ref().map(Gate::acquire);
+
+        let mut retry = 0u32;
+        loop {
+            if let Some(d) = deadline {
+                if self.clock.now_micros() >= d {
+                    let mut stats = self.lock_stats();
+                    stats.deadline_exceeded += 1;
+                    stats.failures += 1;
+                    return Err(LlmError::DeadlineExceeded {
+                        deadline_us: self.config.deadline_us,
+                    });
+                }
+            }
+            let err = match self.breaker_check() {
+                Err(cooldown_us) => {
+                    self.lock_stats().breaker_fast_fails += 1;
+                    LlmError::CircuitOpen { cooldown_us }
+                }
+                Ok(()) => {
+                    let waited = self.acquire_token();
+                    {
+                        let mut stats = self.lock_stats();
+                        if waited > 0 {
+                            stats.throttle_waits += 1;
+                            stats.throttle_wait_us += waited;
+                        }
+                        stats.attempts += 1;
+                    }
+                    match self.endpoint.model().complete(prompt) {
+                        Ok(completion) => {
+                            self.breaker_success();
+                            return Ok(completion);
+                        }
+                        Err(e) if e.is_transient() => {
+                            {
+                                let mut stats = self.lock_stats();
+                                match &e {
+                                    LlmError::Timeout { .. } => stats.timeouts += 1,
+                                    LlmError::RateLimited { .. } => stats.rate_limited += 1,
+                                    LlmError::Transient { .. } => stats.transients += 1,
+                                    _ => {}
+                                }
+                            }
+                            if self.breaker_failure() {
+                                self.lock_stats().breaker_trips += 1;
+                            }
+                            e
+                        }
+                        Err(e) => {
+                            // Permanent: retrying the identical call cannot
+                            // succeed, so surface it immediately.
+                            self.lock_stats().failures += 1;
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            if retry >= self.config.retry.max_retries {
+                self.lock_stats().failures += 1;
+                return Err(err);
+            }
+            retry += 1;
+            self.lock_stats().retries += 1;
+            let mut backoff = self.backoff_us(prompt, retry);
+            // Honor server hints and breaker cooldowns: sleeping less than
+            // either would burn a retry on a guaranteed rejection.
+            match err {
+                LlmError::RateLimited { retry_after_us } => backoff = backoff.max(retry_after_us),
+                LlmError::CircuitOpen { cooldown_us } => backoff = backoff.max(cooldown_us),
+                _ => {}
+            }
+            self.clock.sleep_micros(backoff);
+        }
+    }
+
+    fn usage(&self) -> Usage {
+        self.endpoint.model().usage()
+    }
+
+    fn reset_usage(&self) {
+        self.endpoint.model().reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.endpoint.model().context_window()
+    }
+}
+
+/// A model reference optionally wrapped in a configured
+/// [`ResilientBackend`] (see [`BackendConfig::wrap`]) — the shape the eval
+/// drivers thread between their raw model and their prompt cache.
+pub enum AttachedBackend<'a> {
+    /// Backend disabled: calls go straight to the inner model.
+    Passthrough(&'a dyn LanguageModel),
+    /// The full protection stack (boxed — the stack carries limiter,
+    /// breaker and stats state the pass-through should not pay for).
+    Resilient(Box<ResilientBackend<'a>>),
+}
+
+impl<'a> AttachedBackend<'a> {
+    /// The model callers should talk to (and, typically, layer a
+    /// [`crate::PromptCache`] over).
+    pub fn model(&self) -> &dyn LanguageModel {
+        match self {
+            AttachedBackend::Passthrough(m) => *m,
+            AttachedBackend::Resilient(b) => b.as_ref(),
+        }
+    }
+
+    /// Backend counters, when the stack is enabled.
+    pub fn stats(&self) -> Option<BackendStats> {
+        match self {
+            AttachedBackend::Passthrough(_) => None,
+            AttachedBackend::Resilient(b) => Some(b.stats()),
+        }
+    }
+
+    /// Fault-injection counters, when a [`FaultPlan`] is configured.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match self {
+            AttachedBackend::Passthrough(_) => None,
+            AttachedBackend::Resilient(b) => b.fault_stats(),
+        }
+    }
+
+    /// Virtual elapsed time of the backend's clock, in microseconds (0
+    /// for a pass-through).
+    pub fn elapsed_us(&self) -> u64 {
+        match self {
+            AttachedBackend::Passthrough(_) => 0,
+            AttachedBackend::Resilient(b) => b.clock().now_micros(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_llm::{LlmProfile, MockLlm};
+    use unidm_world::World;
+
+    fn model() -> MockLlm {
+        MockLlm::new(&World::generate(7), LlmProfile::gpt3_175b(), 7)
+    }
+
+    #[test]
+    fn disabled_config_is_a_pass_through() {
+        let llm = model();
+        let attached = BackendConfig::default().wrap(&llm);
+        assert!(attached.stats().is_none());
+        assert!(attached.fault_stats().is_none());
+        assert_eq!(attached.elapsed_us(), 0);
+        let direct = llm.complete("hello world").unwrap();
+        assert_eq!(attached.model().complete("hello world").unwrap(), direct);
+    }
+
+    #[test]
+    fn faulty_backend_returns_the_inner_answer() {
+        let llm = model();
+        let truth = llm.complete("The capital of Denmark is __.").unwrap();
+        for seed in [1, 2, 3] {
+            let backend = ResilientBackend::new(
+                &llm,
+                BackendConfig::resilient(seed).with_faults(FaultPlan::heavy(seed)),
+            );
+            let reply = backend.complete("The capital of Denmark is __.").unwrap();
+            assert_eq!(reply, truth, "seed {seed}");
+            let stats = backend.stats();
+            assert_eq!(stats.calls, 1);
+            assert_eq!(stats.failures, 0);
+            assert_eq!(
+                stats.retries,
+                stats.attempts + stats.breaker_fast_fails - stats.calls,
+                "every non-final attempt or fast-fail is a retry"
+            );
+        }
+    }
+
+    #[test]
+    fn retries_are_reproducible_per_seed() {
+        let llm = model();
+        let run = || {
+            let backend = ResilientBackend::new(
+                &llm,
+                BackendConfig::resilient(9).with_faults(FaultPlan::heavy(9)),
+            );
+            for i in 0..25 {
+                backend.complete(&format!("prompt number {i}")).unwrap();
+            }
+            (backend.stats(), backend.fault_stats().unwrap())
+        };
+        assert_eq!(run(), run(), "same seed must reproduce every counter");
+    }
+
+    #[test]
+    fn rate_limiter_paces_attempts_on_the_clock() {
+        let llm = model();
+        // 10 attempts/sec, burst 1: 20 calls need >= 1.9 virtual seconds.
+        let backend =
+            ResilientBackend::new(&llm, BackendConfig::resilient(1).with_rate_limit(10, 1));
+        for i in 0..20 {
+            backend.complete(&format!("paced prompt {i}")).unwrap();
+        }
+        let stats = backend.stats();
+        assert_eq!(stats.attempts, 20);
+        assert_eq!(stats.throttle_waits, 19, "everything after the burst waits");
+        assert!(
+            backend.clock().now_micros() >= 1_900_000,
+            "virtual time must cover the token deficit: {}us",
+            backend.clock().now_micros()
+        );
+        assert!(stats.throttle_wait_us >= 1_900_000);
+    }
+
+    #[test]
+    fn rate_limited_errors_honor_retry_after() {
+        let llm = model();
+        let plan = FaultPlan {
+            rate_limit_permille: 1000,
+            timeout_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: 2,
+            ..FaultPlan::none(3)
+        };
+        let backend = ResilientBackend::new(
+            &llm,
+            BackendConfig::resilient(3)
+                .without_breaker()
+                .with_faults(plan),
+        );
+        backend.complete("throttled prompt").unwrap();
+        let stats = backend.stats();
+        assert_eq!(stats.rate_limited, 2, "two 429s before the forced success");
+        // Each retry slept at least the server's retry-after hint.
+        assert!(
+            backend.clock().now_micros() >= 2 * backend.config().retry.base_backoff_us.min(250_000),
+        );
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_and_recovers() {
+        let llm = model();
+        let backend = ResilientBackend::new(
+            &llm,
+            BackendConfig::resilient(5)
+                .with_breaker(BreakerPolicy {
+                    failure_threshold: 2,
+                    cooldown_us: 500_000,
+                })
+                .with_faults(FaultPlan::always_faulty(5, 4)),
+        );
+        // Every prompt needs 4 faults absorbed; threshold 2 trips the
+        // breaker mid-call, fast-fails once, then recovers via a probe.
+        for i in 0..6 {
+            backend.complete(&format!("stormy prompt {i}")).unwrap();
+        }
+        let stats = backend.stats();
+        assert!(stats.breaker_trips >= 1, "breaker must trip: {stats:?}");
+        assert!(
+            stats.breaker_fast_fails >= 1,
+            "open breaker must fast-fail: {stats:?}"
+        );
+        assert_eq!(stats.failures, 0, "every call still completes");
+    }
+
+    #[test]
+    fn deadline_exceeded_is_a_clean_permanent_error() {
+        let llm = model();
+        let backend = ResilientBackend::new(
+            &llm,
+            BackendConfig::resilient(1)
+                .without_breaker()
+                .with_faults(FaultPlan::always_faulty(1, 8))
+                .with_deadline_us(200_000),
+        );
+        // Every attempt faults and costs >= base latency (50ms), so the
+        // 200ms deadline expires before the forced success at attempt 9.
+        let err = backend.complete("doomed prompt").unwrap_err();
+        assert_eq!(
+            err,
+            LlmError::DeadlineExceeded {
+                deadline_us: 200_000
+            }
+        );
+        assert!(!err.is_transient());
+        let stats = backend.stats();
+        assert_eq!(stats.deadline_exceeded, 1);
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let llm = model();
+        let backend = ResilientBackend::new(&llm, BackendConfig::resilient(1));
+        assert_eq!(backend.complete("  "), Err(LlmError::EmptyPrompt));
+        let stats = backend.stats();
+        assert_eq!((stats.attempts, stats.retries), (1, 0));
+        assert_eq!(stats.failures, 1);
+    }
+
+    #[test]
+    fn bounded_concurrency_gate_admits_everything_eventually() {
+        let llm = model();
+        let backend = ResilientBackend::new(
+            &llm,
+            BackendConfig::resilient(2)
+                .with_max_in_flight(2)
+                .with_faults(FaultPlan::light(2)),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..6 {
+                let backend = &backend;
+                scope.spawn(move || {
+                    for i in 0..5 {
+                        backend.complete(&format!("gated {t}-{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = backend.stats();
+        assert_eq!(stats.calls, 30);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn backend_forwards_identity_and_usage() {
+        let llm = model();
+        let backend = ResilientBackend::new(&llm, BackendConfig::resilient(1));
+        assert_eq!(backend.name(), llm.name());
+        assert_eq!(backend.context_window(), llm.context_window());
+        backend.complete("hello").unwrap();
+        assert_eq!(backend.usage(), llm.usage());
+        backend.reset_usage();
+        assert_eq!(llm.usage(), Usage::default());
+    }
+}

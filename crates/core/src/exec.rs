@@ -52,7 +52,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use unidm_llm::{Completion, LanguageModel, LlmError, Usage};
@@ -105,17 +105,17 @@ struct CacheInner {
     /// last-use stamp → prompt: the recency index that makes LRU eviction
     /// O(log n) instead of a full scan of `entries`.
     recency: BTreeMap<u64, String>,
-    /// Monotonic use counter driving LRU eviction.
-    clock: u64,
     stats: CacheStats,
 }
 
 impl CacheInner {
     /// Returns the memoized completion for `prompt`, refreshing its
-    /// recency, or `None` on a miss.
-    fn touch(&mut self, prompt: &str) -> Option<Completion> {
-        self.clock += 1;
-        let stamp = self.clock;
+    /// recency to `stamp`, or `None` on a miss.
+    ///
+    /// Stamps come from the cache-wide clock (not a per-shard counter), so
+    /// recency is comparable across shards — which is what lets snapshot
+    /// compaction keep the globally most-recent entries.
+    fn touch(&mut self, prompt: &str, stamp: u64) -> Option<Completion> {
         let (completion, last_used) = self.entries.get_mut(prompt)?;
         self.recency.remove(last_used);
         self.recency.insert(stamp, prompt.to_string());
@@ -123,11 +123,9 @@ impl CacheInner {
         Some(completion.clone())
     }
 
-    /// Inserts (or refreshes) `prompt`, evicting the least-recently-used
-    /// entry when over `capacity`.
-    fn insert(&mut self, prompt: &str, completion: Completion, capacity: usize) {
-        self.clock += 1;
-        let stamp = self.clock;
+    /// Inserts (or refreshes) `prompt` at `stamp`, evicting the
+    /// least-recently-used entry when over `capacity`.
+    fn insert(&mut self, prompt: &str, completion: Completion, capacity: usize, stamp: u64) {
         if let Some((_, old_stamp)) = self.entries.insert(prompt.to_string(), (completion, stamp)) {
             // A racing miss on the same prompt already inserted it; drop
             // the stale recency slot.
@@ -274,6 +272,9 @@ pub struct PromptCache<'a> {
     shard_capacity: usize,
     level: CanonLevel,
     shards: Box<[Mutex<CacheInner>]>,
+    /// Cache-wide monotonic use counter: stamps are comparable across
+    /// shards, so LRU order is global (snapshot compaction relies on it).
+    clock: AtomicU64,
 }
 
 impl std::fmt::Debug for PromptCache<'_> {
@@ -292,18 +293,34 @@ impl std::fmt::Debug for PromptCache<'_> {
 /// other's locks without fragmenting small caches.
 const DEFAULT_SHARDS: usize = 8;
 
+/// The shard count new caches start with: the `UNIDM_SHARDS` environment
+/// variable when set to a positive integer (rounded up to a power of two —
+/// this is how CI exercises shard-count sensitivity across the whole
+/// suite), [`DEFAULT_SHARDS`] otherwise.
+fn default_shards() -> usize {
+    std::env::var("UNIDM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .map(usize::next_power_of_two)
+        .unwrap_or(DEFAULT_SHARDS)
+}
+
 fn build_shards(n: usize) -> Box<[Mutex<CacheInner>]> {
     (0..n).map(|_| Mutex::new(CacheInner::default())).collect()
 }
 
 impl<'a> PromptCache<'a> {
     /// Creates a cache holding at most `capacity` completions (LRU
-    /// eviction), split across the default shard count.
+    /// eviction), split across the default shard count (the
+    /// `UNIDM_SHARDS` environment variable when set, 8 otherwise).
     ///
     /// The capacity budget is divided evenly across shards (each shard
     /// gets at least one slot), so with very small capacities the
     /// effective bound is `shards × 1`; use [`PromptCache::with_shards`]
-    /// to control the split.
+    /// to control the split. [`PromptCache::snapshot`] re-applies the
+    /// *total* capacity, so persisted state never exceeds it even when
+    /// per-shard rounding lets the in-memory maps run slightly over.
     pub fn new(inner: &'a dyn LanguageModel, capacity: usize) -> Self {
         let capacity = capacity.max(1);
         let mut cache = PromptCache {
@@ -311,7 +328,8 @@ impl<'a> PromptCache<'a> {
             capacity,
             shard_capacity: 0,
             level: CanonLevel::Verbatim,
-            shards: build_shards(DEFAULT_SHARDS),
+            shards: build_shards(default_shards()),
+            clock: AtomicU64::new(0),
         };
         cache.shard_capacity = cache.capacity_per_shard();
         cache
@@ -382,6 +400,11 @@ impl<'a> PromptCache<'a> {
         shard.lock().expect("cache shard lock poisoned")
     }
 
+    /// The next globally ordered recency stamp.
+    fn next_stamp(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Removes every entry, returning them sorted by canonical prompt (so
     /// rebuilds are deterministic). Statistics are kept.
     fn drain_entries(&mut self) -> Vec<(String, Completion)> {
@@ -413,8 +436,9 @@ impl<'a> PromptCache<'a> {
         let key = PromptKey::canonicalize(prompt, self.level);
         let text = key.text();
         let shard = self.shard_for(&key);
+        let stamp = self.next_stamp();
         self.lock_shard(shard)
-            .insert(&text, completion, self.shard_capacity);
+            .insert(&text, completion, self.shard_capacity, stamp);
     }
 
     /// A snapshot of the aggregated hit/miss/eviction statistics.
@@ -456,23 +480,38 @@ impl<'a> PromptCache<'a> {
         }
     }
 
-    /// Serializes the memo to the versioned snapshot text format.
+    /// Serializes the memo to the versioned snapshot text format,
+    /// compacted to the cache's configured capacity.
     ///
     /// The output is deterministic (entries sorted by canonical prompt)
     /// and records the inner model's name, so [`PromptCache::restore`]
     /// can refuse snapshots taken over a different model. Statistics are
     /// not persisted — a restored cache starts with fresh counters.
+    ///
+    /// Compaction keeps the most-recently-used `capacity` entries: recency
+    /// stamps come from one cache-wide clock, so LRU order is global even
+    /// across shards. This is what bounds snapshot files across repeated
+    /// scenario runs — per-shard capacity rounding can let the in-memory
+    /// maps briefly exceed the total budget, but persisted state never
+    /// does. (An unbounded cache persists everything.)
     pub fn snapshot(&self) -> String {
-        let mut entries: Vec<(String, Completion)> = Vec::new();
+        let mut entries: Vec<(String, Completion, u64)> = Vec::new();
         for shard in self.shards.iter() {
             let state = self.lock_shard(shard);
             entries.extend(
-                state
-                    .entries
-                    .iter()
-                    .map(|(prompt, (completion, _))| (prompt.clone(), completion.clone())),
+                state.entries.iter().map(|(prompt, (completion, stamp))| {
+                    (prompt.clone(), completion.clone(), *stamp)
+                }),
             );
         }
+        if self.capacity != usize::MAX && entries.len() > self.capacity {
+            entries.sort_by_key(|entry| std::cmp::Reverse(entry.2));
+            entries.truncate(self.capacity);
+        }
+        let mut entries: Vec<(String, Completion)> = entries
+            .into_iter()
+            .map(|(prompt, completion, _)| (prompt, completion))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = format!(
             "{SNAPSHOT_HEADER}\nmodel {}\nentries {}\n",
@@ -501,6 +540,11 @@ impl<'a> PromptCache<'a> {
     /// different shard count or canonicalization level. Restoring does not
     /// count as hits or misses; subsequent lookups of restored prompts are
     /// hits served before any model call.
+    ///
+    /// Restoration is atomic with respect to errors: the document is
+    /// parsed in full before anything is admitted, so a truncated,
+    /// garbled, wrong-version or wrong-model snapshot leaves the cache
+    /// exactly as it was.
     ///
     /// # Errors
     ///
@@ -539,9 +583,11 @@ impl<'a> PromptCache<'a> {
             .strip_prefix("entries ")
             .and_then(|n| n.parse().ok())
             .ok_or_else(|| parse_err(3, "expected `entries <count>`"))?;
-        let mut admitted = 0usize;
-        for _ in 0..declared {
-            let entry_line = 4 + admitted * 3;
+        // Parse every declared entry before admitting anything, so a
+        // malformed tail cannot leave the cache half-restored.
+        let mut parsed: Vec<(String, Completion)> = Vec::new();
+        for index in 0..declared {
+            let entry_line = 4 + index * 3;
             let p_line = lines
                 .next()
                 .ok_or_else(|| parse_err(entry_line, "truncated entry"))?;
@@ -571,14 +617,23 @@ impl<'a> PromptCache<'a> {
                         "expected `u <prompt-tokens> <completion-tokens>`",
                     )
                 })?;
-            self.admit(
-                &unescape(prompt),
+            parsed.push((
+                unescape(prompt),
                 Completion {
                     text: unescape(text),
                     usage,
                 },
-            );
-            admitted += 1;
+            ));
+        }
+        if lines.next().is_some() {
+            return Err(parse_err(
+                4 + declared * 3,
+                "trailing data after the declared entries",
+            ));
+        }
+        let admitted = parsed.len();
+        for (prompt, completion) in parsed {
+            self.admit(&prompt, completion);
         }
         Ok(admitted)
     }
@@ -653,8 +708,9 @@ impl LanguageModel for PromptCache<'_> {
         let text = key.text();
         let shard = self.shard_for(&key);
         {
+            let stamp = self.next_stamp();
             let mut state = self.lock_shard(shard);
-            if let Some(completion) = state.touch(&text) {
+            if let Some(completion) = state.touch(&text, stamp) {
                 state.stats.hits += 1;
                 state.stats.tokens_saved += completion.usage.total();
                 return Ok(completion);
@@ -666,8 +722,9 @@ impl LanguageModel for PromptCache<'_> {
         // key both pay for it — the insert below is idempotent because the
         // canonical text is completed by a deterministic substrate.
         let completion = self.inner.complete(&text)?;
+        let stamp = self.next_stamp();
         self.lock_shard(shard)
-            .insert(&text, completion.clone(), self.shard_capacity);
+            .insert(&text, completion.clone(), self.shard_capacity, stamp);
         Ok(completion)
     }
 
@@ -990,7 +1047,71 @@ mod tests {
         assert_eq!(PromptCache::unbounded(&llm).with_shards(3).shards(), 4);
         assert_eq!(PromptCache::unbounded(&llm).with_shards(1).shards(), 1);
         assert_eq!(PromptCache::unbounded(&llm).with_shards(0).shards(), 1);
-        assert_eq!(PromptCache::unbounded(&llm).shards(), DEFAULT_SHARDS);
+        // The startup default honors UNIDM_SHARDS (the CI matrix sets it).
+        assert_eq!(PromptCache::unbounded(&llm).shards(), default_shards());
+        assert!(default_shards().is_power_of_two());
+    }
+
+    #[test]
+    fn snapshot_compacts_to_capacity_in_global_lru_order() {
+        let (_, llm) = setup();
+        // Capacity 4 over 4 shards: per-shard rounding gives each shard a
+        // slot, so the in-memory map can briefly hold more than 4 entries,
+        // but the snapshot must compact to the 4 most recently used.
+        let cache = PromptCache::new(&llm, 4).with_shards(4);
+        for i in 0..8 {
+            cache.complete(&format!("compaction prompt {i}")).unwrap();
+        }
+        // Refresh two early prompts so recency, not insertion order,
+        // decides survival.
+        cache.complete("compaction prompt 0").unwrap();
+        cache.complete("compaction prompt 1").unwrap();
+        let snapshot = cache.snapshot();
+        let kept: Vec<&str> = snapshot
+            .lines()
+            .filter_map(|l| l.strip_prefix("p "))
+            .collect();
+        assert_eq!(kept.len(), 4, "snapshot bounded by total capacity");
+        for p in ["compaction prompt 0", "compaction prompt 1"] {
+            assert!(
+                kept.contains(&p),
+                "recently touched {p:?} must survive compaction: {kept:?}"
+            );
+        }
+        // The compacted snapshot round-trips.
+        let restored = PromptCache::new(&llm, 4).with_shards(1);
+        assert_eq!(restored.restore(&snapshot).unwrap(), 4);
+    }
+
+    #[test]
+    fn restore_is_atomic_on_malformed_input() {
+        let (_, llm) = setup();
+        let source = PromptCache::unbounded(&llm);
+        source.complete("alpha").unwrap();
+        source.complete("beta").unwrap();
+        let snapshot = source.snapshot();
+
+        // Truncate inside the second entry: nothing may be admitted.
+        let truncated = snapshot.lines().take(6).collect::<Vec<_>>().join("\n");
+        let target = PromptCache::unbounded(&llm);
+        target.complete("pre-existing entry").unwrap();
+        assert!(matches!(
+            target.restore(&truncated),
+            Err(SnapshotError::Parse { .. })
+        ));
+        assert_eq!(
+            target.len(),
+            1,
+            "failed restore must not admit a partial prefix"
+        );
+
+        // Trailing garbage after the declared entries is rejected whole.
+        let trailing = format!("{snapshot}unexpected trailing line\n");
+        assert!(matches!(
+            target.restore(&trailing),
+            Err(SnapshotError::Parse { .. })
+        ));
+        assert_eq!(target.len(), 1);
     }
 
     #[test]

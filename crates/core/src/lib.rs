@@ -45,11 +45,22 @@
 //!   text snapshots ([`PromptCache::save_to`] /
 //!   [`PromptCache::load_from`]), so a repeated eval run starts warm.
 //!
+//! * [`backend`] is the resilient client layer beneath the cache:
+//!   bounded-concurrency dispatch, token-bucket rate limiting,
+//!   exponential-backoff retry with seeded jitter, a circuit breaker and
+//!   per-call deadlines over any `LanguageModel` — all on a virtual clock,
+//!   and testable offline against the seeded fault injector
+//!   [`unidm_llm::SimBackend`]. Cache hits never reach the backend, so
+//!   they consume zero rate-limit budget; faulty runs return answers
+//!   bit-identical to fault-free ones.
+//!
 //! The eval harness (`unidm-eval`) drives every per-table accuracy loop
 //! through this engine (opt into caching with
-//! `unidm_eval::CacheConfig`), and `cargo run -p unidm-bench --bin
+//! `unidm_eval::CacheConfig`, into the backend with
+//! `ExperimentConfig::backend`), and `cargo run -p unidm-bench --bin
 //! throughput` measures the serial / batched / cold-cache / warm-cache
-//! regimes against each other.
+//! regimes against each other (plus a faulty-backend regime under
+//! `--faults`).
 //!
 //! # Quickstart
 //!
@@ -89,6 +100,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod canon;
 mod config;
 mod error;
@@ -100,6 +112,10 @@ pub mod prompting;
 pub mod retrieval;
 mod task;
 
+pub use backend::{
+    AttachedBackend, BackendConfig, BackendStats, BreakerPolicy, RateLimit, ResilientBackend,
+    RetryPolicy,
+};
 pub use canon::{CanonLevel, PromptKey};
 pub use config::PipelineConfig;
 pub use error::UniDmError;

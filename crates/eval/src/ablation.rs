@@ -138,9 +138,11 @@ impl AblationRow {
 fn imputation_ablation(config: ExperimentConfig, dataset: &str, title: &str) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
-    let cached = config
-        .cache
-        .attach(&format!("ablation-{dataset}-seed{}", config.seed), &llm);
+    let backend = config.backend.wrap(&llm);
+    let cached = config.cache.attach(
+        &format!("ablation-{dataset}-seed{}", config.seed),
+        backend.model(),
+    );
     let llm = cached.model();
     let ds = match dataset {
         "Restaurant" => imputation::restaurant(&world, config.seed, config.queries),
@@ -180,9 +182,10 @@ pub fn table9(config: ExperimentConfig) -> TableReport {
 pub fn table10(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table10-seed{}", config.seed), &llm);
+        .attach(&format!("table10-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let datasets = [
         transformation::stackoverflow(&world, config.seed, config.queries),

@@ -74,9 +74,10 @@ pub fn fm_f1(
 pub fn table3(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table3-seed{}", config.seed), &llm);
+        .attach(&format!("table3-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let datasets = [
         errors::hospital(&world, config.seed, 0.05),

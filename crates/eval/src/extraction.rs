@@ -66,9 +66,10 @@ fn evaporate_f1(
 pub fn table11(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table11-seed{}", config.seed), &llm);
+        .attach(&format!("table11-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let ds = extraction::nba_players(&world, config.seed);
     let q = config.queries.min(ds.len());

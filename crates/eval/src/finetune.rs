@@ -38,7 +38,12 @@ pub fn table5(config: ExperimentConfig) -> TableReport {
         vec!["FM".into(), "UniDM".into()],
     );
 
+    // Every variant still runs behind the resilient backend layer when
+    // the config enables it — resilience is model-agnostic even though
+    // caching is not.
     let eval_pair = |llm: &MockLlm| -> (f64, f64) {
+        let backend = config.backend.wrap(llm);
+        let llm = backend.model();
         let fm_score = fm_f1(llm, &ds, fm::ContextStrategy::Manual, q, config.seed).f1() * 100.0;
         let unidm_score = unidm_f1(
             llm,

@@ -77,9 +77,10 @@ fn classic_accuracy(
 pub fn table1(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table1-seed{}", config.seed), &llm);
+        .attach(&format!("table1-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let datasets = [
         imputation::restaurant(&world, config.seed, config.queries),

@@ -134,9 +134,10 @@ pub fn fig5_thresholds() -> Vec<f64> {
 pub fn fig5(config: ExperimentConfig) -> SweepReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("fig5-seed{}", config.seed), &llm);
+        .attach(&format!("fig5-seed{}", config.seed), backend.model());
     let llm = cached.model();
     // The paper uses 4404 pairs; scale with the configured query budget.
     let n_pairs = (config.queries * 4).clamp(80, 4404);

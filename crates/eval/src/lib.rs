@@ -11,6 +11,13 @@
 //! table/seed/model scenario starts warm and serves its repeated prompts
 //! without touching the model.
 //!
+//! [`ExperimentConfig::backend`] additionally threads every driver's
+//! model through the resilient backend substrate
+//! (`unidm::backend`) — rate limiting, retry, circuit breaking, and
+//! optionally a seeded fault injector — *under* the cache, so cache hits
+//! never consume rate-limit budget and a faulty run reproduces the
+//! fault-free tables bit-for-bit.
+//!
 //! | Function | Paper object |
 //! |---|---|
 //! | [`imputation::table1`] | Table 1 — imputation accuracy |
@@ -42,6 +49,7 @@ pub mod transformation;
 pub mod zoo;
 
 pub use cache::{AttachedCache, CacheConfig};
+pub use unidm::backend::BackendConfig;
 
 /// Shared configuration of an experiment run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +62,11 @@ pub struct ExperimentConfig {
     /// Prompt-cache settings (disabled by default — enable for warm
     /// repeated runs).
     pub cache: CacheConfig,
+    /// Resilient-backend settings (disabled by default). When enabled,
+    /// every driver threads its model through
+    /// [`unidm::backend::BackendConfig::wrap`] *under* the prompt cache,
+    /// so cache hits bypass rate limiting and fault injection entirely.
+    pub backend: BackendConfig,
 }
 
 impl ExperimentConfig {
@@ -63,6 +76,7 @@ impl ExperimentConfig {
             seed: 42,
             queries: 150,
             cache: CacheConfig::default(),
+            backend: BackendConfig::default(),
         }
     }
 
@@ -72,12 +86,19 @@ impl ExperimentConfig {
             seed: 42,
             queries: 30,
             cache: CacheConfig::default(),
+            backend: BackendConfig::default(),
         }
     }
 
     /// Replaces the cache settings (builder-style).
     pub fn with_cache(mut self, cache: CacheConfig) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Replaces the backend settings (builder-style).
+    pub fn with_backend(mut self, backend: BackendConfig) -> Self {
+        self.backend = backend;
         self
     }
 }

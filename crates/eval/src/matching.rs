@@ -103,9 +103,10 @@ pub fn fm_f1(
 pub fn table4(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table4-seed{}", config.seed), &llm);
+        .attach(&format!("table4-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let datasets = [
         matching::beer(&world, config.seed),

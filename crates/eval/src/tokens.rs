@@ -69,9 +69,10 @@ pub fn fm_tokens(
 pub fn table7(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table7-seed{}", config.seed), &llm);
+        .attach(&format!("table7-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let q = config.queries.min(40);
     let datasets = [

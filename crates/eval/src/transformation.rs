@@ -67,9 +67,10 @@ pub fn tde_accuracy(ds: &TransformationDataset, queries: usize) -> Accuracy {
 pub fn table2(config: ExperimentConfig) -> TableReport {
     let world = World::generate(config.seed);
     let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let backend = config.backend.wrap(&llm);
     let cached = config
         .cache
-        .attach(&format!("table2-seed{}", config.seed), &llm);
+        .attach(&format!("table2-seed{}", config.seed), backend.model());
     let llm = cached.model();
     let datasets = [
         transformation::stackoverflow(&world, config.seed, config.queries),

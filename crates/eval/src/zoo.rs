@@ -22,9 +22,10 @@ pub fn table6(config: ExperimentConfig) -> TableReport {
     );
     for profile in LlmProfile::zoo() {
         let llm = MockLlm::new(&world, profile.clone(), config.seed);
+        let backend = config.backend.wrap(&llm);
         let cached = config.cache.attach(
             &format!("table6-{}-seed{}", profile.name, config.seed),
-            &llm,
+            backend.model(),
         );
         let llm = cached.model();
         let cells: Vec<f64> = datasets

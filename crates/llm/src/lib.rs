@@ -26,6 +26,11 @@
 //! * [`finetune`] — lightweight fine-tuning simulation (Table 5): training
 //!   pairs raise task-specific competence with diminishing returns.
 //! * Token accounting on every call (Table 7) via [`Usage`].
+//! * [`clock`] / [`sim`] — the simulated serving layer: a deterministic
+//!   [`VirtualClock`] and [`SimBackend`], a seeded fault injector
+//!   (timeouts, 429s, transient 5xx errors, latency spikes) that wraps any
+//!   model, so the resilient backend substrate in `unidm::backend` is
+//!   testable without a network.
 //!
 //! # Determinism
 //!
@@ -39,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod determinism;
 mod error;
 pub mod finetune;
@@ -47,11 +53,14 @@ mod mock;
 mod model;
 pub mod profile;
 pub mod protocol;
+pub mod sim;
 pub mod skills;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use determinism::Dice;
 pub use error::LlmError;
 pub use kb::KnowledgeBase;
 pub use mock::MockLlm;
 pub use model::{Completion, LanguageModel, Usage, UsageMeter};
 pub use profile::LlmProfile;
+pub use sim::{FaultPlan, FaultStats, SimBackend};

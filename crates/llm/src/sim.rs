@@ -1,0 +1,512 @@
+//! `SimBackend`: a deterministic fault-injecting simulated endpoint.
+//!
+//! The resilient backend layer (`unidm::backend`) exists to survive the
+//! failure modes of hosted LLM endpoints — timeouts, 429 rate limits,
+//! transient 5xx errors, latency spikes — but this repository is offline.
+//! [`SimBackend`] closes the gap: it wraps any inner [`LanguageModel`] and
+//! injects a **seeded schedule** of faults in front of it, over a
+//! [`Clock`] (normally a [`crate::VirtualClock`], so multi-second stalls
+//! replay in microseconds).
+//!
+//! # Determinism
+//!
+//! Every injection decision is a pure function of `(plan seed, prompt,
+//! attempt index)` via [`crate::Dice`] — there is no hidden RNG state and
+//! no dependence on time or thread scheduling. Each prompt owns an attempt
+//! counter: attempt `i` of a prompt always yields the same outcome, and
+//! consecutive injected faults per prompt are capped by
+//! [`FaultPlan::max_consecutive_faults`], so a retry loop with at least
+//! that budget always completes.
+//!
+//! Because the outcome *sequence* per prompt is fixed, aggregate statistics
+//! are scheduling-independent: however a batch interleaves its calls, the
+//! total number of injected faults (and therefore retries upstream) for a
+//! given set of logical calls is identical — which is what lets the
+//! fault-injection test suite assert bit-identical answers *and*
+//! reproducible retry counts across serial, parallel and re-run executions.
+//!
+//! ```
+//! use unidm_llm::{FaultPlan, LanguageModel, LlmProfile, MockLlm, SimBackend};
+//! use unidm_world::World;
+//!
+//! let world = World::generate(42);
+//! let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+//! let sim = SimBackend::new(&llm, FaultPlan::heavy(7));
+//! // Attempts fail per the seeded schedule; retrying eventually yields the
+//! // inner model's (deterministic) completion.
+//! let mut reply = sim.complete("The capital of Denmark is __.");
+//! while reply.is_err() {
+//!     reply = sim.complete("The capital of Denmark is __.");
+//! }
+//! assert_eq!(reply.unwrap().text, llm.complete("The capital of Denmark is __.").unwrap().text);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, VirtualClock};
+use crate::model::{Completion, LanguageModel, Usage};
+use crate::{Dice, LlmError};
+
+/// A seeded schedule of injected faults.
+///
+/// Rates are in permille (parts per thousand) of attempts, drawn
+/// independently per `(prompt, attempt)`; integer fields keep the plan
+/// `Eq`/`Hash` and the schedule exactly reproducible. The same plan over
+/// the same prompts always injects the same faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultPlan {
+    /// Seed of the injection schedule. Two plans differing only in seed
+    /// inject different (but individually reproducible) fault sequences.
+    pub seed: u64,
+    /// Permille of attempts that time out.
+    pub timeout_permille: u32,
+    /// Permille of attempts rejected with a 429-style rate limit.
+    pub rate_limit_permille: u32,
+    /// Permille of attempts failing with a transient 5xx-style error.
+    pub transient_permille: u32,
+    /// Permille of attempts that succeed slowly (latency spike).
+    pub slow_permille: u32,
+    /// Hard cap on consecutive injected faults per prompt: after this many
+    /// failures in a row the next attempt is forced clean, so any retry
+    /// budget of at least this size completes. Must be at least 1.
+    pub max_consecutive_faults: u32,
+    /// Virtual latency of a clean (or rejected) attempt, in microseconds.
+    pub base_latency_us: u64,
+    /// Virtual latency of a slow successful attempt, in microseconds.
+    pub slow_latency_us: u64,
+    /// Virtual time an attempt runs before timing out, in microseconds.
+    pub timeout_latency_us: u64,
+    /// The `Retry-After` hint attached to injected rate limits, in
+    /// microseconds.
+    pub retry_after_us: u64,
+}
+
+impl FaultPlan {
+    /// A fault-free plan: every attempt succeeds at base latency. Useful
+    /// as a latency-only simulation and as the baseline in tests.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            timeout_permille: 0,
+            rate_limit_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: 1,
+            base_latency_us: 50_000,
+            slow_latency_us: 2_000_000,
+            timeout_latency_us: 1_000_000,
+            retry_after_us: 250_000,
+        }
+    }
+
+    /// Light degradation: ~7% of attempts fault, short failure runs.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            timeout_permille: 20,
+            rate_limit_permille: 25,
+            transient_permille: 25,
+            slow_permille: 40,
+            max_consecutive_faults: 3,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Moderate degradation: ~25% of attempts fault.
+    pub fn moderate(seed: u64) -> Self {
+        FaultPlan {
+            timeout_permille: 60,
+            rate_limit_permille: 100,
+            transient_permille: 90,
+            slow_permille: 80,
+            max_consecutive_faults: 4,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Heavy degradation: ~45% of attempts fault, long failure runs — the
+    /// regime that exercises breaker trips.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            timeout_permille: 120,
+            rate_limit_permille: 180,
+            transient_permille: 150,
+            slow_permille: 100,
+            max_consecutive_faults: 6,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// Every attempt faults (cycling through the fault kinds) until the
+    /// consecutive cap forces a success — the worst case a retry budget
+    /// must absorb.
+    pub fn always_faulty(seed: u64, max_consecutive_faults: u32) -> Self {
+        FaultPlan {
+            timeout_permille: 333,
+            rate_limit_permille: 333,
+            transient_permille: 334,
+            slow_permille: 0,
+            max_consecutive_faults: max_consecutive_faults.max(1),
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// The plan named by `name` (`none`, `light`, `moderate`, `heavy`),
+    /// for CLI flags.
+    pub fn named(name: &str, seed: u64) -> Option<Self> {
+        match name {
+            "none" => Some(FaultPlan::none(seed)),
+            "light" => Some(FaultPlan::light(seed)),
+            "moderate" => Some(FaultPlan::moderate(seed)),
+            "heavy" => Some(FaultPlan::heavy(seed)),
+            _ => None,
+        }
+    }
+}
+
+/// What the schedule injected for one attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Clean { forced: bool },
+    Slow,
+    Timeout,
+    RateLimited,
+    Transient,
+}
+
+/// Counters of everything a [`SimBackend`] injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Attempts that reached the simulated endpoint.
+    pub attempts: u64,
+    /// Attempts that succeeded at base latency.
+    pub clean: u64,
+    /// Attempts that succeeded slowly.
+    pub slow: u64,
+    /// Injected timeouts.
+    pub timeouts: u64,
+    /// Injected 429-style rate limits.
+    pub rate_limits: u64,
+    /// Injected transient 5xx-style errors.
+    pub transients: u64,
+    /// Successes forced by the consecutive-fault cap.
+    pub forced_successes: u64,
+}
+
+impl FaultStats {
+    /// Total injected faults (timeouts + rate limits + transients).
+    pub fn injected(&self) -> u64 {
+        self.timeouts + self.rate_limits + self.transients
+    }
+}
+
+/// Per-prompt schedule state: the next attempt index and the current run
+/// of consecutive injected faults.
+#[derive(Debug, Default, Clone, Copy)]
+struct PromptState {
+    next_attempt: u64,
+    consecutive_faults: u32,
+}
+
+/// A deterministic fault-injecting simulated endpoint over any inner
+/// [`LanguageModel`].
+///
+/// See the [module docs](self) for the determinism contract. The backend
+/// layer stacks on top of this exactly as it would on a real endpoint:
+///
+/// ```text
+/// PromptCache → ResilientBackend (limiter/retry/breaker) → SimBackend → MockLlm
+/// ```
+pub struct SimBackend<'a> {
+    inner: &'a dyn LanguageModel,
+    plan: FaultPlan,
+    dice: Dice,
+    clock: Arc<dyn Clock>,
+    state: Mutex<HashMap<String, PromptState>>,
+    stats: Mutex<FaultStats>,
+}
+
+impl std::fmt::Debug for SimBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimBackend")
+            .field("inner", &self.inner.name())
+            .field("plan", &self.plan)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> SimBackend<'a> {
+    /// Wraps `inner` behind `plan`, on a fresh [`VirtualClock`].
+    pub fn new(inner: &'a dyn LanguageModel, plan: FaultPlan) -> Self {
+        Self::with_clock(inner, plan, Arc::new(VirtualClock::new()))
+    }
+
+    /// Wraps `inner` behind `plan` on a shared clock (so injected latency
+    /// and the client's rate limiter see the same timeline).
+    pub fn with_clock(
+        inner: &'a dyn LanguageModel,
+        plan: FaultPlan,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        SimBackend {
+            inner,
+            plan,
+            dice: Dice::new(plan.seed),
+            clock,
+            state: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// The plan driving the injection schedule.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The clock injected latency is charged to.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// A snapshot of the injection counters.
+    pub fn stats(&self) -> FaultStats {
+        *self.stats.lock().expect("sim stats lock poisoned")
+    }
+
+    /// Decides (and commits) the outcome of the next attempt of `prompt`.
+    ///
+    /// The decision is made under the state lock so attempt indices are
+    /// allocated exactly once; the outcome for index `i` is a pure
+    /// function of `(seed, prompt, i)` and the (deterministic) run of
+    /// consecutive faults before it.
+    fn next_outcome(&self, prompt: &str) -> Outcome {
+        let mut state = self.state.lock().expect("sim state lock poisoned");
+        let entry = state.entry(prompt.to_string()).or_default();
+        let attempt = entry.next_attempt;
+        entry.next_attempt += 1;
+
+        if entry.consecutive_faults >= self.plan.max_consecutive_faults {
+            entry.consecutive_faults = 0;
+            return Outcome::Clean { forced: true };
+        }
+        let roll = (self.dice.uniform(prompt, &format!("fault-{attempt}")) * 1000.0) as u32;
+        let mut threshold = self.plan.timeout_permille;
+        let outcome = if roll < threshold {
+            Outcome::Timeout
+        } else {
+            threshold += self.plan.rate_limit_permille;
+            if roll < threshold {
+                Outcome::RateLimited
+            } else {
+                threshold += self.plan.transient_permille;
+                if roll < threshold {
+                    Outcome::Transient
+                } else {
+                    threshold += self.plan.slow_permille;
+                    if roll < threshold {
+                        Outcome::Slow
+                    } else {
+                        Outcome::Clean { forced: false }
+                    }
+                }
+            }
+        };
+        entry.consecutive_faults = match outcome {
+            Outcome::Timeout | Outcome::RateLimited | Outcome::Transient => {
+                entry.consecutive_faults + 1
+            }
+            Outcome::Clean { .. } | Outcome::Slow => 0,
+        };
+        outcome
+    }
+}
+
+impl LanguageModel for SimBackend<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+        let outcome = self.next_outcome(prompt);
+        let mut stats = self.stats.lock().expect("sim stats lock poisoned");
+        stats.attempts += 1;
+        match outcome {
+            Outcome::Clean { forced } => {
+                stats.clean += 1;
+                if forced {
+                    stats.forced_successes += 1;
+                }
+                drop(stats);
+                self.clock.sleep_micros(self.plan.base_latency_us);
+                self.inner.complete(prompt)
+            }
+            Outcome::Slow => {
+                stats.slow += 1;
+                drop(stats);
+                self.clock.sleep_micros(self.plan.slow_latency_us);
+                self.inner.complete(prompt)
+            }
+            Outcome::Timeout => {
+                stats.timeouts += 1;
+                drop(stats);
+                self.clock.sleep_micros(self.plan.timeout_latency_us);
+                Err(LlmError::Timeout {
+                    elapsed_us: self.plan.timeout_latency_us,
+                })
+            }
+            Outcome::RateLimited => {
+                stats.rate_limits += 1;
+                drop(stats);
+                self.clock.sleep_micros(self.plan.base_latency_us);
+                Err(LlmError::RateLimited {
+                    retry_after_us: self.plan.retry_after_us,
+                })
+            }
+            Outcome::Transient => {
+                stats.transients += 1;
+                drop(stats);
+                self.clock.sleep_micros(self.plan.base_latency_us);
+                let status = [500u16, 502, 503][self.dice.pick(prompt, "status", 3)];
+                Err(LlmError::Transient { status })
+            }
+        }
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+
+    fn reset_usage(&self) {
+        self.inner.reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LlmProfile, MockLlm};
+    use unidm_world::World;
+
+    fn inner() -> (World, MockLlm) {
+        let world = World::generate(7);
+        let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 7);
+        (world, llm)
+    }
+
+    /// Drives one prompt to success, returning (injected faults, answer).
+    fn run_to_success(sim: &SimBackend<'_>, prompt: &str) -> (u32, String) {
+        let mut faults = 0;
+        loop {
+            match sim.complete(prompt) {
+                Ok(c) => return (faults, c.text),
+                Err(e) => {
+                    assert!(e.is_transient(), "injected faults are transient: {e}");
+                    faults += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent_apart_from_latency() {
+        let (_, llm) = inner();
+        let sim = SimBackend::new(&llm, FaultPlan::none(3));
+        let direct = llm.complete("The capital of Denmark is __.").unwrap();
+        let via_sim = sim.complete("The capital of Denmark is __.").unwrap();
+        assert_eq!(direct, via_sim);
+        let stats = sim.stats();
+        assert_eq!((stats.attempts, stats.clean, stats.injected()), (1, 1, 0));
+        assert_eq!(sim.clock().now_micros(), sim.plan().base_latency_us);
+    }
+
+    #[test]
+    fn schedule_is_reproducible_per_seed_and_differs_across_seeds() {
+        let (_, llm) = inner();
+        let prompts: Vec<String> = (0..30)
+            .map(|i| format!("deterministic prompt {i}"))
+            .collect();
+        let trace = |seed: u64| -> (Vec<u32>, FaultStats) {
+            let sim = SimBackend::new(&llm, FaultPlan::heavy(seed));
+            let faults = prompts.iter().map(|p| run_to_success(&sim, p).0).collect();
+            (faults, sim.stats())
+        };
+        let (a, a_stats) = trace(1);
+        let (b, b_stats) = trace(1);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a_stats, b_stats);
+        let (c, _) = trace(2);
+        assert_ne!(a, c, "different seeds inject different schedules");
+    }
+
+    #[test]
+    fn answers_survive_every_fault_schedule() {
+        let (_, llm) = inner();
+        let prompt = "The capital of Denmark is __.";
+        let truth = llm.complete(prompt).unwrap().text;
+        for plan in [
+            FaultPlan::light(9),
+            FaultPlan::moderate(9),
+            FaultPlan::heavy(9),
+            FaultPlan::always_faulty(9, 4),
+        ] {
+            let sim = SimBackend::new(&llm, plan);
+            let (_, answer) = run_to_success(&sim, prompt);
+            assert_eq!(answer, truth, "plan {plan:?} must not change answers");
+        }
+    }
+
+    #[test]
+    fn consecutive_faults_are_capped() {
+        let (_, llm) = inner();
+        let sim = SimBackend::new(&llm, FaultPlan::always_faulty(11, 3));
+        for i in 0..20 {
+            let (faults, _) = run_to_success(&sim, &format!("prompt {i}"));
+            assert!(faults <= 3, "prompt {i} injected {faults} > cap");
+        }
+        assert!(sim.stats().forced_successes > 0, "cap must have engaged");
+    }
+
+    #[test]
+    fn aggregate_attempts_are_scheduling_independent() {
+        // Two logical calls per prompt, issued in different interleavings,
+        // must consume the same total number of schedule slots.
+        let (_, llm) = inner();
+        let prompts: Vec<String> = (0..10).map(|i| format!("shared prompt {i}")).collect();
+        let total_attempts = |order: &[usize]| -> u64 {
+            let sim = SimBackend::new(&llm, FaultPlan::heavy(5));
+            for &i in order {
+                run_to_success(&sim, &prompts[i]);
+            }
+            sim.stats().attempts
+        };
+        let forward: Vec<usize> = (0..10).chain(0..10).collect();
+        let interleaved: Vec<usize> = (0..10).flat_map(|i| [i, i]).collect();
+        assert_eq!(total_attempts(&forward), total_attempts(&interleaved));
+    }
+
+    #[test]
+    fn permanent_inner_errors_pass_through() {
+        let (_, llm) = inner();
+        // A fault-free schedule: the empty prompt reaches the inner model
+        // and its permanent error surfaces unchanged.
+        let sim = SimBackend::new(&llm, FaultPlan::none(1));
+        assert_eq!(sim.complete("  "), Err(LlmError::EmptyPrompt));
+    }
+
+    #[test]
+    fn named_plans_resolve() {
+        assert_eq!(FaultPlan::named("none", 1), Some(FaultPlan::none(1)));
+        assert_eq!(FaultPlan::named("light", 2), Some(FaultPlan::light(2)));
+        assert_eq!(
+            FaultPlan::named("moderate", 3),
+            Some(FaultPlan::moderate(3))
+        );
+        assert_eq!(FaultPlan::named("heavy", 4), Some(FaultPlan::heavy(4)));
+        assert_eq!(FaultPlan::named("total-chaos", 5), None);
+    }
+}

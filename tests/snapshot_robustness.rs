@@ -1,0 +1,210 @@
+//! Robustness tests for `.promptcache` snapshots: corrupt documents must
+//! surface a clean [`SnapshotError`] (never panic) and leave the cache
+//! untouched, compaction must bound persisted state at the configured
+//! capacity (keeping the most recently used entries) and round-trip, and
+//! repeated eval scenario runs must not grow the snapshot file without
+//! bound.
+
+use unidm::exec::SNAPSHOT_HEADER;
+use unidm::{CanonLevel, PromptCache, SnapshotError};
+use unidm_eval::CacheConfig;
+use unidm_llm::{LanguageModel, LlmProfile, MockLlm, Usage};
+use unidm_world::World;
+
+fn llm() -> MockLlm {
+    MockLlm::new(&World::generate(7), LlmProfile::gpt3_175b(), 7)
+}
+
+/// A populated cache plus its snapshot text.
+fn populated<'a>(model: &'a MockLlm) -> (PromptCache<'a>, String) {
+    let cache = PromptCache::unbounded(model);
+    for prompt in [
+        "alpha prompt",
+        "beta prompt\nwith a second line",
+        "gamma prompt with \\ escapes",
+    ] {
+        cache.complete(prompt).unwrap();
+    }
+    let snapshot = cache.snapshot();
+    (cache, snapshot)
+}
+
+/// Asserts that restoring `doc` into a pre-populated cache fails cleanly
+/// and changes nothing: same length, same entries, still serving hits
+/// without model calls.
+fn assert_rejected_and_untouched(doc: &str, expect_parse: bool) {
+    let model = llm();
+    let (cache, _) = populated(&model);
+    let len_before = cache.len();
+    let snapshot_before = cache.snapshot();
+    let err = cache.restore(doc).expect_err("corrupt snapshot must fail");
+    match (&err, expect_parse) {
+        (SnapshotError::Parse { .. }, true) | (SnapshotError::ModelMismatch { .. }, false) => {}
+        _ => panic!("unexpected error class for {doc:?}: {err}"),
+    }
+    // Errors must be printable (callers log them) and carry a source chain
+    // that terminates.
+    assert!(!err.to_string().is_empty());
+    assert_eq!(cache.len(), len_before, "failed restore must not admit");
+    assert_eq!(
+        cache.snapshot(),
+        snapshot_before,
+        "failed restore must not mutate existing entries"
+    );
+    let usage_before = model.usage();
+    cache.complete("alpha prompt").unwrap();
+    assert_eq!(model.usage(), usage_before, "existing entries still hit");
+}
+
+#[test]
+fn truncation_at_every_line_is_a_clean_error() {
+    let model = llm();
+    let (_, snapshot) = populated(&model);
+    let lines: Vec<&str> = snapshot.lines().collect();
+    // Every strict prefix that cuts into the document (header alone is
+    // also incomplete) must fail cleanly without panicking.
+    for keep in 0..lines.len() {
+        let truncated = lines[..keep].join("\n");
+        let fresh = PromptCache::unbounded(&model);
+        let err = fresh
+            .restore(&truncated)
+            .expect_err("truncated snapshot must fail");
+        assert!(
+            matches!(err, SnapshotError::Parse { .. }),
+            "prefix of {keep} lines: {err}"
+        );
+        assert!(fresh.is_empty(), "prefix of {keep} lines admitted entries");
+    }
+}
+
+#[test]
+fn garbled_documents_are_clean_errors_that_leave_the_cache_untouched() {
+    let model = llm();
+    let (_, snapshot) = populated(&model);
+    let garbled = [
+        // Wrong version / header.
+        snapshot.replacen("v1", "v0", 1),
+        snapshot.replacen("v1", "v2", 1),
+        "not a snapshot at all".to_string(),
+        String::new(),
+        // Corrupted structure.
+        snapshot.replacen("entries 3", "entries banana", 1),
+        snapshot.replacen("entries 3", "entries 99", 1),
+        snapshot.replacen("\np ", "\nx ", 1),
+        snapshot.replacen("\nc ", "\nq ", 1),
+        snapshot.replacen("\nu ", "\nu banana ", 1),
+        format!("{snapshot}rogue trailing line\n"),
+        // Binary noise in the body.
+        snapshot.replacen("\nc ", "\n\u{0}\u{1}\u{2} ", 1),
+    ];
+    for doc in &garbled {
+        assert_rejected_and_untouched(doc, true);
+    }
+}
+
+#[test]
+fn wrong_model_snapshot_is_refused_without_side_effects() {
+    let model = llm();
+    let (_, snapshot) = populated(&model);
+    let foreign = snapshot.replacen("GPT-3-175B", "GPT-4-Turbo", 1);
+    assert_rejected_and_untouched(&foreign, false);
+}
+
+#[test]
+fn undeclared_entry_count_is_rejected_not_partially_admitted() {
+    // Declare more entries than the body holds: the parser must reject the
+    // document as a whole, admitting none of the (valid) leading entries.
+    let model = llm();
+    let (_, snapshot) = populated(&model);
+    let overdeclared = snapshot.replacen("entries 3", "entries 4", 1);
+    let fresh = PromptCache::unbounded(&model);
+    assert!(matches!(
+        fresh.restore(&overdeclared),
+        Err(SnapshotError::Parse { .. })
+    ));
+    assert!(
+        fresh.is_empty(),
+        "atomic restore must not keep the valid prefix"
+    );
+}
+
+#[test]
+fn compacted_snapshot_round_trips_with_the_most_recent_entries() {
+    let model = llm();
+    // Capacity 6, canonicalized: insert 12, re-touch the first three so
+    // recency (not insertion order) decides survival.
+    let cache = PromptCache::new(&model, 6).with_canonicalization(CanonLevel::Whitespace);
+    for i in 0..12 {
+        cache.complete(&format!("robust prompt {i}")).unwrap();
+    }
+    for i in 0..3 {
+        cache.complete(&format!("robust prompt {i}")).unwrap();
+    }
+    let snapshot = cache.snapshot();
+    assert!(snapshot.starts_with(SNAPSHOT_HEADER));
+    let persisted = snapshot.lines().filter(|l| l.starts_with("p ")).count();
+    assert!(
+        persisted <= 6,
+        "snapshot must compact to capacity: {persisted} entries"
+    );
+
+    // Round-trip: a fresh model + cache restored from the compacted
+    // snapshot serves the surviving entries without model calls.
+    let fresh_model = llm();
+    let restored = PromptCache::new(&fresh_model, 6)
+        .with_shards(2)
+        .with_canonicalization(CanonLevel::Whitespace);
+    assert_eq!(restored.restore(&snapshot).unwrap(), persisted);
+    for i in 0..3 {
+        restored.complete(&format!("robust prompt {i}")).unwrap();
+    }
+    assert_eq!(
+        fresh_model.usage(),
+        Usage::default(),
+        "recently-used entries survive compaction and answer model-free"
+    );
+    assert_eq!(restored.stats().hits, 3);
+}
+
+#[test]
+fn snapshot_size_is_bounded_across_repeated_scenario_runs() {
+    // The ROADMAP-noted failure mode: repeated eval runs used to grow
+    // their snapshot files without bound. With a capacity configured, the
+    // persisted file must stay bounded no matter how many times the
+    // scenario runs (and no matter how much fresh traffic each run adds).
+    let dir = std::env::temp_dir().join(format!("unidm-snap-bound-{}", std::process::id()));
+    let config = CacheConfig {
+        capacity: 20,
+        ..CacheConfig::enabled()
+    }
+    .with_snapshot_dir(&dir);
+    let model = llm();
+
+    let mut sizes = Vec::new();
+    for round in 0..4 {
+        let attached = config.attach("bounded-scenario", &model);
+        for i in 0..15 {
+            // Fresh prompts every round: an unbounded snapshot would grow
+            // by 15 entries per round.
+            attached
+                .model()
+                .complete(&format!("round {round} query {i}"))
+                .unwrap();
+        }
+        attached.finish();
+        let text = std::fs::read_to_string(dir.join("bounded-scenario.promptcache")).unwrap();
+        let entries = text.lines().filter(|l| l.starts_with("p ")).count();
+        assert!(
+            entries <= 20,
+            "round {round}: snapshot holds {entries} > capacity 20"
+        );
+        sizes.push(text.len());
+    }
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(
+        max <= min * 2,
+        "snapshot byte size must plateau, not grow: {sizes:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
