@@ -93,7 +93,12 @@ impl<'a> Fm<'a> {
             demos.push((demo_rec, answer));
         }
         let prompt = render_fm_imputation(&demos, &record, attr);
-        Ok(self.llm.complete(&prompt).map_err(FmError::Llm)?.text)
+        Ok(self
+            .llm
+            .complete(&prompt)
+            .map_err(FmError::Llm)?
+            .text
+            .clone())
     }
 
     /// Judges whether two records co-refer, using `pool` for demonstrations.
@@ -147,7 +152,12 @@ impl<'a> Fm<'a> {
     /// Propagates LLM errors.
     pub fn transform(&self, examples: &[(String, String)], input: &str) -> Result<String, FmError> {
         let prompt = render_fm_transformation(examples, input);
-        Ok(self.llm.complete(&prompt).map_err(FmError::Llm)?.text)
+        Ok(self
+            .llm
+            .complete(&prompt)
+            .map_err(FmError::Llm)?
+            .text
+            .clone())
     }
 
     /// Selects up to `self.demos` pool members per the strategy.

@@ -1,0 +1,102 @@
+//! A counting global allocator: the ground truth behind the "hot path
+//! allocation budget" assertions in the perf baseline.
+//!
+//! Every allocation and reallocation made by a bench binary bumps two
+//! relaxed atomics before delegating to the system allocator. The perf
+//! regimes snapshot the counters around a measured section
+//! ([`AllocationDelta`]) and assert *exact* counts — in particular that a
+//! warm prompt-cache lookup of an already-canonical prompt performs zero
+//! heap allocations.
+//!
+//! The counters are process-global and monotonic; concurrent allocations
+//! from other threads during a measured section show up in the delta, so
+//! exact-zero assertions must run on a quiescent process (the bench
+//! binaries measure single-threaded sections).
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] that counts allocations and allocated bytes, then
+/// delegates to [`System`].
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System` with the caller's
+// layout; the only additional work is relaxed atomic counter updates,
+// which allocate nothing and cannot unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is one allocator round-trip: count it like a
+        // fresh allocation of the new size.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// Total allocations made by this process so far.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total bytes requested from the allocator by this process so far.
+pub fn bytes_allocated() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// A snapshot of the allocation counters, for measuring a section.
+///
+/// ```
+/// use unidm_bench::alloc_counter::AllocationDelta;
+///
+/// let section = AllocationDelta::start();
+/// let on_stack = [0u8; 64]; // no heap traffic
+/// assert_eq!(section.allocations(), 0, "{}", on_stack.len());
+/// let boxed = Box::new(1u64);
+/// assert!(section.allocations() >= 1, "{}", boxed);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AllocationDelta {
+    allocations: u64,
+    bytes: u64,
+}
+
+impl AllocationDelta {
+    /// Snapshots the counters now.
+    pub fn start() -> Self {
+        AllocationDelta {
+            allocations: allocation_count(),
+            bytes: bytes_allocated(),
+        }
+    }
+
+    /// Allocations since the snapshot.
+    pub fn allocations(&self) -> u64 {
+        allocation_count() - self.allocations
+    }
+
+    /// Bytes allocated since the snapshot.
+    pub fn bytes(&self) -> u64 {
+        bytes_allocated() - self.bytes
+    }
+}

@@ -1,16 +1,27 @@
-//! Throughput of the batch execution engine: serial vs. batched vs.
-//! cold-cache vs. warm-cache on an imputation workload.
+//! Throughput of the batch execution engine — and the machine-readable
+//! perf baseline (`BENCH_5.json`) every future PR has to beat.
 //!
-//! The cached regimes run a sharded [`PromptCache`] at
-//! [`CanonLevel::TableStem`]; the warm regime restores the cold run's
-//! snapshot into a fresh cache first, the way a repeated eval run starts.
-//! Reports tasks/sec, model tokens, per-shard hit rates for both cached
-//! regimes, and the cold → warm tokens-saved delta; cross-checks that
-//! serial and batched answers are identical and that the two cached
-//! regimes agree with each other bit-for-bit.
+//! Regimes:
 //!
-//! With `--faults` (and optionally `--rate-limit`) a fifth regime runs the
-//! same cached workload through the resilient backend over a seeded fault
+//! * **serial / batched / cold cache / warm cache** — the classic ladder:
+//!   one worker, the work-stealing pool, the pool over a cold sharded
+//!   [`PromptCache`] at [`CanonLevel::TableStem`], and the pool over a
+//!   fresh cache restored from the cold run's snapshot.
+//! * **duplicate-heavy** — the same workload with every task repeated
+//!   `DUP_FACTOR` times, interleaved. Run serially (planner off) to count
+//!   the unique canonical keys, in parallel at 1 and 8 cache shards
+//!   (planner off — duplicate prompts hit the single-flight table), and
+//!   with the dedup planner on (duplicates never reach the cache). The
+//!   binary *asserts* that total endpoint calls equal the number of unique
+//!   canonical keys and that every regime's answers are bit-identical to
+//!   serial — exact equalities, not thresholds, because the whole stack is
+//!   deterministic.
+//! * **warm-path allocation budget** — re-looks up the canonical texts of
+//!   the duplicate-heavy workload against a warm cache under a counting
+//!   allocator and asserts **zero** heap allocations.
+//!
+//! With `--faults` (and optionally `--rate-limit`) a faulty regime runs
+//! the cached workload through the resilient backend over a seeded fault
 //! injector, reporting retries, breaker trips and goodput on the virtual
 //! clock — and cross-checking that the faulty answers are bit-identical to
 //! the fault-free serial run.
@@ -18,38 +29,67 @@
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
-//! cargo run -p unidm-bench --release --bin throughput -- --cache-dir .unidm-cache
-//! #   ^ persists the snapshot, so the *next* invocation's cold regime is warm too
+//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_5.json
 //! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
 //! ```
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use unidm::{BatchRunner, CanonLevel, PipelineConfig, PromptCache, Task};
-use unidm_bench::config_from_args;
+use unidm_bench::alloc_counter::AllocationDelta;
+use unidm_bench::{config_from_args, CallCounter, JsonObject};
 use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::imputation;
 use unidm_tablestore::DataLake;
 use unidm_world::World;
+
+/// How many times each task repeats in the duplicate-heavy regime.
+const DUP_FACTOR: usize = 4;
 
 struct Regime {
     name: &'static str,
     answers: Vec<String>,
     elapsed_secs: f64,
     model_tokens: usize,
+    model_calls: u64,
     stats: Option<unidm::CacheStats>,
     shard_stats: Vec<unidm::CacheStats>,
 }
 
+impl Regime {
+    fn to_json(&self) -> String {
+        let mut obj = JsonObject::new()
+            .field_str("name", self.name)
+            .field_f64("wall_s", self.elapsed_secs)
+            .field_f64(
+                "tasks_per_s",
+                self.answers.len() as f64 / self.elapsed_secs.max(1e-9),
+            )
+            .field_u64("model_tokens", self.model_tokens as u64)
+            .field_u64("model_calls", self.model_calls);
+        if let Some(stats) = self.stats {
+            obj = obj
+                .field_u64("cache_hits", stats.hits as u64)
+                .field_u64("cache_misses", stats.misses as u64)
+                .field_u64("cache_coalesced", stats.coalesced as u64)
+                .field_u64("tokens_saved", stats.tokens_saved as u64);
+        }
+        obj.finish()
+    }
+}
+
 fn print_shards(shards: &[unidm::CacheStats]) {
     for (i, s) in shards.iter().enumerate() {
-        if s.hits + s.misses == 0 {
+        if s.lookups() == 0 {
             continue;
         }
         println!(
-            "{:<16}shard {i}: {} hits / {} misses ({:.0}% hit rate), {} tokens saved",
+            "{:<16}shard {i}: {} hits / {} coalesced / {} misses ({:.0}% hit rate), \
+             {} tokens saved",
             "",
             s.hits,
+            s.coalesced,
             s.misses,
             s.hit_rate() * 100.0,
             s.tokens_saved,
@@ -57,11 +97,25 @@ fn print_shards(shards: &[unidm::CacheStats]) {
     }
 }
 
+fn bench_json_path() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--bench-json")
+        .and_then(|pos| args.get(pos + 1))
+        .filter(|path| !path.starts_with("--"))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_5.json"))
+}
+
 fn main() {
     let config = config_from_args();
     let n_tasks = config.queries.max(50);
     let world = World::generate(config.seed);
-    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let mock = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    // Every regime talks to the endpoint through a call counter: "model
+    // calls" in the baseline means completions that actually reached the
+    // model, the quantity coalescing exists to minimize.
+    let llm = CallCounter::new(&mock);
     let ds = imputation::restaurant(&world, config.seed, n_tasks);
     let lake: DataLake = [ds.table.clone()].into_iter().collect();
     let tasks: Vec<Task> = ds
@@ -92,28 +146,45 @@ fn main() {
         CanonLevel::TableStem,
     );
 
-    let run = |name: &'static str, cache: Option<&PromptCache<'_>>, workers: usize| -> Regime {
+    let run = |name: &'static str,
+               cache: Option<&PromptCache<'_>>,
+               task_list: &[Task],
+               workers: usize,
+               dedup: bool|
+     -> (Regime, unidm::BatchReport) {
         llm.reset_usage();
+        llm.reset_calls();
         let model: &dyn LanguageModel = match cache {
             Some(cache) => cache,
             None => &llm,
         };
-        let runner = BatchRunner::new(model, pipeline).with_workers(workers);
+        let runner = BatchRunner::new(model, pipeline)
+            .with_workers(workers)
+            .with_dedup(dedup);
         let start = Instant::now();
-        let answers = runner.answers(&lake, &tasks);
+        let report = runner.run_report(&lake, task_list);
         let elapsed_secs = start.elapsed().as_secs_f64();
-        Regime {
-            name,
-            answers,
-            elapsed_secs,
-            model_tokens: llm.usage().total(),
-            stats: cache.map(PromptCache::stats),
-            shard_stats: cache.map(PromptCache::shard_stats).unwrap_or_default(),
-        }
+        let answers = report
+            .results
+            .iter()
+            .map(|r| r.as_ref().map(|o| o.answer.clone()).unwrap_or_default())
+            .collect();
+        (
+            Regime {
+                name,
+                answers,
+                elapsed_secs,
+                model_tokens: llm.usage().total(),
+                model_calls: llm.calls(),
+                stats: cache.map(PromptCache::stats),
+                shard_stats: cache.map(PromptCache::shard_stats).unwrap_or_default(),
+            },
+            report,
+        )
     };
 
-    let serial = run("serial", None, 1);
-    let batched = run("batched", None, workers);
+    let (serial, _) = run("serial", None, &tasks, 1, false);
+    let (batched, _) = run("batched", None, &tasks, workers, false);
 
     // Cold cache: canonicalized, sharded, starting empty (or from a prior
     // invocation's snapshot when --cache-dir is given).
@@ -126,7 +197,7 @@ fn main() {
             }
         }
     }
-    let cold = run("cold cache", Some(&cold_cache), workers);
+    let (cold, _) = run("cold cache", Some(&cold_cache), &tasks, workers, false);
 
     // Warm cache: a fresh cache restored from the cold run's snapshot —
     // the state a repeated eval run starts from.
@@ -135,7 +206,7 @@ fn main() {
     warm_cache
         .restore(&snapshot)
         .expect("snapshot written by this process must restore");
-    let warm = run("warm cache", Some(&warm_cache), workers);
+    let (warm, _) = run("warm cache", Some(&warm_cache), &tasks, workers, false);
     if let Some(path) = &snapshot_path {
         match warm_cache.save_to(path) {
             Ok(()) => println!("(saved snapshot to {})", path.display()),
@@ -143,50 +214,169 @@ fn main() {
         }
     }
 
-    let regimes = [serial, batched, cold, warm];
-    println!(
-        "{:<16}{:>12}{:>14}{:>16}{:>10}",
-        "Regime", "Time (s)", "Tasks/sec", "Model tokens", "Speedup"
+    // ── Duplicate-heavy regimes ─────────────────────────────────────────
+    // The same tasks, each repeated DUP_FACTOR times, interleaved — the
+    // shape a service sees when many users ask the same questions.
+    let dup_tasks: Vec<Task> = (0..tasks.len() * DUP_FACTOR)
+        .map(|i| tasks[i % tasks.len()].clone())
+        .collect();
+
+    // Serial reference with the planner off: every duplicate runs, so the
+    // cache's miss count *is* the number of unique canonical keys.
+    let dup_serial_cache =
+        PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::TableStem);
+    let (dup_serial, _) = run("dup serial", Some(&dup_serial_cache), &dup_tasks, 1, false);
+    let unique_keys = dup_serial_cache.stats().misses;
+    assert_eq!(
+        dup_serial.model_calls, unique_keys as u64,
+        "serial: every endpoint call is a unique-key miss"
     );
-    println!("{}", "-".repeat(68));
+    assert_eq!(
+        dup_serial_cache.stats().coalesced,
+        0,
+        "a serial run can never coalesce"
+    );
+
+    // Parallel with the planner off, at 1 and 8 shards: duplicate prompts
+    // race into the cache and the single-flight table must fold them —
+    // exactly one endpoint call per unique canonical key, bit-identical
+    // answers, under both shard layouts.
+    let mut dup_parallel_regimes = Vec::new();
+    for shards in [1usize, 8] {
+        let cache = PromptCache::unbounded(&llm)
+            .with_shards(shards)
+            .with_canonicalization(CanonLevel::TableStem);
+        let name: &'static str = if shards == 1 {
+            "dup 8w 1shard"
+        } else {
+            "dup 8w 8shard"
+        };
+        let (regime, _) = run(name, Some(&cache), &dup_tasks, 8, false);
+        let stats = cache.stats();
+        assert_eq!(
+            regime.answers, dup_serial.answers,
+            "{name}: parallel answers must be bit-identical to serial"
+        );
+        assert_eq!(
+            stats.misses, unique_keys,
+            "{name}: misses must equal unique canonical keys exactly"
+        );
+        assert_eq!(
+            regime.model_calls, unique_keys as u64,
+            "{name}: total endpoint calls must equal unique canonical keys"
+        );
+        assert_eq!(
+            stats.lookups(),
+            dup_serial_cache.stats().lookups(),
+            "{name}: lookup totals are schedule-independent"
+        );
+        dup_parallel_regimes.push(regime);
+    }
+
+    // The dedup planner: duplicates never even reach the cache — the
+    // planner runs each unique task once and copies outputs.
+    let planner_cache = PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::TableStem);
+    let (dup_planner, planner_report) =
+        run("dup planner", Some(&planner_cache), &dup_tasks, 8, true);
+    assert_eq!(
+        dup_planner.answers, dup_serial.answers,
+        "planner-copied outputs must be bit-identical to serial"
+    );
+    assert_eq!(planner_report.unique_tasks, tasks.len());
+    assert_eq!(
+        planner_report.coalesced_tasks,
+        dup_tasks.len() - tasks.len()
+    );
+    assert_eq!(
+        dup_planner.model_calls, unique_keys as u64,
+        "planner: one endpoint call per unique canonical key"
+    );
+
+    // ── Warm-path allocation budget ─────────────────────────────────────
+    // Re-look up every canonical text of the duplicate-heavy workload
+    // against the warm cache: each is already canonical, so the whole
+    // lookup — canonicalize, hash, shard probe, recency refresh, Arc bump
+    // — must perform zero heap allocations.
+    let canonical_texts = dup_serial_cache.canonical_prompts();
+    let before = dup_serial_cache.stats();
+    let section = AllocationDelta::start();
+    for text in &canonical_texts {
+        let _ = dup_serial_cache.complete(text);
+    }
+    let warm_allocs = section.allocations();
+    let warm_bytes = section.bytes();
+    let after = dup_serial_cache.stats();
+    assert_eq!(
+        after.hits - before.hits,
+        canonical_texts.len(),
+        "every canonical text must hit the warm cache"
+    );
+    assert_eq!(
+        warm_allocs, 0,
+        "warm-path lookups must perform zero heap allocations ({warm_bytes} bytes)"
+    );
+
+    let mut regimes = vec![serial, batched, cold, warm, dup_serial];
+    regimes.extend(dup_parallel_regimes);
+    regimes.push(dup_planner);
+    println!(
+        "{:<16}{:>12}{:>14}{:>16}{:>13}{:>10}",
+        "Regime", "Time (s)", "Tasks/sec", "Model tokens", "Model calls", "Speedup"
+    );
+    println!("{}", "-".repeat(81));
     let baseline = regimes[0].elapsed_secs;
     for r in &regimes {
         println!(
-            "{:<16}{:>12.3}{:>14.1}{:>16}{:>9.2}x",
+            "{:<16}{:>12.3}{:>14.1}{:>16}{:>13}{:>9.2}x",
             r.name,
             r.elapsed_secs,
             r.answers.len() as f64 / r.elapsed_secs.max(1e-9),
             r.model_tokens,
+            r.model_calls,
             baseline / r.elapsed_secs.max(1e-9),
         );
         print_shards(&r.shard_stats);
     }
 
-    let [serial, batched, cold, warm] = &regimes;
     let (cold_stats, warm_stats) = (
-        cold.stats.expect("cold regime is cached"),
-        warm.stats.expect("warm regime is cached"),
+        regimes[2].stats.expect("cold regime is cached"),
+        regimes[3].stats.expect("warm regime is cached"),
     );
     println!(
         "\nCold run:  {:>5.1}% hit rate, {} tokens saved, {} model tokens",
         cold_stats.hit_rate() * 100.0,
         cold_stats.tokens_saved,
-        cold.model_tokens,
+        regimes[2].model_tokens,
     );
     println!(
         "Warm run:  {:>5.1}% hit rate, {} tokens saved, {} model tokens",
         warm_stats.hit_rate() * 100.0,
         warm_stats.tokens_saved,
-        warm.model_tokens,
+        regimes[3].model_tokens,
     );
     println!(
         "Cold → warm: +{} tokens saved, -{} model tokens",
         warm_stats
             .tokens_saved
             .saturating_sub(cold_stats.tokens_saved),
-        cold.model_tokens.saturating_sub(warm.model_tokens),
+        regimes[2]
+            .model_tokens
+            .saturating_sub(regimes[3].model_tokens),
+    );
+    println!(
+        "Duplicate-heavy ({} tasks, {} unique): {} unique canonical keys, exactly {} \
+         endpoint calls in every regime; planner coalesced {} tasks with {} steals; \
+         warm-path lookups: {} × 0 allocations.",
+        dup_tasks.len(),
+        tasks.len(),
+        unique_keys,
+        unique_keys,
+        planner_report.coalesced_tasks,
+        planner_report.steals,
+        canonical_texts.len(),
     );
 
+    let mut faulty_json: Option<String> = None;
     if config.backend.enabled {
         // Faulty regime: the cached workload again, but every miss now
         // crosses the resilient backend (limiter → retry → breaker) and a
@@ -194,9 +384,10 @@ fn main() {
         let backend = config.backend.wrap(&llm);
         let faulty_cache =
             PromptCache::unbounded(backend.model()).with_canonicalization(CanonLevel::TableStem);
-        let faulty = run("faulty", Some(&faulty_cache), workers);
+        let (faulty, _) = run("faulty", Some(&faulty_cache), &tasks, workers, false);
         let stats = backend.stats().expect("backend enabled");
-        let virtual_secs = backend.elapsed_us() as f64 / 1e6;
+        let virtual_us = backend.elapsed_us();
+        let virtual_secs = virtual_us as f64 / 1e6;
         println!(
             "\nFaulty backend regime ({} plan, rate limit {}):",
             config
@@ -235,32 +426,42 @@ fn main() {
             100.0 * stats.calls as f64 / stats.attempts.max(1) as f64,
         );
         assert_eq!(
-            faulty.answers, serial.answers,
+            faulty.answers, regimes[0].answers,
             "faults and throttling must never change answers"
         );
         assert_eq!(stats.failures, 0, "every faulty call must complete");
         println!("  faulty answers identical to the fault-free serial run.");
+        faulty_json = Some(
+            JsonObject::new()
+                .field_u64("virtual_us", virtual_us)
+                .field_u64("calls", stats.calls)
+                .field_u64("attempts", stats.attempts)
+                .field_u64("retries", stats.retries)
+                .field_u64("breaker_trips", stats.breaker_trips)
+                .finish(),
+        );
+        regimes.push(faulty);
     }
 
     assert_eq!(
-        batched.answers, serial.answers,
+        regimes[1].answers, regimes[0].answers,
         "batched diverged from the serial answers"
     );
     assert_eq!(
-        warm.answers, cold.answers,
+        regimes[3].answers, regimes[2].answers,
         "warm cache diverged from the cold cache"
     );
     assert!(
-        cold.model_tokens < serial.model_tokens,
+        regimes[2].model_tokens < regimes[0].model_tokens,
         "cold cache should consume fewer model tokens ({} vs {})",
-        cold.model_tokens,
-        serial.model_tokens,
+        regimes[2].model_tokens,
+        regimes[0].model_tokens,
     );
     assert!(
-        warm.model_tokens <= cold.model_tokens,
+        regimes[3].model_tokens <= regimes[2].model_tokens,
         "warm cache should consume no more model tokens ({} vs {})",
-        warm.model_tokens,
-        cold.model_tokens,
+        regimes[3].model_tokens,
+        regimes[2].model_tokens,
     );
     // >= rather than >: with --cache-dir, a repeat invocation's "cold"
     // regime loads the persisted snapshot and both regimes hit 100%.
@@ -273,7 +474,49 @@ fn main() {
     println!(
         "\nSerial and batched answers identical; cold and warm cached answers identical; \
          cache reduced model tokens by {} (cold) and {} (warm).",
-        serial.model_tokens - cold.model_tokens,
-        serial.model_tokens - warm.model_tokens,
+        regimes[0].model_tokens - regimes[2].model_tokens,
+        regimes[0].model_tokens - regimes[3].model_tokens,
     );
+
+    // ── BENCH_5.json: the machine-readable baseline ─────────────────────
+    let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
+    let mut doc = JsonObject::new()
+        .field_u64("pr", 5)
+        .field_str("bench", "throughput")
+        .field_str("model", llm.name())
+        .field_u64("seed", config.seed)
+        .field_u64("tasks", tasks.len() as u64)
+        .field_u64("workers", workers as u64)
+        .field_raw("regimes", &unidm_bench::json_array(&regime_json))
+        .field_raw(
+            "duplicate_heavy",
+            &JsonObject::new()
+                .field_u64("tasks", dup_tasks.len() as u64)
+                .field_u64("unique_tasks", tasks.len() as u64)
+                .field_u64("dup_factor", DUP_FACTOR as u64)
+                .field_u64("unique_canonical_keys", unique_keys as u64)
+                .field_u64("endpoint_calls", unique_keys as u64)
+                .field_u64(
+                    "planner_coalesced_tasks",
+                    planner_report.coalesced_tasks as u64,
+                )
+                .field_u64("planner_steals", planner_report.steals as u64)
+                .finish(),
+        )
+        .field_raw(
+            "warm_lookups",
+            &JsonObject::new()
+                .field_u64("lookups", canonical_texts.len() as u64)
+                .field_u64("allocations", warm_allocs)
+                .field_u64("bytes", warm_bytes)
+                .finish(),
+        );
+    if let Some(faulty) = faulty_json {
+        doc = doc.field_raw("faulty", &faulty);
+    }
+    let path = bench_json_path();
+    match std::fs::write(&path, doc.finish() + "\n") {
+        Ok(()) => println!("(wrote perf baseline to {})", path.display()),
+        Err(e) => println!("(perf baseline not written: {e})"),
+    }
 }

@@ -9,14 +9,178 @@
 //! ```
 //!
 //! `all_tables` runs everything in sequence. The Criterion benches
-//! (`pipeline`, `substrates`) measure wall-clock costs of the pipeline
-//! stages and substrate operations.
+//! (`pipeline`, `substrates`, `canon`) measure wall-clock costs of the
+//! pipeline stages, substrate operations, and the canonicalizer hot path.
+//!
+//! The crate also hosts the perf-baseline instrumentation the `throughput`
+//! binary uses to emit `BENCH_5.json`: a counting global allocator
+//! ([`alloc_counter`]), an endpoint-call counter ([`CallCounter`]), and a
+//! dependency-free JSON writer ([`JsonObject`]).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the counting global allocator must
+// implement `GlobalAlloc`, which is an unsafe trait; that one module opts
+// in explicitly and nothing else may.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use unidm_eval::{BackendConfig, CacheConfig, ExperimentConfig};
-use unidm_llm::FaultPlan;
+use unidm_llm::{Completion, FaultPlan, LanguageModel, LlmError, Usage};
+
+pub mod alloc_counter;
+
+/// Route every allocation of the bench binaries through the counting
+/// allocator, so perf regimes can assert exact allocation counts (the
+/// overhead is two relaxed atomic increments per allocation).
+#[global_allocator]
+static GLOBAL_ALLOCATOR: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
+/// A pass-through model wrapper that counts how many `complete` calls
+/// reach the wrapped endpoint — the ground truth for "model calls" in the
+/// perf baseline (usage counters measure tokens, not calls).
+pub struct CallCounter<'a> {
+    inner: &'a dyn LanguageModel,
+    calls: AtomicU64,
+}
+
+impl<'a> CallCounter<'a> {
+    /// Wraps `inner` with a fresh call counter.
+    pub fn new(inner: &'a dyn LanguageModel) -> Self {
+        CallCounter {
+            inner,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// Completions forwarded to the wrapped endpoint so far.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Resets the call counter to zero.
+    pub fn reset_calls(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+impl LanguageModel for CallCounter<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.complete(prompt)
+    }
+
+    fn usage(&self) -> Usage {
+        self.inner.usage()
+    }
+
+    fn reset_usage(&self) {
+        self.inner.reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
+/// A minimal JSON object writer (the workspace has no serde): fields are
+/// appended in call order, strings are escaped, nested objects and arrays
+/// are spliced in raw.
+#[derive(Debug)]
+pub struct JsonObject {
+    out: String,
+    first: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push('"');
+        self.out.push_str(&json_escape(name));
+        self.out.push_str("\":");
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field (6 decimal places — microsecond resolution on
+    /// values measured in seconds).
+    pub fn field_f64(mut self, name: &str, value: f64) -> Self {
+        self.key(name);
+        self.out.push_str(&format!("{value:.6}"));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn field_str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.out.push('"');
+        self.out.push_str(&json_escape(value));
+        self.out.push('"');
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object or array) verbatim.
+    pub fn field_raw(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a JSON array from pre-rendered element values.
+pub fn json_array(elements: &[String]) -> String {
+    format!("[{}]", elements.join(","))
+}
+
+/// Escapes a string for a JSON literal.
+pub fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for ch in text.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Parses the common CLI of the bench binaries:
 ///

@@ -551,7 +551,7 @@ impl LanguageModel for ResilientBackend<'_> {
         self.endpoint.model().name()
     }
 
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
         self.lock_stats().calls += 1;
         let start = self.clock.now_micros();
         let deadline = (self.config.deadline_us > 0).then(|| start + self.config.deadline_us);

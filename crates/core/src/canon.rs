@@ -23,6 +23,21 @@
 //! Whichever thread populates an entry, the stored completion is identical
 //! — serial and parallel batches stay bit-for-bit equal.
 //!
+//! # The allocation-free hot path
+//!
+//! Canonicalization sits on the dispatch hot path: every cache lookup runs
+//! it, and on a warm cache most lookups are hits that should cost nothing
+//! beyond a hash and a map probe. [`CanonicalPrompt::canonicalize`] is the
+//! hot-path entry point: it borrows the input (`Cow::Borrowed`) whenever
+//! the prompt is **already canonical** — whitespace-normal, and (at
+//! [`CanonLevel::TableStem`]) with its retrieval query already in
+//! table-level form — and computes the stable FNV-1a content hash in the
+//! same single scan that checks normality. No intermediate `String` is
+//! built on that path; the only allocations happen when a prompt genuinely
+//! needs rewriting. [`PromptKey`] is the owned form; its table-level stems
+//! are interned as `Arc<str>`, so all rows of a table share one stem
+//! allocation.
+//!
 //! # Examples
 //!
 //! Two rows of the same table fold to one key at table-stem level:
@@ -41,6 +56,20 @@
 //! assert_eq!(key_a, key_b, "canonical keys fold the per-row target key");
 //! assert_eq!(key_a.suffix(), "*, timezone");
 //! ```
+//!
+//! An already-canonical prompt is borrowed, not copied:
+//!
+//! ```
+//! use std::borrow::Cow;
+//! use unidm::{CanonLevel, CanonicalPrompt};
+//!
+//! let canon = CanonicalPrompt::canonicalize("already canonical", CanonLevel::TableStem);
+//! assert!(matches!(canon.text_cow(), Cow::Borrowed(_)));
+//! ```
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use unidm_llm::protocol::{parse_prm, render_prm, TaskKind};
 
@@ -84,14 +113,234 @@ impl std::fmt::Display for CanonLevel {
     }
 }
 
-/// A canonical cache key: a reusable stem, a per-row suffix, and the splice
-/// point where the suffix sits inside the stem.
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a state.
+#[inline]
+fn fnv1a_extend(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a of `text` from the offset basis.
+#[inline]
+fn fnv1a(text: &str) -> u64 {
+    fnv1a_extend(FNV_OFFSET, text.as_bytes())
+}
+
+/// The borrowed, hot-path form of a canonical prompt: the canonical text
+/// (borrowed from the input whenever no rewrite was needed), the location
+/// of the per-row suffix inside it, and the stable content hash — computed
+/// in the same single pass that checks the input for normality.
+///
+/// This is what the prompt cache keys its lookups on: a hit needs only the
+/// canonical text (for the map probe) and the hash (for shard selection),
+/// neither of which allocates when the incoming prompt is already
+/// canonical. [`CanonicalPrompt::into_key`] materializes the owned
+/// [`PromptKey`] when one is needed.
+#[derive(Debug, Clone)]
+pub struct CanonicalPrompt<'a> {
+    /// The canonical prompt text (suffix embedded at the splice point).
+    text: Cow<'a, str>,
+    /// Byte offset where the per-row suffix starts inside `text`.
+    splice: usize,
+    /// Byte length of the per-row suffix.
+    suffix_len: usize,
+    /// FNV-1a hash of the canonical text.
+    hash: u64,
+}
+
+impl<'a> CanonicalPrompt<'a> {
+    /// Canonicalizes `prompt` at `level`, borrowing the input whenever it
+    /// is already canonical.
+    ///
+    /// The borrowed fast path covers: [`CanonLevel::Verbatim`] always;
+    /// whitespace-normal prompts at [`CanonLevel::Whitespace`]; and
+    /// whitespace-normal prompts whose retrieval query is already in
+    /// table-level form at [`CanonLevel::TableStem`]. Everything else
+    /// falls back to the allocating rewrite.
+    pub fn canonicalize(prompt: &'a str, level: CanonLevel) -> CanonicalPrompt<'a> {
+        if level == CanonLevel::Verbatim {
+            return CanonicalPrompt {
+                text: Cow::Borrowed(prompt),
+                splice: 0,
+                suffix_len: prompt.len(),
+                hash: fnv1a(prompt),
+            };
+        }
+        let norm = normalize_whitespace(prompt);
+        // p_rm — the query is the suffix, spliced mid-stem. The borrowed
+        // scanner accepts only prompts in the renderer's exact shape, so
+        // taking its split is provably identical to a parse + re-render.
+        if let Some(scan) = scan_prm_exact(&norm) {
+            let (query_start, query_end) = scan.query;
+            let query = &norm[query_start..query_end];
+            let rewritten = if level == CanonLevel::TableStem {
+                generalize_query(scan.task, query)
+            } else {
+                Cow::Borrowed(query)
+            };
+            return match rewritten {
+                Cow::Borrowed(_) => CanonicalPrompt {
+                    splice: query_start,
+                    suffix_len: query_end - query_start,
+                    hash: hash_of(&norm),
+                    text: norm,
+                },
+                Cow::Owned(general) => {
+                    let mut text = String::with_capacity(norm.len() - query.len() + general.len());
+                    text.push_str(&norm[..query_start]);
+                    text.push_str(&general);
+                    text.push_str(&norm[query_end..]);
+                    CanonicalPrompt {
+                        hash: fnv1a(&text),
+                        splice: query_start,
+                        suffix_len: general.len(),
+                        text: Cow::Owned(text),
+                    }
+                }
+            };
+        }
+        // Oddly spaced p_rm variants the exact scanner refused: re-render
+        // around the (possibly generalized) query so the key is
+        // independent of how the original prompt was spaced.
+        if let Some(req) = parse_prm(&norm) {
+            let query = if level == CanonLevel::TableStem {
+                generalize_query(req.task, &req.query).into_owned()
+            } else {
+                req.query.clone()
+            };
+            let rendered = render_prm(req.task, &query, &req.candidates);
+            if let Some(pos) = rendered.find(QUERY_MARKER) {
+                let splice = pos + QUERY_MARKER.len();
+                return CanonicalPrompt {
+                    hash: fnv1a(&rendered),
+                    splice,
+                    suffix_len: query.len(),
+                    text: Cow::Owned(rendered),
+                };
+            }
+        }
+        // p_ri — the task header is the stem; query and candidate
+        // instances are per-row.
+        if norm.contains("Score the relevance") {
+            if let Some(pos) = norm.find("The target query is") {
+                let suffix_len = norm.len() - pos;
+                return CanonicalPrompt {
+                    splice: pos,
+                    suffix_len,
+                    hash: hash_of(&norm),
+                    text: norm,
+                };
+            }
+        }
+        // p_cq — instruction and demonstration block are the stem; the
+        // final claim is per-row.
+        if norm.starts_with("Write the claim as a cloze question.") {
+            if let Some(pos) = norm.rfind("\nClaim:") {
+                let suffix_len = norm.len() - pos;
+                return CanonicalPrompt {
+                    splice: pos,
+                    suffix_len,
+                    hash: hash_of(&norm),
+                    text: norm,
+                };
+            }
+        }
+        // p_dp — the parsing instruction is the stem; the bracketed record
+        // block is per-retrieval (the closing bracket stays in the stem).
+        if let Some(pos) = norm.find(PDP_MARKER) {
+            if norm.ends_with(']') {
+                let splice = pos + PDP_MARKER.len();
+                let suffix_len = norm.len() - 1 - splice;
+                return CanonicalPrompt {
+                    splice,
+                    suffix_len,
+                    hash: hash_of(&norm),
+                    text: norm,
+                };
+            }
+        }
+        // Target prompts (cloze questions, flat claims) and anything
+        // unrecognized: wholly per-row.
+        let suffix_len = norm.len();
+        CanonicalPrompt {
+            splice: 0,
+            suffix_len,
+            hash: hash_of(&norm),
+            text: norm,
+        }
+    }
+
+    /// The canonical prompt text — what a canonicalizing cache completes
+    /// on a miss.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The canonical text as the underlying `Cow` (borrowed when the
+    /// input was already canonical).
+    pub fn text_cow(&self) -> &Cow<'a, str> {
+        &self.text
+    }
+
+    /// The per-row suffix slice of the canonical text.
+    pub fn suffix(&self) -> &str {
+        &self.text[self.splice..self.splice + self.suffix_len]
+    }
+
+    /// The stable FNV-1a hash of the canonical text, used for shard
+    /// selection. Equal canonical texts always hash equal.
+    pub fn hash64(&self) -> u64 {
+        self.hash
+    }
+
+    /// Whether canonicalization borrowed the input (the zero-allocation
+    /// fast path) rather than rewriting it.
+    pub fn is_borrowed(&self) -> bool {
+        matches!(self.text, Cow::Borrowed(_))
+    }
+
+    /// Materializes the owned [`PromptKey`]: the stem (text minus the
+    /// suffix range) is interned as a shared `Arc<str>`, so all rows of a
+    /// table reuse one allocation.
+    pub fn into_key(self) -> PromptKey {
+        let text = self.text.as_ref();
+        let suffix_end = self.splice + self.suffix_len;
+        let mut stem = String::with_capacity(text.len() - self.suffix_len);
+        stem.push_str(&text[..self.splice]);
+        stem.push_str(&text[suffix_end..]);
+        PromptKey {
+            stem: intern_stem(&stem),
+            suffix: text[self.splice..suffix_end].into(),
+            splice: self.splice,
+            hash: self.hash,
+        }
+    }
+
+    /// Takes ownership of the canonical text (allocating only when it was
+    /// still borrowed).
+    pub fn into_text(self) -> String {
+        self.text.into_owned()
+    }
+}
+
+/// A canonical cache key: a reusable (interned) stem, a per-row suffix,
+/// and the splice point where the suffix sits inside the stem.
 ///
 /// The canonical prompt text — what the cache actually sends to the model
 /// on a miss — is reconstructed by [`PromptKey::text`]: the suffix inserted
 /// into the stem at the splice offset. For most prompt shapes the suffix
 /// trails the stem; for `p_rm` it is the query spliced into the middle of
-/// the preamble.
+/// the preamble. Stems are table-level and shared across all rows of a
+/// table, so they are interned: every `PromptKey` over the same table
+/// points at one `Arc<str>`.
 ///
 /// # Examples
 ///
@@ -116,9 +365,10 @@ impl std::fmt::Display for CanonLevel {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PromptKey {
-    stem: String,
-    suffix: String,
+    stem: Arc<str>,
+    suffix: Box<str>,
     splice: usize,
+    hash: u64,
 }
 
 impl PromptKey {
@@ -131,85 +381,12 @@ impl PromptKey {
     /// generalized to their table-level form.
     ///
     /// Canonicalization is idempotent: canonicalizing [`PromptKey::text`]
-    /// again at the same level yields an equal key.
+    /// again at the same level yields an equal key. This is the owned
+    /// entry point; the cache's lookup path uses
+    /// [`CanonicalPrompt::canonicalize`], which borrows instead of
+    /// allocating whenever the input is already canonical.
     pub fn canonicalize(prompt: &str, level: CanonLevel) -> PromptKey {
-        if level == CanonLevel::Verbatim {
-            return PromptKey::whole(prompt.to_string());
-        }
-        let norm = normalize_whitespace(prompt);
-        // p_rm — re-render around the (possibly generalized) query so the
-        // key is independent of how the original prompt was spaced.
-        if let Some(req) = parse_prm(&norm) {
-            let query = if level == CanonLevel::TableStem {
-                generalize_query(req.task, &req.query)
-            } else {
-                req.query.clone()
-            };
-            let rendered = render_prm(req.task, &query, &req.candidates);
-            if let Some(pos) = rendered.find(QUERY_MARKER) {
-                let splice = pos + QUERY_MARKER.len();
-                let mut stem = rendered;
-                let end = splice + query.len();
-                stem.replace_range(splice..end, "");
-                return PromptKey {
-                    stem,
-                    suffix: query,
-                    splice,
-                };
-            }
-        }
-        // p_ri — the task header is the stem; query and candidate
-        // instances are per-row.
-        if norm.contains("Score the relevance") {
-            if let Some(pos) = norm.find("The target query is") {
-                return PromptKey::split_at(norm, pos);
-            }
-        }
-        // p_cq — instruction and demonstration block are the stem; the
-        // final claim is per-row.
-        if norm.starts_with("Write the claim as a cloze question.") {
-            if let Some(pos) = norm.rfind("\nClaim:") {
-                return PromptKey::split_at(norm, pos);
-            }
-        }
-        // p_dp — the parsing instruction is the stem; the bracketed record
-        // block is per-retrieval.
-        if let Some(pos) = norm.find(PDP_MARKER) {
-            if norm.ends_with(']') {
-                let splice = pos + PDP_MARKER.len();
-                let suffix = norm[splice..norm.len() - 1].to_string();
-                let mut stem = String::with_capacity(splice + 1);
-                stem.push_str(&norm[..splice]);
-                stem.push(']');
-                return PromptKey {
-                    stem,
-                    suffix,
-                    splice,
-                };
-            }
-        }
-        // Target prompts (cloze questions, flat claims) and anything
-        // unrecognized: wholly per-row.
-        PromptKey::whole(norm)
-    }
-
-    fn whole(text: String) -> PromptKey {
-        PromptKey {
-            stem: String::new(),
-            suffix: text,
-            splice: 0,
-        }
-    }
-
-    fn split_at(text: String, pos: usize) -> PromptKey {
-        let suffix = text[pos..].to_string();
-        let mut stem = text;
-        stem.truncate(pos);
-        PromptKey {
-            stem,
-            suffix,
-            splice: pos,
-        }
+        CanonicalPrompt::canonicalize(prompt, level).into_key()
     }
 
     /// The reusable (table-level) part of the key.
@@ -232,41 +409,99 @@ impl PromptKey {
         out
     }
 
-    /// A stable 64-bit FNV-1a hash of the key, used for shard selection.
+    /// A stable 64-bit FNV-1a hash of the canonical text, used for shard
+    /// selection.
     ///
-    /// Stable across runs and platforms (it hashes bytes, not `Hasher`
-    /// state), so persisted snapshots reload into the same shards.
+    /// Stable across runs and platforms (it hashes the canonical text's
+    /// bytes, not `Hasher` state), so persisted snapshots reload into the
+    /// same shards. Because canonicalization is idempotent, the canonical
+    /// text determines the key — hashing the text alone is collision-free
+    /// across distinct keys up to FNV collisions.
     pub fn hash64(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        eat(self.stem.as_bytes());
-        eat(&[0xff]);
-        eat(&(self.splice as u64).to_le_bytes());
-        eat(&[0xff]);
-        eat(self.suffix.as_bytes());
-        h
+        self.hash
     }
 }
 
 const QUERY_MARKER: &str = "The target query is [";
 const PDP_MARKER: &str = "logical order: [";
 
-/// Collapses runs of blanks, trims line edges and the prompt's ends, and
-/// normalizes line endings to `\n`.
-fn normalize_whitespace(prompt: &str) -> String {
+/// Upper bound on distinct interned stems; beyond it new stems are handed
+/// out uninterned so a pathological workload cannot grow the table without
+/// bound. Real workloads hold a few stems per (table, prompt shape).
+const INTERN_CAP: usize = 4096;
+
+/// Returns a shared `Arc<str>` for `stem`, reusing the existing allocation
+/// when the same stem was interned before.
+fn intern_stem(stem: &str) -> Arc<str> {
+    static INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    let mut set = INTERNER
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(shared) = set.get(stem) {
+        return shared.clone();
+    }
+    let shared: Arc<str> = Arc::from(stem);
+    if set.len() < INTERN_CAP {
+        set.insert(shared.clone());
+    }
+    shared
+}
+
+/// Hash of an intermediate canonical text.
+#[inline]
+fn hash_of(text: &str) -> u64 {
+    fnv1a(text)
+}
+
+/// Whether `prompt` is already in whitespace-normal form: no tabs or
+/// carriage returns (the normalizer treats both as blanks, so its output
+/// never contains them — which is what makes it a fixpoint), no double
+/// blanks, no blanks or blank lines at line edges or the prompt's ends.
+fn is_whitespace_normal(prompt: &str) -> bool {
+    let bytes = prompt.as_bytes();
+    if bytes.is_empty() {
+        return true;
+    }
+    if bytes[0] == b' ' || bytes[0] == b'\n' {
+        return false;
+    }
+    let last = bytes[bytes.len() - 1];
+    if last == b' ' || last == b'\n' {
+        return false;
+    }
+    let mut prev = 0u8;
+    for &b in bytes {
+        match b {
+            b'\t' | b'\r' => return false,
+            b' ' if prev == b' ' || prev == b'\n' => return false,
+            b'\n' if prev == b' ' => return false,
+            _ => {}
+        }
+        prev = b;
+    }
+    true
+}
+
+/// Collapses runs of blanks (spaces, tabs, stray carriage returns),
+/// trims line edges and the prompt's ends, and normalizes line endings
+/// to `\n` — borrowing the input untouched when it is already normal
+/// (the hot path: rendered prompts are born normal). The output is a
+/// fixpoint: normalizing it again returns it borrowed.
+fn normalize_whitespace(prompt: &str) -> Cow<'_, str> {
+    if is_whitespace_normal(prompt) {
+        return Cow::Borrowed(prompt);
+    }
     let mut out = String::with_capacity(prompt.len());
     for line in prompt.lines() {
         let mut pending_space = false;
         let start = out.len();
         for ch in line.chars() {
-            if ch == ' ' || ch == '\t' {
+            // '\r' counts as a blank (a lone one is stray line-ending
+            // junk): folding it here keeps the output '\r'-free, so
+            // normalization is a fixpoint — it can never manufacture an
+            // "\r\n" pair that a second pass would strip differently.
+            if ch == ' ' || ch == '\t' || ch == '\r' {
                 pending_space = out.len() > start;
                 continue;
             }
@@ -282,30 +517,124 @@ fn normalize_whitespace(prompt: &str) -> String {
         out.pop();
     }
     let trimmed_start = out.trim_start_matches('\n').len();
-    out.split_off(out.len() - trimmed_start)
+    Cow::Owned(out.split_off(out.len() - trimmed_start))
 }
 
-/// Rewrites a per-row retrieval query to its table-level form.
+/// A borrowed scan of a `p_rm` prompt in the renderer's exact shape.
+struct PrmScan {
+    task: TaskKind,
+    /// Byte range of the query inside the scanned text.
+    query: (usize, usize),
+}
+
+/// Finds the depth-matched content of the bracket opening at `text[at]`
+/// (which must be `[`), returning the byte range of the content.
+fn bracket_content(text: &str, at: usize) -> Option<(usize, usize)> {
+    let mut depth = 0usize;
+    for (i, c) in text[at..].char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some((at + 1, at + i));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Accepts `text` only if it is byte-for-byte what
+/// [`render_prm`] produces for some `(task, query, candidates)` — in which
+/// case splitting at the scanned query range is provably identical to a
+/// parse + re-render, and no allocation is needed. Returns `None` for
+/// anything else (oddly spaced variants fall back to the allocating
+/// parse-and-render path).
+fn scan_prm_exact(text: &str) -> Option<PrmScan> {
+    const P1: &str = "The task is [";
+    const P2: &str = "]. The target query is [";
+    const P3: &str = "]. The candidate attributes are [";
+    const P4: &str = "]. Which attributes are helpful for the task and the query?";
+    let rest = text.strip_prefix(P1)?;
+    // Task description: exact match against the static descriptions (the
+    // parser lowercases; exactness requires the rendered form verbatim).
+    let task_end = rest.find(']')?;
+    let task = task_from_exact_description(&rest[..task_end])?;
+    let after_task = P1.len() + task_end;
+    if !text[after_task..].starts_with(P2) {
+        return None;
+    }
+    let query_open = after_task + P2.len() - 1;
+    let (query_start, query_end) = bracket_content(text, query_open)?;
+    if !text[query_end..].starts_with(P3) {
+        return None;
+    }
+    let cand_open = query_end + P3.len() - 1;
+    let (cand_start, cand_end) = bracket_content(text, cand_open)?;
+    // The remainder must be exactly the closing question.
+    if &text[cand_end..] != P4 {
+        return None;
+    }
+    // Candidate list exactness: parse_prm splits on ", ", trims each item
+    // and drops empties; re-rendering joins with ", ". That round-trips
+    // byte-for-byte iff every item is non-empty and trim-stable.
+    let candidates = &text[cand_start..cand_end];
+    if candidates
+        .split(", ")
+        .any(|item| item.is_empty() || item != item.trim() || item.contains(['[', ']']))
+    {
+        return None;
+    }
+    Some(PrmScan {
+        task,
+        query: (query_start, query_end),
+    })
+}
+
+/// Maps a task description to its kind only on an exact (already
+/// lowercase, untrimmed) match — the non-allocating counterpart of
+/// [`TaskKind::from_description`].
+fn task_from_exact_description(desc: &str) -> Option<TaskKind> {
+    TaskKind::ALL.into_iter().find(|t| t.description() == desc)
+}
+
+/// Rewrites a per-row retrieval query to its table-level form, borrowing
+/// the input when no rewrite is needed (already-general queries, task
+/// kinds whose query genuinely determines the answer).
 ///
 /// Meta-wise retrieval asks which attributes help a *task* — the answer
 /// depends on the table schema and the target attribute, not on which row
 /// is being repaired. Imputation queries (`"<key>, <attr>"`) drop the row
 /// key; error-detection queries (`"<attr>: <value>?"`) drop the cell
 /// value. Other task kinds (table QA questions, entity pairs) keep their
-/// query: there the query genuinely determines the answer.
-fn generalize_query(task: TaskKind, query: &str) -> String {
+/// query.
+fn generalize_query(task: TaskKind, query: &str) -> Cow<'_, str> {
     match task {
         TaskKind::Imputation => match query.rsplit_once(',') {
-            Some((_, target)) => format!("*, {}", target.trim()),
-            None => query.to_string(),
+            Some((head, tail)) => {
+                let target = tail.trim();
+                // Identity iff the query is already exactly "*, <target>".
+                if head == "*" && tail.strip_prefix(' ') == Some(target) {
+                    Cow::Borrowed(query)
+                } else {
+                    Cow::Owned(format!("*, {target}"))
+                }
+            }
+            None => Cow::Borrowed(query),
         },
         TaskKind::ErrorDetection => match query.split_once(':') {
             Some((attr, value)) if value.trim_end().ends_with('?') => {
-                format!("{}: *?", attr.trim())
+                if attr == attr.trim() && value == " *?" {
+                    Cow::Borrowed(query)
+                } else {
+                    Cow::Owned(format!("{}: *?", attr.trim()))
+                }
             }
-            _ => query.to_string(),
+            _ => Cow::Borrowed(query),
         },
-        _ => query.to_string(),
+        _ => Cow::Borrowed(query),
     }
 }
 
@@ -454,23 +783,129 @@ mod tests {
     }
 
     #[test]
+    fn canonical_prompts_are_borrowed_not_copied() {
+        // Rendered prompts are born whitespace-normal, so re-canonicalizing
+        // a canonical text must take the borrowed fast path at every level.
+        let candidates = vec!["country".to_string(), "population".to_string()];
+        let prompts = vec![
+            render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates),
+            render_prm(TaskKind::ErrorDetection, "city: sheffxeld?", &candidates),
+            render_prm(TaskKind::TableQa, "Which nation won?", &candidates),
+            render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs()),
+            render_pdp(&recs()),
+            "a plain prompt".to_string(),
+        ];
+        for level in [
+            CanonLevel::Verbatim,
+            CanonLevel::Whitespace,
+            CanonLevel::TableStem,
+        ] {
+            for p in &prompts {
+                let canonical = PromptKey::canonicalize(p, level).text();
+                let again = CanonicalPrompt::canonicalize(&canonical, level);
+                assert!(
+                    again.is_borrowed(),
+                    "canonical text must be borrowed at {level}: {canonical:?}"
+                );
+                assert_eq!(again.text(), canonical);
+            }
+        }
+    }
+
+    #[test]
+    fn already_general_queries_take_the_borrowed_path() {
+        assert!(matches!(
+            generalize_query(TaskKind::Imputation, "*, timezone"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            generalize_query(TaskKind::Imputation, "Copenhagen, timezone"),
+            Cow::Owned(_)
+        ));
+        assert!(matches!(
+            generalize_query(TaskKind::ErrorDetection, "city: *?"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            generalize_query(TaskKind::ErrorDetection, "city: chicago?"),
+            Cow::Owned(_)
+        ));
+        // No-rewrite fallbacks borrow instead of copying (the old code
+        // allocated a fresh String here).
+        assert!(matches!(
+            generalize_query(TaskKind::Imputation, "no comma"),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            generalize_query(TaskKind::TableQa, "Which nation won?"),
+            Cow::Borrowed(_)
+        ));
+    }
+
+    #[test]
+    fn interned_stems_are_shared_across_rows() {
+        let candidates = vec!["country".to_string(), "population".to_string()];
+        let a = render_prm(TaskKind::Imputation, "Copenhagen, timezone", &candidates);
+        let b = render_prm(TaskKind::Imputation, "Florence, timezone", &candidates);
+        let ka = PromptKey::canonicalize(&a, CanonLevel::Whitespace);
+        let kb = PromptKey::canonicalize(&b, CanonLevel::Whitespace);
+        assert_ne!(ka, kb, "whitespace level keeps per-row queries distinct");
+        assert!(
+            Arc::ptr_eq(&ka.stem, &kb.stem),
+            "rows of one table must share one interned stem allocation"
+        );
+    }
+
+    #[test]
     fn hash_is_stable_and_separates_keys() {
         let key = PromptKey::canonicalize("hello world", CanonLevel::Whitespace);
         assert_eq!(key.hash64(), key.hash64());
         let other = PromptKey::canonicalize("hello worlds", CanonLevel::Whitespace);
         assert_ne!(key.hash64(), other.hash64());
-        // Stem/suffix boundary participates in the hash: ("ab", "") and
-        // ("a", "b") must not collide by concatenation.
-        let a = PromptKey {
-            stem: "ab".into(),
-            suffix: String::new(),
-            splice: 2,
-        };
-        let b = PromptKey {
-            stem: "a".into(),
-            suffix: "b".into(),
-            splice: 1,
-        };
-        assert_ne!(a.hash64(), b.hash64());
+        // The hash is a pure function of the canonical text: the borrowed
+        // and owned paths must agree.
+        let canonical = CanonicalPrompt::canonicalize("hello world", CanonLevel::Whitespace);
+        assert_eq!(canonical.hash64(), key.hash64());
+        assert_eq!(
+            CanonicalPrompt::canonicalize("  hello   world ", CanonLevel::Whitespace).hash64(),
+            key.hash64(),
+            "whitespace variants fold to the same canonical hash"
+        );
+    }
+
+    #[test]
+    fn whitespace_normality_check_matches_the_normalizer() {
+        let cases = [
+            "plain",
+            "two\nlines",
+            " leading",
+            "trailing ",
+            "double  space",
+            "tab\there",
+            "line \nedge",
+            "\nleading newline",
+            "trailing newline\n",
+            "interior\n\nblank line",
+            "lone\rcarriage return",
+            "trailing lone carriage return\r",
+            "crlf line\r\nending",
+            // Regression: trimming the blank between '\r' and '\n' must
+            // not manufacture a "\r\n" the next pass would strip — the
+            // normalizer folds '\r' as a blank, so output is '\r'-free.
+            "ab\r \ncd",
+            "",
+        ];
+        for case in cases {
+            let normalized = normalize_whitespace(case);
+            assert_eq!(
+                is_whitespace_normal(case),
+                normalized.as_ref() == case,
+                "normality check disagrees with the normalizer on {case:?}"
+            );
+            assert!(
+                is_whitespace_normal(normalized.as_ref()),
+                "normalized output must be normal: {case:?} -> {normalized:?}"
+            );
+        }
     }
 }

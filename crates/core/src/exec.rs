@@ -1,6 +1,7 @@
-//! Parallel batch execution: a worker pool fanning [`UniDm`] runs over many
-//! tasks, and a sharded, canonicalizing, persistable prompt cache
-//! deduplicating repeated LLM calls.
+//! Parallel batch execution: a work-stealing worker pool fanning
+//! [`UniDm`] runs over many tasks, and a sharded, canonicalizing,
+//! single-flight, persistable prompt cache deduplicating repeated LLM
+//! calls.
 //!
 //! The paper's experiments (Tables 1–11) execute thousands of independent
 //! pipeline runs per dataset. Two properties of the pipeline make batch
@@ -15,17 +16,33 @@
 //!   prompt-level memo turns that redundancy into saved tokens and
 //!   throughput ([`PromptCache`]).
 //!
-//! The cache composes three mechanisms, each independently tunable:
+//! The cache composes four mechanisms, each independently tunable:
 //!
 //! * **Canonical keys** ([`crate::canon`]) — prompts are keyed by their
-//!   [`PromptKey`], so whitespace variants and (at
+//!   canonical text, so whitespace variants and (at
 //!   [`CanonLevel::TableStem`]) per-row retrieval preambles share entries.
+//!   The lookup path runs [`CanonicalPrompt::canonicalize`], which borrows
+//!   already-canonical prompts instead of copying them — a warm hit
+//!   performs **zero heap allocations**.
 //! * **Sharding** — the memo is split across N independently locked maps
 //!   selected by key hash, so concurrent [`BatchRunner`] workers contend on
 //!   1/N of the lock traffic.
+//! * **Single-flight coalescing** — each shard keeps an in-flight table of
+//!   canonical keys currently being completed. Concurrent duplicate
+//!   lookups issue exactly **one** endpoint call: the first arrival leads,
+//!   the rest block on the slot and share the leader's completion
+//!   ([`CacheStats::coalesced`] counts them). Because misses complete the
+//!   canonical text against a deterministic substrate, coalesced answers
+//!   are bit-identical to what each caller would have fetched itself.
 //! * **Persistence** — [`PromptCache::save_to`] / [`PromptCache::load_from`]
 //!   snapshot the memo in a versioned text format, so a second eval run
 //!   starts warm and answers its first prompts without any model call.
+//!
+//! [`BatchRunner`] adds scheduler-level deduplication on top: a
+//! pre-dispatch planner groups byte-identical tasks, runs one
+//! representative per group on the work-stealing pool, and copies the
+//! representative's output to every duplicate slot — so duplicate tasks
+//! never even reach the cache.
 //!
 //! ```
 //! use unidm::{BatchRunner, PipelineConfig, PromptCache, Task};
@@ -50,15 +67,15 @@
 //! assert_eq!(outputs[0].as_ref().unwrap().answer, "Central European Time");
 //! ```
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use unidm_llm::{Completion, LanguageModel, LlmError, Usage};
 use unidm_tablestore::DataLake;
 
-use crate::canon::{CanonLevel, PromptKey};
+use crate::canon::{CanonLevel, CanonicalPrompt};
 use crate::pipeline::{RunOutput, UniDm};
 use crate::task::Task;
 use crate::{PipelineConfig, UniDmError};
@@ -68,24 +85,40 @@ use crate::{PipelineConfig, UniDmError};
 pub struct CacheStats {
     /// Completions served from the cache.
     pub hits: usize,
-    /// Completions that had to go to the model.
+    /// Completions that had to go to the model. With single-flight
+    /// coalescing this counts **leaders only**, so for a fixed workload it
+    /// equals the number of unique canonical keys completed — exactly,
+    /// under every interleaving.
     pub misses: usize,
+    /// Lookups that arrived while the same canonical key was already in
+    /// flight and shared the leader's completion instead of issuing their
+    /// own endpoint call. In a serial run this is always zero; under
+    /// parallelism, `hits + coalesced` is exact while the split between
+    /// the two depends on timing.
+    pub coalesced: usize,
     /// Entries evicted to stay within capacity.
     pub evictions: usize,
     /// Tokens (prompt + completion) the model did not have to process
-    /// because a hit short-circuited the call.
+    /// because a hit — or a coalesced wait — short-circuited the call.
     pub tokens_saved: usize,
 }
 
 impl CacheStats {
-    /// Hit rate in `[0, 1]` (zero when nothing was looked up).
+    /// Hit rate in `[0, 1]` (zero when nothing was looked up). Coalesced
+    /// lookups count toward the numerator: they were served without an
+    /// endpoint call of their own.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits + self.coalesced + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            (self.hits + self.coalesced) as f64 / total as f64
         }
+    }
+
+    /// Total lookups accounted (hits, coalesced waits, and misses).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.coalesced + self.misses
     }
 
     /// Adds another stats snapshot into this one (used to aggregate
@@ -93,47 +126,115 @@ impl CacheStats {
     pub fn merge(&mut self, other: CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.coalesced += other.coalesced;
         self.evictions += other.evictions;
         self.tokens_saved += other.tokens_saved;
     }
 }
 
-#[derive(Debug, Default)]
+/// One memoized completion: the shared payload plus its last-use stamp.
+#[derive(Debug)]
+struct CacheEntry {
+    completion: Arc<Completion>,
+    /// Last-use stamp from the cache-wide clock; comparable across shards,
+    /// which is what lets snapshot compaction keep the globally
+    /// most-recent entries.
+    stamp: u64,
+}
+
+/// State of a single-flight slot.
+enum SlotState {
+    /// The leader is still completing the canonical text.
+    Pending,
+    /// The leader finished; every waiter shares this result.
+    Done(Result<Arc<Completion>, LlmError>),
+    /// The leader panicked before filling the slot; waiters must retry
+    /// (and one of them becomes the new leader).
+    Abandoned,
+}
+
+/// A single-flight slot: the rendezvous between the leader completing a
+/// canonical key and the coalesced waiters blocked on it.
+struct InFlight {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Arc<InFlight> {
+        Arc::new(InFlight {
+            state: Mutex::new(SlotState::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Publishes the leader's result and wakes every waiter.
+    fn fill(&self, result: Result<Arc<Completion>, LlmError>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *state = SlotState::Done(result);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Marks the slot abandoned (leader panicked) and wakes every waiter.
+    fn abandon(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *state = SlotState::Abandoned;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the leader publishes; `None` means the slot was
+    /// abandoned and the caller should retry its lookup.
+    fn wait(&self) -> Option<Result<Arc<Completion>, LlmError>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*state {
+                SlotState::Pending => {
+                    state = self
+                        .ready
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                SlotState::Done(result) => return Some(result.clone()),
+                SlotState::Abandoned => return None,
+            }
+        }
+    }
+}
+
+#[derive(Default)]
 struct CacheInner {
-    /// canonical prompt → (completion, last-use stamp).
-    entries: HashMap<String, (Completion, u64)>,
-    /// last-use stamp → prompt: the recency index that makes LRU eviction
-    /// O(log n) instead of a full scan of `entries`.
-    recency: BTreeMap<u64, String>,
+    /// canonical prompt text → memoized completion. Keyed by the owned
+    /// text but probed with a borrowed `&str`, so a warm hit allocates
+    /// nothing.
+    entries: HashMap<Box<str>, CacheEntry>,
+    /// canonical prompt text → single-flight slot for keys currently
+    /// being completed by a leader.
+    inflight: HashMap<Box<str>, Arc<InFlight>>,
     stats: CacheStats,
 }
 
 impl CacheInner {
-    /// Returns the memoized completion for `prompt`, refreshing its
-    /// recency to `stamp`, or `None` on a miss.
-    ///
-    /// Stamps come from the cache-wide clock (not a per-shard counter), so
-    /// recency is comparable across shards — which is what lets snapshot
-    /// compaction keep the globally most-recent entries.
-    fn touch(&mut self, prompt: &str, stamp: u64) -> Option<Completion> {
-        let (completion, last_used) = self.entries.get_mut(prompt)?;
-        self.recency.remove(last_used);
-        self.recency.insert(stamp, prompt.to_string());
-        *last_used = stamp;
-        Some(completion.clone())
-    }
-
-    /// Inserts (or refreshes) `prompt` at `stamp`, evicting the
+    /// Inserts (or refreshes) `text` at `stamp`, evicting the
     /// least-recently-used entry when over `capacity`.
-    fn insert(&mut self, prompt: &str, completion: Completion, capacity: usize, stamp: u64) {
-        if let Some((_, old_stamp)) = self.entries.insert(prompt.to_string(), (completion, stamp)) {
-            // A racing miss on the same prompt already inserted it; drop
-            // the stale recency slot.
-            self.recency.remove(&old_stamp);
-        }
-        self.recency.insert(stamp, prompt.to_string());
+    ///
+    /// Eviction scans the shard for the minimum stamp — O(entries) on the
+    /// miss path, where the model call dominates anyway. (The hit path in
+    /// exchange refreshes recency by overwriting a `u64` in place, with no
+    /// ordered index to maintain and no allocation.)
+    fn insert(&mut self, text: &str, completion: Arc<Completion>, capacity: usize, stamp: u64) {
+        self.entries
+            .insert(text.into(), CacheEntry { completion, stamp });
         if self.entries.len() > capacity {
-            if let Some((_, victim)) = self.recency.pop_first() {
+            // Stamps are unique (one cache-wide counter), so the minimum
+            // is unique and the victim deterministic.
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(text, _)| text.clone())
+            {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
             }
@@ -209,7 +310,7 @@ impl From<std::io::Error> for SnapshotError {
 ///
 /// # Keying and canonicalization
 ///
-/// Lookups go through [`PromptKey::canonicalize`] at the cache's
+/// Lookups go through [`CanonicalPrompt::canonicalize`] at the cache's
 /// [`CanonLevel`] (default [`CanonLevel::Verbatim`], i.e. exact
 /// memoization). At higher levels a miss completes the *canonical* prompt
 /// text rather than the raw variant, which makes the memo a pure function
@@ -217,15 +318,31 @@ impl From<std::io::Error> for SnapshotError {
 /// completion is identical, so serial and parallel batches stay
 /// bit-for-bit equal even when many raw prompts fold into one entry.
 ///
-/// # Sharding
+/// # The warm hit path allocates nothing
+///
+/// An already-canonical prompt (every re-lookup of a canonical text, and
+/// every rendered prompt that needs no rewriting) is borrowed by the
+/// canonicalizer, hashed in the same scan, probed against the shard map by
+/// `&str`, refreshed by overwriting its recency stamp in place, and
+/// answered by bumping the reference count of the stored
+/// [`Arc<Completion>`]. No `String`, no node, no clone — zero heap
+/// allocations end to end, which the bench suite asserts with a counting
+/// allocator.
+///
+/// # Sharding and single-flight coalescing
 ///
 /// Entries are distributed over [`PromptCache::shards`] independently
 /// locked maps by key hash, cutting lock contention under
-/// [`BatchRunner`] parallelism. Statistics are counted per shard (exactly
+/// [`BatchRunner`] parallelism. Each shard also keeps an **in-flight
+/// table**: when a miss is already being completed by another worker,
+/// later arrivals of the same canonical key do not issue a second endpoint
+/// call — they block on the leader's slot and share its completion
+/// ([`CacheStats::coalesced`]). Statistics are counted per shard (exactly
 /// — every counter update happens under its shard's lock) and aggregated
 /// by [`PromptCache::stats`]; [`PromptCache::shard_stats`] exposes the
-/// per-shard breakdown. Lookups never block on the underlying model: the
-/// shard lock is released while a miss is being completed.
+/// per-shard breakdown. Lookups never block on the underlying model except
+/// when coalescing onto the same key: the shard lock is released while a
+/// miss is being completed.
 ///
 /// # Persistence
 ///
@@ -240,12 +357,16 @@ impl From<std::io::Error> for SnapshotError {
 /// # Determinism and accounting
 ///
 /// The deterministic substrate returns the same completion for the same
-/// prompt, so serving a memoized completion changes nothing about answers
-/// or per-run usage — only about what the *inner* model actually
-/// processed. Cached completions report the usage of the original call,
-/// which keeps per-run accounting via [`unidm_llm::UsageMeter`] identical
-/// with and without the cache; the inner model's own counter only grows on
-/// misses, and the difference is tracked as [`CacheStats::tokens_saved`].
+/// prompt, so serving a memoized (or coalesced) completion changes nothing
+/// about answers or per-run usage — only about what the *inner* model
+/// actually processed. Cached completions report the usage of the original
+/// call, which keeps per-run accounting via [`unidm_llm::UsageMeter`]
+/// identical with and without the cache; the inner model's own counter
+/// only grows on leader misses, and the difference is tracked as
+/// [`CacheStats::tokens_saved`]. For a fixed workload,
+/// [`CacheStats::misses`] equals the number of unique canonical keys
+/// completed — exactly, under every interleaving — because the in-flight
+/// table guarantees one leader per key.
 ///
 /// # Examples
 ///
@@ -308,6 +429,27 @@ fn default_shards() -> usize {
 
 fn build_shards(n: usize) -> Box<[Mutex<CacheInner>]> {
     (0..n).map(|_| Mutex::new(CacheInner::default())).collect()
+}
+
+/// Disarms the in-flight slot if the leader unwinds before filling it, so
+/// a panicking worker cannot wedge every thread coalesced onto its key.
+struct LeaderGuard<'c> {
+    shard: &'c Mutex<CacheInner>,
+    slot: &'c Arc<InFlight>,
+    text: &'c str,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.shard.lock().unwrap_or_else(PoisonError::into_inner);
+        state.inflight.remove(self.text);
+        drop(state);
+        self.slot.abandon();
+    }
 }
 
 impl<'a> PromptCache<'a> {
@@ -389,15 +531,19 @@ impl<'a> PromptCache<'a> {
         }
     }
 
-    fn shard_for(&self, key: &PromptKey) -> &Mutex<CacheInner> {
+    fn shard_for_hash(&self, hash: u64) -> &Mutex<CacheInner> {
         // Shard count is a power of two, so masking the stable FNV hash
         // picks a shard uniformly.
-        let index = (key.hash64() as usize) & (self.shards.len() - 1);
+        let index = (hash as usize) & (self.shards.len() - 1);
         &self.shards[index]
     }
 
+    /// Locks a shard, recovering from poison: the shard state is a plain
+    /// map plus counters, valid at every instruction boundary, so a worker
+    /// that panicked while holding the lock cannot leave it corrupt — and
+    /// must not wedge every other worker of the batch.
     fn lock_shard<'s>(&self, shard: &'s Mutex<CacheInner>) -> MutexGuard<'s, CacheInner> {
-        shard.lock().expect("cache shard lock poisoned")
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The next globally ordered recency stamp.
@@ -407,7 +553,7 @@ impl<'a> PromptCache<'a> {
 
     /// Removes every entry, returning them sorted by canonical prompt (so
     /// rebuilds are deterministic). Statistics are kept.
-    fn drain_entries(&mut self) -> Vec<(String, Completion)> {
+    fn drain_entries(&mut self) -> Vec<(Box<str>, Arc<Completion>)> {
         let mut entries = Vec::new();
         for shard in self.shards.iter() {
             let mut state = self.lock_shard(shard);
@@ -415,30 +561,28 @@ impl<'a> PromptCache<'a> {
                 state
                     .entries
                     .drain()
-                    .map(|(prompt, (completion, _))| (prompt, completion)),
+                    .map(|(text, entry)| (text, entry.completion)),
             );
-            state.recency.clear();
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         entries
     }
 
     /// Re-inserts drained entries under the current level/shard layout.
-    fn readmit(&self, entries: Vec<(String, Completion)>) {
-        for (prompt, completion) in entries {
-            self.admit(&prompt, completion);
+    fn readmit(&self, entries: Vec<(Box<str>, Arc<Completion>)>) {
+        for (text, completion) in entries {
+            self.admit(&text, completion);
         }
     }
 
     /// Inserts a known-good completion under the canonical key of
     /// `prompt` without touching hit/miss counters.
-    fn admit(&self, prompt: &str, completion: Completion) {
-        let key = PromptKey::canonicalize(prompt, self.level);
-        let text = key.text();
-        let shard = self.shard_for(&key);
+    fn admit(&self, prompt: &str, completion: Arc<Completion>) {
+        let canonical = CanonicalPrompt::canonicalize(prompt, self.level);
+        let shard = self.shard_for_hash(canonical.hash64());
         let stamp = self.next_stamp();
         self.lock_shard(shard)
-            .insert(&text, completion, self.shard_capacity, stamp);
+            .insert(canonical.text(), completion, self.shard_capacity, stamp);
     }
 
     /// A snapshot of the aggregated hit/miss/eviction statistics.
@@ -456,6 +600,25 @@ impl<'a> PromptCache<'a> {
             .iter()
             .map(|shard| self.lock_shard(shard).stats)
             .collect()
+    }
+
+    /// The canonical prompt texts currently memoized, sorted — the keys a
+    /// warm lookup hits verbatim. Deterministic for a deterministic
+    /// workload, whatever the shard layout.
+    pub fn canonical_prompts(&self) -> Vec<String> {
+        let mut texts: Vec<String> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                self.lock_shard(shard)
+                    .entries
+                    .keys()
+                    .map(|text| text.to_string())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        texts.sort();
+        texts
     }
 
     /// Number of completions currently held across all shards.
@@ -476,7 +639,6 @@ impl<'a> PromptCache<'a> {
         for shard in self.shards.iter() {
             let mut state = self.lock_shard(shard);
             state.entries.clear();
-            state.recency.clear();
         }
     }
 
@@ -495,30 +657,27 @@ impl<'a> PromptCache<'a> {
     /// maps briefly exceed the total budget, but persisted state never
     /// does. (An unbounded cache persists everything.)
     pub fn snapshot(&self) -> String {
-        let mut entries: Vec<(String, Completion, u64)> = Vec::new();
+        let mut entries: Vec<(Box<str>, Arc<Completion>, u64)> = Vec::new();
         for shard in self.shards.iter() {
             let state = self.lock_shard(shard);
             entries.extend(
-                state.entries.iter().map(|(prompt, (completion, stamp))| {
-                    (prompt.clone(), completion.clone(), *stamp)
-                }),
+                state
+                    .entries
+                    .iter()
+                    .map(|(text, entry)| (text.clone(), entry.completion.clone(), entry.stamp)),
             );
         }
         if self.capacity != usize::MAX && entries.len() > self.capacity {
             entries.sort_by_key(|entry| std::cmp::Reverse(entry.2));
             entries.truncate(self.capacity);
         }
-        let mut entries: Vec<(String, Completion)> = entries
-            .into_iter()
-            .map(|(prompt, completion, _)| (prompt, completion))
-            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         let mut out = format!(
             "{SNAPSHOT_HEADER}\nmodel {}\nentries {}\n",
             self.inner.name(),
             entries.len()
         );
-        for (prompt, completion) in &entries {
+        for (prompt, completion, _) in &entries {
             out.push_str("p ");
             out.push_str(&escape(prompt));
             out.push_str("\nc ");
@@ -633,7 +792,7 @@ impl<'a> PromptCache<'a> {
         }
         let admitted = parsed.len();
         for (prompt, completion) in parsed {
-            self.admit(&prompt, completion);
+            self.admit(&prompt, Arc::new(completion));
         }
         Ok(admitted)
     }
@@ -703,29 +862,73 @@ impl LanguageModel for PromptCache<'_> {
         self.inner.name()
     }
 
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
-        let key = PromptKey::canonicalize(prompt, self.level);
-        let text = key.text();
-        let shard = self.shard_for(&key);
-        {
-            let stamp = self.next_stamp();
-            let mut state = self.lock_shard(shard);
-            if let Some(completion) = state.touch(&text, stamp) {
-                state.stats.hits += 1;
-                state.stats.tokens_saved += completion.usage.total();
-                return Ok(completion);
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        let canonical = CanonicalPrompt::canonicalize(prompt, self.level);
+        let shard = self.shard_for_hash(canonical.hash64());
+        let text = canonical.text();
+        let slot = loop {
+            // One locked section decides hit / coalesce / lead; everything
+            // slow (waiting, completing) happens outside it.
+            let waiting = {
+                let stamp = self.next_stamp();
+                let mut state = self.lock_shard(shard);
+                if let Some(entry) = state.entries.get_mut(text) {
+                    entry.stamp = stamp;
+                    let completion = entry.completion.clone();
+                    state.stats.hits += 1;
+                    state.stats.tokens_saved += completion.usage.total();
+                    return Ok(completion);
+                }
+                match state.inflight.get(text) {
+                    Some(slot) => {
+                        let slot = slot.clone();
+                        state.stats.coalesced += 1;
+                        slot
+                    }
+                    None => {
+                        let slot = InFlight::new();
+                        state.inflight.insert(text.into(), slot.clone());
+                        state.stats.misses += 1;
+                        break slot;
+                    }
+                }
+            };
+            match waiting.wait() {
+                Some(Ok(completion)) => {
+                    // The leader's endpoint call covered this lookup too:
+                    // account the share like a hit's saving.
+                    self.lock_shard(shard).stats.tokens_saved += completion.usage.total();
+                    return Ok(completion);
+                }
+                Some(Err(e)) => return Err(e),
+                // Leader panicked before publishing: retry the lookup (one
+                // of the waiters becomes the new leader).
+                None => continue,
             }
-            state.stats.misses += 1;
-        }
-        // Complete the miss without holding the lock: concurrent workers
-        // must not serialize on the model. Two threads racing on the same
-        // key both pay for it — the insert below is idempotent because the
-        // canonical text is completed by a deterministic substrate.
-        let completion = self.inner.complete(&text)?;
+        };
+        // Leader: complete the canonical text without holding any lock —
+        // concurrent workers on *other* keys must not serialize on the
+        // model. The guard un-wedges waiters if this unwinds.
+        let mut guard = LeaderGuard {
+            shard,
+            slot: &slot,
+            text,
+            armed: true,
+        };
+        let result = self.inner.complete(text);
         let stamp = self.next_stamp();
-        self.lock_shard(shard)
-            .insert(&text, completion.clone(), self.shard_capacity, stamp);
-        Ok(completion)
+        {
+            let mut state = self.lock_shard(shard);
+            if let Ok(completion) = &result {
+                state.insert(text, completion.clone(), self.shard_capacity, stamp);
+            }
+            // Errors are not memoized: clearing the slot lets the next
+            // lookup retry the model.
+            state.inflight.remove(text);
+        }
+        guard.armed = false;
+        slot.fill(result.clone());
+        result
     }
 
     fn usage(&self) -> Usage {
@@ -743,13 +946,138 @@ impl LanguageModel for PromptCache<'_> {
     }
 }
 
+/// What the pre-dispatch planner and the work-stealing pool did for one
+/// batch, alongside the per-task results.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// One result per task, in task order — bit-for-bit identical to a
+    /// serial loop over [`UniDm::run`].
+    pub results: Vec<Result<RunOutput, UniDmError>>,
+    /// Distinct task groups the planner found (each executed exactly
+    /// once).
+    pub unique_tasks: usize,
+    /// Tasks that duplicated an earlier task byte-for-byte and received a
+    /// copy of its representative's output instead of executing.
+    pub coalesced_tasks: usize,
+    /// Range-steal operations the work-stealing scheduler performed
+    /// (0 in serial runs; timing-dependent under parallelism).
+    pub steals: usize,
+}
+
+/// A work-stealing task queue over indices `0..total`: the index space is
+/// pre-split into one contiguous range per worker, each packed into an
+/// `AtomicU64` as `(cursor, end)`. Owners claim single indices from their
+/// own range with a CAS; a worker whose range runs dry steals the upper
+/// half of the fattest remaining victim range. Every index is claimed
+/// exactly once under any interleaving, so results stay deterministic; the
+/// stealing only changes *which worker* executes an index.
+struct StealQueue {
+    ranges: Vec<AtomicU64>,
+    steals: AtomicUsize,
+}
+
+#[inline]
+fn pack(cursor: u32, end: u32) -> u64 {
+    (u64::from(cursor) << 32) | u64::from(end)
+}
+
+#[inline]
+fn unpack(packed: u64) -> (u32, u32) {
+    ((packed >> 32) as u32, packed as u32)
+}
+
+impl StealQueue {
+    /// Splits `total` indices evenly across `workers` ranges.
+    fn new(total: usize, workers: usize) -> StealQueue {
+        assert!(total <= u32::MAX as usize, "batch too large for the queue");
+        let total = total as u32;
+        let workers = workers.max(1) as u32;
+        let base = total / workers;
+        let extra = total % workers;
+        let mut ranges = Vec::with_capacity(workers as usize);
+        let mut start = 0u32;
+        for w in 0..workers {
+            let len = base + u32::from(w < extra);
+            ranges.push(AtomicU64::new(pack(start, start + len)));
+            start += len;
+        }
+        StealQueue {
+            ranges,
+            steals: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next index for worker `me`: from its own range while one
+    /// lasts, then by stealing the upper half of the fattest victim.
+    /// `None` means no work was visible anywhere — the caller can exit
+    /// (remaining indices, if any, are owned by live workers).
+    fn claim(&self, me: usize) -> Option<usize> {
+        loop {
+            // Drain the worker's own range first: sequential indices keep
+            // a worker on one contiguous slice of the batch.
+            let own = &self.ranges[me];
+            let mut packed = own.load(Ordering::Acquire);
+            loop {
+                let (cursor, end) = unpack(packed);
+                if cursor >= end {
+                    break;
+                }
+                match own.compare_exchange_weak(
+                    packed,
+                    pack(cursor + 1, end),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => return Some(cursor as usize),
+                    Err(now) => packed = now,
+                }
+            }
+            // Own range dry: pick the victim with the most remaining work.
+            let mut best: Option<(usize, u32, u32)> = None;
+            for (victim, range) in self.ranges.iter().enumerate() {
+                if victim == me {
+                    continue;
+                }
+                let (cursor, end) = unpack(range.load(Ordering::Acquire));
+                if cursor < end && best.is_none_or(|(_, c, e)| end - cursor > e - c) {
+                    best = Some((victim, cursor, end));
+                }
+            }
+            let (victim, cursor, end) = best?;
+            // Steal the upper half [mid, end); the victim keeps [cursor,
+            // mid). A failed CAS means the victim's range moved — rescan.
+            let mid = cursor + (end - cursor) / 2;
+            if self.ranges[victim]
+                .compare_exchange(
+                    pack(cursor, end),
+                    pack(cursor, mid),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                self.ranges[me].store(pack(mid, end), Ordering::Release);
+            }
+        }
+    }
+}
+
 /// A parallel batch executor for [`UniDm`] runs.
 ///
-/// Fans the tasks of a batch out across a pool of scoped worker threads
-/// that share one model reference. Results come back in task order, each
-/// carrying its own [`RunOutput::usage`] metered per run — never diffed
-/// from the model's global counter — so the output is bit-for-bit
-/// identical to running the same tasks serially.
+/// Before anything executes, a **dedup planner** groups byte-identical
+/// tasks: each run is a pure function of `(model, config, lake, task)`, so
+/// one representative per group executes and every duplicate slot receives
+/// a copy of its output — duplicate tasks cost zero model calls and zero
+/// cache lookups. The representatives then fan out across a pool of scoped
+/// worker threads sharing one model reference, scheduled by a
+/// **work-stealing queue**: each worker owns a contiguous range of the
+/// unique tasks and steals half of the fattest remaining range when its
+/// own runs dry, so a straggler range cannot serialize the tail of a
+/// batch. Results come back in task order, each carrying its own
+/// [`RunOutput::usage`] metered per run — never diffed from the model's
+/// global counter — so the output is bit-for-bit identical to running the
+/// same tasks serially, whatever the interleaving.
 ///
 /// # Examples
 ///
@@ -782,6 +1110,7 @@ pub struct BatchRunner<'a> {
     llm: &'a dyn LanguageModel,
     config: PipelineConfig,
     workers: usize,
+    dedup: bool,
 }
 
 impl std::fmt::Debug for BatchRunner<'_> {
@@ -790,6 +1119,7 @@ impl std::fmt::Debug for BatchRunner<'_> {
             .field("llm", &self.llm.name())
             .field("config", &self.config)
             .field("workers", &self.workers)
+            .field("dedup", &self.dedup)
             .finish()
     }
 }
@@ -797,7 +1127,7 @@ impl std::fmt::Debug for BatchRunner<'_> {
 impl<'a> BatchRunner<'a> {
     /// Creates a runner with one worker per available CPU (capped at 8 —
     /// the pipeline is compute-light, so more threads only add contention
-    /// on the shared model).
+    /// on the shared model) and the dedup planner enabled.
     pub fn new(llm: &'a dyn LanguageModel, config: PipelineConfig) -> Self {
         let parallelism = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -807,6 +1137,7 @@ impl<'a> BatchRunner<'a> {
             llm,
             config,
             workers: parallelism,
+            dedup: true,
         }
     }
 
@@ -817,9 +1148,23 @@ impl<'a> BatchRunner<'a> {
         self
     }
 
+    /// Enables or disables the pre-dispatch dedup planner (enabled by
+    /// default). With it off, duplicate tasks execute individually — their
+    /// results are still identical, they just pay for their own runs
+    /// (modulo prompt-cache hits further down the stack).
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Whether the pre-dispatch dedup planner is enabled.
+    pub fn dedup(&self) -> bool {
+        self.dedup
     }
 
     /// The pipeline configuration the workers run with.
@@ -834,31 +1179,88 @@ impl<'a> BatchRunner<'a> {
     /// its own `Result`, mirroring what a serial loop over
     /// [`UniDm::run`] would collect.
     pub fn run(&self, lake: &DataLake, tasks: &[Task]) -> Vec<Result<RunOutput, UniDmError>> {
-        let workers = self.workers.min(tasks.len());
-        if workers <= 1 {
-            let unidm = UniDm::new(self.llm, self.config);
-            return tasks.iter().map(|task| unidm.run(lake, task)).collect();
-        }
-        let slots: Vec<OnceLock<Result<RunOutput, UniDmError>>> =
-            tasks.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let unidm = UniDm::new(self.llm, self.config);
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(task) = tasks.get(i) else { break };
-                        let result = unidm.run(lake, task);
-                        slots[i].set(result).expect("slot claimed exactly once");
+        self.run_report(lake, tasks).results
+    }
+
+    /// Like [`BatchRunner::run`], but also reports what the planner and
+    /// the work-stealing scheduler did.
+    pub fn run_report(&self, lake: &DataLake, tasks: &[Task]) -> BatchReport {
+        // Pre-dispatch dedup: group byte-identical tasks (`Task: Eq +
+        // Hash`) so each group executes exactly once. The plan depends
+        // only on the task list, never on scheduling.
+        let mut reps: Vec<usize> = Vec::new();
+        let mut assign: Vec<usize> = Vec::with_capacity(tasks.len());
+        if self.dedup {
+            let mut positions: HashMap<&Task, usize> = HashMap::new();
+            for (index, task) in tasks.iter().enumerate() {
+                match positions.get(task) {
+                    Some(&position) => assign.push(position),
+                    None => {
+                        positions.insert(task, reps.len());
+                        assign.push(reps.len());
+                        reps.push(index);
                     }
-                });
+                }
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot filled"))
-            .collect()
+        } else {
+            reps = (0..tasks.len()).collect();
+            assign = (0..tasks.len()).collect();
+        }
+        let unique_tasks = reps.len();
+        let coalesced_tasks = tasks.len() - unique_tasks;
+
+        let workers = self.workers.min(reps.len());
+        let (rep_results, steals) = if workers <= 1 {
+            let unidm = UniDm::new(self.llm, self.config);
+            (
+                reps.iter()
+                    .map(|&index| unidm.run(lake, &tasks[index]))
+                    .collect::<Vec<_>>(),
+                0,
+            )
+        } else {
+            let slots: Vec<OnceLock<Result<RunOutput, UniDmError>>> =
+                reps.iter().map(|_| OnceLock::new()).collect();
+            let queue = StealQueue::new(reps.len(), workers);
+            std::thread::scope(|scope| {
+                for me in 0..workers {
+                    let queue = &queue;
+                    let slots = &slots;
+                    let reps = &reps;
+                    scope.spawn(move || {
+                        let unidm = UniDm::new(self.llm, self.config);
+                        while let Some(position) = queue.claim(me) {
+                            let result = unidm.run(lake, &tasks[reps[position]]);
+                            slots[position]
+                                .set(result)
+                                .expect("slot claimed exactly once");
+                        }
+                    });
+                }
+            });
+            (
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("every slot filled"))
+                    .collect(),
+                queue.steals.load(Ordering::Relaxed),
+            )
+        };
+
+        let results = if coalesced_tasks == 0 {
+            rep_results
+        } else {
+            assign
+                .iter()
+                .map(|&position| rep_results[position].clone())
+                .collect()
+        };
+        BatchReport {
+            results,
+            unique_tasks,
+            coalesced_tasks,
+            steals,
+        }
     }
 
     /// Like [`BatchRunner::run`], but flattens each result to its answer
@@ -961,6 +1363,75 @@ mod tests {
     }
 
     #[test]
+    fn dedup_planner_folds_duplicate_tasks() {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 8);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let base = imputation_tasks(&ds, 8);
+        // Interleave three copies of the workload: 24 tasks, 8 unique.
+        let mut tasks = Vec::new();
+        for i in 0..24 {
+            tasks.push(base[i % 8].clone());
+        }
+        let config = PipelineConfig::paper_default();
+
+        // Reference: planner off, serial.
+        llm.reset_usage();
+        let plain = BatchRunner::new(&llm, config)
+            .with_workers(1)
+            .with_dedup(false)
+            .run(&lake, &tasks);
+        let plain_tokens = llm.usage().total();
+
+        llm.reset_usage();
+        let report = BatchRunner::new(&llm, config)
+            .with_workers(4)
+            .run_report(&lake, &tasks);
+        let dedup_tokens = llm.usage().total();
+
+        assert_eq!(report.unique_tasks, 8);
+        assert_eq!(report.coalesced_tasks, 16);
+        assert_eq!(report.results.len(), 24);
+        for (a, b) in plain.iter().zip(&report.results) {
+            let a = a.as_ref().unwrap();
+            let b = b.as_ref().unwrap();
+            assert_eq!(a.answer, b.answer, "copied results must be identical");
+            assert_eq!(a.usage, b.usage, "copied usage must be identical");
+        }
+        assert_eq!(
+            dedup_tokens * 3,
+            plain_tokens,
+            "deduped batch pays for each unique task exactly once"
+        );
+    }
+
+    #[test]
+    fn steal_queue_claims_every_index_exactly_once() {
+        for (total, workers) in [(0usize, 3usize), (1, 4), (7, 2), (64, 8), (100, 3)] {
+            let queue = StealQueue::new(total, workers);
+            let claimed: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            std::thread::scope(|scope| {
+                for me in 0..workers {
+                    let queue = &queue;
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        while let Some(index) = queue.claim(me) {
+                            claimed[index].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            for (index, count) in claimed.iter().enumerate() {
+                assert_eq!(
+                    count.load(Ordering::Relaxed),
+                    1,
+                    "index {index} of {total} over {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cache_hits_repeated_prompts_and_saves_tokens() {
         let (_, llm) = setup();
         let cache = PromptCache::unbounded(&llm);
@@ -1009,6 +1480,10 @@ mod tests {
         let cache = PromptCache::unbounded(&llm);
         assert!(cache.complete("  ").is_err());
         assert_eq!(cache.len(), 0, "errors must not be memoized");
+        // The in-flight slot is cleared, so a retry reaches the model
+        // again rather than deadlocking or caching the error.
+        assert!(cache.complete("  ").is_err());
+        assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
@@ -1257,8 +1732,9 @@ mod tests {
         for (a, b) in plain.iter().zip(&cached) {
             assert_eq!(a.as_ref().unwrap().answer, b.as_ref().unwrap().answer);
         }
+        let stats = cache.stats();
         assert!(
-            cache.stats().hits > 0,
+            stats.hits + stats.coalesced > 0,
             "tasks on one table must share prompts"
         );
         assert!(

@@ -116,9 +116,9 @@ pub use backend::{
     AttachedBackend, BackendConfig, BackendStats, BreakerPolicy, RateLimit, ResilientBackend,
     RetryPolicy,
 };
-pub use canon::{CanonLevel, PromptKey};
+pub use canon::{CanonLevel, CanonicalPrompt, PromptKey};
 pub use config::PipelineConfig;
 pub use error::UniDmError;
-pub use exec::{BatchRunner, CacheStats, PromptCache, SnapshotError};
+pub use exec::{BatchReport, BatchRunner, CacheStats, PromptCache, SnapshotError};
 pub use pipeline::{RunOutput, Trace, UniDm};
 pub use task::Task;

@@ -38,7 +38,7 @@ pub fn parse_context(
     }
     let prompt = render_pdp(records);
     let reply = llm.complete(&prompt)?;
-    Ok(reply.text)
+    Ok(reply.text.clone())
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub fn build_target_prompt(
     }
     let prompt = render_pcq(claim);
     let reply = llm.complete(&prompt)?;
-    Ok(reply.text)
+    Ok(reply.text.clone())
 }
 
 /// Feeds the target prompt to the LLM and returns the raw answer text.
@@ -40,7 +40,7 @@ pub fn build_target_prompt(
 ///
 /// Propagates LLM failures.
 pub fn answer(llm: &dyn LanguageModel, target_prompt: &str) -> Result<String, UniDmError> {
-    Ok(llm.complete(target_prompt)?.text)
+    Ok(llm.complete(target_prompt)?.text.clone())
 }
 
 #[cfg(test)]

@@ -4,7 +4,11 @@ use unidm_llm::protocol::{SerializedRecord, TaskKind};
 
 /// A data-manipulation task in the unified form of paper §3: a task kind
 /// plus the records `R` and attributes `S` it touches.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq + Hash` because the batch dedup planner groups byte-identical
+/// tasks by hashing them directly (a run is a pure function of the task,
+/// so equal tasks produce equal outputs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Task {
     /// Fill the missing `attr` of row `row` in table `table`.
     Imputation {

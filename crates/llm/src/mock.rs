@@ -1,6 +1,6 @@
 //! `MockLlm`: the deterministic simulated language model.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use unidm_text::count_tokens;
 use unidm_world::World;
@@ -113,7 +113,7 @@ impl LanguageModel for MockLlm {
         &self.profile.name
     }
 
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
         if prompt.trim().is_empty() {
             return Err(LlmError::EmptyPrompt);
         }
@@ -130,7 +130,7 @@ impl LanguageModel for MockLlm {
             completion_tokens: count_tokens(&text),
         };
         self.usage.lock().expect("usage lock poisoned").add(usage);
-        Ok(Completion { text, usage })
+        Ok(Completion::shared(text, usage))
     }
 
     fn usage(&self) -> Usage {

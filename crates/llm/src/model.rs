@@ -1,6 +1,6 @@
 //! The `LanguageModel` trait and token accounting.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::LlmError;
 
@@ -27,12 +27,24 @@ impl Usage {
 }
 
 /// One completion returned by a model.
+///
+/// Completions travel the stack as `Arc<Completion>`: a memoizing layer
+/// (`unidm::PromptCache`) can serve the same completion to many callers by
+/// bumping a reference count instead of cloning the payload text, which is
+/// what keeps its warm hit path allocation-free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
     /// The completed text.
     pub text: String,
     /// Tokens consumed by this call.
     pub usage: Usage,
+}
+
+impl Completion {
+    /// Wraps a completion for the trait's shared return shape.
+    pub fn shared(text: String, usage: Usage) -> Arc<Completion> {
+        Arc::new(Completion { text, usage })
+    }
 }
 
 /// A text-in / text-out language model.
@@ -55,12 +67,16 @@ pub trait LanguageModel: Send + Sync {
 
     /// Completes `prompt`.
     ///
+    /// The completion is returned behind an [`Arc`] so caching layers can
+    /// hand the same payload to any number of callers without cloning it;
+    /// producing models wrap each fresh completion once at creation.
+    ///
     /// # Errors
     ///
     /// Returns [`LlmError::EmptyPrompt`] for an empty prompt and
     /// [`LlmError::PromptTooLong`] when the prompt exceeds the context
     /// window.
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError>;
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError>;
 
     /// Cumulative token usage since construction or the last reset.
     fn usage(&self) -> Usage;
@@ -137,7 +153,7 @@ impl LanguageModel for UsageMeter<'_> {
         self.inner.name()
     }
 
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
         let completion = self.inner.complete(prompt)?;
         self.used
             .lock()
@@ -197,14 +213,14 @@ mod tests {
             "fixed"
         }
 
-        fn complete(&self, _prompt: &str) -> Result<Completion, LlmError> {
-            Ok(Completion {
-                text: "ok".into(),
-                usage: Usage {
+        fn complete(&self, _prompt: &str) -> Result<Arc<Completion>, LlmError> {
+            Ok(Completion::shared(
+                "ok".into(),
+                Usage {
                     prompt_tokens: 7,
                     completion_tokens: 3,
                 },
-            })
+            ))
         }
 
         fn usage(&self) -> Usage {

@@ -56,6 +56,18 @@ pub enum TaskKind {
 }
 
 impl TaskKind {
+    /// Every task kind, in declaration order — the single source for
+    /// exhaustive scans (description parsing, prompt-shape recognition).
+    pub const ALL: [TaskKind; 7] = [
+        TaskKind::Imputation,
+        TaskKind::Transformation,
+        TaskKind::ErrorDetection,
+        TaskKind::EntityResolution,
+        TaskKind::TableQa,
+        TaskKind::JoinDiscovery,
+        TaskKind::Extraction,
+    ];
+
     /// The task description used inside prompts ("data imputation").
     pub fn description(&self) -> &'static str {
         match self {
@@ -72,17 +84,7 @@ impl TaskKind {
     /// Parses a description back to the task kind.
     pub fn from_description(s: &str) -> Option<TaskKind> {
         let key = s.trim().to_lowercase();
-        [
-            TaskKind::Imputation,
-            TaskKind::Transformation,
-            TaskKind::ErrorDetection,
-            TaskKind::EntityResolution,
-            TaskKind::TableQa,
-            TaskKind::JoinDiscovery,
-            TaskKind::Extraction,
-        ]
-        .into_iter()
-        .find(|t| t.description() == key)
+        Self::ALL.into_iter().find(|t| t.description() == key)
     }
 }
 

@@ -6,7 +6,7 @@
 //! (parsing) agree on the grammar.
 
 /// A record serialized as ordered `attr: value` pairs.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct SerializedRecord {
     /// Ordered (attribute, value) pairs; nulls are omitted at render time.
     pub pairs: Vec<(String, String)>,

@@ -327,7 +327,7 @@ impl LanguageModel for SimBackend<'_> {
         self.inner.name()
     }
 
-    fn complete(&self, prompt: &str) -> Result<Completion, LlmError> {
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
         let outcome = self.next_outcome(prompt);
         let mut stats = self.stats.lock().expect("sim stats lock poisoned");
         stats.attempts += 1;
@@ -403,7 +403,7 @@ mod tests {
         let mut faults = 0;
         loop {
             match sim.complete(prompt) {
-                Ok(c) => return (faults, c.text),
+                Ok(c) => return (faults, c.text.clone()),
                 Err(e) => {
                     assert!(e.is_transient(), "injected faults are transient: {e}");
                     faults += 1;
@@ -447,7 +447,7 @@ mod tests {
     fn answers_survive_every_fault_schedule() {
         let (_, llm) = inner();
         let prompt = "The capital of Denmark is __.";
-        let truth = llm.complete(prompt).unwrap().text;
+        let truth = llm.complete(prompt).unwrap().text.clone();
         for plan in [
             FaultPlan::light(9),
             FaultPlan::moderate(9),
