@@ -1,5 +1,5 @@
 //! Throughput of the batch execution engine — and the machine-readable
-//! perf baseline (`BENCH_5.json`) every future PR has to beat.
+//! perf baseline (`BENCH_6.json`) every future PR has to beat.
 //!
 //! Regimes:
 //!
@@ -7,6 +7,15 @@
 //!   one worker, the work-stealing pool, the pool over a cold sharded
 //!   [`PromptCache`] at [`CanonLevel::TableStem`], and the pool over a
 //!   fresh cache restored from the cold run's snapshot.
+//! * **sync / pipelined / pipelined hedged heavy-tail** — the same
+//!   workload against an endpoint where 3% of attempts take 2s of virtual
+//!   time. The synchronous path blocks through the resilient backend one
+//!   call at a time; the pipelined path runs continuous batch admission
+//!   through the event-driven [`Dispatcher`]; the hedged path additionally
+//!   arms a P90 hedge timer per request. Answers must stay bit-identical,
+//!   endpoint calls must equal unique canonical keys (hedge duplicates
+//!   accounted separately and exactly), and both virtual-time makespan and
+//!   P99 must beat the synchronous path.
 //! * **duplicate-heavy** — the same workload with every task repeated
 //!   `DUP_FACTOR` times, interleaved. Run serially (planner off) to count
 //!   the unique canonical keys, in parallel at 1 and 8 cache shards
@@ -36,10 +45,13 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use unidm::{BatchRunner, CanonLevel, PipelineConfig, PromptCache, Task};
+use unidm::{
+    BackendConfig, BatchRunner, CanonLevel, Dispatcher, HedgePolicy, PipelineConfig, PromptCache,
+    Task,
+};
 use unidm_bench::alloc_counter::AllocationDelta;
 use unidm_bench::{config_from_args, CallCounter, JsonObject};
-use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
+use unidm_llm::{Clock, FaultPlan, LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::imputation;
 use unidm_tablestore::DataLake;
 use unidm_world::World;
@@ -104,7 +116,7 @@ fn bench_json_path() -> PathBuf {
         .and_then(|pos| args.get(pos + 1))
         .filter(|path| !path.starts_with("--"))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_5.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"))
 }
 
 fn main() {
@@ -443,6 +455,220 @@ fn main() {
         regimes.push(faulty);
     }
 
+    // ── Pipelined dispatcher regimes (heavy tail) ───────────────────────
+    // The same workload against an endpoint whose attempts carry a 3% /
+    // 2-virtual-second latency tail, three ways: blocking one call at a
+    // time, pipelined through the event-driven dispatcher, and pipelined
+    // with P90 hedge timers. The fault schedule is deterministic, so every
+    // relation below is an exact assertion, not a threshold.
+    let heavy = FaultPlan::heavy_tail(config.seed);
+    let hedge_policy = HedgePolicy::at_quantile(900);
+    // Deterministic estimator warmup: `min_samples` distinct prompts
+    // complete serially before the measured batch, so even its first wave
+    // of dispatches can arm hedge timers.
+    let warmup = hedge_policy.min_samples;
+    let pipe_slots = tasks.len().clamp(2, 64);
+
+    // Synchronous: every miss blocks through the resilient backend —
+    // virtual elapsed time is the *sum* of attempt latencies.
+    let sync_backend = BackendConfig::resilient(config.seed)
+        .without_breaker()
+        .with_faults(heavy)
+        .wrap(&llm);
+    let sync_cache =
+        PromptCache::unbounded(sync_backend.model()).with_canonicalization(CanonLevel::TableStem);
+    let (sync_regime, _) = run("sync heavy-tail", Some(&sync_cache), &tasks, 1, false);
+    let sync_stats = sync_backend.stats().expect("backend attached");
+    let sync_makespan = sync_backend.elapsed_us();
+    let sync_p99 = sync_stats.request_latency.quantile_us(990);
+    let tail_unique = sync_cache.stats().misses as u64;
+    assert_eq!(
+        sync_regime.answers, regimes[0].answers,
+        "heavy-tail latency must never change answers"
+    );
+    assert_eq!(
+        sync_regime.model_calls, tail_unique,
+        "sync: one endpoint call per unique canonical key"
+    );
+
+    let run_dispatched = |name: &'static str, hedge: Option<HedgePolicy>| {
+        let mut backend_config = BackendConfig::resilient(config.seed)
+            .without_breaker()
+            .with_faults(heavy)
+            .with_pipelined();
+        if let Some(policy) = hedge {
+            backend_config = backend_config.with_hedge(policy);
+        }
+        let dispatcher = Dispatcher::new(&llm, backend_config);
+        for i in 0..warmup {
+            dispatcher
+                .complete(&format!("latency estimator warmup {i}"))
+                .expect("warmup prompt completes");
+        }
+        llm.reset_usage();
+        llm.reset_calls();
+        // Cache-level single-flight must be off above a pipelined
+        // dispatcher: registered workers never block outside the reactor,
+        // which coalesces duplicate prompts itself.
+        let cache = PromptCache::unbounded(&dispatcher)
+            .with_canonicalization(CanonLevel::TableStem)
+            .with_single_flight(false);
+        let runner = BatchRunner::new(&cache, pipeline)
+            .with_workers(pipe_slots)
+            .with_pipeline(&dispatcher);
+        let start = Instant::now();
+        let report = runner.run_report(&lake, &tasks);
+        let elapsed_secs = start.elapsed().as_secs_f64();
+        let answers: Vec<String> = report
+            .results
+            .iter()
+            .map(|r| r.as_ref().map(|o| o.answer.clone()).unwrap_or_default())
+            .collect();
+        let stats = dispatcher.stats();
+        let fault_attempts = dispatcher.fault_stats().expect("faults attached").attempts;
+        let makespan = dispatcher.clock().now_micros();
+        (
+            Regime {
+                name,
+                answers,
+                elapsed_secs,
+                model_tokens: llm.usage().total(),
+                model_calls: llm.calls(),
+                // Without cache-level single-flight, the hit/miss split
+                // counts timing-dependent co-leaders — the exact,
+                // schedule-independent accounting lives in the dispatcher
+                // stats, so the cache split is omitted from the baseline.
+                stats: None,
+                shard_stats: Vec::new(),
+            },
+            stats,
+            fault_attempts,
+            makespan,
+        )
+    };
+
+    let (pipe_regime, pipe_stats, pipe_fault_attempts, pipe_makespan) =
+        run_dispatched("pipelined heavy-tail", None);
+    let pipe_p99 = pipe_stats.request_latency.quantile_us(990);
+    assert_eq!(
+        pipe_regime.answers, sync_regime.answers,
+        "pipelined answers must be bit-identical to the synchronous path"
+    );
+    assert_eq!(pipe_stats.hedges_issued, 0, "no hedge policy, no hedges");
+    assert_eq!(
+        pipe_stats.attempts,
+        tail_unique + warmup,
+        "pipelined: one endpoint dispatch per unique canonical key (plus warmup)"
+    );
+    assert_eq!(
+        pipe_fault_attempts, pipe_stats.attempts,
+        "every dispatched copy reaches the fault injector exactly once"
+    );
+    assert_eq!(pipe_stats.failures, 0);
+    assert!(
+        pipe_makespan < sync_makespan,
+        "pipelined makespan {pipe_makespan}us must beat synchronous {sync_makespan}us"
+    );
+
+    let (hedged_regime, hedged_stats, hedged_fault_attempts, hedged_makespan) =
+        run_dispatched("pipelined hedged", Some(hedge_policy));
+    let hedged_p99 = hedged_stats.request_latency.quantile_us(990);
+    assert_eq!(
+        hedged_regime.answers, sync_regime.answers,
+        "hedged answers must be bit-identical to the synchronous path"
+    );
+    assert!(
+        hedged_stats.hedges_issued > 0,
+        "a 3% tail over {tail_unique} unique keys must arm hedges"
+    );
+    assert_eq!(
+        hedged_stats.attempts - hedged_stats.hedges_issued,
+        tail_unique + warmup,
+        "hedged: hedge duplicates are accounted separately from primaries"
+    );
+    assert_eq!(
+        hedged_fault_attempts, hedged_stats.attempts,
+        "every primary and every hedge copy reaches the injector exactly once"
+    );
+    assert_eq!(
+        hedged_stats.hedges_cancelled, hedged_stats.hedges_issued,
+        "heavy-tail injects no errors, so every hedge pair has exactly one loser"
+    );
+    assert_eq!(hedged_stats.failures, 0);
+    assert!(
+        hedged_makespan < sync_makespan,
+        "hedged makespan {hedged_makespan}us must beat synchronous {sync_makespan}us"
+    );
+    assert!(
+        hedged_p99 < sync_p99,
+        "hedged virtual-time P99 {hedged_p99}us must beat synchronous {sync_p99}us"
+    );
+
+    println!(
+        "\nHeavy-tail regimes ({} unique keys + {} warmup, {} pipeline slots):",
+        tail_unique, warmup, pipe_slots
+    );
+    println!(
+        "  sync:             makespan {:>10.3}s  P99 {:>9.3}s",
+        sync_makespan as f64 / 1e6,
+        sync_p99 as f64 / 1e6,
+    );
+    println!(
+        "  pipelined:        makespan {:>10.3}s  P99 {:>9.3}s",
+        pipe_makespan as f64 / 1e6,
+        pipe_p99 as f64 / 1e6,
+    );
+    println!(
+        "  pipelined hedged: makespan {:>10.3}s  P99 {:>9.3}s  \
+         ({} hedges issued, {} won, {} cancelled, {} suppressed)",
+        hedged_makespan as f64 / 1e6,
+        hedged_p99 as f64 / 1e6,
+        hedged_stats.hedges_issued,
+        hedged_stats.hedges_won,
+        hedged_stats.hedges_cancelled,
+        hedged_stats.hedges_suppressed,
+    );
+    println!(
+        "  answers bit-identical across all three; endpoint calls == unique \
+         canonical keys, hedge duplicates accounted separately."
+    );
+    let pipelined_json = JsonObject::new()
+        .field_u64("unique_canonical_keys", tail_unique)
+        .field_u64("warmup_prompts", warmup)
+        .field_u64("pipeline_slots", pipe_slots as u64)
+        .field_raw(
+            "sync",
+            &JsonObject::new()
+                .field_u64("makespan_us", sync_makespan)
+                .field_u64("p99_us", sync_p99)
+                .field_u64("endpoint_calls", tail_unique)
+                .finish(),
+        )
+        .field_raw(
+            "pipelined",
+            &JsonObject::new()
+                .field_u64("makespan_us", pipe_makespan)
+                .field_u64("p99_us", pipe_p99)
+                .field_u64("endpoint_calls", pipe_stats.attempts)
+                .finish(),
+        )
+        .field_raw(
+            "hedged",
+            &JsonObject::new()
+                .field_u64("makespan_us", hedged_makespan)
+                .field_u64("p99_us", hedged_p99)
+                .field_u64("endpoint_calls", hedged_stats.attempts)
+                .field_u64("hedges_issued", hedged_stats.hedges_issued)
+                .field_u64("hedges_won", hedged_stats.hedges_won)
+                .field_u64("hedges_cancelled", hedged_stats.hedges_cancelled)
+                .field_u64("hedges_suppressed", hedged_stats.hedges_suppressed)
+                .finish(),
+        )
+        .finish();
+    regimes.push(sync_regime);
+    regimes.push(pipe_regime);
+    regimes.push(hedged_regime);
+
     assert_eq!(
         regimes[1].answers, regimes[0].answers,
         "batched diverged from the serial answers"
@@ -478,10 +704,10 @@ fn main() {
         regimes[0].model_tokens - regimes[3].model_tokens,
     );
 
-    // ── BENCH_5.json: the machine-readable baseline ─────────────────────
+    // ── BENCH_6.json: the machine-readable baseline ─────────────────────
     let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
     let mut doc = JsonObject::new()
-        .field_u64("pr", 5)
+        .field_u64("pr", 6)
         .field_str("bench", "throughput")
         .field_str("model", llm.name())
         .field_u64("seed", config.seed)
@@ -510,7 +736,8 @@ fn main() {
                 .field_u64("allocations", warm_allocs)
                 .field_u64("bytes", warm_bytes)
                 .finish(),
-        );
+        )
+        .field_raw("pipelined_heavy_tail", &pipelined_json);
     if let Some(faulty) = faulty_json {
         doc = doc.field_raw("faulty", &faulty);
     }

@@ -61,6 +61,8 @@ use unidm_llm::{
     VirtualClock,
 };
 
+use crate::dispatch::{Dispatcher, HedgePolicy};
+
 /// Retry policy: bounded exponential backoff with seeded jitter.
 ///
 /// Backoff for retry `n` (1-based) doubles from
@@ -165,6 +167,18 @@ pub struct BackendConfig {
     /// interposes a [`SimBackend`] between the retry loop and the inner
     /// model, sharing the backend's clock.
     pub faults: Option<FaultPlan>,
+    /// Route calls through the event-driven dispatcher
+    /// ([`crate::dispatch::Dispatcher`]) instead of the blocking stack:
+    /// completions become scheduled events on a timer wheel, so concurrent
+    /// requests overlap in virtual time instead of summing it, and an
+    /// in-flight *budget* (not a thread count) bounds concurrency. The
+    /// dispatcher implements rate pacing, retries and request coalescing;
+    /// the breaker and per-call deadline remain blocking-stack features.
+    pub pipelined: bool,
+    /// Hedged-request policy (implies the dispatcher): stragglers
+    /// exceeding the observed attempt-latency quantile get a duplicate
+    /// attempt, first response wins, the loser is cancelled.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl BackendConfig {
@@ -221,14 +235,160 @@ impl BackendConfig {
         self
     }
 
+    /// Routes calls through the event-driven dispatcher (builder-style).
+    pub fn with_pipelined(mut self) -> Self {
+        self.pipelined = true;
+        self
+    }
+
+    /// Enables hedged requests under the dispatcher (builder-style).
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
     /// Wraps `inner` according to this configuration: a pass-through when
-    /// disabled, the full protection stack (on a fresh [`VirtualClock`])
-    /// when enabled.
+    /// disabled, the event-driven dispatcher when [`BackendConfig::pipelined`]
+    /// or a hedge policy is set, the blocking protection stack otherwise
+    /// (each on a fresh [`VirtualClock`]).
     pub fn wrap<'a>(&self, inner: &'a dyn LanguageModel) -> AttachedBackend<'a> {
         if !self.enabled {
             return AttachedBackend::Passthrough(inner);
         }
+        if self.pipelined || self.hedge.is_some() {
+            return AttachedBackend::Dispatched(Box::new(Dispatcher::new(inner, *self)));
+        }
         AttachedBackend::Resilient(Box::new(ResilientBackend::new(inner, *self)))
+    }
+}
+
+/// Bucket count of a [`LatencySketch`]: 1 zero bucket plus 4 sub-buckets
+/// per power of two, covering up to ~2^32 microseconds (larger samples
+/// saturate into the last bucket).
+const SKETCH_BUCKETS: usize = 128;
+
+/// A streaming latency quantile estimator over **integer microseconds** —
+/// the online P99 source the hedged-request timer arms from.
+///
+/// The sketch is a fixed histogram of base-√√2 log buckets (four
+/// sub-buckets per power of two, ≤ 25% relative quantile error), so it is
+/// `Copy`, `Eq`, allocation-free, and merges *exactly*: merging two
+/// sketches is integer bucket addition, bit-identical regardless of merge
+/// order. No floats are stored anywhere, which is what keeps hedging
+/// decisions — and therefore whole virtual timelines — deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use unidm::backend::LatencySketch;
+///
+/// let mut sketch = LatencySketch::default();
+/// for _ in 0..99 {
+///     sketch.record(50_000); // 99 fast attempts
+/// }
+/// sketch.record(2_000_000); // one straggler
+/// assert!(sketch.quantile_us(500) < 100_000, "the median is fast");
+/// assert!(sketch.quantile_us(995) >= 2_000_000, "the tail is visible");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LatencySketch {
+    counts: [u64; SKETCH_BUCKETS],
+    total: u64,
+    max_us: u64,
+}
+
+impl Default for LatencySketch {
+    fn default() -> Self {
+        LatencySketch {
+            counts: [0; SKETCH_BUCKETS],
+            total: 0,
+            max_us: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencySketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencySketch")
+            .field("samples", &self.total)
+            .field("p50_us", &self.quantile_us(500))
+            .field("p99_us", &self.quantile_us(990))
+            .field("max_us", &self.max_us)
+            .finish()
+    }
+}
+
+impl LatencySketch {
+    fn bucket(us: u64) -> usize {
+        if us == 0 {
+            return 0;
+        }
+        let e = 63 - us.leading_zeros() as usize;
+        let q = if e >= 2 {
+            ((us >> (e - 2)) & 3) as usize
+        } else {
+            0
+        };
+        (1 + e * 4 + q).min(SKETCH_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `idx` (the value a quantile in it reports).
+    fn bucket_upper(idx: usize) -> u64 {
+        if idx == 0 {
+            return 0;
+        }
+        let e = (idx - 1) / 4;
+        let q = ((idx - 1) % 4) as u64;
+        let base = 1u64 << e;
+        base + ((q + 1) * base) / 4
+    }
+
+    /// Records one latency sample, in microseconds.
+    pub fn record(&mut self, us: u64) {
+        self.counts[Self::bucket(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest sample recorded, exactly.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The `permille`-th quantile (e.g. 990 = P99) in microseconds: the
+    /// upper bound of the bucket holding that rank, clamped to the exact
+    /// maximum. Returns 0 when empty.
+    pub fn quantile_us(&self, permille: u32) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = (self.total * u64::from(permille.min(1000)))
+            .div_ceil(1000)
+            .max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Adds every sample of `other` into this sketch — exact integer
+    /// bucket addition, associative and commutative, so per-shard or
+    /// per-dispatcher sketches fold into the same aggregate in any order.
+    pub fn merge(&mut self, other: &LatencySketch) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.max_us = self.max_us.max(other.max_us);
     }
 }
 
@@ -241,6 +401,12 @@ impl BackendConfig {
 /// ones (`breaker_*`, `throttle_*`) may vary with interleaving —
 /// `retries` is schedule-driven only with the breaker disabled, because
 /// each breaker fast-fail also consumes a retry.
+///
+/// The hedge counters (`hedges_*`, `dispatch_coalesced`) are produced by
+/// the event-driven dispatcher (`unidm::dispatch`) and stay zero under
+/// the blocking [`ResilientBackend`]; under the dispatcher's pipelined
+/// mode they are fully deterministic. The two [`LatencySketch`] fields
+/// aggregate exactly (see [`BackendStats::merge`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BackendStats {
     /// Logical `complete` calls that entered the backend.
@@ -266,15 +432,70 @@ pub struct BackendStats {
     pub throttle_waits: u64,
     /// Total clock time spent waiting for tokens, in microseconds.
     pub throttle_wait_us: u64,
+    /// Rate-limit tokens actually consumed. One per *logical* attempt:
+    /// hedge duplicates never take a token, so under hedging this stays
+    /// exactly one per winner (pinned by `tests/hedged_dispatch.rs`).
+    pub rate_tokens: u64,
     /// Calls that failed with [`LlmError::DeadlineExceeded`].
     pub deadline_exceeded: u64,
     /// Calls that ultimately returned an error.
     pub failures: u64,
+    /// Hedge duplicates issued (straggler exceeded the armed quantile).
+    pub hedges_issued: u64,
+    /// Hedges whose duplicate finished first (first-response-wins).
+    pub hedges_won: u64,
+    /// Attempts cancelled because the other copy won — the "losers", never
+    /// delivered and never memoized.
+    pub hedges_cancelled: u64,
+    /// Hedge timers that fired while the in-flight budget was full; the
+    /// hedge was skipped rather than queued.
+    pub hedges_suppressed: u64,
+    /// Logical calls the dispatcher served without a new endpoint
+    /// dispatch: attached to an already-pending identical request
+    /// (request-level single-flight) or answered from the dispatcher's
+    /// memo of resolved prompts.
+    pub dispatch_coalesced: u64,
+    /// Latencies of successful endpoint attempts, the estimator hedge
+    /// timers arm from. Exact under the event-driven dispatcher; under the
+    /// blocking backend on a shared virtual clock, concurrent sleeps bleed
+    /// into each other's measurements (informational there).
+    pub attempt_latency: LatencySketch,
+    /// End-to-end latencies of successful logical calls (submit → deliver).
+    pub request_latency: LatencySketch,
+}
+
+impl BackendStats {
+    /// Folds `other` into `self`. Every field is an exact integer
+    /// addition (sketches merge bucket-wise), so aggregation across
+    /// dispatchers or shards is order-independent and drift-free.
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.calls += other.calls;
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.rate_limited += other.rate_limited;
+        self.transients += other.transients;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_fast_fails += other.breaker_fast_fails;
+        self.throttle_waits += other.throttle_waits;
+        self.throttle_wait_us += other.throttle_wait_us;
+        self.rate_tokens += other.rate_tokens;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.failures += other.failures;
+        self.hedges_issued += other.hedges_issued;
+        self.hedges_won += other.hedges_won;
+        self.hedges_cancelled += other.hedges_cancelled;
+        self.hedges_suppressed += other.hedges_suppressed;
+        self.dispatch_coalesced += other.dispatch_coalesced;
+        self.attempt_latency.merge(&other.attempt_latency);
+        self.request_latency.merge(&other.request_latency);
+    }
 }
 
 /// One micro-token: the token bucket accounts in millionths of a token so
-/// refill arithmetic is exact integers at any rate.
-const TOKEN: u64 = 1_000_000;
+/// refill arithmetic is exact integers at any rate. Shared with the
+/// dispatcher's virtual-scheduling bucket (`crate::dispatch`).
+pub(crate) const TOKEN: u64 = 1_000_000;
 
 #[derive(Debug)]
 struct TokenBucket {
@@ -582,11 +803,19 @@ impl LanguageModel for ResilientBackend<'_> {
                             stats.throttle_waits += 1;
                             stats.throttle_wait_us += waited;
                         }
+                        if self.bucket.is_some() {
+                            stats.rate_tokens += 1;
+                        }
                         stats.attempts += 1;
                     }
+                    let attempt_start = self.clock.now_micros();
                     match self.endpoint.model().complete(prompt) {
                         Ok(completion) => {
                             self.breaker_success();
+                            let now = self.clock.now_micros();
+                            let mut stats = self.lock_stats();
+                            stats.attempt_latency.record(now - attempt_start);
+                            stats.request_latency.record(now - start);
                             return Ok(completion);
                         }
                         Err(e) if e.is_transient() => {
@@ -642,6 +871,10 @@ impl LanguageModel for ResilientBackend<'_> {
     fn context_window(&self) -> usize {
         self.endpoint.model().context_window()
     }
+
+    fn latency_profile(&self) -> unidm_llm::LatencyProfile {
+        self.endpoint.model().latency_profile()
+    }
 }
 
 /// A model reference optionally wrapped in a configured
@@ -653,6 +886,13 @@ pub enum AttachedBackend<'a> {
     /// The full protection stack (boxed — the stack carries limiter,
     /// breaker and stats state the pass-through should not pay for).
     Resilient(Box<ResilientBackend<'a>>),
+    /// The event-driven dispatcher ([`BackendConfig::pipelined`] or a
+    /// hedge policy): completions are scheduled events on a timer wheel,
+    /// concurrent requests overlap in virtual time, and stragglers can be
+    /// hedged. Calls through [`AttachedBackend::model`] use the
+    /// dispatcher's self-driving mode, so existing eval drivers work
+    /// unchanged.
+    Dispatched(Box<Dispatcher<'a>>),
 }
 
 impl<'a> AttachedBackend<'a> {
@@ -662,6 +902,7 @@ impl<'a> AttachedBackend<'a> {
         match self {
             AttachedBackend::Passthrough(m) => *m,
             AttachedBackend::Resilient(b) => b.as_ref(),
+            AttachedBackend::Dispatched(d) => d.as_ref(),
         }
     }
 
@@ -670,6 +911,7 @@ impl<'a> AttachedBackend<'a> {
         match self {
             AttachedBackend::Passthrough(_) => None,
             AttachedBackend::Resilient(b) => Some(b.stats()),
+            AttachedBackend::Dispatched(d) => Some(d.stats()),
         }
     }
 
@@ -678,6 +920,7 @@ impl<'a> AttachedBackend<'a> {
         match self {
             AttachedBackend::Passthrough(_) => None,
             AttachedBackend::Resilient(b) => b.fault_stats(),
+            AttachedBackend::Dispatched(d) => d.fault_stats(),
         }
     }
 
@@ -687,6 +930,7 @@ impl<'a> AttachedBackend<'a> {
         match self {
             AttachedBackend::Passthrough(_) => 0,
             AttachedBackend::Resilient(b) => b.clock().now_micros(),
+            AttachedBackend::Dispatched(d) => d.clock().now_micros(),
         }
     }
 }
@@ -891,5 +1135,95 @@ mod tests {
         assert_eq!(backend.usage(), llm.usage());
         backend.reset_usage();
         assert_eq!(llm.usage(), Usage::default());
+    }
+
+    #[test]
+    fn latency_sketch_quantiles_bound_the_samples() {
+        let mut sketch = LatencySketch::default();
+        assert_eq!(sketch.quantile_us(990), 0, "empty sketch reports zero");
+        for us in [0u64, 1, 50_000, 50_000, 50_000, 2_000_000] {
+            sketch.record(us);
+        }
+        assert_eq!(sketch.samples(), 6);
+        assert_eq!(sketch.max_us(), 2_000_000);
+        assert_eq!(sketch.quantile_us(1000), 2_000_000, "P100 is the exact max");
+        // Bucket upper bounds: a reported quantile never undershoots the
+        // true rank value by more than one sub-bucket (≤25% relative).
+        let p50 = sketch.quantile_us(500);
+        assert!((50_000..=62_500).contains(&p50), "P50 ~50ms, got {p50}");
+        assert!(sketch.quantile_us(990) >= 2_000_000, "the tail is visible");
+    }
+
+    #[test]
+    fn latency_sketch_merge_is_exact_and_order_independent() {
+        let samples: Vec<u64> = (0..200u64).map(|i| (i * i * 997) % 3_000_000).collect();
+        let mut whole = LatencySketch::default();
+        for &us in &samples {
+            whole.record(us);
+        }
+        // Split the samples three ways, merge the parts in two different
+        // orders: integer bucket addition must reproduce the whole sketch
+        // bit-for-bit (`Eq`, no floats anywhere).
+        let mut parts = [LatencySketch::default(); 3];
+        for (i, &us) in samples.iter().enumerate() {
+            parts[i % 3].record(us);
+        }
+        let mut forward = LatencySketch::default();
+        for part in &parts {
+            forward.merge(part);
+        }
+        let mut backward = LatencySketch::default();
+        for part in parts.iter().rev() {
+            backward.merge(part);
+        }
+        assert_eq!(forward, whole, "merge must equal recording everything");
+        assert_eq!(backward, whole, "merge must be order-independent");
+        assert_eq!(forward.quantile_us(990), whole.quantile_us(990));
+    }
+
+    #[test]
+    fn backend_stats_merge_adds_every_counter_exactly() {
+        let llm = model();
+        // Two independent faulty backends produce two non-trivial stats.
+        let run = |seed: u64| {
+            let backend = ResilientBackend::new(
+                &llm,
+                BackendConfig::resilient(seed)
+                    .without_breaker()
+                    .with_faults(FaultPlan::moderate(seed)),
+            );
+            for i in 0..10 {
+                backend
+                    .complete(&format!("merge probe {seed}-{i}"))
+                    .unwrap();
+            }
+            backend.stats()
+        };
+        let a = run(7);
+        let b = run(1337);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative, sketches included");
+        assert_eq!(ab.calls, a.calls + b.calls);
+        assert_eq!(ab.attempts, a.attempts + b.attempts);
+        assert_eq!(ab.retries, a.retries + b.retries);
+        assert_eq!(
+            ab.attempt_latency.samples(),
+            a.attempt_latency.samples() + b.attempt_latency.samples()
+        );
+        assert_eq!(
+            ab.request_latency.samples(),
+            a.request_latency.samples() + b.request_latency.samples()
+        );
+        assert_eq!(
+            ab.attempt_latency.max_us(),
+            a.attempt_latency.max_us().max(b.attempt_latency.max_us())
+        );
+        // Merging a default is the identity.
+        let mut id = a;
+        id.merge(&BackendStats::default());
+        assert_eq!(id, a);
     }
 }

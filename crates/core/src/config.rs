@@ -5,6 +5,15 @@
 /// The four booleans correspond one-to-one to the columns of the paper's
 /// ablation tables; the numeric knobs match the paper's defaults (one
 /// meta-retrieved attribute, top-3 of 50 sampled records).
+///
+/// Everything here is a pure function of the task — a run with a given
+/// config is deterministic whatever executes it, which is what lets
+/// [`crate::BatchRunner`] reorder runs across workers (and, in pipelined
+/// mode, overlap their endpoint calls through [`crate::Dispatcher`])
+/// without changing a single output byte. Serving-side behaviour —
+/// retries, rate limits, hedging — lives in [`crate::BackendConfig`]
+/// instead, keeping "what the pipeline computes" and "how calls reach the
+/// endpoint" independently configurable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Enable meta-wise retrieval (`p_rm`); otherwise pick attributes at

@@ -1,0 +1,981 @@
+//! The event-driven dispatcher: a hand-rolled reactor over the
+//! [`Clock`] seam that overlaps hundreds of in-flight requests in
+//! virtual time — no async runtime, fully deterministic offline.
+//!
+//! # Why a reactor
+//!
+//! The blocking [`crate::backend::ResilientBackend`] parks one worker
+//! thread per round-trip, so in-flight concurrency is capped by thread
+//! count, and on a [`VirtualClock`] every concurrent sleep *adds* (elapsed
+//! virtual time is total latency, never the makespan). The [`Dispatcher`]
+//! replaces sleeping with scheduling: each attempt is *sampled*
+//! ([`SimBackend::sample_attempt`] commits a fault-schedule slot without
+//! sleeping) and its completion is placed on a [`TimerWheel`] at
+//! `now + latency_us`; the reactor advances the clock with
+//! [`VirtualClock::advance_to_micros`] to the next pending deadline, so
+//! overlapped requests overlap and elapsed time measures the makespan.
+//! Concurrency is bounded by [`crate::backend::BackendConfig::max_in_flight`]
+//! — an in-flight *budget*, not a thread count.
+//!
+//! # The quiescence protocol
+//!
+//! There is no reactor thread. Caller threads submit a request and park on
+//! one condvar; the reactor steps only when **every registered thread is
+//! parked** (quiescent), at which point the last parker becomes the driver:
+//! it drains newly-submitted requests in canonical (prompt-sorted) order,
+//! then pops timer events — advancing the clock deadline by deadline —
+//! until at least one request resolves, and wakes everyone. Because time
+//! only moves at quiescent points and submissions are admitted in a
+//! canonical order, the entire virtual timeline (dispatch times, hedge
+//! decisions, every counter) is a pure function of the *set* of requests,
+//! independent of thread scheduling.
+//!
+//! Threads register in one of two ways:
+//!
+//! * **Transient** — any unregistered caller of `complete` is registered
+//!   for the duration of the call. This mode is deadlock-free by
+//!   construction (every registered thread is inside the dispatcher and
+//!   will park), and it makes single-threaded use fully self-driving, so
+//!   the ten eval drivers work unchanged. Time may advance while another
+//!   thread is *between* calls, so cross-run timeline determinism is only
+//!   guaranteed serially.
+//! * **Long-lived** — [`Dispatcher::register`] returns an RAII guard; a
+//!   registered worker counts toward quiescence even between calls. This
+//!   is what [`crate::BatchRunner`]'s pipelined mode uses: with every
+//!   worker registered for the whole batch, the timeline is deterministic
+//!   at any worker count. The contract is that registered threads must not
+//!   block on anything *outside* the dispatcher — in particular, a
+//!   [`crate::PromptCache`] layered above a pipelined dispatcher must have
+//!   cache-level single-flight disabled
+//!   ([`crate::PromptCache::with_single_flight`]); the dispatcher's own
+//!   request-level single-flight and memo provide the same guarantee
+//!   (endpoint calls == unique prompts). As a last-resort escape valve, a
+//!   parked thread that has waited ~250ms of *wall* time with no progress
+//!   force-drives the reactor: a mis-wired composition degrades to slow
+//!   nondeterministic timelines instead of hanging.
+//!
+//! # Hedged requests
+//!
+//! With a [`HedgePolicy`] configured, every dispatched attempt arms a hedge
+//! timer at the observed attempt-latency quantile (the streaming
+//! [`crate::backend::LatencySketch`] in [`BackendStats`], integer
+//! microseconds only). If the attempt is still running when the timer
+//! fires, a duplicate attempt is issued — consuming an in-flight budget
+//! slot but **no** rate-limit token — and the first response wins: the
+//! loser's completion timer is cancelled, its (identical) result is never
+//! delivered and never memoized. Hedging is fully accounted by the
+//! `hedges_*` counters and bit-for-bit deterministic under the seeded sim.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, ThreadId};
+use std::time::Duration;
+
+use unidm_llm::{
+    AttemptSample, Clock, Completion, Dice, FaultStats, LanguageModel, LatencyProfile, LlmError,
+    SimBackend, TimerWheel, Usage, VirtualClock,
+};
+
+use crate::backend::{BackendConfig, BackendStats, TOKEN};
+
+/// How long a parked thread waits (wall time) before suspecting that a
+/// registered peer is blocked outside the dispatcher and force-driving the
+/// reactor. Generous: correctly-wired compositions reach quiescence in
+/// microseconds.
+const STALL_ESCAPE: Duration = Duration::from_millis(250);
+
+/// When to issue a hedged duplicate for a straggling attempt.
+///
+/// The timer arms at the `quantile_permille`-th quantile of *observed*
+/// successful attempt latencies (clamped below by `min_delay_us`), once at
+/// least `min_samples` latencies have been recorded. Pick an arming
+/// quantile **above** the workload's tail mass: against a 3% heavy tail, a
+/// P99 estimate sits *on* the 2-second stragglers (hedging would arm too
+/// late to help), while P90 sits on the fast mode and catches every
+/// straggler — see `FaultPlan::heavy_tail`.
+///
+/// Integer-only fields keep the policy `Eq`/`Hash` and hedging decisions
+/// exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HedgePolicy {
+    /// The armed latency quantile, in permille (990 = P99).
+    pub quantile_permille: u32,
+    /// Successful attempts observed before hedging arms at all.
+    pub min_samples: u64,
+    /// Lower bound on the hedge delay, in microseconds.
+    pub min_delay_us: u64,
+    /// Maximum duplicates per logical request.
+    pub max_hedges: u32,
+}
+
+impl HedgePolicy {
+    /// Hedge at the observed P99 (suits tails rarer than 1%).
+    pub fn p99() -> Self {
+        Self::at_quantile(990)
+    }
+
+    /// Hedge at an arbitrary observed quantile, in permille.
+    pub fn at_quantile(quantile_permille: u32) -> Self {
+        HedgePolicy {
+            quantile_permille: quantile_permille.min(1000),
+            min_samples: 32,
+            min_delay_us: 1_000,
+            max_hedges: 1,
+        }
+    }
+
+    /// Replaces the warm-up sample count (builder-style).
+    pub fn with_min_samples(mut self, min_samples: u64) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// Replaces the minimum hedge delay (builder-style).
+    pub fn with_min_delay_us(mut self, min_delay_us: u64) -> Self {
+        self.min_delay_us = min_delay_us;
+        self
+    }
+}
+
+impl Default for HedgePolicy {
+    fn default() -> Self {
+        Self::p99()
+    }
+}
+
+/// The endpoint the reactor samples attempts from.
+enum Endpoint<'a> {
+    /// No fault plan: call the model immediately and derive the attempt's
+    /// virtual latency from its [`LatencyProfile`].
+    Direct {
+        model: &'a dyn LanguageModel,
+        profile: LatencyProfile,
+    },
+    /// A fault plan: the injector commits schedule slots without sleeping.
+    Sim(Box<SimBackend<'a>>),
+}
+
+impl Endpoint<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        match self {
+            Endpoint::Direct { model, .. } => *model,
+            Endpoint::Sim(sim) => sim.as_ref(),
+        }
+    }
+
+    fn sample(&self, prompt: &str) -> AttemptSample {
+        match self {
+            Endpoint::Sim(sim) => sim.sample_attempt(prompt),
+            Endpoint::Direct { model, profile } => {
+                let result = model.complete(prompt);
+                let latency_us = match &result {
+                    Ok(c) => profile.latency_us(c.usage),
+                    Err(_) => profile.base_us,
+                };
+                AttemptSample { latency_us, result }
+            }
+        }
+    }
+}
+
+/// One attempt copy in flight: its completion timer and what it will
+/// deliver when that timer fires.
+struct InFlightCopy {
+    timer: u64,
+    sample: AttemptSample,
+    is_hedge: bool,
+}
+
+/// One logical request: submitted once, possibly coalescing several
+/// callers, retried and hedged as needed, resolved exactly once.
+struct Request {
+    prompt: String,
+    submitted_us: u64,
+    retries: u32,
+    hedged: u32,
+    copies: Vec<InFlightCopy>,
+    hedge_timer: Option<u64>,
+    waiters: usize,
+    resolved: Option<Result<Arc<Completion>, LlmError>>,
+}
+
+/// What a popped timer means.
+enum Event {
+    /// Start the request's next logical attempt (pacing grant reached).
+    Dispatch(u64),
+    /// A copy's completion deadline fired.
+    Complete(u64),
+    /// The request's hedge timer fired while it was still pending.
+    Hedge(u64),
+    /// The request's retry backoff elapsed: re-admit it.
+    Retry(u64),
+}
+
+/// Token bucket in virtual-scheduling form: instead of sleeping for a
+/// token, [`Dispatcher`] computes the future grant time at which the token
+/// will have dripped in and schedules the dispatch there.
+struct PaceBucket {
+    units: u64,
+    last_us: u64,
+}
+
+/// Everything the reactor mutates, under one mutex.
+struct Core {
+    wheel: TimerWheel,
+    events: HashMap<u64, Event>,
+    requests: HashMap<u64, Request>,
+    /// Pending (unresolved) requests by prompt — request-level single-flight.
+    by_prompt: HashMap<String, u64>,
+    /// Resolved successes by prompt: late arrivals after resolution are
+    /// answered here, which keeps endpoint calls == unique prompts even
+    /// with no cache above the dispatcher. Unbounded, like the fault
+    /// injector's per-prompt schedule state.
+    memo: HashMap<String, Arc<Completion>>,
+    /// Newly submitted request ids, admitted in canonical (prompt-sorted)
+    /// order at the next reactor step.
+    fresh: Vec<u64>,
+    /// Requests waiting for an in-flight budget slot, FIFO.
+    admit_queue: VecDeque<u64>,
+    in_flight: u32,
+    registered: HashSet<ThreadId>,
+    parked: usize,
+    bucket: Option<PaceBucket>,
+    stats: BackendStats,
+    next_id: u64,
+}
+
+/// The event-driven dispatcher (see the [module docs](self)).
+///
+/// Exposes [`LanguageModel`], so it slots in exactly where
+/// [`crate::backend::ResilientBackend`] does:
+///
+/// ```text
+/// PromptCache → Dispatcher (reactor: budget, pacing, retry, hedge) → SimBackend → MockLlm
+/// ```
+///
+/// Built by [`BackendConfig::wrap`] when
+/// [`pipelined`](BackendConfig::pipelined) or a [`HedgePolicy`] is set.
+pub struct Dispatcher<'a> {
+    endpoint: Endpoint<'a>,
+    config: BackendConfig,
+    clock: Arc<VirtualClock>,
+    dice: Dice,
+    core: Mutex<Core>,
+    wakeup: Condvar,
+}
+
+impl std::fmt::Debug for Dispatcher<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dispatcher")
+            .field("endpoint", &self.endpoint.model().name())
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Builds a dispatcher over `inner` on a fresh [`VirtualClock`]. When
+    /// [`BackendConfig::faults`] is set, a [`SimBackend`] sharing that
+    /// clock is interposed and attempts are sampled from its schedule;
+    /// otherwise latencies come from the model's [`LatencyProfile`].
+    pub fn new(inner: &'a dyn LanguageModel, config: BackendConfig) -> Self {
+        let clock = Arc::new(VirtualClock::new());
+        let endpoint = match config.faults {
+            Some(plan) => {
+                let shared: Arc<dyn Clock> = clock.clone();
+                Endpoint::Sim(Box::new(SimBackend::with_clock(inner, plan, shared)))
+            }
+            None => Endpoint::Direct {
+                model: inner,
+                profile: inner.latency_profile(),
+            },
+        };
+        Dispatcher {
+            endpoint,
+            clock,
+            dice: Dice::new(config.seed),
+            core: Mutex::new(Core {
+                wheel: TimerWheel::new(),
+                events: HashMap::new(),
+                requests: HashMap::new(),
+                by_prompt: HashMap::new(),
+                memo: HashMap::new(),
+                fresh: Vec::new(),
+                admit_queue: VecDeque::new(),
+                in_flight: 0,
+                registered: HashSet::new(),
+                parked: 0,
+                bucket: config.rate.map(|rate| PaceBucket {
+                    units: rate.burst * TOKEN,
+                    last_us: 0,
+                }),
+                stats: BackendStats::default(),
+                next_id: 0,
+            }),
+            wakeup: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The configuration the dispatcher runs with.
+    pub fn config(&self) -> &BackendConfig {
+        &self.config
+    }
+
+    /// The virtual clock the reactor advances; its elapsed time is the
+    /// makespan of everything dispatched so far.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// A snapshot of the backend counters (including the latency sketches
+    /// and hedge counters).
+    pub fn stats(&self) -> BackendStats {
+        self.lock().stats
+    }
+
+    /// Injection counters of the owned fault injector, when
+    /// [`BackendConfig::faults`] is set.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match &self.endpoint {
+            Endpoint::Sim(sim) => Some(sim.stats()),
+            Endpoint::Direct { .. } => None,
+        }
+    }
+
+    /// Registers the current thread as long-lived for the quiescence
+    /// protocol until the returned guard drops. See the [module
+    /// docs](self) for the no-blocking-outside-the-dispatcher contract.
+    /// Re-registering an already-registered thread returns a no-op guard.
+    pub fn register(&self) -> DispatchRegistration<'_, 'a> {
+        let tid = thread::current().id();
+        let active = self.lock().registered.insert(tid);
+        DispatchRegistration {
+            dispatcher: self,
+            tid,
+            active,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn budget(&self) -> u32 {
+        match self.config.max_in_flight {
+            0 => u32::MAX,
+            n => n,
+        }
+    }
+
+    /// Backoff before retry `n` (1-based) of `prompt`: exponential from
+    /// the policy base, capped, jittered into `[50%, 100%]` by a
+    /// deterministic draw — identical math to the blocking stack.
+    fn backoff_us(&self, prompt: &str, retry: u32) -> u64 {
+        let policy = self.config.retry;
+        let doubled = policy
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(32));
+        let ceiling = doubled.min(policy.max_backoff_us);
+        let jitter = self.dice.uniform(prompt, &format!("backoff-{retry}"));
+        ceiling / 2 + ((ceiling / 2) as f64 * jitter) as u64
+    }
+
+    /// Consumes one rate-limit token, returning the virtual time at which
+    /// the dispatch may start (`now` when a token is available, the future
+    /// drip-in time otherwise — the event-driven analogue of sleeping on
+    /// the bucket).
+    fn pace_grant(&self, core: &mut Core) -> u64 {
+        let now = self.clock.now_micros();
+        let Some(rate) = self.config.rate else {
+            return now;
+        };
+        let bucket = core.bucket.as_mut().expect("rate limit implies bucket");
+        let cap = u128::from(rate.burst) * u128::from(TOKEN);
+        // `last_us` is the horizon the bucket is accounted through; grants
+        // issued into the future push it ahead of `now`, and it never
+        // rewinds (tokens committed to future grants stay committed).
+        if now > bucket.last_us {
+            let refill = u128::from(now - bucket.last_us) * u128::from(rate.tokens_per_sec);
+            bucket.units = (u128::from(bucket.units) + refill).min(cap) as u64;
+            bucket.last_us = now;
+        }
+        core.stats.rate_tokens += 1;
+        let grant = if bucket.units >= TOKEN {
+            bucket.units -= TOKEN;
+            bucket.last_us
+        } else {
+            let wait = (TOKEN - bucket.units).div_ceil(rate.tokens_per_sec);
+            // Consume the token that will have dripped in by the grant.
+            let dripped =
+                u128::from(bucket.units) + u128::from(wait) * u128::from(rate.tokens_per_sec);
+            bucket.units = (dripped.min(cap) as u64) - TOKEN;
+            bucket.last_us += wait;
+            bucket.last_us
+        };
+        if grant > now {
+            core.stats.throttle_waits += 1;
+            core.stats.throttle_wait_us += grant - now;
+        }
+        grant
+    }
+
+    /// Queues `id` for admission and admits as many queued requests as the
+    /// in-flight budget allows, each through a pacing grant.
+    fn admit(&self, core: &mut Core, id: u64) {
+        core.admit_queue.push_back(id);
+        self.pump(core);
+    }
+
+    fn pump(&self, core: &mut Core) {
+        let budget = self.budget();
+        while core.in_flight < budget {
+            let Some(id) = core.admit_queue.pop_front() else {
+                break;
+            };
+            core.in_flight += 1;
+            let grant = self.pace_grant(core);
+            let seq = core.wheel.schedule(grant);
+            core.events.insert(seq, Event::Dispatch(id));
+        }
+    }
+
+    /// Samples one attempt copy of `id` and schedules its completion. The
+    /// caller has already reserved the budget slot.
+    fn launch_copy(&self, core: &mut Core, id: u64, is_hedge: bool) {
+        let prompt = core.requests[&id].prompt.clone();
+        core.stats.attempts += 1;
+        let sample = self.endpoint.sample(&prompt);
+        match &sample.result {
+            Err(LlmError::Timeout { .. }) => core.stats.timeouts += 1,
+            Err(LlmError::RateLimited { .. }) => core.stats.rate_limited += 1,
+            Err(LlmError::Transient { .. }) => core.stats.transients += 1,
+            _ => {}
+        }
+        let deadline = self.clock.now_micros() + sample.latency_us;
+        let timer = core.wheel.schedule(deadline);
+        core.events.insert(timer, Event::Complete(id));
+        core.requests
+            .get_mut(&id)
+            .expect("launched request exists")
+            .copies
+            .push(InFlightCopy {
+                timer,
+                sample,
+                is_hedge,
+            });
+    }
+
+    /// A logical attempt's pacing grant arrived: launch the primary copy
+    /// and arm the hedge timer when the estimator is warm.
+    fn on_dispatch(&self, core: &mut Core, id: u64) {
+        self.launch_copy(core, id, false);
+        let Some(policy) = self.config.hedge else {
+            return;
+        };
+        let warm = core.stats.attempt_latency.samples() >= policy.min_samples;
+        let req = core
+            .requests
+            .get_mut(&id)
+            .expect("dispatched request exists");
+        if !warm || req.hedged >= policy.max_hedges {
+            return;
+        }
+        let delay = core
+            .stats
+            .attempt_latency
+            .quantile_us(policy.quantile_permille)
+            .max(policy.min_delay_us);
+        let seq = core.wheel.schedule(self.clock.now_micros() + delay);
+        core.events.insert(seq, Event::Hedge(id));
+        core.requests
+            .get_mut(&id)
+            .expect("request exists")
+            .hedge_timer = Some(seq);
+    }
+
+    /// The hedge timer fired while the request was still pending: issue a
+    /// duplicate if the budget has room (no rate-limit token is taken).
+    fn on_hedge(&self, core: &mut Core, id: u64) {
+        core.requests
+            .get_mut(&id)
+            .expect("hedge timer implies pending request")
+            .hedge_timer = None;
+        if core.in_flight >= self.budget() {
+            core.stats.hedges_suppressed += 1;
+            return;
+        }
+        core.in_flight += 1;
+        core.stats.hedges_issued += 1;
+        core.requests.get_mut(&id).expect("request exists").hedged += 1;
+        self.launch_copy(core, id, true);
+    }
+
+    /// A copy's completion deadline fired. Returns how many requests
+    /// resolved (0 or 1).
+    fn on_complete(&self, core: &mut Core, id: u64, timer: u64) -> usize {
+        let mut req = core
+            .requests
+            .remove(&id)
+            .expect("completing request exists");
+        let idx = req
+            .copies
+            .iter()
+            .position(|c| c.timer == timer)
+            .expect("completion timer matches a copy");
+        let copy = req.copies.swap_remove(idx);
+        core.in_flight -= 1;
+
+        let resolutions = match copy.sample.result {
+            Ok(completion) => {
+                // First response wins: cancel the losing copies — their
+                // results are never delivered and never memoized.
+                if copy.is_hedge {
+                    core.stats.hedges_won += 1;
+                }
+                for loser in req.copies.drain(..) {
+                    core.wheel.cancel(loser.timer);
+                    core.events.remove(&loser.timer);
+                    core.in_flight -= 1;
+                    core.stats.hedges_cancelled += 1;
+                }
+                self.cancel_hedge_timer(core, &mut req);
+                core.stats.attempt_latency.record(copy.sample.latency_us);
+                core.stats
+                    .request_latency
+                    .record(self.clock.now_micros() - req.submitted_us);
+                core.by_prompt.remove(&req.prompt);
+                core.memo.insert(req.prompt.clone(), completion.clone());
+                req.resolved = Some(Ok(completion));
+                core.parked -= req.waiters;
+                1
+            }
+            Err(_) if !req.copies.is_empty() => {
+                // Another copy of the same attempt wave is still racing;
+                // drop this one quietly and let the race finish.
+                0
+            }
+            Err(err) if err.is_transient() && req.retries < self.config.retry.max_retries => {
+                req.retries += 1;
+                core.stats.retries += 1;
+                self.cancel_hedge_timer(core, &mut req);
+                let mut backoff = self.backoff_us(&req.prompt, req.retries);
+                if let LlmError::RateLimited { retry_after_us } = err {
+                    backoff = backoff.max(retry_after_us);
+                }
+                let seq = core.wheel.schedule(self.clock.now_micros() + backoff);
+                core.events.insert(seq, Event::Retry(id));
+                0
+            }
+            Err(err) => {
+                // Permanent, or out of retries: resolve with the error.
+                // Errors are never memoized — a later identical call gets
+                // a fresh request.
+                self.cancel_hedge_timer(core, &mut req);
+                core.stats.failures += 1;
+                core.by_prompt.remove(&req.prompt);
+                req.resolved = Some(Err(err));
+                core.parked -= req.waiters;
+                1
+            }
+        };
+        core.requests.insert(id, req);
+        // The freed slot(s) may admit queued requests.
+        self.pump(core);
+        resolutions
+    }
+
+    fn cancel_hedge_timer(&self, core: &mut Core, req: &mut Request) {
+        if let Some(seq) = req.hedge_timer.take() {
+            core.wheel.cancel(seq);
+            core.events.remove(&seq);
+        }
+    }
+
+    /// One reactor run: admit fresh submissions in canonical order, then
+    /// advance deadline by deadline until at least one request resolves.
+    /// Must only be called at quiescence (or from the stall escape valve).
+    fn drive(&self, core: &mut Core) {
+        if !core.fresh.is_empty() {
+            let mut fresh = std::mem::take(&mut core.fresh);
+            fresh.sort_unstable_by(|a, b| core.requests[a].prompt.cmp(&core.requests[b].prompt));
+            for id in fresh {
+                self.admit(core, id);
+            }
+        }
+        let mut resolutions = 0usize;
+        while resolutions == 0 {
+            let Some(deadline) = core.wheel.next_deadline() else {
+                // Unreachable by the admission invariant: every unresolved
+                // request owns a pending event (or is queued behind one).
+                // Failing loudly beats spinning.
+                panic!("dispatcher stalled: pending requests but no scheduled events");
+            };
+            self.clock.advance_to_micros(deadline);
+            while core.wheel.next_deadline() == Some(deadline) {
+                let (_, seq) = core.wheel.pop_next().expect("peeked deadline pops");
+                match core.events.remove(&seq).expect("event for live timer") {
+                    Event::Dispatch(id) => self.on_dispatch(core, id),
+                    Event::Retry(id) => self.admit(core, id),
+                    Event::Hedge(id) => self.on_hedge(core, id),
+                    Event::Complete(id) => resolutions += self.on_complete(core, id, seq),
+                }
+            }
+        }
+        self.wakeup.notify_all();
+    }
+
+    fn complete_inner(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        let tid = thread::current().id();
+        let mut core = self.lock();
+        core.stats.calls += 1;
+        if let Some(hit) = core.memo.get(prompt).cloned() {
+            core.stats.dispatch_coalesced += 1;
+            return Ok(hit);
+        }
+        let transient = core.registered.insert(tid);
+        let id = match core.by_prompt.get(prompt) {
+            Some(&id) => {
+                core.stats.dispatch_coalesced += 1;
+                id
+            }
+            None => {
+                let id = core.next_id;
+                core.next_id += 1;
+                core.requests.insert(
+                    id,
+                    Request {
+                        prompt: prompt.to_string(),
+                        submitted_us: self.clock.now_micros(),
+                        retries: 0,
+                        hedged: 0,
+                        copies: Vec::new(),
+                        hedge_timer: None,
+                        waiters: 0,
+                        resolved: None,
+                    },
+                );
+                core.by_prompt.insert(prompt.to_string(), id);
+                core.fresh.push(id);
+                id
+            }
+        };
+        core.requests.get_mut(&id).expect("request exists").waiters += 1;
+        core.parked += 1;
+        let result = loop {
+            if let Some(resolved) = core.requests.get(&id).and_then(|r| r.resolved.clone()) {
+                // The resolver already moved this thread out of `parked`.
+                break resolved;
+            }
+            if core.parked == core.registered.len() {
+                self.drive(&mut core);
+                continue;
+            }
+            let (guard, timeout) = self
+                .wakeup
+                .wait_timeout(core, STALL_ESCAPE)
+                .unwrap_or_else(PoisonError::into_inner);
+            core = guard;
+            if timeout.timed_out()
+                && core.parked < core.registered.len()
+                && core.requests.get(&id).is_some_and(|r| r.resolved.is_none())
+            {
+                // Escape valve: a registered peer appears to be blocked
+                // outside the dispatcher (mis-wired composition). Drive
+                // anyway — answers stay correct, the timeline stops being
+                // schedule-independent.
+                self.drive(&mut core);
+            }
+        };
+        {
+            let req = core.requests.get_mut(&id).expect("request exists");
+            req.waiters -= 1;
+            if req.waiters == 0 {
+                core.requests.remove(&id);
+            }
+        }
+        if transient {
+            core.registered.remove(&tid);
+            if core.parked > 0 && core.parked == core.registered.len() {
+                // Our departure created quiescence for the remaining
+                // parked threads; elect a driver among them.
+                self.wakeup.notify_all();
+            }
+        }
+        result
+    }
+}
+
+impl LanguageModel for Dispatcher<'_> {
+    fn name(&self) -> &str {
+        self.endpoint.model().name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        self.complete_inner(prompt)
+    }
+
+    fn usage(&self) -> Usage {
+        self.endpoint.model().usage()
+    }
+
+    fn reset_usage(&self) {
+        self.endpoint.model().reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.endpoint.model().context_window()
+    }
+
+    fn latency_profile(&self) -> LatencyProfile {
+        self.endpoint.model().latency_profile()
+    }
+}
+
+/// RAII guard of a long-lived registration (see [`Dispatcher::register`]).
+pub struct DispatchRegistration<'d, 'a> {
+    dispatcher: &'d Dispatcher<'a>,
+    tid: ThreadId,
+    active: bool,
+}
+
+impl Drop for DispatchRegistration<'_, '_> {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let mut core = self.dispatcher.lock();
+        core.registered.remove(&self.tid);
+        if core.parked > 0 && core.parked == core.registered.len() {
+            self.dispatcher.wakeup.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BackendConfig;
+    use unidm_llm::{FaultPlan, LlmProfile, MockLlm};
+    use unidm_world::World;
+
+    fn model() -> MockLlm {
+        MockLlm::new(&World::generate(7), LlmProfile::gpt3_175b(), 7)
+    }
+
+    fn pipelined(seed: u64) -> BackendConfig {
+        BackendConfig::resilient(seed)
+            .without_breaker()
+            .with_pipelined()
+    }
+
+    #[test]
+    fn self_driving_serial_calls_resolve_and_overlap_nothing() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(1).with_faults(FaultPlan::none(1)));
+        let direct = llm.complete("The capital of Denmark is __.").unwrap();
+        let reply = dispatcher
+            .complete("The capital of Denmark is __.")
+            .unwrap();
+        assert_eq!(reply, direct);
+        // Serial requests cannot overlap: elapsed == the one base latency.
+        assert_eq!(dispatcher.clock().now_micros(), 50_000);
+        let stats = dispatcher.stats();
+        assert_eq!((stats.calls, stats.attempts, stats.failures), (1, 1, 0));
+    }
+
+    /// Spawns `n` registered workers that all pass a barrier before
+    /// submitting — so every first submission lands in the same reactor
+    /// step and the whole timeline is schedule-independent.
+    fn fan_out(dispatcher: &Dispatcher<'_>, n: usize, work: impl Fn(usize) + Sync) {
+        let barrier = std::sync::Barrier::new(n);
+        std::thread::scope(|scope| {
+            for t in 0..n {
+                let (d, b, work) = (dispatcher, &barrier, &work);
+                scope.spawn(move || {
+                    let _reg = d.register();
+                    b.wait();
+                    work(t);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn overlapped_requests_share_virtual_time() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(2).with_faults(FaultPlan::none(2)));
+        fan_out(&dispatcher, 16, |i| {
+            dispatcher
+                .complete(&format!("overlapped prompt {i}"))
+                .unwrap();
+        });
+        // 16 concurrent 50ms attempts: the blocking stack would charge
+        // 800ms of virtual time; the reactor overlaps them into one wave.
+        assert_eq!(dispatcher.clock().now_micros(), 50_000);
+        assert_eq!(dispatcher.stats().attempts, 16);
+    }
+
+    #[test]
+    fn identical_pending_prompts_coalesce_and_memoize() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(3).with_faults(FaultPlan::none(3)));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let d = &dispatcher;
+                scope.spawn(move || {
+                    let _reg = d.register();
+                    d.complete("the one shared prompt").unwrap();
+                });
+            }
+        });
+        // A late arrival after resolution hits the memo.
+        dispatcher.complete("the one shared prompt").unwrap();
+        let stats = dispatcher.stats();
+        assert_eq!(stats.calls, 9);
+        assert_eq!(stats.attempts, 1, "one endpoint attempt for nine calls");
+        assert_eq!(stats.dispatch_coalesced, 8);
+        assert_eq!(dispatcher.fault_stats().unwrap().attempts, 1);
+    }
+
+    #[test]
+    fn in_flight_budget_defers_admission_without_losing_requests() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(
+            &llm,
+            pipelined(4)
+                .with_faults(FaultPlan::none(4))
+                .with_max_in_flight(2),
+        );
+        fan_out(&dispatcher, 10, |i| {
+            dispatcher
+                .complete(&format!("budgeted prompt {i}"))
+                .unwrap();
+        });
+        let stats = dispatcher.stats();
+        assert_eq!((stats.calls, stats.attempts, stats.failures), (10, 10, 0));
+        // Budget 2 over 10×50ms: the makespan is 5 serial waves.
+        assert_eq!(dispatcher.clock().now_micros(), 5 * 50_000);
+    }
+
+    #[test]
+    fn pacing_grants_are_virtual_not_blocking() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(
+            &llm,
+            pipelined(5)
+                .with_faults(FaultPlan::none(5))
+                .with_rate_limit(10, 1),
+        );
+        fan_out(&dispatcher, 20, |i| {
+            dispatcher.complete(&format!("paced prompt {i}")).unwrap();
+        });
+        let stats = dispatcher.stats();
+        assert_eq!(stats.rate_tokens, 20, "one token per logical attempt");
+        assert_eq!(stats.throttle_waits, 19, "everything after the burst waits");
+        assert!(
+            dispatcher.clock().now_micros() >= 1_900_000,
+            "virtual time must cover the token deficit: {}us",
+            dispatcher.clock().now_micros()
+        );
+    }
+
+    #[test]
+    fn faulty_attempts_retry_to_the_same_answer() {
+        let llm = model();
+        let truth = llm.complete("The capital of Denmark is __.").unwrap();
+        let dispatcher = Dispatcher::new(&llm, pipelined(9).with_faults(FaultPlan::heavy(9)));
+        let reply = dispatcher
+            .complete("The capital of Denmark is __.")
+            .unwrap();
+        assert_eq!(reply, truth);
+        let stats = dispatcher.stats();
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.retries, stats.attempts - stats.calls);
+    }
+
+    #[test]
+    fn permanent_errors_resolve_without_retry_or_memo() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(1).with_faults(FaultPlan::none(1)));
+        assert_eq!(dispatcher.complete("  "), Err(LlmError::EmptyPrompt));
+        assert_eq!(dispatcher.complete("  "), Err(LlmError::EmptyPrompt));
+        let stats = dispatcher.stats();
+        assert_eq!(stats.failures, 2, "errors are not memoized");
+        assert_eq!(stats.retries, 0);
+    }
+
+    #[test]
+    fn hedging_cuts_the_tail_and_accounts_exactly() {
+        let llm = model();
+        let config = pipelined(11)
+            .with_faults(FaultPlan::heavy_tail(11))
+            .with_hedge(HedgePolicy::at_quantile(900).with_min_samples(16));
+        // 10 workers × 30 sequential prompts: submissions trickle in
+        // waves, so the latency estimator warms up and later stragglers
+        // get hedged.
+        let run = || {
+            let dispatcher = Dispatcher::new(&llm, config);
+            fan_out(&dispatcher, 10, |t| {
+                for i in 0..30 {
+                    dispatcher
+                        .complete(&format!("tail prompt {t}-{i}"))
+                        .unwrap();
+                }
+            });
+            (dispatcher.stats(), dispatcher.fault_stats().unwrap())
+        };
+        let (stats, faults) = run();
+        assert!(stats.hedges_issued > 0, "the 3% tail must trigger hedges");
+        assert_eq!(stats.hedges_cancelled, stats.hedges_issued);
+        assert_eq!(
+            faults.attempts,
+            300 + stats.hedges_issued,
+            "every endpoint attempt is a unique prompt or an accounted hedge"
+        );
+        assert_eq!(stats.rate_tokens, 0, "no rate limit configured");
+        // Hedged stragglers resolve at ~(hedge delay + base), far below 2s.
+        assert!(
+            stats.request_latency.quantile_us(990) < 500_000,
+            "hedging must cut the observed P99: {:?}",
+            stats.request_latency
+        );
+        // The whole timeline is deterministic: repeat and compare counters.
+        let (stats2, faults2) = run();
+        assert_eq!(stats, stats2);
+        assert_eq!(faults, faults2);
+    }
+
+    #[test]
+    fn direct_endpoint_derives_latency_from_the_profile() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(1));
+        let reply = dispatcher
+            .complete("The capital of Denmark is __.")
+            .unwrap();
+        let expected = llm.latency_profile().latency_us(reply.usage);
+        assert_eq!(dispatcher.clock().now_micros(), expected);
+        assert!(dispatcher.fault_stats().is_none());
+    }
+
+    #[test]
+    fn unregistered_callers_are_transiently_registered_and_safe() {
+        let llm = model();
+        let dispatcher = Dispatcher::new(&llm, pipelined(6).with_faults(FaultPlan::light(6)));
+        // Plain threads, no registration guards: still deadlock-free.
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let d = &dispatcher;
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        d.complete(&format!("transient {t}-{i}")).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = dispatcher.stats();
+        assert_eq!(stats.calls, 40);
+        assert_eq!(stats.failures, 0);
+    }
+}

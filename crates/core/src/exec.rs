@@ -76,6 +76,7 @@ use unidm_llm::{Completion, LanguageModel, LlmError, Usage};
 use unidm_tablestore::DataLake;
 
 use crate::canon::{CanonLevel, CanonicalPrompt};
+use crate::dispatch::Dispatcher;
 use crate::pipeline::{RunOutput, UniDm};
 use crate::task::Task;
 use crate::{PipelineConfig, UniDmError};
@@ -392,6 +393,7 @@ pub struct PromptCache<'a> {
     capacity: usize,
     shard_capacity: usize,
     level: CanonLevel,
+    single_flight: bool,
     shards: Box<[Mutex<CacheInner>]>,
     /// Cache-wide monotonic use counter: stamps are comparable across
     /// shards, so LRU order is global (snapshot compaction relies on it).
@@ -417,14 +419,22 @@ const DEFAULT_SHARDS: usize = 8;
 /// The shard count new caches start with: the `UNIDM_SHARDS` environment
 /// variable when set to a positive integer (rounded up to a power of two —
 /// this is how CI exercises shard-count sensitivity across the whole
-/// suite), [`DEFAULT_SHARDS`] otherwise.
+/// suite) is authoritative; otherwise the count self-tunes to the machine,
+/// [`std::thread::available_parallelism`] rounded up to a power of two and
+/// clamped to `[`[`DEFAULT_SHARDS`]`, 64]` — wide boxes get proportionally
+/// more locks, small caches never fragment below the historical default.
 fn default_shards() -> usize {
     std::env::var("UNIDM_SHARDS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|n| *n > 0)
         .map(usize::next_power_of_two)
-        .unwrap_or(DEFAULT_SHARDS)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().next_power_of_two())
+                .unwrap_or(DEFAULT_SHARDS)
+                .clamp(DEFAULT_SHARDS, 64)
+        })
 }
 
 fn build_shards(n: usize) -> Box<[Mutex<CacheInner>]> {
@@ -455,7 +465,9 @@ impl Drop for LeaderGuard<'_> {
 impl<'a> PromptCache<'a> {
     /// Creates a cache holding at most `capacity` completions (LRU
     /// eviction), split across the default shard count (the
-    /// `UNIDM_SHARDS` environment variable when set, 8 otherwise).
+    /// `UNIDM_SHARDS` environment variable when set; otherwise
+    /// self-tuned from [`std::thread::available_parallelism`], at least
+    /// 8).
     ///
     /// The capacity budget is divided evenly across shards (each shard
     /// gets at least one slot), so with very small capacities the
@@ -470,6 +482,7 @@ impl<'a> PromptCache<'a> {
             capacity,
             shard_capacity: 0,
             level: CanonLevel::Verbatim,
+            single_flight: true,
             shards: build_shards(default_shards()),
             clock: AtomicU64::new(0),
         };
@@ -506,6 +519,30 @@ impl<'a> PromptCache<'a> {
         self.level = level;
         self.readmit(entries);
         self
+    }
+
+    /// Enables or disables cache-level single-flight coalescing (enabled
+    /// by default). Builder-style; intended at construction time.
+    ///
+    /// Disable it when the cache sits above a pipelined
+    /// [`crate::Dispatcher`]: dispatcher-registered workers must never
+    /// block outside the dispatcher, and a single-flight waiter blocks in
+    /// a cache slot the dispatcher's quiescence detection cannot see. The
+    /// dispatcher performs its own per-prompt single-flight and memoizes
+    /// successes, so endpoint calls still equal unique canonical keys —
+    /// the coalescing just happens one layer lower. With single-flight
+    /// off, [`CacheStats::misses`] counts every concurrent co-leader of a
+    /// key rather than exactly one leader per key, so its exactness
+    /// guarantee only holds in the default mode (or one layer lower, in
+    /// [`crate::BackendStats`]).
+    pub fn with_single_flight(mut self, single_flight: bool) -> Self {
+        self.single_flight = single_flight;
+        self
+    }
+
+    /// Whether cache-level single-flight coalescing is enabled.
+    pub fn single_flight(&self) -> bool {
+        self.single_flight
     }
 
     /// The canonicalization level lookups run at.
@@ -866,6 +903,30 @@ impl LanguageModel for PromptCache<'_> {
         let canonical = CanonicalPrompt::canonicalize(prompt, self.level);
         let shard = self.shard_for_hash(canonical.hash64());
         let text = canonical.text();
+        if !self.single_flight {
+            // Coalescing disabled (the layer below — a pipelined
+            // dispatcher — handles it): hit or straight to the model, no
+            // in-flight slot a registered worker could block on.
+            {
+                let stamp = self.next_stamp();
+                let mut state = self.lock_shard(shard);
+                if let Some(entry) = state.entries.get_mut(text) {
+                    entry.stamp = stamp;
+                    let completion = entry.completion.clone();
+                    state.stats.hits += 1;
+                    state.stats.tokens_saved += completion.usage.total();
+                    return Ok(completion);
+                }
+                state.stats.misses += 1;
+            }
+            let result = self.inner.complete(text);
+            let stamp = self.next_stamp();
+            if let Ok(completion) = &result {
+                let mut state = self.lock_shard(shard);
+                state.insert(text, completion.clone(), self.shard_capacity, stamp);
+            }
+            return result;
+        }
         let slot = loop {
             // One locked section decides hit / coalesce / lead; everything
             // slow (waiting, completing) happens outside it.
@@ -1111,6 +1172,7 @@ pub struct BatchRunner<'a> {
     config: PipelineConfig,
     workers: usize,
     dedup: bool,
+    pipeline: Option<&'a Dispatcher<'a>>,
 }
 
 impl std::fmt::Debug for BatchRunner<'_> {
@@ -1120,24 +1182,41 @@ impl std::fmt::Debug for BatchRunner<'_> {
             .field("config", &self.config)
             .field("workers", &self.workers)
             .field("dedup", &self.dedup)
+            .field("pipelined", &self.pipeline.is_some())
             .finish()
     }
 }
 
+/// The worker count new runners start with: the `UNIDM_WORKERS`
+/// environment variable when set to a positive integer is authoritative
+/// (no cap — an override means the operator knows the machine); otherwise
+/// one worker per available CPU, capped at 16 — the pipeline is
+/// compute-light, so past that point more threads only add contention on
+/// the shared model.
+fn default_workers() -> usize {
+    std::env::var("UNIDM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
+        })
+}
+
 impl<'a> BatchRunner<'a> {
-    /// Creates a runner with one worker per available CPU (capped at 8 —
-    /// the pipeline is compute-light, so more threads only add contention
-    /// on the shared model) and the dedup planner enabled.
+    /// Creates a runner with the self-tuned worker count (`UNIDM_WORKERS`
+    /// when set; otherwise one per available CPU, capped at 16) and the
+    /// dedup planner enabled.
     pub fn new(llm: &'a dyn LanguageModel, config: PipelineConfig) -> Self {
-        let parallelism = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
         BatchRunner {
             llm,
             config,
-            workers: parallelism,
+            workers: default_workers(),
             dedup: true,
+            pipeline: None,
         }
     }
 
@@ -1155,6 +1234,30 @@ impl<'a> BatchRunner<'a> {
     pub fn with_dedup(mut self, dedup: bool) -> Self {
         self.dedup = dedup;
         self
+    }
+
+    /// Runs the batch in **pipelined mode** against an event-driven
+    /// [`Dispatcher`]: every worker registers with the dispatcher for the
+    /// whole batch and claims the next unique task from a shared cursor
+    /// the moment its previous one finishes — continuous admission into
+    /// the dispatcher's in-flight window instead of whole-batch barriers.
+    /// The dedup planner still runs first, so duplicate tasks never reach
+    /// the dispatcher at all.
+    ///
+    /// The `llm` this runner drives must bottom out in `dispatcher` — that
+    /// is how worker calls become reactor events. Any [`PromptCache`]
+    /// layered between them must have cache-level single-flight disabled
+    /// ([`PromptCache::with_single_flight`]): registered workers must
+    /// never block outside the dispatcher, and the dispatcher coalesces
+    /// duplicate prompts itself.
+    pub fn with_pipeline(mut self, dispatcher: &'a Dispatcher<'a>) -> Self {
+        self.pipeline = Some(dispatcher);
+        self
+    }
+
+    /// The dispatcher batches run against in pipelined mode, if any.
+    pub fn pipeline(&self) -> Option<&'a Dispatcher<'a>> {
+        self.pipeline
     }
 
     /// The configured worker count.
@@ -1211,11 +1314,54 @@ impl<'a> BatchRunner<'a> {
 
         let workers = self.workers.min(reps.len());
         let (rep_results, steals) = if workers <= 1 {
+            // Serial runs register too when pipelined: a lone long-lived
+            // registration is equivalent to transient registration, and it
+            // keeps the two modes symmetrical.
+            let _registration = self.pipeline.map(|dispatcher| dispatcher.register());
             let unidm = UniDm::new(self.llm, self.config);
             (
                 reps.iter()
                     .map(|&index| unidm.run(lake, &tasks[index]))
                     .collect::<Vec<_>>(),
+                0,
+            )
+        } else if let Some(dispatcher) = self.pipeline {
+            // Pipelined mode: no range ownership, no stealing — a single
+            // shared cursor hands each worker the next unique task as soon
+            // as it finishes the previous one, so a freshly ready task
+            // flows into an open in-flight slot while stragglers are still
+            // pending. Workers hold dispatcher registrations for the whole
+            // batch, so the reactor only advances virtual time when every
+            // worker is parked inside it (quiescence).
+            let slots: Vec<OnceLock<Result<RunOutput, UniDmError>>> =
+                reps.iter().map(|_| OnceLock::new()).collect();
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let cursor = &cursor;
+                    let slots = &slots;
+                    let reps = &reps;
+                    scope.spawn(move || {
+                        let _registration = dispatcher.register();
+                        let unidm = UniDm::new(self.llm, self.config);
+                        loop {
+                            let position = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&index) = reps.get(position) else {
+                                break;
+                            };
+                            let result = unidm.run(lake, &tasks[index]);
+                            slots[position]
+                                .set(result)
+                                .expect("slot claimed exactly once");
+                        }
+                    });
+                }
+            });
+            (
+                slots
+                    .into_iter()
+                    .map(|slot| slot.into_inner().expect("every slot filled"))
+                    .collect(),
                 0,
             )
         } else {
@@ -1403,6 +1549,73 @@ mod tests {
             plain_tokens,
             "deduped batch pays for each unique task exactly once"
         );
+    }
+
+    #[test]
+    fn pipelined_batch_matches_serial_and_accounts_exactly() {
+        let (world, llm) = setup();
+        let ds = imputation::restaurant(&world, 3, 20);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks = imputation_tasks(&ds, 20);
+        let config = PipelineConfig::paper_default();
+
+        let reference = BatchRunner::new(&llm, config)
+            .with_workers(1)
+            .answers(&lake, &tasks);
+
+        let backend = crate::BackendConfig::resilient(7)
+            .without_breaker()
+            .with_pipelined();
+        let dispatcher = Dispatcher::new(&llm, backend);
+        let cache = PromptCache::unbounded(&dispatcher).with_single_flight(false);
+        let report = BatchRunner::new(&cache, config)
+            .with_workers(4)
+            .with_pipeline(&dispatcher)
+            .run_report(&lake, &tasks);
+        let answers: Vec<String> = report
+            .results
+            .iter()
+            .map(|r| r.as_ref().unwrap().answer.clone())
+            .collect();
+        assert_eq!(
+            answers, reference,
+            "pipelined continuous admission must not change answers"
+        );
+        assert_eq!(report.steals, 0, "pipelined mode does not range-steal");
+
+        // Exact accounting through the stack: every cache miss became one
+        // dispatcher call, and every call either launched a fresh request
+        // or coalesced onto a pending/memoized one — nothing double-fires.
+        let stats = dispatcher.stats();
+        assert_eq!(stats.calls, stats.attempts + stats.dispatch_coalesced);
+        assert_eq!(stats.calls as usize, cache.stats().misses);
+        assert!(stats.attempts > 0);
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn cache_without_single_flight_still_hits_and_skips_memoizing_errors() {
+        let (_, llm) = setup();
+        let cache = PromptCache::unbounded(&llm).with_single_flight(false);
+        assert!(!cache.single_flight());
+        let a = cache.complete("The quick brown fox").unwrap();
+        let b = cache.complete("The quick brown fox").unwrap();
+        assert_eq!(a, b, "hit must return the memoized completion verbatim");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(llm.usage(), a.usage, "inner model completed exactly once");
+        assert!(cache.complete("  ").is_err());
+        assert!(cache.complete("  ").is_err(), "errors are not memoized");
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn runner_defaults_self_tune_from_the_machine() {
+        let (_, llm) = setup();
+        let runner = BatchRunner::new(&llm, PipelineConfig::paper_default());
+        assert_eq!(runner.workers(), default_workers());
+        assert!(runner.workers() >= 1);
+        assert!(runner.pipeline().is_none());
     }
 
     #[test]

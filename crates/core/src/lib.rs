@@ -103,6 +103,7 @@
 pub mod backend;
 pub mod canon;
 mod config;
+pub mod dispatch;
 mod error;
 pub mod exec;
 pub mod html;
@@ -113,11 +114,12 @@ pub mod retrieval;
 mod task;
 
 pub use backend::{
-    AttachedBackend, BackendConfig, BackendStats, BreakerPolicy, RateLimit, ResilientBackend,
-    RetryPolicy,
+    AttachedBackend, BackendConfig, BackendStats, BreakerPolicy, LatencySketch, RateLimit,
+    ResilientBackend, RetryPolicy,
 };
 pub use canon::{CanonLevel, CanonicalPrompt, PromptKey};
 pub use config::PipelineConfig;
+pub use dispatch::{DispatchRegistration, Dispatcher, HedgePolicy};
 pub use error::UniDmError;
 pub use exec::{BatchReport, BatchRunner, CacheStats, PromptCache, SnapshotError};
 pub use pipeline::{RunOutput, Trace, UniDm};

@@ -33,6 +33,12 @@ pub struct CacheConfig {
     pub shards: usize,
     /// Total completion capacity (0 means unbounded).
     pub capacity: usize,
+    /// Disable cache-level single-flight coalescing
+    /// ([`PromptCache::with_single_flight`]). Required when the model
+    /// beneath the cache is a pipelined `unidm::Dispatcher`: registered
+    /// workers must never block in a cache slot the dispatcher cannot
+    /// see, and the dispatcher coalesces duplicate prompts itself.
+    pub no_single_flight: bool,
     /// Directory for per-scenario snapshot files; `None` keeps caches
     /// in-memory only.
     pub snapshot_dir: Option<PathBuf>,
@@ -80,6 +86,9 @@ impl CacheConfig {
         };
         if self.shards > 0 {
             cache = cache.with_shards(self.shards);
+        }
+        if self.no_single_flight {
+            cache = cache.with_single_flight(false);
         }
         let cache = cache.with_canonicalization(self.level);
         let snapshot_path = self.snapshot_dir.as_ref().map(|dir| {

@@ -50,6 +50,7 @@ pub mod zoo;
 
 pub use cache::{AttachedCache, CacheConfig};
 pub use unidm::backend::BackendConfig;
+pub use unidm::dispatch::HedgePolicy;
 
 /// Shared configuration of an experiment run.
 #[derive(Debug, Clone, PartialEq, Eq)]

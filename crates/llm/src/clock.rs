@@ -9,6 +9,7 @@
 //! 30-second rate-limit stall costs nothing in wall time — while
 //! [`SystemClock`] provides real-time semantics for live endpoints.
 
+use std::collections::{BinaryHeap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -61,6 +62,19 @@ impl VirtualClock {
     pub fn elapsed_micros(&self) -> u64 {
         self.now_us.load(Ordering::SeqCst)
     }
+
+    /// Advances the clock to `deadline_us` if it is ahead of the current
+    /// time; a deadline in the past leaves the clock untouched (the clock
+    /// is monotone).
+    ///
+    /// This is the event-driven counterpart of [`Clock::sleep_micros`]:
+    /// where sleeps *add* (concurrent sleeps sum, so total elapsed time is
+    /// total latency), `advance_to_micros` *jumps* to the next pending
+    /// deadline of a [`TimerWheel`], so overlapped requests overlap in
+    /// virtual time and elapsed time measures the makespan instead.
+    pub fn advance_to_micros(&self, deadline_us: u64) {
+        self.now_us.fetch_max(deadline_us, Ordering::SeqCst);
+    }
 }
 
 impl Clock for VirtualClock {
@@ -108,6 +122,98 @@ impl Clock for SystemClock {
     }
 }
 
+/// A pending-deadline queue for event-driven schedulers: the data
+/// structure behind `unidm::dispatch`'s reactor.
+///
+/// Timers are identified by the `u64` sequence number [`TimerWheel::schedule`]
+/// returns. The wheel pops timers in `(deadline, sequence)` order — ties on
+/// the deadline break by scheduling order — so a reactor that schedules
+/// deterministically pops deterministically. Cancelled timers are dropped
+/// lazily on pop and **never** surface, which is what lets a hedged-request
+/// loser be cancelled without its (stale) deadline dragging the virtual
+/// clock forward.
+///
+/// # Examples
+///
+/// ```
+/// use unidm_llm::TimerWheel;
+///
+/// let mut wheel = TimerWheel::new();
+/// let early = wheel.schedule(100);
+/// let late = wheel.schedule(250);
+/// wheel.cancel(early);
+/// assert_eq!(wheel.pop_next(), Some((250, late)));
+/// assert!(wheel.pop_next().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    // Min-heap via Reverse ordering on (deadline, seq).
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64)>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Schedules a timer at `deadline_us`, returning its sequence number.
+    pub fn schedule(&mut self, deadline_us: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(std::cmp::Reverse((deadline_us, seq)));
+        self.live += 1;
+        seq
+    }
+
+    /// Cancels a pending timer. Cancelling an already-popped or unknown
+    /// sequence number is a no-op; the wheel never yields a cancelled
+    /// timer.
+    pub fn cancel(&mut self, seq: u64) {
+        if seq < self.next_seq && self.cancelled.insert(seq) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    /// Pops the earliest live timer as `(deadline_us, seq)`, skipping (and
+    /// forgetting) cancelled entries.
+    pub fn pop_next(&mut self) -> Option<(u64, u64)> {
+        while let Some(std::cmp::Reverse((deadline, seq))) = self.heap.pop() {
+            if self.cancelled.remove(&seq) {
+                continue;
+            }
+            self.live -= 1;
+            return Some((deadline, seq));
+        }
+        None
+    }
+
+    /// The deadline of the earliest live timer, without popping it.
+    pub fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(std::cmp::Reverse((deadline, seq))) = self.heap.peek().copied() {
+            if self.cancelled.remove(&seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(deadline);
+        }
+        None
+    }
+
+    /// Live (scheduled and not yet popped or cancelled) timer count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live timer is pending.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +242,49 @@ mod tests {
             }
         });
         assert_eq!(clock.elapsed_micros(), 8 * 100 * 3);
+    }
+
+    #[test]
+    fn virtual_clock_advance_to_is_monotone() {
+        let clock = VirtualClock::new();
+        clock.advance_to_micros(500);
+        assert_eq!(clock.now_micros(), 500);
+        clock.advance_to_micros(200); // in the past: no-op
+        assert_eq!(clock.now_micros(), 500);
+        clock.sleep_micros(100); // sleeps still add on top
+        assert_eq!(clock.now_micros(), 600);
+    }
+
+    #[test]
+    fn timer_wheel_pops_in_deadline_then_schedule_order() {
+        let mut wheel = TimerWheel::new();
+        let a = wheel.schedule(300);
+        let b = wheel.schedule(100);
+        let c = wheel.schedule(100); // same deadline as b: b pops first
+        assert_eq!(wheel.len(), 3);
+        assert_eq!(wheel.pop_next(), Some((100, b)));
+        assert_eq!(wheel.pop_next(), Some((100, c)));
+        assert_eq!(wheel.pop_next(), Some((300, a)));
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop_next(), None);
+    }
+
+    #[test]
+    fn timer_wheel_cancellation_never_surfaces() {
+        let mut wheel = TimerWheel::new();
+        let a = wheel.schedule(100);
+        let b = wheel.schedule(200);
+        let c = wheel.schedule(300);
+        wheel.cancel(b);
+        wheel.cancel(b); // double-cancel is a no-op
+        wheel.cancel(999); // unknown seq is a no-op
+        assert_eq!(wheel.len(), 2);
+        assert_eq!(wheel.next_deadline(), Some(100));
+        assert_eq!(wheel.pop_next(), Some((100, a)));
+        // b's deadline never shows up as the next pending event.
+        assert_eq!(wheel.next_deadline(), Some(300));
+        assert_eq!(wheel.pop_next(), Some((300, c)));
+        assert!(wheel.is_empty());
     }
 
     #[test]

@@ -56,11 +56,11 @@ pub mod protocol;
 pub mod sim;
 pub mod skills;
 
-pub use clock::{Clock, SystemClock, VirtualClock};
+pub use clock::{Clock, SystemClock, TimerWheel, VirtualClock};
 pub use determinism::Dice;
 pub use error::LlmError;
 pub use kb::KnowledgeBase;
 pub use mock::MockLlm;
 pub use model::{Completion, LanguageModel, Usage, UsageMeter};
-pub use profile::LlmProfile;
-pub use sim::{FaultPlan, FaultStats, SimBackend};
+pub use profile::{LatencyProfile, LlmProfile};
+pub use sim::{AttemptSample, FaultPlan, FaultStats, SimBackend};

@@ -144,6 +144,10 @@ impl LanguageModel for MockLlm {
     fn context_window(&self) -> usize {
         self.profile.context_window
     }
+
+    fn latency_profile(&self) -> crate::LatencyProfile {
+        self.profile.latency()
+    }
 }
 
 #[cfg(test)]

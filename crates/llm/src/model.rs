@@ -2,6 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use crate::profile::LatencyProfile;
 use crate::LlmError;
 
 /// Token usage of one or more completions.
@@ -89,6 +90,16 @@ pub trait LanguageModel: Send + Sync {
     fn context_window(&self) -> usize {
         usize::MAX
     }
+
+    /// The serving-latency shape of this endpoint, used by event-driven
+    /// schedulers (`unidm::dispatch`) to place completion deadlines when no
+    /// fault plan supplies latencies. Pass-through layers (meters, caches,
+    /// backends) should forward their inner model's profile; producing
+    /// models override it (see [`crate::LlmProfile::latency`]). The default
+    /// is a generic hosted-endpoint shape.
+    fn latency_profile(&self) -> LatencyProfile {
+        LatencyProfile::default()
+    }
 }
 
 /// A pass-through model wrapper that meters the tokens of every completion
@@ -172,6 +183,10 @@ impl LanguageModel for UsageMeter<'_> {
 
     fn context_window(&self) -> usize {
         self.inner.context_window()
+    }
+
+    fn latency_profile(&self) -> LatencyProfile {
+        self.inner.latency_profile()
     }
 }
 

@@ -6,6 +6,51 @@
 //! LLaMA2-7B ≈ Qwen-7B ≫ GPT-J-6B; fine-tuned 7B ≈ 175B); absolute numbers
 //! carry no meaning beyond that ordering.
 
+use crate::model::Usage;
+
+/// Serving-latency profile of a model endpoint, in integer microseconds.
+///
+/// Where [`LlmProfile`] describes what a model *answers*, `LatencyProfile`
+/// describes how long an attempt *takes*: a fixed per-request overhead plus
+/// linear per-token terms (prompt tokens are prefill, completion tokens are
+/// decode — decode dominates, as it does on real endpoints). Integer fields
+/// keep the profile `Eq`/`Hash` and virtual timelines exactly reproducible.
+///
+/// The event-driven dispatcher (`unidm::dispatch`) uses this to schedule a
+/// completion deadline for endpoints that have no [`crate::FaultPlan`]
+/// attached; absolute values are illustrative, only the ordering across the
+/// zoo is meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatencyProfile {
+    /// Fixed per-attempt overhead (queueing, network), microseconds.
+    pub base_us: u64,
+    /// Prefill cost per prompt token, microseconds.
+    pub per_prompt_token_us: u64,
+    /// Decode cost per completion token, microseconds.
+    pub per_completion_token_us: u64,
+}
+
+impl LatencyProfile {
+    /// The virtual latency of one attempt with the given token usage.
+    pub fn latency_us(&self, usage: Usage) -> u64 {
+        self.base_us
+            + self.per_prompt_token_us * usage.prompt_tokens as u64
+            + self.per_completion_token_us * usage.completion_tokens as u64
+    }
+}
+
+impl Default for LatencyProfile {
+    /// A generic hosted-endpoint shape: 20ms overhead, cheap prefill,
+    /// 10ms/token decode.
+    fn default() -> Self {
+        LatencyProfile {
+            base_us: 20_000,
+            per_prompt_token_us: 50,
+            per_completion_token_us: 10_000,
+        }
+    }
+}
+
 /// Capability profile of a simulated model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LlmProfile {
@@ -171,6 +216,20 @@ impl LlmProfile {
     pub fn effective_reasoning(&self) -> f64 {
         (self.reasoning + 0.8 * self.domain_adaptation * (1.0 - self.reasoning)).min(0.99)
     }
+
+    /// The serving-latency profile implied by this model's size: bigger
+    /// models pay more per decoded token. Derived deterministically from
+    /// `params_b` so the mapping stays `Eq`-stable across runs.
+    pub fn latency(&self) -> LatencyProfile {
+        // ~6ms/token for a 7B-class model up to ~25ms/token at 1T-class,
+        // on a log-ish scale: decode_us = 5ms + 20us * sqrt(params_b * 1e3).
+        let scaled = (self.params_b.max(1.0) * 1000.0).sqrt() as u64;
+        LatencyProfile {
+            base_us: 15_000,
+            per_prompt_token_us: 40,
+            per_completion_token_us: 5_000 + 20 * scaled,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,5 +264,29 @@ mod tests {
     #[test]
     fn zoo_has_six_models() {
         assert_eq!(LlmProfile::zoo().len(), 6);
+    }
+
+    #[test]
+    fn latency_profiles_order_by_model_size() {
+        let small = LlmProfile::llama2_7b().latency();
+        let big = LlmProfile::gpt4_turbo().latency();
+        assert!(big.per_completion_token_us > small.per_completion_token_us);
+        // Same profile, same latency — the mapping is a pure function.
+        assert_eq!(small, LlmProfile::llama2_7b().latency());
+    }
+
+    #[test]
+    fn latency_is_linear_in_tokens() {
+        let p = LatencyProfile {
+            base_us: 1_000,
+            per_prompt_token_us: 10,
+            per_completion_token_us: 100,
+        };
+        let usage = Usage {
+            prompt_tokens: 20,
+            completion_tokens: 5,
+        };
+        assert_eq!(p.latency_us(usage), 1_000 + 200 + 500);
+        assert_eq!(p.latency_us(Usage::default()), 1_000);
     }
 }

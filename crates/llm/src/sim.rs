@@ -151,14 +151,27 @@ impl FaultPlan {
         }
     }
 
-    /// The plan named by `name` (`none`, `light`, `moderate`, `heavy`),
-    /// for CLI flags.
+    /// A latency-only heavy-tail plan: every attempt succeeds, but 3% of
+    /// them stall at [`FaultPlan::slow_latency_us`] (2s against a 50ms
+    /// base — a 40× tail). No errors are ever injected, so retry budgets
+    /// and attempt counts stay trivially exact; this is the regime that
+    /// isolates what request hedging buys.
+    pub fn heavy_tail(seed: u64) -> Self {
+        FaultPlan {
+            slow_permille: 30,
+            ..FaultPlan::none(seed)
+        }
+    }
+
+    /// The plan named by `name` (`none`, `light`, `moderate`, `heavy`,
+    /// `heavy-tail`), for CLI flags.
     pub fn named(name: &str, seed: u64) -> Option<Self> {
         match name {
             "none" => Some(FaultPlan::none(seed)),
             "light" => Some(FaultPlan::light(seed)),
             "moderate" => Some(FaultPlan::moderate(seed)),
             "heavy" => Some(FaultPlan::heavy(seed)),
+            "heavy-tail" => Some(FaultPlan::heavy_tail(seed)),
             _ => None,
         }
     }
@@ -198,6 +211,22 @@ impl FaultStats {
     pub fn injected(&self) -> u64 {
         self.timeouts + self.rate_limits + self.transients
     }
+}
+
+/// One sampled endpoint attempt: the virtual latency it will take and the
+/// result it will deliver once that latency has elapsed.
+///
+/// Produced by [`SimBackend::sample_attempt`], which commits a schedule
+/// slot **without sleeping** — the event-driven dispatcher
+/// (`unidm::dispatch`) uses this to place the attempt's completion on a
+/// timer wheel at `now + latency_us` and keep hundreds of attempts in
+/// flight on one thread, instead of blocking a worker per round-trip.
+#[derive(Debug, Clone)]
+pub struct AttemptSample {
+    /// Virtual time the attempt takes, in microseconds.
+    pub latency_us: u64,
+    /// What the attempt delivers when it completes.
+    pub result: Result<Arc<Completion>, LlmError>,
 }
 
 /// Per-prompt schedule state: the next attempt index and the current run
@@ -320,14 +349,18 @@ impl<'a> SimBackend<'a> {
         };
         outcome
     }
-}
 
-impl LanguageModel for SimBackend<'_> {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+    /// Commits the next attempt of `prompt` and returns what it will do —
+    /// **without sleeping**.
+    ///
+    /// The schedule slot is consumed exactly as [`SimBackend::complete`]
+    /// would consume it (the two draw from the same per-prompt attempt
+    /// counter and update the same [`FaultStats`]), but injected latency is
+    /// *reported* instead of charged to the clock. Blocking callers get the
+    /// classic behaviour from `complete`; an event-driven caller samples
+    /// here and schedules the completion at `now + latency_us` itself, so
+    /// overlapped attempts overlap in virtual time.
+    pub fn sample_attempt(&self, prompt: &str) -> AttemptSample {
         let outcome = self.next_outcome(prompt);
         let mut stats = self.stats.lock().expect("sim stats lock poisoned");
         stats.attempts += 1;
@@ -338,39 +371,62 @@ impl LanguageModel for SimBackend<'_> {
                     stats.forced_successes += 1;
                 }
                 drop(stats);
-                self.clock.sleep_micros(self.plan.base_latency_us);
-                self.inner.complete(prompt)
+                AttemptSample {
+                    latency_us: self.plan.base_latency_us,
+                    result: self.inner.complete(prompt),
+                }
             }
             Outcome::Slow => {
                 stats.slow += 1;
                 drop(stats);
-                self.clock.sleep_micros(self.plan.slow_latency_us);
-                self.inner.complete(prompt)
+                AttemptSample {
+                    latency_us: self.plan.slow_latency_us,
+                    result: self.inner.complete(prompt),
+                }
             }
             Outcome::Timeout => {
                 stats.timeouts += 1;
-                drop(stats);
-                self.clock.sleep_micros(self.plan.timeout_latency_us);
-                Err(LlmError::Timeout {
-                    elapsed_us: self.plan.timeout_latency_us,
-                })
+                AttemptSample {
+                    latency_us: self.plan.timeout_latency_us,
+                    result: Err(LlmError::Timeout {
+                        elapsed_us: self.plan.timeout_latency_us,
+                    }),
+                }
             }
             Outcome::RateLimited => {
                 stats.rate_limits += 1;
-                drop(stats);
-                self.clock.sleep_micros(self.plan.base_latency_us);
-                Err(LlmError::RateLimited {
-                    retry_after_us: self.plan.retry_after_us,
-                })
+                AttemptSample {
+                    latency_us: self.plan.base_latency_us,
+                    result: Err(LlmError::RateLimited {
+                        retry_after_us: self.plan.retry_after_us,
+                    }),
+                }
             }
             Outcome::Transient => {
                 stats.transients += 1;
-                drop(stats);
-                self.clock.sleep_micros(self.plan.base_latency_us);
-                let status = [500u16, 502, 503][self.dice.pick(prompt, "status", 3)];
-                Err(LlmError::Transient { status })
+                AttemptSample {
+                    latency_us: self.plan.base_latency_us,
+                    result: Err(LlmError::Transient {
+                        status: [500u16, 502, 503][self.dice.pick(prompt, "status", 3)],
+                    }),
+                }
             }
         }
+    }
+}
+
+impl LanguageModel for SimBackend<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        // The blocking path is the sampling path plus a sleep: both consume
+        // the same schedule slots, so a blocking stack and the event-driven
+        // dispatcher see identical outcome sequences per prompt.
+        let sample = self.sample_attempt(prompt);
+        self.clock.sleep_micros(sample.latency_us);
+        sample.result
     }
 
     fn usage(&self) -> Usage {
@@ -383,6 +439,10 @@ impl LanguageModel for SimBackend<'_> {
 
     fn context_window(&self) -> usize {
         self.inner.context_window()
+    }
+
+    fn latency_profile(&self) -> crate::LatencyProfile {
+        self.inner.latency_profile()
     }
 }
 
@@ -499,6 +559,71 @@ mod tests {
     }
 
     #[test]
+    fn sampling_and_blocking_draw_the_same_schedule() {
+        // Interleaving sample_attempt and complete over one prompt must
+        // walk a single attempt sequence: outcome i is the same whichever
+        // API consumes slot i.
+        let (_, llm) = inner();
+        let prompt = "shared schedule prompt";
+        let via_sample: Vec<(u64, bool)> = {
+            let sim = SimBackend::new(&llm, FaultPlan::heavy(5));
+            (0..12)
+                .map(|_| {
+                    let s = sim.sample_attempt(prompt);
+                    (s.latency_us, s.result.is_ok())
+                })
+                .collect()
+        };
+        let via_complete: Vec<(u64, bool)> = {
+            let sim = SimBackend::new(&llm, FaultPlan::heavy(5));
+            (0..12)
+                .map(|_| {
+                    let before = sim.clock().now_micros();
+                    let ok = sim.complete(prompt).is_ok();
+                    (sim.clock().now_micros() - before, ok)
+                })
+                .collect()
+        };
+        assert_eq!(via_sample, via_complete);
+    }
+
+    #[test]
+    fn sampling_does_not_touch_the_clock() {
+        let (_, llm) = inner();
+        let sim = SimBackend::new(&llm, FaultPlan::heavy_tail(7));
+        for i in 0..20 {
+            let s = sim.sample_attempt(&format!("prompt {i}"));
+            assert!(s.result.is_ok(), "heavy-tail injects latency, not errors");
+        }
+        assert_eq!(sim.clock().now_micros(), 0, "sampling must not sleep");
+        assert_eq!(sim.stats().attempts, 20);
+        assert_eq!(sim.stats().injected(), 0);
+    }
+
+    #[test]
+    fn heavy_tail_is_latency_only_with_a_real_tail() {
+        let (_, llm) = inner();
+        let plan = FaultPlan::heavy_tail(42);
+        assert_eq!(
+            plan.timeout_permille + plan.rate_limit_permille + plan.transient_permille,
+            0
+        );
+        let sim = SimBackend::new(&llm, plan);
+        let latencies: Vec<u64> = (0..500)
+            .map(|i| sim.sample_attempt(&format!("tail probe {i}")).latency_us)
+            .collect();
+        let slow = latencies
+            .iter()
+            .filter(|&&l| l == plan.slow_latency_us)
+            .count();
+        assert!(slow > 0, "the tail must occur at this scale");
+        assert!(slow < 50, "the tail must stay a tail: {slow}/500");
+        assert!(latencies
+            .iter()
+            .all(|&l| l == plan.base_latency_us || l == plan.slow_latency_us));
+    }
+
+    #[test]
     fn named_plans_resolve() {
         assert_eq!(FaultPlan::named("none", 1), Some(FaultPlan::none(1)));
         assert_eq!(FaultPlan::named("light", 2), Some(FaultPlan::light(2)));
@@ -507,6 +632,10 @@ mod tests {
             Some(FaultPlan::moderate(3))
         );
         assert_eq!(FaultPlan::named("heavy", 4), Some(FaultPlan::heavy(4)));
+        assert_eq!(
+            FaultPlan::named("heavy-tail", 6),
+            Some(FaultPlan::heavy_tail(6))
+        );
         assert_eq!(FaultPlan::named("total-chaos", 5), None);
     }
 }

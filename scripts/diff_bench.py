@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two committed BENCH_*.json perf baselines.
+
+Usage: diff_bench.py OLD.json NEW.json
+
+The throughput bench emits two kinds of numbers:
+
+* **Exact counters** — model calls, cache misses, tokens saved, endpoint
+  calls, warm-path allocations. The whole stack is deterministic, so for
+  an unchanged workload these must not regress between consecutive
+  baselines: a new PR may make them better, never worse. Any regression
+  fails this script (exit 1).
+* **Times** — wall seconds, tasks/sec, virtual-time makespans and
+  quantiles. These depend on the machine and on scheduling; they are
+  printed for information and never fail the diff.
+
+The hit/coalesced split of a cached regime is timing-dependent under
+parallelism (a lookup that races the leader coalesces; one that arrives
+later hits), so the script compares their *sum* — lookups served without
+an endpoint call — which is exact.
+
+Only regimes present in both files are compared, so baselines can add new
+regimes without breaking the diff. If the two files describe different
+workloads (task count or seed), nothing is comparable and the script
+exits 0 with a notice.
+"""
+
+import json
+import sys
+
+
+# Fields that vary with machine or scheduling: printed, never compared.
+INFORMATIONAL = ("wall_s", "tasks_per_s", "makespan_us", "p99_us", "virtual_us")
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print("usage: diff_bench.py OLD.json NEW.json", file=sys.stderr)
+        return 2
+    old_path, new_path = argv[1], argv[2]
+    old, new = load(old_path), load(new_path)
+
+    workload = ("tasks", "seed", "model")
+    if any(old.get(k) != new.get(k) for k in workload):
+        print(
+            f"workload mismatch between {old_path} and {new_path} "
+            f"({ {k: (old.get(k), new.get(k)) for k in workload} }); "
+            "nothing comparable, skipping."
+        )
+        return 0
+
+    failures = []
+
+    def must_not_increase(scope, key, o, n):
+        if key in o and key in n:
+            if n[key] > o[key]:
+                failures.append(f"{scope}: {key} regressed {o[key]} -> {n[key]}")
+            elif n[key] < o[key]:
+                print(f"  improved  {scope}: {key} {o[key]} -> {n[key]}")
+
+    def must_not_decrease(scope, key_label, o_val, n_val):
+        if n_val < o_val:
+            failures.append(f"{scope}: {key_label} regressed {o_val} -> {n_val}")
+        elif n_val > o_val:
+            print(f"  improved  {scope}: {key_label} {o_val} -> {n_val}")
+
+    old_regimes = {r["name"]: r for r in old.get("regimes", [])}
+    new_regimes = {r["name"]: r for r in new.get("regimes", [])}
+    shared = [name for name in old_regimes if name in new_regimes]
+    print(f"comparing {len(shared)} shared regimes of {old_path} vs {new_path}:")
+    for name in shared:
+        o, n = old_regimes[name], new_regimes[name]
+        scope = f"regime '{name}'"
+        for key in ("model_calls", "model_tokens", "cache_misses"):
+            must_not_increase(scope, key, o, n)
+        if "cache_hits" in o and "cache_hits" in n:
+            must_not_decrease(
+                scope,
+                "cache_hits+cache_coalesced",
+                o.get("cache_hits", 0) + o.get("cache_coalesced", 0),
+                n.get("cache_hits", 0) + n.get("cache_coalesced", 0),
+            )
+        if "tokens_saved" in o and "tokens_saved" in n:
+            must_not_decrease(scope, "tokens_saved", o["tokens_saved"], n["tokens_saved"])
+        times = ", ".join(
+            f"{k} {o.get(k)} -> {n.get(k)}" for k in INFORMATIONAL if k in o and k in n
+        )
+        if times:
+            print(f"  info      {scope}: {times}")
+
+    o_dup, n_dup = old.get("duplicate_heavy"), new.get("duplicate_heavy")
+    if o_dup and n_dup:
+        for key in ("unique_canonical_keys", "endpoint_calls"):
+            must_not_increase("duplicate_heavy", key, o_dup, n_dup)
+        must_not_decrease(
+            "duplicate_heavy",
+            "planner_coalesced_tasks",
+            o_dup.get("planner_coalesced_tasks", 0),
+            n_dup.get("planner_coalesced_tasks", 0),
+        )
+        # planner_steals is timing-dependent: informational only.
+        print(
+            f"  info      duplicate_heavy: planner_steals "
+            f"{o_dup.get('planner_steals')} -> {n_dup.get('planner_steals')}"
+        )
+
+    o_warm, n_warm = old.get("warm_lookups"), new.get("warm_lookups")
+    if o_warm and n_warm:
+        for key in ("allocations", "bytes"):
+            must_not_increase("warm_lookups", key, o_warm, n_warm)
+
+    if failures:
+        print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  REGRESSED {failure}", file=sys.stderr)
+        return 1
+    print("\nno counter regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
