@@ -1,5 +1,5 @@
 //! Throughput of the batch execution engine — and the machine-readable
-//! perf baseline (`BENCH_6.json`) every future PR has to beat.
+//! perf baseline (`BENCH_7.json`) every future PR has to beat.
 //!
 //! Regimes:
 //!
@@ -29,6 +29,24 @@
 //!   the duplicate-heavy workload against a warm cache under a counting
 //!   allocator and asserts **zero** heap allocations.
 //!
+//! * **routed heavy-tail fleet** — the cached workload against a
+//!   [`RoutedBackend`] fleet (a pinned 3-replica configuration, so the
+//!   fleet-beats-every-single guarantee below is a deterministic property
+//!   of the committed benchmark — `--route N` instead wraps the *standard*
+//!   regimes above in a routed fleet) where every replica carries its own
+//!   fault injector (heavy tail plus
+//!   timeouts/429s/5xxs), breaker and adaptive AIMD token bucket. Run at
+//!   two fault seeds and {1, 8} workers against a single-endpoint
+//!   reference with the identical per-endpoint capacity: answers must be
+//!   bit-identical to the fault-free serial run in every combination, and
+//!   the fleet's virtual-time makespan must strictly beat **every**
+//!   single-endpoint run (goodput under faults above any single
+//!   endpoint).
+//! * **cascade** — the same prompt stream through a small→large
+//!   [`CascadeBackend`] (GPT-J-6B escalating to GPT-3-175B below a
+//!   confidence gate) versus a large-model-only run: strictly fewer
+//!   large-tier tokens and strictly lower billed cost per answer.
+//!
 //! With `--faults` (and optionally `--rate-limit`) a faulty regime runs
 //! the cached workload through the resilient backend over a seeded fault
 //! injector, reporting retries, breaker trips and goodput on the virtual
@@ -38,16 +56,17 @@
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
-//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_5.json
+//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_7.json
 //! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
+//! cargo run -p unidm-bench --release --bin throughput -- --route 4 # fleet behind the standard regimes
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use unidm::{
-    BackendConfig, BatchRunner, CanonLevel, Dispatcher, HedgePolicy, PipelineConfig, PromptCache,
-    Task,
+    AimdPolicy, BackendConfig, BatchRunner, CanonLevel, CascadeBackend, CascadePolicy, Dispatcher,
+    HedgePolicy, PipelineConfig, PromptCache, RoutePlan, RoutedBackend, Task,
 };
 use unidm_bench::alloc_counter::AllocationDelta;
 use unidm_bench::{config_from_args, CallCounter, JsonObject};
@@ -116,7 +135,7 @@ fn bench_json_path() -> PathBuf {
         .and_then(|pos| args.get(pos + 1))
         .filter(|path| !path.starts_with("--"))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_6.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_7.json"))
 }
 
 fn main() {
@@ -669,6 +688,266 @@ fn main() {
     regimes.push(pipe_regime);
     regimes.push(hedged_regime);
 
+    // ── Routed fleet vs any single endpoint (heavy tail + faults) ───────
+    // Every replica carries its own fault schedule (endpoint-aware slot
+    // keying), breaker, and adaptive AIMD token bucket seeded at
+    // 5 attempts/sec — a throttle-bound regime, so aggregate fleet
+    // capacity (not scheduling luck) decides the virtual-time makespan.
+    // The single-endpoint reference runs the identical per-endpoint
+    // configuration with one replica, at both fault seeds; the fleet must
+    // strictly beat every one of them. The fleet size is pinned (the
+    // `--route` flag wraps the standard regimes instead) so that strict
+    // guarantee is a property of the committed configuration, not of
+    // whatever replica count a flag happens to pass.
+    let replicas: u32 = 3;
+    let routed_aimd = AimdPolicy::per_sec(5);
+    let fleet_plan = RoutePlan::replicas(replicas).with_aimd(routed_aimd);
+    let single_plan = RoutePlan::replicas(1).with_aimd(routed_aimd);
+    let routed_faults = |seed: u64| FaultPlan {
+        timeout_permille: 40,
+        rate_limit_permille: 80,
+        transient_permille: 60,
+        max_consecutive_faults: 4,
+        ..FaultPlan::heavy_tail(seed)
+    };
+    let run_routed = |plan: RoutePlan, seed: u64, workers: usize| {
+        let router = RoutedBackend::from_plan(
+            &llm,
+            BackendConfig::resilient(seed)
+                .with_faults(routed_faults(seed))
+                .with_route(plan),
+        );
+        let cache = PromptCache::unbounded(&router).with_canonicalization(CanonLevel::TableStem);
+        let answers = BatchRunner::new(&cache, pipeline)
+            .with_workers(workers)
+            .answers(&lake, &tasks);
+        let makespan = router.clock().now_micros();
+        (answers, router.stats(), makespan)
+    };
+    let rate_limited = |stats: &unidm::RouterStats| -> u64 {
+        stats.endpoints.iter().map(|e| e.rate_limited).sum()
+    };
+
+    let route_seeds = [config.seed, config.seed.wrapping_mul(31).wrapping_add(1000)];
+    let mut singles = Vec::new();
+    for seed in route_seeds {
+        let (answers, stats, makespan) = run_routed(single_plan, seed, 1);
+        assert_eq!(
+            answers, regimes[0].answers,
+            "single-endpoint answers must match the fault-free serial run (seed {seed})"
+        );
+        assert_eq!(stats.failures, 0, "single endpoint: every call completes");
+        singles.push((seed, stats, makespan));
+    }
+    let best_single_makespan = singles
+        .iter()
+        .map(|(_, _, m)| *m)
+        .min()
+        .expect("two single-endpoint runs");
+
+    let mut fleets = Vec::new();
+    for seed in route_seeds {
+        // Byte-identical at both worker counts; the serial run is the
+        // measured one (its virtual schedule is fully deterministic).
+        let (parallel_answers, parallel_stats, _) = run_routed(fleet_plan, seed, 8);
+        assert_eq!(
+            parallel_answers, regimes[0].answers,
+            "routed answers must survive 8 workers (seed {seed})"
+        );
+        assert_eq!(parallel_stats.failures, 0);
+        let (answers, stats, makespan) = run_routed(fleet_plan, seed, 1);
+        assert_eq!(
+            answers, regimes[0].answers,
+            "routed answers must match the fault-free serial run (seed {seed})"
+        );
+        assert_eq!(stats.failures, 0, "routed fleet: every call completes");
+        assert!(
+            stats.endpoints.iter().all(|e| e.calls > 0),
+            "equal weights must spread traffic over all {replicas} replicas: {stats:?}"
+        );
+        let aimd_decreases: u64 = stats.endpoints.iter().map(|e| e.aimd_decreases).sum();
+        assert!(
+            rate_limited(&stats) > 0 && aimd_decreases > 0,
+            "the 429 schedule must actually drive AIMD adaptation: {stats:?}"
+        );
+        assert!(
+            makespan < best_single_makespan,
+            "fleet makespan {makespan}us (seed {seed}) must beat every single \
+             endpoint (best single {best_single_makespan}us)"
+        );
+        fleets.push((seed, stats, makespan));
+    }
+
+    let goodput_per_vs =
+        |answers: u64, makespan: u64| answers as f64 / (makespan as f64 / 1e6).max(1e-9);
+    println!(
+        "\nRouted fleet regime ({replicas} replicas, AIMD from 5/s per endpoint, \
+         heavy tail + timeouts/429s/5xxs):"
+    );
+    for (seed, stats, makespan) in &singles {
+        println!(
+            "  single seed {seed:>6}: makespan {:>9.3}s  goodput {:>6.2} answers/vs  \
+             ({} attempts, {} rate-limited)",
+            *makespan as f64 / 1e6,
+            goodput_per_vs(stats.answers, *makespan),
+            stats.attempts(),
+            rate_limited(stats),
+        );
+    }
+    for (seed, stats, makespan) in &fleets {
+        println!(
+            "  fleet  seed {seed:>6}: makespan {:>9.3}s  goodput {:>6.2} answers/vs  \
+             ({} attempts, {} rate-limited, {} breaker trips, calls {:?})",
+            *makespan as f64 / 1e6,
+            goodput_per_vs(stats.answers, *makespan),
+            stats.attempts(),
+            rate_limited(stats),
+            stats.breaker_trips(),
+            stats.endpoints.iter().map(|e| e.calls).collect::<Vec<_>>(),
+        );
+    }
+    println!(
+        "  answers bit-identical to the fault-free serial run across both seeds and \
+         both worker counts; fleet goodput beats every single endpoint."
+    );
+    let routed_entry = |seed: u64, stats: &unidm::RouterStats, makespan: u64| {
+        let endpoint_calls: Vec<String> = stats
+            .endpoints
+            .iter()
+            .map(|e| e.calls.to_string())
+            .collect();
+        JsonObject::new()
+            .field_u64("fault_seed", seed)
+            .field_u64("makespan_us", makespan)
+            .field_u64("answers", stats.answers)
+            .field_f64(
+                "goodput_answers_per_vs",
+                goodput_per_vs(stats.answers, makespan),
+            )
+            .field_u64("attempts", stats.attempts())
+            .field_u64("rate_limited", rate_limited(stats))
+            .field_u64("breaker_trips", stats.breaker_trips())
+            .field_u64("tokens_per_answer_milli", stats.tokens_per_answer_milli())
+            .field_raw("endpoint_calls", &unidm_bench::json_array(&endpoint_calls))
+            .finish()
+    };
+    let singles_json: Vec<String> = singles
+        .iter()
+        .map(|(seed, stats, makespan)| routed_entry(*seed, stats, *makespan))
+        .collect();
+    let fleets_json: Vec<String> = fleets
+        .iter()
+        .map(|(seed, stats, makespan)| routed_entry(*seed, stats, *makespan))
+        .collect();
+    let routed_json = JsonObject::new()
+        .field_u64("replicas", replicas as u64)
+        .field_u64("aimd_initial_per_sec", routed_aimd.initial_per_sec)
+        .field_raw("single_endpoint", &unidm_bench::json_array(&singles_json))
+        .field_raw("fleet", &unidm_bench::json_array(&fleets_json))
+        .finish();
+
+    // ── Cascade: small→large escalation vs large-only ───────────────────
+    // The eval workload's unique prompt stream (recorded from a serial
+    // large-only run — the pipeline's prompts are answer-dependent, so
+    // the stream must be fixed before the models can be compared) through
+    // a GPT-J-6B → GPT-3-175B cascade: prompts whose cheap answer clears
+    // a 600‰ confidence gate are served by the small model; the rest
+    // escalate. The cascade must consume strictly fewer large-tier tokens
+    // and strictly less billed cost per answer than the large-model-only
+    // reference.
+    let cheap = MockLlm::new(&world, LlmProfile::gptj_6b(), config.seed);
+    let large_tier = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let large_only = MockLlm::new(&world, LlmProfile::gpt3_175b(), config.seed);
+    let large_cost = LlmProfile::gpt3_175b().cost_micro_per_token();
+
+    let large_cache =
+        PromptCache::unbounded(&large_only).with_canonicalization(CanonLevel::TableStem);
+    let large_answers = BatchRunner::new(&large_cache, pipeline)
+        .with_workers(1)
+        .answers(&lake, &tasks);
+    assert_eq!(
+        large_answers, regimes[0].answers,
+        "the large-only reference is the serial regime's model"
+    );
+    let eval_prompts = large_cache.canonical_prompts();
+    let large_only_tokens = large_only.usage().total() as u64;
+    let large_only_billed = large_only_tokens * large_cost;
+
+    let cascade_backend = CascadeBackend::new(&cheap, &large_tier)
+        .with_policy(CascadePolicy { gate_permille: 600 })
+        .with_costs_of(&LlmProfile::gptj_6b(), &LlmProfile::gpt3_175b());
+    for prompt in &eval_prompts {
+        cascade_backend
+            .complete(prompt)
+            .expect("every eval prompt completes through the cascade");
+    }
+    let cascade_stats = cascade_backend.stats();
+    assert_eq!(cascade_stats.answers, eval_prompts.len() as u64);
+    assert!(
+        cascade_stats.escalations > 0 && cascade_stats.escalations < cascade_stats.calls,
+        "the gate must escalate some prompts and clear others: {cascade_stats:?}"
+    );
+    assert!(
+        cascade_stats.endpoints[1].tokens() < large_only_tokens,
+        "cascade large-tier tokens {} must be strictly below large-only {}",
+        cascade_stats.endpoints[1].tokens(),
+        large_only_tokens,
+    );
+    assert!(
+        cascade_stats.billed_micro() < large_only_billed,
+        "cascade billed cost {} must be strictly below large-only {}",
+        cascade_stats.billed_micro(),
+        large_only_billed,
+    );
+    let large_only_per_answer = large_only_billed / cascade_stats.answers;
+    assert!(
+        cascade_stats.billed_per_answer_micro() < large_only_per_answer,
+        "cascade must be cheaper per answer: {} vs {}",
+        cascade_stats.billed_per_answer_micro(),
+        large_only_per_answer,
+    );
+    println!(
+        "\nCascade regime ({} → {}, gate 600‰): {} prompts, {} escalated \
+         ({} unparseable, {} low-confidence);",
+        cheap.name(),
+        large_tier.name(),
+        cascade_stats.calls,
+        cascade_stats.escalations,
+        cascade_stats.unparseable,
+        cascade_stats.low_confidence,
+    );
+    println!(
+        "  large-tier tokens {} vs large-only {}; billed/answer {}µ vs {}µ \
+         (tokens/answer {} milli).",
+        cascade_stats.endpoints[1].tokens(),
+        large_only_tokens,
+        cascade_stats.billed_per_answer_micro(),
+        large_only_per_answer,
+        cascade_stats.tokens_per_answer_milli(),
+    );
+    let cascade_json = JsonObject::new()
+        .field_str("cheap_model", cheap.name())
+        .field_str("large_model", large_tier.name())
+        .field_u64("gate_permille", 600)
+        .field_u64("prompts", cascade_stats.calls)
+        .field_u64("escalations", cascade_stats.escalations)
+        .field_u64("unparseable", cascade_stats.unparseable)
+        .field_u64("low_confidence", cascade_stats.low_confidence)
+        .field_u64("large_tier_tokens", cascade_stats.endpoints[1].tokens())
+        .field_u64("large_only_tokens", large_only_tokens)
+        .field_u64("cascade_billed_micro", cascade_stats.billed_micro())
+        .field_u64("large_only_billed_micro", large_only_billed)
+        .field_u64(
+            "billed_per_answer_micro",
+            cascade_stats.billed_per_answer_micro(),
+        )
+        .field_u64("large_only_billed_per_answer_micro", large_only_per_answer)
+        .field_u64(
+            "tokens_per_answer_milli",
+            cascade_stats.tokens_per_answer_milli(),
+        )
+        .finish();
+
     assert_eq!(
         regimes[1].answers, regimes[0].answers,
         "batched diverged from the serial answers"
@@ -704,10 +983,10 @@ fn main() {
         regimes[0].model_tokens - regimes[3].model_tokens,
     );
 
-    // ── BENCH_6.json: the machine-readable baseline ─────────────────────
+    // ── BENCH_7.json: the machine-readable baseline ─────────────────────
     let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
     let mut doc = JsonObject::new()
-        .field_u64("pr", 6)
+        .field_u64("pr", 7)
         .field_str("bench", "throughput")
         .field_str("model", llm.name())
         .field_u64("seed", config.seed)
@@ -737,7 +1016,9 @@ fn main() {
                 .field_u64("bytes", warm_bytes)
                 .finish(),
         )
-        .field_raw("pipelined_heavy_tail", &pipelined_json);
+        .field_raw("pipelined_heavy_tail", &pipelined_json)
+        .field_raw("routed", &routed_json)
+        .field_raw("cascade", &cascade_json);
     if let Some(faulty) = faulty_json {
         doc = doc.field_raw("faulty", &faulty);
     }

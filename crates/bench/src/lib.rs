@@ -13,7 +13,7 @@
 //! pipeline stages, substrate operations, and the canonicalizer hot path.
 //!
 //! The crate also hosts the perf-baseline instrumentation the `throughput`
-//! binary uses to emit `BENCH_5.json`: a counting global allocator
+//! binary uses to emit `BENCH_7.json`: a counting global allocator
 //! ([`alloc_counter`]), an endpoint-call counter ([`CallCounter`]), and a
 //! dependency-free JSON writer ([`JsonObject`]).
 
@@ -26,7 +26,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use unidm_eval::{BackendConfig, CacheConfig, ExperimentConfig};
+use unidm_eval::{BackendConfig, CacheConfig, ExperimentConfig, RoutePlan};
 use unidm_llm::{Completion, FaultPlan, LanguageModel, LlmError, Usage};
 
 pub mod alloc_counter;
@@ -196,7 +196,10 @@ pub fn json_escape(text: &str) -> String {
 /// * `--fault-seed N` seeds the fault schedule independently of the world
 ///   seed;
 /// * `--rate-limit N` adds a client-side token bucket of `N` attempts per
-///   second (burst `N/10`, at least 1) to the backend.
+///   second (burst `N/10`, at least 1) to the backend;
+/// * `--route [N]` routes backend traffic through an `N`-replica
+///   `RoutedBackend` fleet (3 when `N` is omitted) — each replica behind
+///   its own breaker and, under `--faults`, its own fault schedule.
 pub fn config_from_args() -> ExperimentConfig {
     let args: Vec<String> = std::env::args().collect();
     let mut config = if args.iter().any(|a| a == "--quick") {
@@ -257,6 +260,17 @@ pub fn config_from_args() -> ExperimentConfig {
                  rate limiting disabled"
             ),
         }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--route") {
+        let replicas = args
+            .get(pos + 1)
+            .filter(|v| !v.starts_with("--"))
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(3);
+        if !config.backend.enabled {
+            config.backend = BackendConfig::resilient(fault_seed);
+        }
+        config.backend = config.backend.with_route(RoutePlan::replicas(replicas));
     }
     config
 }

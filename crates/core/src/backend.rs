@@ -62,6 +62,7 @@ use unidm_llm::{
 };
 
 use crate::dispatch::{Dispatcher, HedgePolicy};
+use crate::route::{RoutePlan, RoutedBackend, RouterStats};
 
 /// Retry policy: bounded exponential backoff with seeded jitter.
 ///
@@ -179,6 +180,14 @@ pub struct BackendConfig {
     /// exceeding the observed attempt-latency quantile get a duplicate
     /// attempt, first response wins, the loser is cancelled.
     pub hedge: Option<HedgePolicy>,
+    /// Replica-routing plan (`None` = single endpoint): when set,
+    /// [`BackendConfig::wrap`] builds a [`RoutedBackend`] fleet over the
+    /// inner model — N weighted replicas, each with its own breaker, AIMD
+    /// bucket and endpoint-aware fault injector. Routing takes precedence
+    /// over [`BackendConfig::pipelined`]; to pipeline *over* a fleet,
+    /// build the router explicitly and hand it to a
+    /// [`crate::dispatch::Dispatcher`].
+    pub route: Option<RoutePlan>,
 }
 
 impl BackendConfig {
@@ -247,13 +256,23 @@ impl BackendConfig {
         self
     }
 
+    /// Routes calls over a replica fleet per `plan` (builder-style).
+    pub fn with_route(mut self, plan: RoutePlan) -> Self {
+        self.route = Some(plan);
+        self
+    }
+
     /// Wraps `inner` according to this configuration: a pass-through when
-    /// disabled, the event-driven dispatcher when [`BackendConfig::pipelined`]
-    /// or a hedge policy is set, the blocking protection stack otherwise
-    /// (each on a fresh [`VirtualClock`]).
+    /// disabled, a [`RoutedBackend`] replica fleet when
+    /// [`BackendConfig::route`] is set, the event-driven dispatcher when
+    /// [`BackendConfig::pipelined`] or a hedge policy is set, the blocking
+    /// protection stack otherwise (each on a fresh [`VirtualClock`]).
     pub fn wrap<'a>(&self, inner: &'a dyn LanguageModel) -> AttachedBackend<'a> {
         if !self.enabled {
             return AttachedBackend::Passthrough(inner);
+        }
+        if self.route.is_some() {
+            return AttachedBackend::Routed(Box::new(RoutedBackend::from_plan(inner, *self)));
         }
         if self.pipelined || self.hedge.is_some() {
             return AttachedBackend::Dispatched(Box::new(Dispatcher::new(inner, *self)));
@@ -893,6 +912,10 @@ pub enum AttachedBackend<'a> {
     /// dispatcher's self-driving mode, so existing eval drivers work
     /// unchanged.
     Dispatched(Box<Dispatcher<'a>>),
+    /// A replica-routing fleet ([`BackendConfig::route`]): calls are
+    /// spread over N weighted endpoints, each with its own breaker, AIMD
+    /// bucket and endpoint-aware fault injector.
+    Routed(Box<RoutedBackend<'a>>),
 }
 
 impl<'a> AttachedBackend<'a> {
@@ -903,24 +926,39 @@ impl<'a> AttachedBackend<'a> {
             AttachedBackend::Passthrough(m) => *m,
             AttachedBackend::Resilient(b) => b.as_ref(),
             AttachedBackend::Dispatched(d) => d.as_ref(),
+            AttachedBackend::Routed(r) => r.as_ref(),
         }
     }
 
-    /// Backend counters, when the stack is enabled.
+    /// Backend counters, when the stack is enabled (for a router: its
+    /// counters projected into the flat shape, per
+    /// [`RouterStats::backend_stats`]).
     pub fn stats(&self) -> Option<BackendStats> {
         match self {
             AttachedBackend::Passthrough(_) => None,
             AttachedBackend::Resilient(b) => Some(b.stats()),
             AttachedBackend::Dispatched(d) => Some(d.stats()),
+            AttachedBackend::Routed(r) => Some(r.backend_stats()),
         }
     }
 
-    /// Fault-injection counters, when a [`FaultPlan`] is configured.
+    /// Per-endpoint router counters, when this backend is a
+    /// [`RoutedBackend`].
+    pub fn router_stats(&self) -> Option<RouterStats> {
+        match self {
+            AttachedBackend::Routed(r) => Some(r.stats()),
+            _ => None,
+        }
+    }
+
+    /// Fault-injection counters, when a [`FaultPlan`] is configured (for
+    /// a router: merged across all endpoint injectors).
     pub fn fault_stats(&self) -> Option<FaultStats> {
         match self {
             AttachedBackend::Passthrough(_) => None,
             AttachedBackend::Resilient(b) => b.fault_stats(),
             AttachedBackend::Dispatched(d) => d.fault_stats(),
+            AttachedBackend::Routed(r) => r.fault_stats(),
         }
     }
 
@@ -931,6 +969,7 @@ impl<'a> AttachedBackend<'a> {
             AttachedBackend::Passthrough(_) => 0,
             AttachedBackend::Resilient(b) => b.clock().now_micros(),
             AttachedBackend::Dispatched(d) => d.clock().now_micros(),
+            AttachedBackend::Routed(r) => r.clock().now_micros(),
         }
     }
 }

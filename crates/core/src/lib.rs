@@ -53,6 +53,13 @@
 //!   [`unidm_llm::SimBackend`]. Cache hits never reach the backend, so
 //!   they consume zero rate-limit budget; faulty runs return answers
 //!   bit-identical to fault-free ones.
+//! * [`route`] spreads traffic over a fleet: [`RoutedBackend`] routes
+//!   each call to one of N weighted endpoints — per-endpoint circuit
+//!   breakers, latency sketches and AIMD rate adaptation driven by
+//!   observed 429s — and [`CascadeBackend`] sends every prompt to a cheap
+//!   model first, escalating to the large model only when the answer is
+//!   unparseable or below a confidence gate. Both report exact
+//!   [`RouterStats`] and keep answers byte-identical to a direct call.
 //!
 //! The eval harness (`unidm-eval`) drives every per-table accuracy loop
 //! through this engine (opt into caching with
@@ -111,6 +118,7 @@ pub mod parsing;
 pub mod pipeline;
 pub mod prompting;
 pub mod retrieval;
+pub mod route;
 mod task;
 
 pub use backend::{
@@ -123,4 +131,8 @@ pub use dispatch::{DispatchRegistration, Dispatcher, HedgePolicy};
 pub use error::UniDmError;
 pub use exec::{BatchReport, BatchRunner, CacheStats, PromptCache, SnapshotError};
 pub use pipeline::{RunOutput, Trace, UniDm};
+pub use route::{
+    AimdPolicy, CascadeBackend, CascadePolicy, EndpointConfig, EndpointStats, RoutePlan,
+    RoutedBackend, RouterStats,
+};
 pub use task::Task;

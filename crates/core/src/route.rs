@@ -1,0 +1,1693 @@
+//! Multi-endpoint routing and model cascades: `RoutedBackend` and
+//! `CascadeBackend`.
+//!
+//! A deployed UniDM instance does not talk to one endpoint. It talks to a
+//! *fleet* — N replicas of the workhorse model behind a load balancer,
+//! plus a cheap small model that can answer most prompts at a fraction of
+//! the large model's cost. This module is that layer:
+//!
+//! ```text
+//! PromptCache                       (hits stop here)
+//!   └─ CascadeBackend              (cheap tier first, escalate on weak answers)
+//!        ├─ RoutedBackend[cheap]   (N weighted replicas)
+//!        └─ RoutedBackend[large]
+//!             ├─ endpoint 0: breaker ── AIMD bucket ── SimBackend ── model
+//!             ├─ endpoint 1: breaker ── AIMD bucket ── SimBackend ── model
+//!             └─ endpoint 2: ...
+//! ```
+//!
+//! [`RoutedBackend`] implements [`LanguageModel`] over N weighted
+//! endpoints. Each endpoint carries its own circuit breaker, latency
+//! sketch and an AIMD-adapted token bucket: observed `RateLimited` (429)
+//! errors halve the endpoint's admission rate (multiplicative decrease,
+//! floored), successes add it back one step at a time (additive
+//! increase, capped) — all in integer micro-tokens, so rate trajectories
+//! are exactly reproducible. A prompt is routed by a seeded weighted draw
+//! over the endpoints whose breakers admit it; retries re-draw with the
+//! attempt index mixed in, so a failing endpoint sheds traffic to its
+//! healthy peers even before its breaker opens.
+//!
+//! [`CascadeBackend`] stacks the cost policy on top: every prompt goes to
+//! the cheap tier first, and escalates to the large tier only when the
+//! cheap answer is unparseable or falls below a confidence gate
+//! ([`answer_confidence_permille`]) — the paper-adjacent "model cascade"
+//! that buys most of the large model's accuracy at a fraction of its
+//! billed cost ([`LlmProfile::cost_micro_per_token`]).
+//!
+//! # Determinism
+//!
+//! Routing decisions are pure functions of `(seed, prompt, attempt)`;
+//! fault schedules are endpoint-aware (each replica's [`SimBackend`] mixes
+//! its endpoint id into the slot draw); successes always return the inner
+//! model's completion. Answers are therefore bit-identical to a direct
+//! call whatever the fleet does, and a serial rerun reproduces
+//! [`RouterStats`] — including per-endpoint call counts — exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use unidm::route::{AimdPolicy, EndpointConfig, RoutedBackend};
+//! use unidm_llm::{FaultPlan, LanguageModel, LlmProfile, MockLlm};
+//! use unidm_world::World;
+//!
+//! let world = World::generate(42);
+//! let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 1);
+//! let router = RoutedBackend::new(7)
+//!     .endpoint(&llm, EndpointConfig::new().with_faults(FaultPlan::moderate(7)))
+//!     .endpoint(&llm, EndpointConfig::new().with_faults(FaultPlan::moderate(7)));
+//!
+//! let reply = router.complete("The capital of Denmark is __.").unwrap();
+//! assert_eq!(reply, llm.complete("The capital of Denmark is __.").unwrap(),
+//!            "routing never changes answers");
+//! let stats = router.stats();
+//! assert_eq!(stats.calls, 1);
+//! assert_eq!(stats.endpoints.len(), 2);
+//! ```
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use unidm_llm::{
+    Clock, Completion, Dice, FaultPlan, FaultStats, LanguageModel, LlmError, LlmProfile,
+    SimBackend, Usage, VirtualClock,
+};
+
+use crate::backend::{
+    BackendConfig, BackendStats, BreakerPolicy, LatencySketch, RetryPolicy, TOKEN,
+};
+
+/// Hard cap on endpoints a [`RoutePlan`] can describe (the plan stores a
+/// fixed-size weight array to stay `Copy`/`Eq`/`Hash`). A `RoutedBackend`
+/// built directly through [`RoutedBackend::endpoint`] has no such cap.
+pub const MAX_ROUTE_ENDPOINTS: usize = 8;
+
+/// AIMD rate-adaptation policy for one endpoint: a token bucket whose
+/// sustained rate moves between `min_per_sec` and `max_per_sec` — halved
+/// on every observed 429 ([`LlmError::RateLimited`]), raised by
+/// `increase_per_sec` on every success. All fields are integers, so the
+/// rate trajectory is exact and the policy stays `Eq`/`Hash`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AimdPolicy {
+    /// Rate the endpoint starts at, in attempts per second.
+    pub initial_per_sec: u64,
+    /// Floor of the multiplicative decrease.
+    pub min_per_sec: u64,
+    /// Ceiling of the additive increase.
+    pub max_per_sec: u64,
+    /// Attempts-per-second added per successful attempt (0 freezes the
+    /// rate — a plain fixed token bucket).
+    pub increase_per_sec: u64,
+    /// Bucket capacity (burst headroom), in attempts.
+    pub burst: u64,
+}
+
+impl AimdPolicy {
+    /// An adaptive policy starting at `initial` attempts/sec: floor
+    /// `initial/8`, ceiling `initial*4`, +1/sec per success, burst
+    /// `initial/10` (all clamped to at least 1).
+    pub fn per_sec(initial: u64) -> Self {
+        let initial = initial.max(1);
+        AimdPolicy {
+            initial_per_sec: initial,
+            min_per_sec: (initial / 8).max(1),
+            max_per_sec: initial.saturating_mul(4),
+            increase_per_sec: 1,
+            burst: (initial / 10).max(1),
+        }
+    }
+
+    /// A non-adaptive policy: a plain token bucket of `per_sec` sustained
+    /// with `burst` headroom (no increases, no decreases).
+    pub fn fixed(per_sec: u64, burst: u64) -> Self {
+        let rate = per_sec.max(1);
+        AimdPolicy {
+            initial_per_sec: rate,
+            min_per_sec: rate,
+            max_per_sec: rate,
+            increase_per_sec: 0,
+            burst: burst.max(1),
+        }
+    }
+}
+
+/// A `Copy` description of a replica-routing fleet, carried inside
+/// [`BackendConfig`] so the eval drivers opt into routing without any
+/// wiring changes: [`BackendConfig::wrap`] fans the single inner model out
+/// into `replicas` endpoints, each with its own breaker, AIMD bucket and
+/// (when [`BackendConfig::faults`] is set) an endpoint-aware fault
+/// injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoutePlan {
+    /// Number of replica endpoints (clamped to `1..=MAX_ROUTE_ENDPOINTS`).
+    pub replicas: u32,
+    /// Per-replica routing weights (entries beyond `replicas` are unused;
+    /// a zero weight is treated as 1).
+    pub weights: [u16; MAX_ROUTE_ENDPOINTS],
+    /// Per-endpoint circuit breaker (`None` disables breakers).
+    pub breaker: Option<BreakerPolicy>,
+    /// Per-endpoint AIMD rate adaptation (`None` = unlimited).
+    pub aimd: Option<AimdPolicy>,
+}
+
+impl RoutePlan {
+    /// An equal-weight fleet of `n` replicas with default per-endpoint
+    /// breakers and no rate adaptation.
+    pub fn replicas(n: u32) -> Self {
+        RoutePlan {
+            replicas: n.clamp(1, MAX_ROUTE_ENDPOINTS as u32),
+            weights: [1; MAX_ROUTE_ENDPOINTS],
+            breaker: Some(BreakerPolicy::default()),
+            aimd: None,
+        }
+    }
+
+    /// Sets the routing weight of replica `index` (builder-style).
+    pub fn with_weight(mut self, index: usize, weight: u16) -> Self {
+        if index < MAX_ROUTE_ENDPOINTS {
+            self.weights[index] = weight;
+        }
+        self
+    }
+
+    /// Replaces the per-endpoint breaker policy (builder-style).
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Disables per-endpoint breakers (builder-style).
+    pub fn without_breaker(mut self) -> Self {
+        self.breaker = None;
+        self
+    }
+
+    /// Adds per-endpoint AIMD rate adaptation (builder-style).
+    pub fn with_aimd(mut self, aimd: AimdPolicy) -> Self {
+        self.aimd = Some(aimd);
+        self
+    }
+}
+
+/// Configuration of one endpoint added to a [`RoutedBackend`].
+#[derive(Debug, Clone, Copy)]
+pub struct EndpointConfig {
+    /// Routing weight relative to the other endpoints (0 is treated as 1).
+    pub weight: u32,
+    /// Fault-injection plan: when set, the router owns a [`SimBackend`]
+    /// over the endpoint's model, tagged with this endpoint's id so
+    /// replicas sharing a plan draw independent fault schedules.
+    pub faults: Option<FaultPlan>,
+    /// Circuit breaker for this endpoint (`None` = none).
+    pub breaker: Option<BreakerPolicy>,
+    /// AIMD rate adaptation for this endpoint (`None` = unlimited).
+    pub aimd: Option<AimdPolicy>,
+    /// Billing cost per token in integer micro-units (see
+    /// [`LlmProfile::cost_micro_per_token`]); 0 when cost is untracked.
+    pub cost_micro_per_token: u64,
+}
+
+impl EndpointConfig {
+    /// Weight-1 endpoint: no faults, no breaker, no rate adaptation,
+    /// untracked cost.
+    pub fn new() -> Self {
+        EndpointConfig {
+            weight: 1,
+            faults: None,
+            breaker: None,
+            aimd: None,
+            cost_micro_per_token: 0,
+        }
+    }
+
+    /// Sets the routing weight (builder-style).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Interposes a seeded, endpoint-aware fault injector (builder-style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Adds a circuit breaker (builder-style).
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Adds AIMD rate adaptation (builder-style).
+    pub fn with_aimd(mut self, aimd: AimdPolicy) -> Self {
+        self.aimd = Some(aimd);
+        self
+    }
+
+    /// Sets the per-token billing cost from a model profile
+    /// (builder-style).
+    pub fn with_cost_of(mut self, profile: &LlmProfile) -> Self {
+        self.cost_micro_per_token = profile.cost_micro_per_token();
+        self
+    }
+
+    /// Sets the per-token billing cost directly (builder-style).
+    pub fn with_cost_micro_per_token(mut self, cost: u64) -> Self {
+        self.cost_micro_per_token = cost;
+        self
+    }
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Exact counters for one endpoint of a router (or one tier of a
+/// cascade). Every field is an integer (the sketch is integer buckets),
+/// so [`EndpointStats::merge`] is exact and order-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EndpointStats {
+    /// Logical calls whose *first* attempt was routed to this endpoint.
+    pub calls: u64,
+    /// Attempts that reached this endpoint (first tries and retries).
+    pub attempts: u64,
+    /// Attempts that returned a completion.
+    pub successes: u64,
+    /// Timeout errors observed from this endpoint.
+    pub timeouts: u64,
+    /// 429-style rate-limit rejections observed from this endpoint.
+    pub rate_limited: u64,
+    /// Transient 5xx-style errors observed from this endpoint.
+    pub transients: u64,
+    /// Closed→open transitions of this endpoint's breaker.
+    pub breaker_trips: u64,
+    /// Selections that skipped this endpoint because its breaker was open
+    /// (traffic shed to its peers, no attempt consumed).
+    pub breaker_open_skips: u64,
+    /// Attempts that waited for an AIMD token.
+    pub throttle_waits: u64,
+    /// Total clock time spent waiting for AIMD tokens, microseconds.
+    pub throttle_wait_us: u64,
+    /// AIMD tokens consumed (one per attempt when a bucket is configured).
+    pub rate_tokens: u64,
+    /// Additive rate increases applied (successes below the ceiling).
+    pub aimd_increases: u64,
+    /// Multiplicative rate decreases applied (429s above the floor).
+    pub aimd_decreases: u64,
+    /// Prompt tokens of completions served by this endpoint.
+    pub prompt_tokens: u64,
+    /// Completion tokens of completions served by this endpoint.
+    pub completion_tokens: u64,
+    /// Billed cost of those tokens, in integer micro-units.
+    pub billed_micro: u64,
+    /// Latencies of successful attempts on this endpoint.
+    pub latency: LatencySketch,
+}
+
+impl EndpointStats {
+    /// Folds `other` into `self` — exact integer addition on every field.
+    pub fn merge(&mut self, other: &EndpointStats) {
+        self.calls += other.calls;
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.timeouts += other.timeouts;
+        self.rate_limited += other.rate_limited;
+        self.transients += other.transients;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_open_skips += other.breaker_open_skips;
+        self.throttle_waits += other.throttle_waits;
+        self.throttle_wait_us += other.throttle_wait_us;
+        self.rate_tokens += other.rate_tokens;
+        self.aimd_increases += other.aimd_increases;
+        self.aimd_decreases += other.aimd_decreases;
+        self.prompt_tokens += other.prompt_tokens;
+        self.completion_tokens += other.completion_tokens;
+        self.billed_micro += other.billed_micro;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Total tokens billed to this endpoint.
+    pub fn tokens(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// Exact counters of everything a router (or cascade) did, mirroring
+/// [`BackendStats`]: every field is an integer, [`RouterStats::merge`] is
+/// commutative bucket-and-counter addition, and a serial rerun of the
+/// same workload reproduces the whole struct bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Logical `complete` calls that entered the router.
+    pub calls: u64,
+    /// Calls that returned a completion.
+    pub answers: u64,
+    /// Calls that ultimately returned an error.
+    pub failures: u64,
+    /// Retries across all calls.
+    pub retries: u64,
+    /// Selections that found *every* endpoint's breaker open (the call
+    /// backs off for the shortest remaining cooldown and retries).
+    pub all_open: u64,
+    /// Cascade: prompts escalated from the cheap tier to the large tier.
+    pub escalations: u64,
+    /// Cascade: escalations triggered by an unparseable cheap answer
+    /// (confidence 0).
+    pub unparseable: u64,
+    /// Cascade: escalations triggered by a parseable but low-confidence
+    /// cheap answer.
+    pub low_confidence: u64,
+    /// Cascade: escalations triggered by a cheap-tier error.
+    pub error_escalations: u64,
+    /// End-to-end latencies of successful calls (router only; a cascade
+    /// has no clock of its own and leaves this empty).
+    pub request_latency: LatencySketch,
+    /// Per-endpoint counters, indexed by endpoint id (for a cascade:
+    /// index 0 is the cheap tier, index 1 the large tier).
+    pub endpoints: Vec<EndpointStats>,
+}
+
+impl RouterStats {
+    /// Folds `other` into `self` — exact integer addition on every
+    /// counter, endpoint-wise on the per-endpoint vectors (shorter
+    /// vectors are padded), commutative like [`BackendStats::merge`].
+    pub fn merge(&mut self, other: &RouterStats) {
+        self.calls += other.calls;
+        self.answers += other.answers;
+        self.failures += other.failures;
+        self.retries += other.retries;
+        self.all_open += other.all_open;
+        self.escalations += other.escalations;
+        self.unparseable += other.unparseable;
+        self.low_confidence += other.low_confidence;
+        self.error_escalations += other.error_escalations;
+        self.request_latency.merge(&other.request_latency);
+        if self.endpoints.len() < other.endpoints.len() {
+            self.endpoints
+                .resize(other.endpoints.len(), EndpointStats::default());
+        }
+        for (mine, theirs) in self.endpoints.iter_mut().zip(other.endpoints.iter()) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Total attempts across all endpoints.
+    pub fn attempts(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.attempts).sum()
+    }
+
+    /// Total tokens across all endpoints.
+    pub fn tokens(&self) -> u64 {
+        self.endpoints.iter().map(EndpointStats::tokens).sum()
+    }
+
+    /// Total billed cost across all endpoints, integer micro-units.
+    pub fn billed_micro(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.billed_micro).sum()
+    }
+
+    /// Total breaker trips across all endpoints.
+    pub fn breaker_trips(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.breaker_trips).sum()
+    }
+
+    /// Tokens per answered call, in milli-tokens (exact integer:
+    /// `tokens * 1000 / answers`; 0 when nothing was answered).
+    pub fn tokens_per_answer_milli(&self) -> u64 {
+        if self.answers == 0 {
+            return 0;
+        }
+        self.tokens() * 1000 / self.answers
+    }
+
+    /// Billed micro-units per answered call (0 when nothing was
+    /// answered).
+    pub fn billed_per_answer_micro(&self) -> u64 {
+        if self.answers == 0 {
+            return 0;
+        }
+        self.billed_micro() / self.answers
+    }
+
+    /// The router's counters folded into the flat [`BackendStats`] shape,
+    /// so routers aggregate alongside resilient backends and dispatchers
+    /// (open-breaker skips map to `breaker_fast_fails`).
+    pub fn backend_stats(&self) -> BackendStats {
+        let mut out = BackendStats {
+            calls: self.calls,
+            retries: self.retries,
+            failures: self.failures,
+            request_latency: self.request_latency,
+            ..BackendStats::default()
+        };
+        for e in &self.endpoints {
+            out.attempts += e.attempts;
+            out.timeouts += e.timeouts;
+            out.rate_limited += e.rate_limited;
+            out.transients += e.transients;
+            out.breaker_trips += e.breaker_trips;
+            out.breaker_fast_fails += e.breaker_open_skips;
+            out.throttle_waits += e.throttle_waits;
+            out.throttle_wait_us += e.throttle_wait_us;
+            out.rate_tokens += e.rate_tokens;
+            out.attempt_latency.merge(&e.latency);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Health {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    policy: BreakerPolicy,
+    health: Health,
+    consecutive_failures: u32,
+    open_until_us: u64,
+}
+
+impl Breaker {
+    fn new(policy: BreakerPolicy) -> Self {
+        Breaker {
+            policy,
+            health: Health::Closed,
+            consecutive_failures: 0,
+            open_until_us: 0,
+        }
+    }
+
+    /// `Ok` to route here, `Err(remaining cooldown)` to skip. An expired
+    /// cooldown half-opens the breaker, admitting the caller as a probe.
+    fn admit(&mut self, now_us: u64) -> Result<(), u64> {
+        match self.health {
+            Health::Closed | Health::HalfOpen => Ok(()),
+            Health::Open => {
+                if now_us >= self.open_until_us {
+                    self.health = Health::HalfOpen;
+                    Ok(())
+                } else {
+                    Err(self.open_until_us - now_us)
+                }
+            }
+        }
+    }
+
+    fn success(&mut self) {
+        self.health = Health::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a failure; returns whether the breaker tripped
+    /// (transitioned to open) on this failure.
+    fn failure(&mut self, now_us: u64) -> bool {
+        self.consecutive_failures += 1;
+        let should_open = self.health == Health::HalfOpen
+            || self.consecutive_failures >= self.policy.failure_threshold;
+        if !should_open {
+            return false;
+        }
+        let tripped = self.health != Health::Open;
+        self.health = Health::Open;
+        self.open_until_us = now_us + self.policy.cooldown_us;
+        tripped
+    }
+}
+
+#[derive(Debug)]
+struct AimdBucket {
+    rate_per_sec: u64,
+    units: u64,
+    last_us: u64,
+}
+
+enum EndpointModel<'a> {
+    Direct(&'a dyn LanguageModel),
+    Sim(Box<SimBackend<'a>>),
+}
+
+impl EndpointModel<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        match self {
+            EndpointModel::Direct(m) => *m,
+            EndpointModel::Sim(sim) => sim.as_ref(),
+        }
+    }
+}
+
+struct EndpointState<'a> {
+    model: EndpointModel<'a>,
+    /// Address of the caller-supplied model, for usage deduplication:
+    /// replicas over one shared inner model share one usage counter.
+    origin: usize,
+    weight: u64,
+    cost_micro_per_token: u64,
+    breaker: Option<Mutex<Breaker>>,
+    aimd: Option<(AimdPolicy, Mutex<AimdBucket>)>,
+    stats: Mutex<EndpointStats>,
+}
+
+impl EndpointState<'_> {
+    fn lock_stats(&self) -> MutexGuard<'_, EndpointStats> {
+        self.stats.lock().expect("endpoint stats lock poisoned")
+    }
+
+    /// Takes one AIMD token, waiting on the clock if the bucket is empty.
+    /// Returns the time waited, in microseconds.
+    fn acquire_token(&self, clock: &Arc<dyn Clock>) -> u64 {
+        let Some((policy, bucket)) = &self.aimd else {
+            return 0;
+        };
+        let mut waited = 0u64;
+        loop {
+            let wait = {
+                let mut b = bucket.lock().expect("aimd bucket lock poisoned");
+                let now = clock.now_micros();
+                let elapsed = now.saturating_sub(b.last_us);
+                let refill = u128::from(elapsed) * u128::from(b.rate_per_sec);
+                let cap = u128::from(policy.burst) * u128::from(TOKEN);
+                b.units = (u128::from(b.units) + refill).min(cap) as u64;
+                b.last_us = now;
+                if b.units >= TOKEN {
+                    b.units -= TOKEN;
+                    return waited;
+                }
+                let deficit = TOKEN - b.units;
+                deficit.div_ceil(b.rate_per_sec.max(1))
+            };
+            clock.sleep_micros(wait);
+            waited += wait;
+        }
+    }
+
+    /// Additive increase on success; returns whether a step was applied.
+    fn aimd_success(&self) -> bool {
+        let Some((policy, bucket)) = &self.aimd else {
+            return false;
+        };
+        if policy.increase_per_sec == 0 {
+            return false;
+        }
+        let mut b = bucket.lock().expect("aimd bucket lock poisoned");
+        if b.rate_per_sec >= policy.max_per_sec {
+            return false;
+        }
+        b.rate_per_sec = (b.rate_per_sec + policy.increase_per_sec).min(policy.max_per_sec);
+        true
+    }
+
+    /// Multiplicative decrease on an observed 429; returns whether the
+    /// rate actually moved.
+    fn aimd_decrease(&self) -> bool {
+        let Some((policy, bucket)) = &self.aimd else {
+            return false;
+        };
+        let mut b = bucket.lock().expect("aimd bucket lock poisoned");
+        if b.rate_per_sec <= policy.min_per_sec {
+            return false;
+        }
+        b.rate_per_sec = (b.rate_per_sec / 2).max(policy.min_per_sec);
+        true
+    }
+
+    fn record_success(&self, completion: &Completion, latency_us: u64) {
+        let mut stats = self.lock_stats();
+        stats.successes += 1;
+        stats.latency.record(latency_us);
+        stats.prompt_tokens += completion.usage.prompt_tokens as u64;
+        stats.completion_tokens += completion.usage.completion_tokens as u64;
+        stats.billed_micro += completion.usage.total() as u64 * self.cost_micro_per_token;
+    }
+}
+
+/// A weighted multi-endpoint router implementing [`LanguageModel`].
+///
+/// See the [module docs](self) for the layering and determinism story.
+/// Build one endpoint at a time with [`RoutedBackend::endpoint`], or let
+/// [`BackendConfig::wrap`] fan a single model out into replicas via
+/// [`RoutePlan`].
+pub struct RoutedBackend<'a> {
+    name: String,
+    endpoints: Vec<EndpointState<'a>>,
+    retry: RetryPolicy,
+    dice: Dice,
+    clock: Arc<dyn Clock>,
+    scalars: Mutex<RouterStats>,
+}
+
+impl std::fmt::Debug for RoutedBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoutedBackend")
+            .field("name", &self.name)
+            .field("endpoints", &self.endpoints.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> RoutedBackend<'a> {
+    /// An empty router on a fresh [`VirtualClock`]; add endpoints with
+    /// [`RoutedBackend::endpoint`]. `seed` drives routing draws and
+    /// backoff jitter.
+    pub fn new(seed: u64) -> Self {
+        RoutedBackend {
+            name: "routed[]".to_string(),
+            endpoints: Vec::new(),
+            retry: RetryPolicy::default(),
+            dice: Dice::new(seed),
+            clock: Arc::new(VirtualClock::new()),
+            scalars: Mutex::new(RouterStats::default()),
+        }
+    }
+
+    /// Replaces the clock (builder-style). Must be called before any
+    /// endpoint is added — fault injectors capture the clock at build
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if endpoints have already been added.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        assert!(
+            self.endpoints.is_empty(),
+            "set the clock before adding endpoints"
+        );
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the cross-endpoint retry policy (builder-style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Adds an endpoint (builder-style). The endpoint id is its index in
+    /// insertion order; a [`FaultPlan`] in `config` becomes an owned
+    /// [`SimBackend`] tagged with that id, so replicas sharing a plan
+    /// draw independent fault schedules.
+    pub fn endpoint(mut self, model: &'a dyn LanguageModel, config: EndpointConfig) -> Self {
+        let id = self.endpoints.len() as u64;
+        let origin = model as *const dyn LanguageModel as *const () as usize;
+        let endpoint_model = match config.faults {
+            Some(plan) => EndpointModel::Sim(Box::new(
+                SimBackend::with_clock(model, plan, self.clock.clone()).with_endpoint(id),
+            )),
+            None => EndpointModel::Direct(model),
+        };
+        let now = self.clock.now_micros();
+        self.endpoints.push(EndpointState {
+            model: endpoint_model,
+            origin,
+            weight: u64::from(config.weight.max(1)),
+            cost_micro_per_token: config.cost_micro_per_token,
+            breaker: config
+                .breaker
+                .map(|policy| Mutex::new(Breaker::new(policy))),
+            aimd: config.aimd.map(|policy| {
+                (
+                    policy,
+                    Mutex::new(AimdBucket {
+                        rate_per_sec: policy.initial_per_sec.max(1),
+                        units: policy.burst.max(1) * TOKEN,
+                        last_us: now,
+                    }),
+                )
+            }),
+            stats: Mutex::new(EndpointStats::default()),
+        });
+        self.name = self.display_name();
+        self
+    }
+
+    /// Builds a replica fleet over one shared `inner` model from
+    /// `config.route` (identity plan when unset): each replica gets the
+    /// plan's breaker and AIMD policies plus an endpoint-aware copy of
+    /// `config.faults`. `config.deadline_us` and `config.max_in_flight`
+    /// are blocking-stack features and are not applied here.
+    pub fn from_plan(inner: &'a dyn LanguageModel, config: BackendConfig) -> Self {
+        let plan = config.route.unwrap_or_else(|| RoutePlan::replicas(1));
+        let replicas = plan.replicas.clamp(1, MAX_ROUTE_ENDPOINTS as u32) as usize;
+        let mut router = RoutedBackend::new(config.seed).with_retry(config.retry);
+        for i in 0..replicas {
+            let mut endpoint = EndpointConfig::new().with_weight(u32::from(plan.weights[i].max(1)));
+            if let Some(faults) = config.faults {
+                endpoint = endpoint.with_faults(faults);
+            }
+            if let Some(breaker) = plan.breaker {
+                endpoint = endpoint.with_breaker(breaker);
+            }
+            if let Some(aimd) = plan.aimd {
+                endpoint = endpoint.with_aimd(aimd);
+            }
+            router = router.endpoint(inner, endpoint);
+        }
+        router
+    }
+
+    fn display_name(&self) -> String {
+        let names: Vec<&str> = self
+            .endpoints
+            .iter()
+            .map(|e| e.model.model().name())
+            .collect();
+        match names.split_first() {
+            None => "routed[]".to_string(),
+            Some((first, rest)) if rest.iter().all(|n| n == first) => {
+                format!("routed[{first}x{}]", names.len())
+            }
+            _ => format!("routed[{}]", names.join("+")),
+        }
+    }
+
+    /// The clock every routing decision and wait runs on.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// A snapshot of the router counters, per-endpoint stats included.
+    pub fn stats(&self) -> RouterStats {
+        let mut stats = self
+            .scalars
+            .lock()
+            .expect("router stats lock poisoned")
+            .clone();
+        stats.endpoints = self.endpoints.iter().map(|e| *e.lock_stats()).collect();
+        stats
+    }
+
+    /// The router's counters in the flat [`BackendStats`] shape.
+    pub fn backend_stats(&self) -> BackendStats {
+        self.stats().backend_stats()
+    }
+
+    /// Merged fault-injection counters across all endpoint injectors
+    /// (`None` when no endpoint has a fault plan).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        let mut merged: Option<FaultStats> = None;
+        for endpoint in &self.endpoints {
+            if let EndpointModel::Sim(sim) = &endpoint.model {
+                let stats = sim.stats();
+                match &mut merged {
+                    Some(m) => m.merge(&stats),
+                    None => merged = Some(stats),
+                }
+            }
+        }
+        merged
+    }
+
+    /// The current AIMD rate of endpoint `index`, attempts per second
+    /// (`None` when the endpoint has no bucket or does not exist).
+    pub fn current_rate_per_sec(&self, index: usize) -> Option<u64> {
+        let (_, bucket) = self.endpoints.get(index)?.aimd.as_ref()?;
+        Some(
+            bucket
+                .lock()
+                .expect("aimd bucket lock poisoned")
+                .rate_per_sec,
+        )
+    }
+
+    fn lock_scalars(&self) -> MutexGuard<'_, RouterStats> {
+        self.scalars.lock().expect("router stats lock poisoned")
+    }
+
+    /// Picks an endpoint for attempt `attempt` of `prompt`: a seeded
+    /// weighted draw over the endpoints whose breakers admit traffic.
+    /// `Err(min remaining cooldown)` when every breaker is open.
+    fn select(&self, prompt: &str, attempt: u64) -> Result<usize, u64> {
+        let now = self.clock.now_micros();
+        let mut admissible: Vec<usize> = Vec::with_capacity(self.endpoints.len());
+        let mut min_cooldown = u64::MAX;
+        for (i, endpoint) in self.endpoints.iter().enumerate() {
+            let admitted = match &endpoint.breaker {
+                None => Ok(()),
+                Some(breaker) => breaker.lock().expect("breaker lock poisoned").admit(now),
+            };
+            match admitted {
+                Ok(()) => admissible.push(i),
+                Err(remaining) => {
+                    endpoint.lock_stats().breaker_open_skips += 1;
+                    min_cooldown = min_cooldown.min(remaining);
+                }
+            }
+        }
+        if admissible.is_empty() {
+            return Err(if min_cooldown == u64::MAX {
+                0
+            } else {
+                min_cooldown
+            });
+        }
+        let total: u64 = admissible.iter().map(|&i| self.endpoints[i].weight).sum();
+        let roll = (self.dice.uniform(prompt, &format!("route-{attempt}")) * total as f64) as u64;
+        let roll = roll.min(total - 1);
+        let mut cumulative = 0u64;
+        for &i in &admissible {
+            cumulative += self.endpoints[i].weight;
+            if roll < cumulative {
+                return Ok(i);
+            }
+        }
+        Ok(*admissible.last().expect("admissible is non-empty"))
+    }
+
+    /// Backoff before retry `n` (1-based) of `prompt`: exponential from
+    /// the policy base, capped, then jittered into `[50%, 100%]` by a
+    /// deterministic draw — the same scheme as the blocking stack.
+    fn backoff_us(&self, prompt: &str, retry: u32) -> u64 {
+        let policy = self.retry;
+        let doubled = policy
+            .base_backoff_us
+            .saturating_mul(1u64 << (retry - 1).min(32));
+        let ceiling = doubled.min(policy.max_backoff_us);
+        let jitter = self.dice.uniform(prompt, &format!("backoff-{retry}"));
+        ceiling / 2 + ((ceiling / 2) as f64 * jitter) as u64
+    }
+}
+
+impl LanguageModel for RoutedBackend<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        assert!(
+            !self.endpoints.is_empty(),
+            "RoutedBackend requires at least one endpoint"
+        );
+        self.lock_scalars().calls += 1;
+        let start = self.clock.now_micros();
+        let mut retry = 0u32;
+        let mut attempt = 0u64;
+        loop {
+            let err = match self.select(prompt, attempt) {
+                Err(cooldown_us) => {
+                    self.lock_scalars().all_open += 1;
+                    LlmError::CircuitOpen { cooldown_us }
+                }
+                Ok(index) => {
+                    let endpoint = &self.endpoints[index];
+                    if attempt == 0 {
+                        endpoint.lock_stats().calls += 1;
+                    }
+                    let waited = endpoint.acquire_token(&self.clock);
+                    {
+                        let mut stats = endpoint.lock_stats();
+                        if waited > 0 {
+                            stats.throttle_waits += 1;
+                            stats.throttle_wait_us += waited;
+                        }
+                        if endpoint.aimd.is_some() {
+                            stats.rate_tokens += 1;
+                        }
+                        stats.attempts += 1;
+                    }
+                    let attempt_start = self.clock.now_micros();
+                    match endpoint.model.model().complete(prompt) {
+                        Ok(completion) => {
+                            if let Some(breaker) = &endpoint.breaker {
+                                breaker.lock().expect("breaker lock poisoned").success();
+                            }
+                            if endpoint.aimd_success() {
+                                endpoint.lock_stats().aimd_increases += 1;
+                            }
+                            let now = self.clock.now_micros();
+                            endpoint.record_success(&completion, now - attempt_start);
+                            let mut scalars = self.lock_scalars();
+                            scalars.answers += 1;
+                            scalars.request_latency.record(now - start);
+                            return Ok(completion);
+                        }
+                        Err(e) if e.is_transient() => {
+                            {
+                                let mut stats = endpoint.lock_stats();
+                                match &e {
+                                    LlmError::Timeout { .. } => stats.timeouts += 1,
+                                    LlmError::RateLimited { .. } => stats.rate_limited += 1,
+                                    LlmError::Transient { .. } => stats.transients += 1,
+                                    _ => {}
+                                }
+                            }
+                            if matches!(e, LlmError::RateLimited { .. }) && endpoint.aimd_decrease()
+                            {
+                                endpoint.lock_stats().aimd_decreases += 1;
+                            }
+                            if let Some(breaker) = &endpoint.breaker {
+                                let now = self.clock.now_micros();
+                                if breaker.lock().expect("breaker lock poisoned").failure(now) {
+                                    endpoint.lock_stats().breaker_trips += 1;
+                                }
+                            }
+                            e
+                        }
+                        Err(e) => {
+                            // Permanent: no endpoint can succeed on the
+                            // identical call, so surface it immediately.
+                            self.lock_scalars().failures += 1;
+                            return Err(e);
+                        }
+                    }
+                }
+            };
+            if retry >= self.retry.max_retries {
+                self.lock_scalars().failures += 1;
+                return Err(err);
+            }
+            retry += 1;
+            self.lock_scalars().retries += 1;
+            let mut backoff = self.backoff_us(prompt, retry);
+            // Honor server hints and breaker cooldowns, as the blocking
+            // stack does: sleeping less burns a retry on a guaranteed
+            // rejection.
+            match err {
+                LlmError::RateLimited { retry_after_us } => backoff = backoff.max(retry_after_us),
+                LlmError::CircuitOpen { cooldown_us } => backoff = backoff.max(cooldown_us),
+                _ => {}
+            }
+            self.clock.sleep_micros(backoff);
+            attempt += 1;
+        }
+    }
+
+    fn usage(&self) -> Usage {
+        let mut seen: Vec<usize> = Vec::with_capacity(self.endpoints.len());
+        let mut total = Usage::default();
+        for endpoint in &self.endpoints {
+            if seen.contains(&endpoint.origin) {
+                continue;
+            }
+            seen.push(endpoint.origin);
+            total.add(endpoint.model.model().usage());
+        }
+        total
+    }
+
+    fn reset_usage(&self) {
+        for endpoint in &self.endpoints {
+            endpoint.model.model().reset_usage();
+        }
+    }
+
+    fn context_window(&self) -> usize {
+        self.endpoints
+            .iter()
+            .map(|e| e.model.model().context_window())
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    fn latency_profile(&self) -> unidm_llm::LatencyProfile {
+        self.endpoints
+            .first()
+            .map(|e| e.model.model().latency_profile())
+            .unwrap_or_default()
+    }
+}
+
+/// Deterministic confidence of a model answer, in permille.
+///
+/// The cascade has no log-probabilities to gate on, so confidence is a
+/// pure function of the answer text: known failure markers (`unknown`,
+/// "I'm not sure", `n/a`, empty) score 0 (*unparseable*); hedging
+/// language, question marks and rambling length each subtract from a
+/// base of 1000. Integer arithmetic only, so escalation decisions are
+/// exactly reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use unidm::route::answer_confidence_permille;
+///
+/// assert_eq!(answer_confidence_permille("Central European Time"), 1000);
+/// assert_eq!(answer_confidence_permille("unknown"), 0);
+/// assert_eq!(answer_confidence_permille("I'm not sure."), 0);
+/// assert!(answer_confidence_permille("It might be Paris?") < 500);
+/// ```
+pub fn answer_confidence_permille(text: &str) -> u32 {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return 0;
+    }
+    let lower = trimmed.to_lowercase();
+    let unparseable = lower == "unknown"
+        || lower == "unknown."
+        || lower == "n/a"
+        || lower == "n/a."
+        || lower.starts_with("i'm not sure")
+        || lower.starts_with("i am not sure");
+    if unparseable {
+        return 0;
+    }
+    let mut score: i64 = 1000;
+    for hedge in ["probably", "perhaps", "possibly", "might", "maybe"] {
+        if lower.contains(hedge) {
+            score -= 300;
+        }
+    }
+    score -= 250 * lower.matches('?').count() as i64;
+    if trimmed.len() > 240 {
+        score -= 200;
+    }
+    score.clamp(0, 1000) as u32
+}
+
+/// Escalation policy of a [`CascadeBackend`]: escalate when the cheap
+/// answer's [`answer_confidence_permille`] falls below `gate_permille`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CascadePolicy {
+    /// Minimum cheap-tier confidence (permille) served without
+    /// escalation.
+    pub gate_permille: u32,
+}
+
+impl Default for CascadePolicy {
+    fn default() -> Self {
+        CascadePolicy { gate_permille: 500 }
+    }
+}
+
+/// A small→large model cascade implementing [`LanguageModel`].
+///
+/// Every prompt goes to the cheap tier first. The completion is served
+/// as-is when its confidence clears [`CascadePolicy::gate_permille`];
+/// otherwise the prompt escalates to the large tier and *its* completion
+/// is served — so on the escalated subset the cascade's answers are
+/// byte-identical to a large-model-only run. Cheap-tier errors also
+/// escalate (a prompt too long for the small model's window is exactly
+/// what the large model is for), except [`LlmError::EmptyPrompt`], which
+/// no tier can fix and surfaces immediately.
+///
+/// Either tier can be a raw model, a [`crate::ResilientBackend`], or a
+/// [`RoutedBackend`] fleet. [`CascadeBackend::stats`] reports the same
+/// exact [`RouterStats`] shape as the router, with endpoint 0 = cheap
+/// tier and endpoint 1 = large tier.
+pub struct CascadeBackend<'a> {
+    cheap: &'a dyn LanguageModel,
+    large: &'a dyn LanguageModel,
+    policy: CascadePolicy,
+    cheap_cost_micro: u64,
+    large_cost_micro: u64,
+    name: String,
+    scalars: Mutex<RouterStats>,
+    tiers: [Mutex<EndpointStats>; 2],
+}
+
+impl std::fmt::Debug for CascadeBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CascadeBackend")
+            .field("name", &self.name)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl<'a> CascadeBackend<'a> {
+    /// A cascade from `cheap` to `large` with the default confidence
+    /// gate and untracked costs.
+    pub fn new(cheap: &'a dyn LanguageModel, large: &'a dyn LanguageModel) -> Self {
+        CascadeBackend {
+            name: format!("cascade[{}->{}]", cheap.name(), large.name()),
+            cheap,
+            large,
+            policy: CascadePolicy::default(),
+            cheap_cost_micro: 0,
+            large_cost_micro: 0,
+            scalars: Mutex::new(RouterStats::default()),
+            tiers: [
+                Mutex::new(EndpointStats::default()),
+                Mutex::new(EndpointStats::default()),
+            ],
+        }
+    }
+
+    /// Replaces the escalation policy (builder-style).
+    pub fn with_policy(mut self, policy: CascadePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets per-token billing costs from the two tiers' model profiles
+    /// (builder-style).
+    pub fn with_costs_of(mut self, cheap: &LlmProfile, large: &LlmProfile) -> Self {
+        self.cheap_cost_micro = cheap.cost_micro_per_token();
+        self.large_cost_micro = large.cost_micro_per_token();
+        self
+    }
+
+    /// Sets per-token billing costs directly (builder-style).
+    pub fn with_costs_micro(mut self, cheap: u64, large: u64) -> Self {
+        self.cheap_cost_micro = cheap;
+        self.large_cost_micro = large;
+        self
+    }
+
+    /// The escalation policy in force.
+    pub fn policy(&self) -> CascadePolicy {
+        self.policy
+    }
+
+    /// A snapshot of the cascade counters: endpoint 0 is the cheap tier,
+    /// endpoint 1 the large tier.
+    pub fn stats(&self) -> RouterStats {
+        let mut stats = self
+            .scalars
+            .lock()
+            .expect("cascade stats lock poisoned")
+            .clone();
+        stats.endpoints = self
+            .tiers
+            .iter()
+            .map(|t| *t.lock().expect("cascade tier lock poisoned"))
+            .collect();
+        stats
+    }
+
+    fn lock_scalars(&self) -> MutexGuard<'_, RouterStats> {
+        self.scalars.lock().expect("cascade stats lock poisoned")
+    }
+
+    fn tier(&self, index: usize) -> MutexGuard<'_, EndpointStats> {
+        self.tiers[index]
+            .lock()
+            .expect("cascade tier lock poisoned")
+    }
+
+    fn record_tokens(&self, index: usize, completion: &Completion, cost_micro: u64) {
+        let mut tier = self.tier(index);
+        tier.prompt_tokens += completion.usage.prompt_tokens as u64;
+        tier.completion_tokens += completion.usage.completion_tokens as u64;
+        tier.billed_micro += completion.usage.total() as u64 * cost_micro;
+    }
+}
+
+/// Cheap tier index in [`CascadeBackend::stats`].
+const CHEAP: usize = 0;
+/// Large tier index in [`CascadeBackend::stats`].
+const LARGE: usize = 1;
+
+impl LanguageModel for CascadeBackend<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
+        self.lock_scalars().calls += 1;
+        {
+            let mut tier = self.tier(CHEAP);
+            tier.calls += 1;
+            tier.attempts += 1;
+        }
+        match self.cheap.complete(prompt) {
+            Ok(completion) => {
+                self.record_tokens(CHEAP, &completion, self.cheap_cost_micro);
+                let confidence = answer_confidence_permille(&completion.text);
+                if confidence >= self.policy.gate_permille {
+                    self.tier(CHEAP).successes += 1;
+                    self.lock_scalars().answers += 1;
+                    return Ok(completion);
+                }
+                let mut scalars = self.lock_scalars();
+                scalars.escalations += 1;
+                if confidence == 0 {
+                    scalars.unparseable += 1;
+                } else {
+                    scalars.low_confidence += 1;
+                }
+            }
+            Err(LlmError::EmptyPrompt) => {
+                self.lock_scalars().failures += 1;
+                return Err(LlmError::EmptyPrompt);
+            }
+            Err(_) => {
+                let mut scalars = self.lock_scalars();
+                scalars.escalations += 1;
+                scalars.error_escalations += 1;
+            }
+        }
+        {
+            let mut tier = self.tier(LARGE);
+            tier.calls += 1;
+            tier.attempts += 1;
+        }
+        match self.large.complete(prompt) {
+            Ok(completion) => {
+                self.record_tokens(LARGE, &completion, self.large_cost_micro);
+                self.tier(LARGE).successes += 1;
+                self.lock_scalars().answers += 1;
+                Ok(completion)
+            }
+            Err(e) => {
+                self.lock_scalars().failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn usage(&self) -> Usage {
+        let mut total = self.cheap.usage();
+        total.add(self.large.usage());
+        total
+    }
+
+    fn reset_usage(&self) {
+        self.cheap.reset_usage();
+        self.large.reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        // A prompt too long for the cheap tier escalates, so the
+        // cascade's effective window is the large tier's.
+        self.large.context_window()
+    }
+
+    fn latency_profile(&self) -> unidm_llm::LatencyProfile {
+        self.large.latency_profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidm_llm::MockLlm;
+    use unidm_world::World;
+
+    fn model() -> MockLlm {
+        MockLlm::new(&World::generate(7), LlmProfile::gpt3_175b(), 7)
+    }
+
+    fn faulty_router<'m>(llm: &'m MockLlm, seed: u64, replicas: usize) -> RoutedBackend<'m> {
+        let mut router = RoutedBackend::new(seed);
+        for _ in 0..replicas {
+            router = router.endpoint(
+                llm,
+                EndpointConfig::new()
+                    .with_faults(FaultPlan::moderate(seed))
+                    .with_breaker(BreakerPolicy::default()),
+            );
+        }
+        router
+    }
+
+    #[test]
+    fn routing_never_changes_answers() {
+        let llm = model();
+        let truth = llm.complete("The capital of Denmark is __.").unwrap();
+        for seed in [1, 7, 1337] {
+            let router = faulty_router(&llm, seed, 3);
+            let reply = router.complete("The capital of Denmark is __.").unwrap();
+            assert_eq!(reply, truth, "seed {seed}");
+            let stats = router.stats();
+            assert_eq!(stats.calls, 1);
+            assert_eq!(stats.answers, 1);
+            assert_eq!(stats.failures, 0);
+        }
+    }
+
+    #[test]
+    fn serial_rerun_reproduces_router_stats_exactly() {
+        let llm = model();
+        let run = || {
+            let router = faulty_router(&llm, 9, 3);
+            for i in 0..40 {
+                router.complete(&format!("routed prompt {i}")).unwrap();
+            }
+            router.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "serial rerun must reproduce every counter");
+        assert!(
+            a.endpoints.iter().all(|e| e.calls > 0),
+            "equal weights must spread calls over all endpoints: {a:?}"
+        );
+    }
+
+    #[test]
+    fn weights_skew_routing_proportionally() {
+        let llm = model();
+        let router = RoutedBackend::new(3)
+            .endpoint(&llm, EndpointConfig::new().with_weight(9))
+            .endpoint(&llm, EndpointConfig::new().with_weight(1));
+        for i in 0..100 {
+            router.complete(&format!("weighted prompt {i}")).unwrap();
+        }
+        let stats = router.stats();
+        assert_eq!(stats.endpoints[0].calls + stats.endpoints[1].calls, 100);
+        assert!(
+            stats.endpoints[0].calls > 70,
+            "weight 9:1 must dominate: {stats:?}"
+        );
+        assert!(
+            stats.endpoints[1].calls > 0,
+            "low weight still gets traffic: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn replicas_draw_distinct_fault_schedules() {
+        let llm = model();
+        let router = faulty_router(&llm, 5, 2);
+        for i in 0..60 {
+            router.complete(&format!("replica prompt {i}")).unwrap();
+        }
+        let stats = router.stats();
+        let faults = |e: &EndpointStats| e.timeouts + e.rate_limited + e.transients;
+        // Two replicas share plan and seed; endpoint-aware slot keying
+        // must still desynchronize their schedules.
+        assert_ne!(
+            (
+                stats.endpoints[0].attempts,
+                faults(&stats.endpoints[0]),
+                stats.endpoints[0].timeouts
+            ),
+            (
+                stats.endpoints[1].attempts,
+                faults(&stats.endpoints[1]),
+                stats.endpoints[1].timeouts
+            ),
+            "replicas must not fault in lockstep: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn aimd_rate_halves_on_429_and_recovers_additively() {
+        let llm = model();
+        let plan = FaultPlan {
+            rate_limit_permille: 1000,
+            timeout_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: 3,
+            ..FaultPlan::none(11)
+        };
+        let aimd = AimdPolicy {
+            initial_per_sec: 64,
+            min_per_sec: 4,
+            max_per_sec: 128,
+            increase_per_sec: 1,
+            burst: 4,
+        };
+        let router = RoutedBackend::new(11).endpoint(
+            &llm,
+            EndpointConfig::new().with_faults(plan).with_aimd(aimd),
+        );
+        router.complete("throttled prompt").unwrap();
+        let stats = router.stats();
+        assert_eq!(stats.endpoints[0].rate_limited, 3, "three 429s injected");
+        assert_eq!(stats.endpoints[0].aimd_decreases, 3);
+        assert_eq!(stats.endpoints[0].aimd_increases, 1, "the success recovers");
+        // 64 → 32 → 16 → 8, then +1 on the forced success.
+        assert_eq!(router.current_rate_per_sec(0), Some(9));
+        assert_eq!(stats.endpoints[0].rate_tokens, stats.endpoints[0].attempts);
+    }
+
+    #[test]
+    fn aimd_rate_never_leaves_its_bounds() {
+        let llm = model();
+        let plan = FaultPlan {
+            rate_limit_permille: 1000,
+            timeout_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: 2,
+            ..FaultPlan::none(13)
+        };
+        let aimd = AimdPolicy {
+            initial_per_sec: 8,
+            min_per_sec: 4,
+            max_per_sec: 10,
+            increase_per_sec: 1,
+            burst: 2,
+        };
+        let router = RoutedBackend::new(13).endpoint(
+            &llm,
+            EndpointConfig::new().with_faults(plan).with_aimd(aimd),
+        );
+        for i in 0..30 {
+            router.complete(&format!("bounded prompt {i}")).unwrap();
+        }
+        let rate = router.current_rate_per_sec(0).unwrap();
+        assert!(
+            (aimd.min_per_sec..=aimd.max_per_sec).contains(&rate),
+            "rate {rate} escaped [{}, {}]",
+            aimd.min_per_sec,
+            aimd.max_per_sec
+        );
+    }
+
+    #[test]
+    fn open_breaker_sheds_traffic_to_peers() {
+        let llm = model();
+        let dead = FaultPlan {
+            timeout_permille: 1000,
+            rate_limit_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: u32::MAX,
+            ..FaultPlan::none(1)
+        };
+        let breaker = BreakerPolicy {
+            failure_threshold: 2,
+            cooldown_us: 3_600_000_000, // one virtual hour: stays open
+        };
+        let router = RoutedBackend::new(1)
+            .endpoint(
+                &llm,
+                EndpointConfig::new()
+                    .with_faults(dead)
+                    .with_breaker(breaker),
+            )
+            .endpoint(&llm, EndpointConfig::new().with_breaker(breaker));
+        for i in 0..50 {
+            router.complete(&format!("shedding prompt {i}")).unwrap();
+        }
+        let stats = router.stats();
+        assert_eq!(stats.failures, 0, "healthy peer absorbs everything");
+        assert_eq!(stats.endpoints[0].breaker_trips, 1);
+        assert!(
+            stats.endpoints[0].attempts <= 2,
+            "dead endpoint must lose traffic once tripped: {stats:?}"
+        );
+        assert!(stats.endpoints[0].breaker_open_skips > 40);
+        assert!(stats.endpoints[1].successes >= 48);
+    }
+
+    #[test]
+    fn all_breakers_open_backs_off_and_recovers() {
+        let llm = model();
+        let dead = FaultPlan {
+            timeout_permille: 1000,
+            rate_limit_permille: 0,
+            transient_permille: 0,
+            slow_permille: 0,
+            max_consecutive_faults: 2,
+            ..FaultPlan::none(2)
+        };
+        let breaker = BreakerPolicy {
+            failure_threshold: 1,
+            cooldown_us: 200_000,
+        };
+        let router = RoutedBackend::new(2).endpoint(
+            &llm,
+            EndpointConfig::new()
+                .with_faults(dead)
+                .with_breaker(breaker),
+        );
+        // Single endpoint, always faulty until the cap: the breaker opens,
+        // the call backs off through CircuitOpen and the forced success
+        // lands after the cooldown.
+        router.complete("lonely prompt").unwrap();
+        let stats = router.stats();
+        assert!(stats.all_open >= 1, "must observe an all-open window");
+        assert_eq!(stats.failures, 0);
+    }
+
+    #[test]
+    fn router_stats_merge_is_commutative_and_exact() {
+        let llm = model();
+        let run = |seed: u64| {
+            let router = faulty_router(&llm, seed, 2);
+            for i in 0..15 {
+                router.complete(&format!("merge probe {seed}-{i}")).unwrap();
+            }
+            router.stats()
+        };
+        let a = run(7);
+        let b = run(1337);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.calls, a.calls + b.calls);
+        assert_eq!(ab.attempts(), a.attempts() + b.attempts());
+        assert_eq!(ab.tokens(), a.tokens() + b.tokens());
+        let mut id = a.clone();
+        id.merge(&RouterStats::default());
+        assert_eq!(id, a, "merging a default is the identity");
+        // Padded merge: fewer endpoints fold into more.
+        let mut wide = a.clone();
+        let mut narrow = RouterStats::default();
+        narrow.endpoints.push(b.endpoints[0]);
+        wide.merge(&narrow);
+        assert_eq!(wide.endpoints.len(), 2);
+        assert_eq!(
+            wide.endpoints[0].attempts,
+            a.endpoints[0].attempts + b.endpoints[0].attempts
+        );
+    }
+
+    #[test]
+    fn backend_stats_projection_adds_up() {
+        let llm = model();
+        let router = faulty_router(&llm, 3, 3);
+        for i in 0..20 {
+            router.complete(&format!("projection prompt {i}")).unwrap();
+        }
+        let router_stats = router.stats();
+        let flat = router.backend_stats();
+        assert_eq!(flat.calls, router_stats.calls);
+        assert_eq!(flat.attempts, router_stats.attempts());
+        assert_eq!(flat.breaker_trips, router_stats.breaker_trips());
+        assert_eq!(
+            flat.attempt_latency.samples(),
+            router_stats
+                .endpoints
+                .iter()
+                .map(|e| e.latency.samples())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn permanent_errors_surface_immediately() {
+        // Fault-free endpoints: the first attempt reaches the inner model
+        // and its permanent error must surface without any retry.
+        let llm = model();
+        let router = RoutedBackend::new(1)
+            .endpoint(&llm, EndpointConfig::new())
+            .endpoint(&llm, EndpointConfig::new());
+        assert_eq!(router.complete("  "), Err(LlmError::EmptyPrompt));
+        let stats = router.stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.retries, 0, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn usage_deduplicates_shared_inner_models() {
+        let llm = model();
+        let router = RoutedBackend::new(1)
+            .endpoint(&llm, EndpointConfig::new())
+            .endpoint(&llm, EndpointConfig::new());
+        router.reset_usage();
+        router.complete("usage probe").unwrap();
+        assert_eq!(
+            router.usage(),
+            llm.usage(),
+            "replicas over one model share one usage counter"
+        );
+    }
+
+    #[test]
+    fn confidence_scores_are_deterministic_and_ordered() {
+        assert_eq!(answer_confidence_permille(""), 0);
+        assert_eq!(answer_confidence_permille("   "), 0);
+        assert_eq!(answer_confidence_permille("unknown"), 0);
+        assert_eq!(answer_confidence_permille("Unknown."), 0);
+        assert_eq!(answer_confidence_permille("I'm not sure."), 0);
+        assert_eq!(answer_confidence_permille("n/a"), 0);
+        assert_eq!(answer_confidence_permille("Copenhagen"), 1000);
+        let hedged = answer_confidence_permille("It is probably Copenhagen");
+        assert!(hedged < 1000 && hedged > 0);
+        assert!(answer_confidence_permille("maybe Paris? or Rome?") < hedged);
+    }
+
+    #[test]
+    fn cascade_serves_cheap_answers_and_escalates_weak_ones() {
+        let world = World::generate(7);
+        let cheap = MockLlm::new(&world, LlmProfile::gptj_6b(), 7);
+        let large = MockLlm::new(&world, LlmProfile::gpt3_175b(), 7);
+        let cascade = CascadeBackend::new(&cheap, &large)
+            .with_costs_of(&LlmProfile::gptj_6b(), &LlmProfile::gpt3_175b());
+        let prompts: Vec<String> = (0..30)
+            .map(|i| format!("The capital of country number {i} is __."))
+            .collect();
+        let mut expected_escalations = 0u64;
+        for prompt in &prompts {
+            let cheap_answer = cheap.complete(prompt).unwrap();
+            let escalates =
+                answer_confidence_permille(&cheap_answer.text) < cascade.policy().gate_permille;
+            if escalates {
+                expected_escalations += 1;
+            }
+            let served = cascade.complete(prompt).unwrap();
+            if escalates {
+                assert_eq!(
+                    served,
+                    large.complete(prompt).unwrap(),
+                    "escalated prompts serve the large tier's answer"
+                );
+            } else {
+                assert_eq!(served.text, cheap_answer.text);
+            }
+        }
+        let stats = cascade.stats();
+        assert_eq!(stats.calls, 30);
+        assert_eq!(stats.escalations, expected_escalations);
+        assert_eq!(
+            stats.escalations,
+            stats.unparseable + stats.low_confidence + stats.error_escalations
+        );
+        assert_eq!(stats.endpoints[CHEAP].calls, 30);
+        assert_eq!(stats.endpoints[LARGE].calls, stats.escalations);
+    }
+
+    #[test]
+    fn cascade_empty_prompt_surfaces_without_escalating() {
+        let world = World::generate(7);
+        let cheap = MockLlm::new(&world, LlmProfile::llama2_7b(), 7);
+        let large = MockLlm::new(&world, LlmProfile::gpt3_175b(), 7);
+        let cascade = CascadeBackend::new(&cheap, &large);
+        assert_eq!(cascade.complete("  "), Err(LlmError::EmptyPrompt));
+        let stats = cascade.stats();
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.escalations, 0);
+        assert_eq!(stats.endpoints[LARGE].calls, 0);
+    }
+
+    #[test]
+    fn route_plan_wires_through_backend_config() {
+        let llm = model();
+        let config = BackendConfig::resilient(7)
+            .with_faults(FaultPlan::moderate(7))
+            .with_route(RoutePlan::replicas(3).with_aimd(AimdPolicy::per_sec(100)));
+        let attached = config.wrap(&llm);
+        let truth = llm.complete("The capital of Denmark is __.").unwrap();
+        assert_eq!(
+            attached
+                .model()
+                .complete("The capital of Denmark is __.")
+                .unwrap(),
+            truth
+        );
+        let router_stats = attached.router_stats().expect("routed stats");
+        assert_eq!(router_stats.endpoints.len(), 3);
+        assert_eq!(router_stats.calls, 1);
+        let flat = attached.stats().expect("flat stats");
+        assert_eq!(flat.calls, 1);
+        assert!(attached.fault_stats().is_some());
+        assert!(attached.elapsed_us() > 0);
+    }
+}

@@ -203,6 +203,34 @@ mod tests {
     }
 
     #[test]
+    fn table1_under_routed_backend_reproduces_plain_cells() {
+        // A replica fleet with per-endpoint breakers and fault injection
+        // must leave every LLM-backed cell byte-identical: routing spreads
+        // traffic but never changes answers.
+        use unidm::route::RoutePlan;
+        use unidm_llm::FaultPlan;
+
+        use crate::BackendConfig;
+
+        let plain = table1(ExperimentConfig::quick());
+        let routed_config = ExperimentConfig::quick().with_backend(
+            BackendConfig::resilient(42)
+                .with_faults(FaultPlan::moderate(42))
+                .with_route(RoutePlan::replicas(3)),
+        );
+        let routed = table1(routed_config);
+        for ds in ["Restaurant", "Buy"] {
+            for row in ["UniDM", "UniDM (random)", "FM (random)", "FM (manual)"] {
+                assert_eq!(
+                    plain.cell(row, ds),
+                    routed.cell(row, ds),
+                    "{row}/{ds}: routed fleet must reproduce the direct run"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn table1_shape_holds() {
         let report = table1(ExperimentConfig::quick());
         // Paper orderings that must survive: UniDM tops the chart, the

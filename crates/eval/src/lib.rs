@@ -51,6 +51,7 @@ pub mod zoo;
 pub use cache::{AttachedCache, CacheConfig};
 pub use unidm::backend::BackendConfig;
 pub use unidm::dispatch::HedgePolicy;
+pub use unidm::route::{AimdPolicy, RoutePlan};
 
 /// Shared configuration of an experiment run.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -230,6 +230,16 @@ impl LlmProfile {
             per_completion_token_us: 5_000 + 20 * scaled,
         }
     }
+
+    /// Billing cost per token in integer micro-units, derived
+    /// deterministically from model size: `20 + 2 * params_b`. Absolute
+    /// values carry no meaning, only the ratio across the zoo — a
+    /// 175B-class model bills ~11× a 7B-class one, matching the order of
+    /// magnitude real per-token price sheets show. Integer output keeps
+    /// cascade cost accounting exact.
+    pub fn cost_micro_per_token(&self) -> u64 {
+        20 + (self.params_b.max(0.0) * 2.0) as u64
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +283,20 @@ mod tests {
         assert!(big.per_completion_token_us > small.per_completion_token_us);
         // Same profile, same latency — the mapping is a pure function.
         assert_eq!(small, LlmProfile::llama2_7b().latency());
+    }
+
+    #[test]
+    fn token_costs_order_by_model_size_and_stay_exact() {
+        let small = LlmProfile::llama2_7b().cost_micro_per_token();
+        let large = LlmProfile::gpt3_175b().cost_micro_per_token();
+        assert_eq!(small, 34);
+        assert_eq!(large, 370);
+        assert!(
+            large > small * 10,
+            "large must bill an order of magnitude above small"
+        );
+        // Pure function of the profile: identical across calls.
+        assert_eq!(large, LlmProfile::gpt3_175b().cost_micro_per_token());
     }
 
     #[test]

@@ -211,6 +211,19 @@ impl FaultStats {
     pub fn injected(&self) -> u64 {
         self.timeouts + self.rate_limits + self.transients
     }
+
+    /// Folds `other` into `self` — exact integer addition on every field,
+    /// commutative, so per-endpoint injectors aggregate like backend
+    /// stats.
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.attempts += other.attempts;
+        self.clean += other.clean;
+        self.slow += other.slow;
+        self.timeouts += other.timeouts;
+        self.rate_limits += other.rate_limits;
+        self.transients += other.transients;
+        self.forced_successes += other.forced_successes;
+    }
 }
 
 /// One sampled endpoint attempt: the virtual latency it will take and the
@@ -251,6 +264,11 @@ pub struct SimBackend<'a> {
     plan: FaultPlan,
     dice: Dice,
     clock: Arc<dyn Clock>,
+    /// Endpoint id mixed into every schedule draw. `None` preserves the
+    /// historical `(seed, prompt, attempt)` keying byte-for-byte; `Some`
+    /// desynchronizes replicas that share a plan (see
+    /// [`SimBackend::with_endpoint`]).
+    endpoint: Option<u64>,
     state: Mutex<HashMap<String, PromptState>>,
     stats: Mutex<FaultStats>,
 }
@@ -283,8 +301,28 @@ impl<'a> SimBackend<'a> {
             plan,
             dice: Dice::new(plan.seed),
             clock,
+            endpoint: None,
             state: Mutex::new(HashMap::new()),
             stats: Mutex::new(FaultStats::default()),
+        }
+    }
+
+    /// Tags this injector as endpoint `id` (builder-style): the id is
+    /// mixed into every fault-slot draw, so two replicas sharing one
+    /// [`FaultPlan`] (same seed) commit *independent* schedules instead of
+    /// faulting in lockstep. Untagged backends keep the historical
+    /// `(seed, prompt, attempt)` keying exactly.
+    pub fn with_endpoint(mut self, id: u64) -> Self {
+        self.endpoint = Some(id);
+        self
+    }
+
+    /// The fault-slot tag of attempt `attempt`: endpoint-aware when
+    /// tagged, the historical form otherwise.
+    fn fault_tag(&self, attempt: u64) -> String {
+        match self.endpoint {
+            Some(id) => format!("e{id}-fault-{attempt}"),
+            None => format!("fault-{attempt}"),
         }
     }
 
@@ -319,7 +357,7 @@ impl<'a> SimBackend<'a> {
             entry.consecutive_faults = 0;
             return Outcome::Clean { forced: true };
         }
-        let roll = (self.dice.uniform(prompt, &format!("fault-{attempt}")) * 1000.0) as u32;
+        let roll = (self.dice.uniform(prompt, &self.fault_tag(attempt)) * 1000.0) as u32;
         let mut threshold = self.plan.timeout_permille;
         let outcome = if roll < threshold {
             Outcome::Timeout
@@ -407,7 +445,10 @@ impl<'a> SimBackend<'a> {
                 AttemptSample {
                     latency_us: self.plan.base_latency_us,
                     result: Err(LlmError::Transient {
-                        status: [500u16, 502, 503][self.dice.pick(prompt, "status", 3)],
+                        status: [500u16, 502, 503][match self.endpoint {
+                            Some(id) => self.dice.pick(prompt, &format!("e{id}-status"), 3),
+                            None => self.dice.pick(prompt, "status", 3),
+                        }],
                     }),
                 }
             }
@@ -621,6 +662,52 @@ mod tests {
         assert!(latencies
             .iter()
             .all(|&l| l == plan.base_latency_us || l == plan.slow_latency_us));
+    }
+
+    #[test]
+    fn endpoint_tags_desynchronize_replica_schedules() {
+        // Two replicas sharing one plan (same seed) must not fault in
+        // lockstep: the endpoint id is mixed into the slot commitment.
+        let (_, llm) = inner();
+        let prompts: Vec<String> = (0..40).map(|i| format!("replica prompt {i}")).collect();
+        let trace = |endpoint: Option<u64>| -> Vec<u32> {
+            let mut sim = SimBackend::new(&llm, FaultPlan::heavy(5));
+            if let Some(id) = endpoint {
+                sim = sim.with_endpoint(id);
+            }
+            prompts.iter().map(|p| run_to_success(&sim, p).0).collect()
+        };
+        let untagged = trace(None);
+        let e0 = trace(Some(0));
+        let e1 = trace(Some(1));
+        assert_ne!(e0, e1, "replicas 0 and 1 must draw distinct schedules");
+        assert_ne!(untagged, e0, "tagging changes the schedule");
+        // Same endpoint id remains exactly reproducible.
+        assert_eq!(e1, trace(Some(1)));
+    }
+
+    #[test]
+    fn fault_stats_merge_is_commutative_and_exact() {
+        let (_, llm) = inner();
+        let stats_for = |seed: u64| {
+            let sim = SimBackend::new(&llm, FaultPlan::heavy(seed));
+            for i in 0..15 {
+                run_to_success(&sim, &format!("merge probe {seed}-{i}"));
+            }
+            sim.stats()
+        };
+        let a = stats_for(7);
+        let b = stats_for(1337);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.attempts, a.attempts + b.attempts);
+        assert_eq!(ab.injected(), a.injected() + b.injected());
+        let mut id = a;
+        id.merge(&FaultStats::default());
+        assert_eq!(id, a, "merging a default is the identity");
     }
 
     #[test]

@@ -6,10 +6,10 @@ Usage: diff_bench.py OLD.json NEW.json
 The throughput bench emits two kinds of numbers:
 
 * **Exact counters** — model calls, cache misses, tokens saved, endpoint
-  calls, warm-path allocations. The whole stack is deterministic, so for
-  an unchanged workload these must not regress between consecutive
-  baselines: a new PR may make them better, never worse. Any regression
-  fails this script (exit 1).
+  calls, warm-path allocations, cascade billing. The whole stack is
+  deterministic, so for an unchanged workload these must not regress
+  between consecutive baselines: a new PR may make them better, never
+  worse. Any regression fails this script (exit 1).
 * **Times** — wall seconds, tasks/sec, virtual-time makespans and
   quantiles. These depend on the machine and on scheduling; they are
   printed for information and never fail the diff.
@@ -113,6 +113,38 @@ def main(argv):
     if o_warm and n_warm:
         for key in ("allocations", "bytes"):
             must_not_increase("warm_lookups", key, o_warm, n_warm)
+
+    # Routed-fleet section (PR 7+): virtual-time goodput is deterministic
+    # but the fault plan is part of the regime's definition, so makespans
+    # and goodput are informational; the binary itself asserts the fleet
+    # beats every single endpoint.
+    o_routed, n_routed = old.get("routed"), new.get("routed")
+    if o_routed and n_routed:
+        for kind in ("single_endpoint", "fleet"):
+            for o_run, n_run in zip(o_routed.get(kind, []), n_routed.get(kind, [])):
+                print(
+                    f"  info      routed {kind} seed {n_run.get('fault_seed')}: "
+                    f"makespan_us {o_run.get('makespan_us')} -> {n_run.get('makespan_us')}, "
+                    f"goodput {o_run.get('goodput_answers_per_vs')} -> "
+                    f"{n_run.get('goodput_answers_per_vs')}"
+                )
+
+    # Cascade section (PR 7+): billed cost and large-tier token counters
+    # are deterministic and exact — a new PR may cut the cascade's cost,
+    # never raise it.
+    o_cascade, n_cascade = old.get("cascade"), new.get("cascade")
+    if o_cascade and n_cascade:
+        for key in (
+            "large_tier_tokens",
+            "cascade_billed_micro",
+            "billed_per_answer_micro",
+            "tokens_per_answer_milli",
+        ):
+            must_not_increase("cascade", key, o_cascade, n_cascade)
+        print(
+            f"  info      cascade: escalations "
+            f"{o_cascade.get('escalations')} -> {n_cascade.get('escalations')}"
+        )
 
     if failures:
         print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)

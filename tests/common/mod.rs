@@ -10,6 +10,8 @@
 // its own subset of the helpers.
 #![allow(dead_code)]
 
+pub mod conformance;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};

@@ -1,0 +1,124 @@
+//! Runs the backend-conformance suite (`common::conformance`) against
+//! every `LanguageModel` wrapper in the repository: the blocking
+//! `ResilientBackend`, the event-driven `Dispatcher`, and the
+//! multi-endpoint `RoutedBackend`.
+//!
+//! Each wrapper supplies one [`Factory`] translating the suite's
+//! [`Scenario`] knobs into its own configuration; the suite then holds
+//! all three to the same invariants — determinism under faults, permanent
+//! error propagation, no memoized errors, rate-token exactness, and
+//! exact commutative stats merging. A future wrapper earns the same
+//! coverage by adding a factory and a `conformance_suite!` line.
+
+mod common;
+
+use common::conformance::{self as conf, BackendUnderTest, Scenario};
+use unidm::backend::{BackendConfig, BackendStats, ResilientBackend};
+use unidm::dispatch::Dispatcher;
+use unidm::route::{AimdPolicy, RoutePlan, RoutedBackend};
+use unidm_llm::LanguageModel;
+
+struct Resilient<'a>(ResilientBackend<'a>);
+
+impl BackendUnderTest for Resilient<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        &self.0
+    }
+    fn stats(&self) -> BackendStats {
+        self.0.stats()
+    }
+}
+
+struct Dispatched<'a>(Dispatcher<'a>);
+
+impl BackendUnderTest for Dispatched<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        &self.0
+    }
+    fn stats(&self) -> BackendStats {
+        self.0.stats()
+    }
+}
+
+struct Routed<'a>(RoutedBackend<'a>);
+
+impl BackendUnderTest for Routed<'_> {
+    fn model(&self) -> &dyn LanguageModel {
+        &self.0
+    }
+    fn stats(&self) -> BackendStats {
+        self.0.backend_stats()
+    }
+}
+
+fn base_config(s: Scenario) -> BackendConfig {
+    let mut config = BackendConfig::resilient(s.seed);
+    if let Some(faults) = s.faults {
+        config = config.with_faults(faults);
+    }
+    if let Some((per_sec, burst)) = s.rate {
+        config = config.with_rate_limit(per_sec, burst);
+    }
+    config
+}
+
+fn resilient(inner: &dyn LanguageModel, s: Scenario) -> Box<dyn BackendUnderTest + '_> {
+    Box::new(Resilient(ResilientBackend::new(inner, base_config(s))))
+}
+
+fn dispatched(inner: &dyn LanguageModel, s: Scenario) -> Box<dyn BackendUnderTest + '_> {
+    Box::new(Dispatched(Dispatcher::new(
+        inner,
+        base_config(s).with_pipelined(),
+    )))
+}
+
+fn routed(inner: &dyn LanguageModel, s: Scenario) -> Box<dyn BackendUnderTest + '_> {
+    // The suite's rate knob maps onto per-endpoint buckets: two replicas,
+    // each a fixed (non-adaptive) AIMD bucket at the scenario's rate.
+    let mut plan = RoutePlan::replicas(2);
+    if let Some((per_sec, burst)) = s.rate {
+        plan = plan.with_aimd(AimdPolicy::fixed(per_sec, burst));
+    }
+    Box::new(Routed(RoutedBackend::from_plan(
+        inner,
+        base_config(s).with_route(plan),
+    )))
+}
+
+macro_rules! conformance_suite {
+    ($name:ident, $factory:path) => {
+        mod $name {
+            use super::*;
+
+            #[test]
+            fn determinism_and_transparency() {
+                conf::check_determinism_and_transparency($factory, stringify!($name));
+            }
+
+            #[test]
+            fn error_propagation() {
+                conf::check_error_propagation($factory, stringify!($name));
+            }
+
+            #[test]
+            fn no_memoized_errors() {
+                conf::check_no_memoized_errors($factory, stringify!($name));
+            }
+
+            #[test]
+            fn rate_token_exactness() {
+                conf::check_rate_token_exactness($factory, stringify!($name));
+            }
+
+            #[test]
+            fn stats_merge_commutativity() {
+                conf::check_stats_merge_commutativity($factory, stringify!($name));
+            }
+        }
+    };
+}
+
+conformance_suite!(resilient_backend, super::resilient);
+conformance_suite!(dispatcher, super::dispatched);
+conformance_suite!(routed_backend, super::routed);
