@@ -1,5 +1,5 @@
 //! Throughput of the batch execution engine — and the machine-readable
-//! perf baseline (`BENCH_7.json`) every future PR has to beat.
+//! perf baseline (`BENCH_8.json`) every future PR has to beat.
 //!
 //! Regimes:
 //!
@@ -56,7 +56,7 @@
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
-//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_7.json
+//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_8.json
 //! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
 //! cargo run -p unidm-bench --release --bin throughput -- --route 4 # fleet behind the standard regimes
 //! ```
@@ -135,7 +135,7 @@ fn bench_json_path() -> PathBuf {
         .and_then(|pos| args.get(pos + 1))
         .filter(|path| !path.starts_with("--"))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_7.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_8.json"))
 }
 
 fn main() {
@@ -983,10 +983,10 @@ fn main() {
         regimes[0].model_tokens - regimes[3].model_tokens,
     );
 
-    // ── BENCH_7.json: the machine-readable baseline ─────────────────────
+    // ── BENCH_8.json: the machine-readable baseline ─────────────────────
     let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
     let mut doc = JsonObject::new()
-        .field_u64("pr", 7)
+        .field_u64("pr", 8)
         .field_str("bench", "throughput")
         .field_str("model", llm.name())
         .field_u64("seed", config.seed)

@@ -314,6 +314,9 @@ pub struct LatencySketch {
     counts: [u64; SKETCH_BUCKETS],
     total: u64,
     max_us: u64,
+    /// Smallest sample, exactly; `u64::MAX` while empty so that merging an
+    /// empty sketch is the identity (`min` folds through unchanged).
+    min_us: u64,
 }
 
 impl Default for LatencySketch {
@@ -322,6 +325,7 @@ impl Default for LatencySketch {
             counts: [0; SKETCH_BUCKETS],
             total: 0,
             max_us: 0,
+            min_us: u64::MAX,
         }
     }
 }
@@ -330,6 +334,7 @@ impl std::fmt::Debug for LatencySketch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LatencySketch")
             .field("samples", &self.total)
+            .field("min_us", &self.min_us())
             .field("p50_us", &self.quantile_us(500))
             .field("p99_us", &self.quantile_us(990))
             .field("max_us", &self.max_us)
@@ -367,6 +372,7 @@ impl LatencySketch {
         self.counts[Self::bucket(us)] += 1;
         self.total += 1;
         self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
     }
 
     /// Samples recorded so far.
@@ -379,21 +385,37 @@ impl LatencySketch {
         self.max_us
     }
 
+    /// The smallest sample recorded, exactly. Returns 0 when empty.
+    pub fn min_us(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
     /// The `permille`-th quantile (e.g. 990 = P99) in microseconds: the
     /// upper bound of the bucket holding that rank, clamped to the exact
-    /// maximum. Returns 0 when empty.
+    /// observed extremes. Returns 0 when empty.
+    ///
+    /// Rank 1 (permille 0, and any permille small enough that the rank
+    /// rounds down to the first sample) is the observed minimum and is
+    /// returned exactly — not the upper bound of the first occupied
+    /// bucket, which would overestimate low quantiles by up to a bucket
+    /// width.
     pub fn quantile_us(&self, permille: u32) -> u64 {
         if self.total == 0 {
             return 0;
         }
-        let rank = (self.total * u64::from(permille.min(1000)))
-            .div_ceil(1000)
-            .max(1);
+        let rank = (self.total * u64::from(permille.min(1000))).div_ceil(1000);
+        if rank <= 1 {
+            return self.min_us;
+        }
         let mut seen = 0u64;
         for (idx, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                return Self::bucket_upper(idx).min(self.max_us);
+                return Self::bucket_upper(idx).clamp(self.min_us, self.max_us);
             }
         }
         self.max_us
@@ -408,6 +430,7 @@ impl LatencySketch {
         }
         self.total += other.total;
         self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
     }
 }
 
@@ -1218,6 +1241,72 @@ mod tests {
         assert_eq!(forward, whole, "merge must equal recording everything");
         assert_eq!(backward, whole, "merge must be order-independent");
         assert_eq!(forward.quantile_us(990), whole.quantile_us(990));
+    }
+
+    #[test]
+    fn latency_sketch_matches_sorted_sample_oracle() {
+        // Three sample shapes: uniform spread, heavy-tailed, and a
+        // single-bucket cluster (where the old rank math overshot p0).
+        let shapes: [Vec<u64>; 3] = [
+            (0..500u64).map(|i| 17 + i * 911).collect(),
+            (0..300u64)
+                .map(|i| {
+                    if i % 50 == 0 {
+                        2_000_000 + i
+                    } else {
+                        40_000 + (i % 7)
+                    }
+                })
+                .collect(),
+            vec![50_001; 64],
+        ];
+        for samples in &shapes {
+            let mut sketch = LatencySketch::default();
+            for &us in samples {
+                sketch.record(us);
+            }
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let min = sorted[0];
+            let max = *sorted.last().unwrap();
+            assert_eq!(sketch.min_us(), min, "p0 must be the exact minimum");
+            assert_eq!(sketch.quantile_us(0), min, "p0 must be the exact minimum");
+            assert_eq!(sketch.quantile_us(1000), max, "p100 is the exact maximum");
+            for permille in [1u32, 10, 100, 250, 500, 900, 990, 999] {
+                let rank = ((sorted.len() as u64) * u64::from(permille)).div_ceil(1000);
+                let oracle = sorted[rank.max(1) as usize - 1];
+                let got = sketch.quantile_us(permille);
+                // The sketch reports the upper bound of the oracle's
+                // bucket: never below the true value, never more than one
+                // sub-bucket (≤25% relative, +2 for integer rounding)
+                // above it.
+                assert!(
+                    got >= oracle,
+                    "p{permille} undershoots: {got} < oracle {oracle}"
+                );
+                assert!(
+                    got <= oracle + oracle / 4 + 2,
+                    "p{permille} overshoots its bucket: {got} vs oracle {oracle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_sketch_min_tracking_survives_merge_identity() {
+        let mut sketch = LatencySketch::default();
+        sketch.record(700);
+        sketch.record(90);
+        let snapshot = sketch;
+        // Merging an empty sketch is the identity (min folds through the
+        // u64::MAX sentinel), and min merges exactly in either direction.
+        sketch.merge(&LatencySketch::default());
+        assert_eq!(sketch, snapshot);
+        let mut other = LatencySketch::default();
+        other.record(40);
+        sketch.merge(&other);
+        assert_eq!(sketch.min_us(), 40);
+        assert_eq!(LatencySketch::default().min_us(), 0, "empty reports zero");
     }
 
     #[test]

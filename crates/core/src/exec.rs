@@ -141,6 +141,10 @@ struct CacheEntry {
     /// which is what lets snapshot compaction keep the globally
     /// most-recent entries.
     stamp: u64,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// sweeps past. An entry is evicted only if the hand finds the bit
+    /// clear — i.e. it was not used for a whole revolution.
+    referenced: bool,
 }
 
 /// State of a single-flight slot.
@@ -208,8 +212,15 @@ impl InFlight {
 struct CacheInner {
     /// canonical prompt text → memoized completion. Keyed by the owned
     /// text but probed with a borrowed `&str`, so a warm hit allocates
-    /// nothing.
-    entries: HashMap<Box<str>, CacheEntry>,
+    /// nothing. `Arc<str>` so the eviction ring shares the key without a
+    /// second copy of the text.
+    entries: HashMap<Arc<str>, CacheEntry>,
+    /// Second-chance eviction ring: every resident key, in insertion
+    /// order, with `hand` pointing at the next eviction candidate. An
+    /// evicted slot is reused in place by the entry that displaced it, so
+    /// the ring never reallocates once the shard is full.
+    ring: Vec<Arc<str>>,
+    hand: usize,
     /// canonical prompt text → single-flight slot for keys currently
     /// being completed by a leader.
     inflight: HashMap<Box<str>, Arc<InFlight>>,
@@ -217,29 +228,80 @@ struct CacheInner {
 }
 
 impl CacheInner {
-    /// Inserts (or refreshes) `text` at `stamp`, evicting the
-    /// least-recently-used entry when over `capacity`.
+    /// Inserts (or refreshes) `text` at `stamp`, evicting one entry by
+    /// second-chance when the shard is at `capacity`.
     ///
-    /// Eviction scans the shard for the minimum stamp — O(entries) on the
-    /// miss path, where the model call dominates anyway. (The hit path in
-    /// exchange refreshes recency by overwriting a `u64` in place, with no
-    /// ordered index to maintain and no allocation.)
+    /// Eviction is O(1) amortized: the clock hand sweeps the ring,
+    /// clearing reference bits until it finds an entry not used since the
+    /// last revolution — each resident entry is touched at most once per
+    /// revolution, however full the shard is. (The previous policy
+    /// scanned every entry for the minimum stamp on each over-capacity
+    /// miss: O(entries) per miss, quadratic under sustained load.) The
+    /// hit path still refreshes recency by overwriting the stamp and the
+    /// reference bit in place — no ordered index, no allocation.
+    ///
+    /// Victim choice is deterministic for a deterministic operation
+    /// order: the hand position and every reference bit are pure
+    /// functions of the insert/hit sequence. `stats.evictions` stays
+    /// exact — exactly one eviction per insert beyond capacity.
     fn insert(&mut self, text: &str, completion: Arc<Completion>, capacity: usize, stamp: u64) {
-        self.entries
-            .insert(text.into(), CacheEntry { completion, stamp });
-        if self.entries.len() > capacity {
-            // Stamps are unique (one cache-wide counter), so the minimum
-            // is unique and the victim deterministic.
-            if let Some(victim) = self
+        if let Some(entry) = self.entries.get_mut(text) {
+            // Refresh in place (re-admission or a racing co-leader): the
+            // key keeps its ring slot.
+            entry.completion = completion;
+            entry.stamp = stamp;
+            entry.referenced = true;
+            return;
+        }
+        let key: Arc<str> = Arc::from(text);
+        let entry = CacheEntry {
+            completion,
+            stamp,
+            // A fresh entry starts unreferenced: it earns its second
+            // chance on first re-use, so a one-pass scan of cold keys
+            // cannot flush the referenced working set.
+            referenced: false,
+        };
+        if self.entries.len() >= capacity {
+            let slot = self.evict_one();
+            self.ring[slot] = key.clone();
+        } else {
+            self.ring.push(key.clone());
+        }
+        self.entries.insert(key, entry);
+    }
+
+    /// Runs the clock hand until it claims a victim; removes the victim
+    /// from the map and returns its (now free) ring slot.
+    fn evict_one(&mut self) -> usize {
+        debug_assert!(!self.ring.is_empty(), "eviction needs a resident entry");
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let key = self.ring[self.hand].clone();
+            let entry = self
                 .entries
-                .iter()
-                .min_by_key(|(_, entry)| entry.stamp)
-                .map(|(text, _)| text.clone())
-            {
-                self.entries.remove(&victim);
+                .get_mut(key.as_ref())
+                .expect("every ring key is resident");
+            if entry.referenced {
+                entry.referenced = false;
+                self.hand += 1;
+            } else {
+                let slot = self.hand;
+                self.entries.remove(key.as_ref());
                 self.stats.evictions += 1;
+                self.hand += 1;
+                return slot;
             }
         }
+    }
+
+    /// Drops every entry and resets the eviction ring (statistics kept).
+    fn clear_entries(&mut self) {
+        self.entries.clear();
+        self.ring.clear();
+        self.hand = 0;
     }
 }
 
@@ -590,7 +652,7 @@ impl<'a> PromptCache<'a> {
 
     /// Removes every entry, returning them sorted by canonical prompt (so
     /// rebuilds are deterministic). Statistics are kept.
-    fn drain_entries(&mut self) -> Vec<(Box<str>, Arc<Completion>)> {
+    fn drain_entries(&mut self) -> Vec<(Arc<str>, Arc<Completion>)> {
         let mut entries = Vec::new();
         for shard in self.shards.iter() {
             let mut state = self.lock_shard(shard);
@@ -600,13 +662,15 @@ impl<'a> PromptCache<'a> {
                     .drain()
                     .map(|(text, entry)| (text, entry.completion)),
             );
+            state.ring.clear();
+            state.hand = 0;
         }
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         entries
     }
 
     /// Re-inserts drained entries under the current level/shard layout.
-    fn readmit(&self, entries: Vec<(Box<str>, Arc<Completion>)>) {
+    fn readmit(&self, entries: Vec<(Arc<str>, Arc<Completion>)>) {
         for (text, completion) in entries {
             self.admit(&text, completion);
         }
@@ -674,8 +738,7 @@ impl<'a> PromptCache<'a> {
     /// Drops all entries (statistics are kept).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            let mut state = self.lock_shard(shard);
-            state.entries.clear();
+            self.lock_shard(shard).clear_entries();
         }
     }
 
@@ -694,7 +757,7 @@ impl<'a> PromptCache<'a> {
     /// maps briefly exceed the total budget, but persisted state never
     /// does. (An unbounded cache persists everything.)
     pub fn snapshot(&self) -> String {
-        let mut entries: Vec<(Box<str>, Arc<Completion>, u64)> = Vec::new();
+        let mut entries: Vec<(Arc<str>, Arc<Completion>, u64)> = Vec::new();
         for shard in self.shards.iter() {
             let state = self.lock_shard(shard);
             entries.extend(
@@ -912,6 +975,7 @@ impl LanguageModel for PromptCache<'_> {
                 let mut state = self.lock_shard(shard);
                 if let Some(entry) = state.entries.get_mut(text) {
                     entry.stamp = stamp;
+                    entry.referenced = true;
                     let completion = entry.completion.clone();
                     state.stats.hits += 1;
                     state.stats.tokens_saved += completion.usage.total();
@@ -935,6 +999,7 @@ impl LanguageModel for PromptCache<'_> {
                 let mut state = self.lock_shard(shard);
                 if let Some(entry) = state.entries.get_mut(text) {
                     entry.stamp = stamp;
+                    entry.referenced = true;
                     let completion = entry.completion.clone();
                     state.stats.hits += 1;
                     state.stats.tokens_saved += completion.usage.total();
@@ -1685,6 +1750,62 @@ mod tests {
         let after = cache.stats();
         assert_eq!(after.hits - before.hits, 2);
         assert_eq!(after.misses - before.misses, 1);
+    }
+
+    #[test]
+    fn eviction_is_second_chance_exact_and_deterministic() {
+        let (_, llm) = setup();
+        // One shard, capacity 4: the clock hand's sweep is observable.
+        let cache = PromptCache::new(&llm, 4).with_shards(1);
+        for p in ["alpha", "beta", "gamma", "delta"] {
+            cache.complete(p).unwrap();
+        }
+        // Touch alpha: its reference bit buys one revolution of survival.
+        cache.complete("alpha").unwrap();
+        cache.complete("epsilon").unwrap();
+        // Hand: alpha referenced (bit spent), beta unreferenced -> victim.
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(
+            cache.canonical_prompts(),
+            vec!["alpha", "delta", "epsilon", "gamma"],
+            "beta is the second-chance victim"
+        );
+        // Touch gamma, insert another: hand clears gamma, claims delta.
+        cache.complete("gamma").unwrap();
+        cache.complete("zeta").unwrap();
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(
+            cache.canonical_prompts(),
+            vec!["alpha", "epsilon", "gamma", "zeta"],
+            "delta is the next victim; referenced gamma survives"
+        );
+
+        // Exactness under a distinct-key scan: one eviction per insert
+        // beyond capacity, the occupancy pinned at capacity — however
+        // long the scan runs (the old min-stamp scan was O(entries) per
+        // miss; the hand is O(1) amortized).
+        let scan = PromptCache::new(&llm, 4).with_shards(1);
+        for i in 0..100 {
+            scan.complete(&format!("scan key {i}")).unwrap();
+        }
+        assert_eq!(scan.len(), 4);
+        assert_eq!(scan.stats().evictions, 96, "exactly inserts - capacity");
+
+        // Determinism: the victim sequence is a pure function of the
+        // operation order.
+        let replay = || {
+            let cache = PromptCache::new(&llm, 4).with_shards(1);
+            for i in 0..40 {
+                cache.complete(&format!("det key {}", i % 11)).unwrap();
+                if i % 3 == 0 {
+                    cache
+                        .complete(&format!("det key {}", (i + 1) % 11))
+                        .unwrap();
+                }
+            }
+            (cache.canonical_prompts(), cache.stats().evictions)
+        };
+        assert_eq!(replay(), replay(), "same ops, same survivors");
     }
 
     #[test]

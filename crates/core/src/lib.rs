@@ -119,6 +119,7 @@ pub mod pipeline;
 pub mod prompting;
 pub mod retrieval;
 pub mod route;
+pub mod serve;
 mod task;
 
 pub use backend::{
@@ -135,4 +136,5 @@ pub use route::{
     AimdPolicy, CascadeBackend, CascadePolicy, EndpointConfig, EndpointStats, RoutePlan,
     RoutedBackend, RouterStats,
 };
+pub use serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim, TenantReport, TenantSpec};
 pub use task::Task;

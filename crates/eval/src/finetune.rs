@@ -1,16 +1,18 @@
 //! Table 5 — fine-tuning experiments on Walmart-Amazon.
 //!
-//! This driver deliberately stays outside [`crate::CacheConfig`] wiring:
-//! fine-tuning produces a *different model* at every training budget, and
+//! Fine-tuning produces a *different model* at every training budget, and
 //! a prompt → completion memo is only valid for the exact model that
-//! produced it (snapshots record the model name for the same reason —
-//! see [`unidm::SnapshotError::ModelMismatch`]). Caching across the
-//! variants would serve one model's completions to another.
+//! produced it — so this driver attaches one cache **per variant**, with
+//! the variant's model name embedded in the scenario (the same pattern
+//! the Table 6 model zoo uses). Snapshots stay model-guarded (see
+//! [`unidm::SnapshotError::ModelMismatch`]), and because `fine_tune`
+//! renames its output, a tuned variant can never be served the base
+//! model's completions.
 
 use unidm::PipelineConfig;
 use unidm_baselines::fm;
 use unidm_llm::finetune::fine_tune;
-use unidm_llm::{LlmProfile, MockLlm};
+use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::matching;
 use unidm_world::World;
 
@@ -38,12 +40,18 @@ pub fn table5(config: ExperimentConfig) -> TableReport {
         vec!["FM".into(), "UniDM".into()],
     );
 
-    // Every variant still runs behind the resilient backend layer when
-    // the config enables it — resilience is model-agnostic even though
-    // caching is not.
+    // Every variant runs behind the full backend + cache stack when the
+    // config enables them. Caching is per-variant: the scenario name
+    // embeds the variant's model name, so each model gets its own memo
+    // (and its own model-guarded snapshot) — sharing one cache across
+    // variants would serve one model's completions to another.
     let eval_pair = |llm: &MockLlm| -> (f64, f64) {
         let backend = config.backend.wrap(llm);
-        let llm = backend.model();
+        let cached = config.cache.attach(
+            &format!("table5-{}-seed{}", llm.name(), config.seed),
+            backend.model(),
+        );
+        let llm = cached.model();
         let fm_score = fm_f1(llm, &ds, fm::ContextStrategy::Manual, q, config.seed).f1() * 100.0;
         let unidm_score = unidm_f1(
             llm,
@@ -53,6 +61,7 @@ pub fn table5(config: ExperimentConfig) -> TableReport {
         )
         .f1()
             * 100.0;
+        cached.finish();
         (fm_score, unidm_score)
     };
 
@@ -104,5 +113,25 @@ mod tests {
             report.cell("LLaMA2-7B", "FM").unwrap().is_nan(),
             "paper reports NA"
         );
+    }
+
+    #[test]
+    fn table5_cached_run_matches_uncached() {
+        use crate::CacheConfig;
+        // The per-variant cache path must not change any cell: each
+        // variant's memo is keyed to its own model, so answers are
+        // bit-identical with caching on.
+        let plain = table5(ExperimentConfig::quick());
+        let cached = table5(ExperimentConfig::quick().with_cache(CacheConfig::enabled()));
+        for row in [
+            "GPT-J-6B",
+            "GPT-J-6B (fine-tune)",
+            "LLaMA2-7B (fine-tune)",
+            "GPT-3-175B",
+        ] {
+            let a = plain.cell(row, "UniDM").unwrap();
+            let b = cached.cell(row, "UniDM").unwrap();
+            assert_eq!(a, b, "cached {row} diverged: {a} vs {b}");
+        }
     }
 }

@@ -44,6 +44,7 @@ pub mod joins;
 pub mod matching;
 pub mod metrics;
 pub mod report;
+pub mod streams;
 pub mod tokens;
 pub mod transformation;
 pub mod zoo;

@@ -1,0 +1,265 @@
+//! Canonical prompt streams of the ten paper scenarios, recorded for the
+//! open-loop serving simulator.
+//!
+//! `unidm::serve` injects a multi-tenant mix of *real* pipeline traffic,
+//! not synthetic strings: each of the ten eval drivers is replayed here
+//! against a [`PromptCache`] in recording mode
+//! ([`CanonLevel::TableStem`]), and the cache's sorted canonical keys
+//! become that scenario's prompt stream. Recording through the cache
+//! means a stream holds each canonical prompt once — exactly the working
+//! set a serving deployment of that scenario would hammer — and sorting
+//! makes the stream a deterministic function of `(seed, queries)` alone,
+//! independent of worker scheduling during recording.
+
+use unidm::{BatchRunner, CanonLevel, PipelineConfig, PromptCache, Task};
+use unidm_llm::{LlmProfile, MockLlm};
+use unidm_synthdata::{errors, extraction, imputation, joins, matching, transformation};
+use unidm_tablestore::DataLake;
+use unidm_world::World;
+
+use crate::matching::to_serialized;
+
+/// One scenario's recorded canonical prompt stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptStream {
+    /// Which paper scenario produced the stream (e.g. `"table1-imputation"`).
+    pub scenario: &'static str,
+    /// The canonical prompt texts, sorted (deduplicated by recording).
+    pub prompts: Vec<String>,
+}
+
+/// Replays `tasks` through a recording cache and returns the canonical
+/// prompts the run produced.
+fn record(seed: u64, lake: &DataLake, tasks: &[Task]) -> Vec<String> {
+    let world = World::generate(seed);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), seed);
+    let cache = PromptCache::unbounded(&llm).with_canonicalization(CanonLevel::TableStem);
+    let pipeline = PipelineConfig::paper_default().with_seed(seed);
+    BatchRunner::new(&cache, pipeline).answers(lake, tasks);
+    cache.canonical_prompts()
+}
+
+/// Records the ten scenarios' canonical prompt streams at `seed`, each
+/// driver replayed over (up to) `queries` of its evaluation items.
+///
+/// The result is deterministic in `(seed, queries)` and is the prompt
+/// pool the serving bench's tenant mix draws from; streams of related
+/// scenarios overlap (Tables 1, 6 and 7 all impute), which is exactly
+/// what makes a shared prompt cache earn its keep under multi-tenant
+/// load.
+pub fn record_streams(seed: u64, queries: usize) -> Vec<PromptStream> {
+    let world = World::generate(seed);
+    let queries = queries.max(1);
+    let mut streams = Vec::with_capacity(10);
+
+    // Table 1 — imputation (Restaurant).
+    {
+        let ds = imputation::restaurant(&world, seed, queries);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks: Vec<Task> = ds.targets[..queries.min(ds.targets.len())]
+            .iter()
+            .map(|t| {
+                Task::imputation(
+                    ds.table.name(),
+                    t.row,
+                    ds.target_attr.clone(),
+                    ds.key_attr.clone(),
+                )
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table1-imputation",
+            prompts: record(seed, &lake, &tasks),
+        });
+    }
+
+    // Table 2 — transformation (StackOverflow).
+    {
+        let ds = transformation::stackoverflow(&world, seed, queries);
+        let tasks: Vec<Task> = ds.cases[..queries.min(ds.cases.len())]
+            .iter()
+            .map(|case| Task::Transformation {
+                examples: case.examples.clone(),
+                input: case.input.clone(),
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table2-transformation",
+            prompts: record(seed, &DataLake::new(), &tasks),
+        });
+    }
+
+    // Table 3 — error detection (Hospital).
+    {
+        let ds = errors::hospital(&world, seed, 0.05);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks: Vec<Task> = ds.cells[..queries.min(ds.cells.len())]
+            .iter()
+            .map(|cell| Task::error_detection(ds.table.name(), cell.row, cell.attr.clone()))
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table3-errors",
+            prompts: record(seed, &lake, &tasks),
+        });
+    }
+
+    // Tables 4 and 5 — entity resolution (Beer; Walmart-Amazon). Table 5
+    // serves the same task shape through fine-tuned variants, so its
+    // stream is the Walmart-Amazon pairs the fine-tune driver queries.
+    for (scenario, ds) in [
+        ("table4-matching", matching::beer(&world, seed)),
+        ("table5-finetune", matching::walmart_amazon(&world, seed)),
+    ] {
+        let pool: Vec<_> = ds
+            .train
+            .iter()
+            .take(40)
+            .map(|p| {
+                (
+                    to_serialized(&ds.schema, &p.a),
+                    to_serialized(&ds.schema, &p.b),
+                    p.is_match,
+                )
+            })
+            .collect();
+        let tasks: Vec<Task> = ds.pairs[..queries.min(ds.pairs.len())]
+            .iter()
+            .map(|pair| Task::EntityResolution {
+                a: to_serialized(&ds.schema, &pair.a),
+                b: to_serialized(&ds.schema, &pair.b),
+                pool: pool.clone(),
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario,
+            prompts: record(seed, &DataLake::new(), &tasks),
+        });
+    }
+
+    // Table 6 — the model zoo imputes Buy across LLM variants; the
+    // prompt stream is the same for every variant.
+    {
+        let ds = imputation::buy(&world, seed, queries);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks: Vec<Task> = ds.targets[..queries.min(ds.targets.len())]
+            .iter()
+            .map(|t| {
+                Task::imputation(
+                    ds.table.name(),
+                    t.row,
+                    ds.target_attr.clone(),
+                    ds.key_attr.clone(),
+                )
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table6-zoo",
+            prompts: record(seed, &lake, &tasks),
+        });
+    }
+
+    // Table 7 — token accounting replays Restaurant imputation with a
+    // different seed offset so its stream overlaps-but-differs from
+    // Table 1 (the overlap is what a shared cache exploits).
+    {
+        let ds = imputation::restaurant(&world, seed.wrapping_add(1), queries);
+        let lake: DataLake = [ds.table.clone()].into_iter().collect();
+        let tasks: Vec<Task> = ds.targets[..queries.min(ds.targets.len())]
+            .iter()
+            .map(|t| {
+                Task::imputation(
+                    ds.table.name(),
+                    t.row,
+                    ds.target_attr.clone(),
+                    ds.key_attr.clone(),
+                )
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table7-tokens",
+            prompts: record(seed, &lake, &tasks),
+        });
+    }
+
+    // Tables 8–10 — ablations sweep transformation (Bing QueryLogs).
+    {
+        let ds = transformation::bing_querylogs(&world, seed, queries);
+        let tasks: Vec<Task> = ds.cases[..queries.min(ds.cases.len())]
+            .iter()
+            .map(|case| Task::Transformation {
+                examples: case.examples.clone(),
+                input: case.input.clone(),
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "table8-10-ablation",
+            prompts: record(seed, &DataLake::new(), &tasks),
+        });
+    }
+
+    // Table 11 — information extraction (NBA players).
+    {
+        let ds = extraction::nba_players(&world, seed);
+        let mut tasks = Vec::new();
+        for doc in ds.docs.iter().take(queries) {
+            for attr in &ds.attrs {
+                tasks.push(Task::Extraction {
+                    document: doc.text.clone(),
+                    attr: attr.clone(),
+                });
+            }
+        }
+        streams.push(PromptStream {
+            scenario: "table11-extraction",
+            prompts: record(seed, &DataLake::new(), &tasks),
+        });
+    }
+
+    // Figure 5 — join discovery (NextiaJD).
+    {
+        let ds = joins::nextiajd(&world, seed, queries);
+        let tasks: Vec<Task> = ds.pairs[..queries.min(ds.pairs.len())]
+            .iter()
+            .map(|pair| Task::JoinDiscovery {
+                left_name: pair.left_name.clone(),
+                left_values: pair.left_values.clone(),
+                right_name: pair.right_name.clone(),
+                right_values: pair.right_values.clone(),
+            })
+            .collect();
+        streams.push(PromptStream {
+            scenario: "fig5-joins",
+            prompts: record(seed, &DataLake::new(), &tasks),
+        });
+    }
+
+    streams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_scenarios_record_deterministic_nonempty_streams() {
+        let a = record_streams(42, 4);
+        let b = record_streams(42, 4);
+        assert_eq!(a, b, "recording must be deterministic at a fixed seed");
+        assert_eq!(a.len(), 10, "one stream per paper scenario");
+        for stream in &a {
+            assert!(
+                !stream.prompts.is_empty(),
+                "{} recorded no prompts",
+                stream.scenario
+            );
+            let mut sorted = stream.prompts.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(
+                sorted, stream.prompts,
+                "{} stream must be sorted and deduplicated",
+                stream.scenario
+            );
+        }
+    }
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Diff two committed BENCH_*.json perf baselines.
 
-Usage: diff_bench.py OLD.json NEW.json
+Usage: diff_bench.py [--allow-workload-change] OLD.json NEW.json
 
 The throughput bench emits two kinds of numbers:
 
@@ -21,8 +21,11 @@ an endpoint call — which is exact.
 
 Only regimes present in both files are compared, so baselines can add new
 regimes without breaking the diff. If the two files describe different
-workloads (task count or seed), nothing is comparable and the script
-exits 0 with a notice.
+workloads (task count, seed or model), nothing is comparable and the
+script **fails** — a silent workload change would disable the perf gate
+while appearing green. Re-baselining on purpose requires the explicit
+`--allow-workload-change` flag, which downgrades the mismatch to a
+notice.
 """
 
 import json
@@ -39,20 +42,35 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
-        print("usage: diff_bench.py OLD.json NEW.json", file=sys.stderr)
+    args = list(argv[1:])
+    allow_workload_change = "--allow-workload-change" in args
+    args = [a for a in args if a != "--allow-workload-change"]
+    if len(args) != 2:
+        print(
+            "usage: diff_bench.py [--allow-workload-change] OLD.json NEW.json",
+            file=sys.stderr,
+        )
         return 2
-    old_path, new_path = argv[1], argv[2]
+    old_path, new_path = args
     old, new = load(old_path), load(new_path)
 
     workload = ("tasks", "seed", "model")
     if any(old.get(k) != new.get(k) for k in workload):
+        detail = {k: (old.get(k), new.get(k)) for k in workload}
+        if allow_workload_change:
+            print(
+                f"workload mismatch between {old_path} and {new_path} "
+                f"({detail}); re-baselining as requested, nothing compared."
+            )
+            return 0
         print(
-            f"workload mismatch between {old_path} and {new_path} "
-            f"({ {k: (old.get(k), new.get(k)) for k in workload} }); "
-            "nothing comparable, skipping."
+            f"REGRESSED workload mismatch between {old_path} and {new_path} "
+            f"({detail}): the perf gate has nothing to compare. If the "
+            "workload change is intentional, re-run with "
+            "--allow-workload-change to re-baseline.",
+            file=sys.stderr,
         )
-        return 0
+        return 1
 
     failures = []
 
@@ -145,6 +163,60 @@ def main(argv):
             f"  info      cascade: escalations "
             f"{o_cascade.get('escalations')} -> {n_cascade.get('escalations')}"
         )
+
+    # Open-loop serving section (PR 8+): the simulator is deterministic
+    # end to end, so its SLO counters are exact — a new PR may complete
+    # more requests within SLO, never fewer. Latency quantiles and
+    # goodput depend on the regime definition and are informational; the
+    # trace digest changes whenever any timing changes, so it is printed,
+    # not compared.
+    o_serve, n_serve = old.get("serving"), new.get("serving")
+    if o_serve and n_serve:
+        if o_serve.get("requests") != n_serve.get("requests"):
+            detail = (o_serve.get("requests"), n_serve.get("requests"))
+            if allow_workload_change:
+                print(f"  notice    serving: request count changed {detail}")
+            else:
+                failures.append(
+                    f"serving: request count changed {detail[0]} -> {detail[1]} "
+                    "(workload change; pass --allow-workload-change to re-baseline)"
+                )
+        else:
+            must_not_increase("serving", "errors", o_serve, n_serve)
+            must_not_increase("serving", "replay_mismatches", o_serve, n_serve)
+            must_not_decrease(
+                "serving",
+                "slo_met",
+                o_serve.get("slo_met", 0),
+                n_serve.get("slo_met", 0),
+            )
+            o_tenants = {t["name"]: t for t in o_serve.get("tenants", [])}
+            n_tenants = {t["name"]: t for t in n_serve.get("tenants", [])}
+            for name in o_tenants:
+                if name not in n_tenants:
+                    continue
+                o_t, n_t = o_tenants[name], n_tenants[name]
+                scope = f"serving tenant '{name}'"
+                must_not_increase(scope, "errors", o_t, n_t)
+                must_not_decrease(
+                    scope,
+                    "attainment_permille",
+                    o_t.get("attainment_permille", 0),
+                    n_t.get("attainment_permille", 0),
+                )
+                print(
+                    f"  info      {scope}: p50_us {o_t.get('p50_us')} -> {n_t.get('p50_us')}, "
+                    f"p99_us {o_t.get('p99_us')} -> {n_t.get('p99_us')}, "
+                    f"p999_us {o_t.get('p999_us')} -> {n_t.get('p999_us')}, "
+                    f"goodput_per_ks {o_t.get('goodput_per_ks')} -> {n_t.get('goodput_per_ks')}"
+                )
+            print(
+                f"  info      serving: trace_fnv {o_serve.get('trace_fnv')} -> "
+                f"{n_serve.get('trace_fnv')}, makespan_us "
+                f"{o_serve.get('makespan_us')} -> {n_serve.get('makespan_us')}"
+            )
+    elif n_serve and not o_serve:
+        print("  notice    serving: new section (no old baseline to compare)")
 
     if failures:
         print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)

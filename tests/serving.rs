@@ -1,0 +1,195 @@
+//! Schedule-independence property tests for the open-loop serving
+//! simulator (`unidm::serve`).
+//!
+//! The simulator's contract is that a fixed seed pins *everything*: the
+//! event trace, the per-tenant latency/SLO stats, and the counters the
+//! `serving` bench section publishes must be byte-identical at 1 and 8
+//! replay workers and across reruns — under faults as much as without
+//! them. The fault-schedule seed honors `UNIDM_FAULT_SEED` (the CI
+//! matrix runs the suite at 7 and 1337), and each test additionally
+//! sweeps a second derived seed so a single invocation still covers two
+//! schedules.
+
+use unidm::serve::{ArrivalProcess, EventKind, ServeConfig, ServeReport, ServeSim, TenantSpec};
+use unidm::BackendConfig;
+use unidm_llm::{FaultPlan, LlmProfile, MockLlm};
+use unidm_world::World;
+
+/// The fault-schedule seeds under test: `UNIDM_FAULT_SEED` (7 when
+/// unset) plus a fixed second schedule.
+fn fault_seeds() -> [u64; 2] {
+    let base = std::env::var("UNIDM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    [base, if base == 1337 { 7 } else { 1337 }]
+}
+
+/// A three-tenant mix exercising all three arrival processes.
+fn mix(seed: u64, workers: usize) -> ServeSim {
+    let prompts = |tag: &str| -> Vec<String> {
+        (0..6)
+            .map(|i| format!("What is the {tag} of record {i}?"))
+            .collect()
+    };
+    ServeSim::new(ServeConfig::new(seed).with_servers(4).with_workers(workers))
+        .tenant(
+            TenantSpec::new("poisson", prompts("timezone"))
+                .with_arrival(ArrivalProcess::Poisson)
+                .with_rate_milli_per_s(8_000)
+                .with_requests(60)
+                .with_slo_us(2_000_000),
+        )
+        .tenant(
+            TenantSpec::new("bursty", prompts("capital"))
+                .with_arrival(ArrivalProcess::Bursty { burst: 6 })
+                .with_rate_milli_per_s(5_000)
+                .with_requests(60)
+                .with_slo_us(1_000_000),
+        )
+        .tenant(
+            TenantSpec::new("diurnal", prompts("population"))
+                .with_arrival(ArrivalProcess::Diurnal {
+                    period_us: 20_000_000,
+                })
+                .with_rate_milli_per_s(3_000)
+                .with_requests(60)
+                .with_slo_us(5_000_000),
+        )
+}
+
+/// The exact counters the `serving` section of the committed baseline
+/// publishes — the tuple `scripts/diff_bench.py` pins.
+fn bench_counters(report: &ServeReport) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        report.requests,
+        report.errors,
+        report.slo_met,
+        report.replay_mismatches,
+        report.attainment_permille(),
+        report.goodput_per_ks(),
+        report.makespan_us,
+        report.trace_fnv(),
+    )
+}
+
+#[test]
+fn reports_identical_across_worker_counts_reruns_and_fault_seeds() {
+    for fault_seed in fault_seeds() {
+        let run = |workers: usize| -> ServeReport {
+            // A fresh, identically constructed stack per run: reusing a
+            // stack would advance its private fault schedule and virtual
+            // clock, which is a different experiment, not a rerun.
+            let world = World::generate(11);
+            let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 11);
+            let stack = BackendConfig::resilient(11)
+                .with_faults(FaultPlan::moderate(fault_seed))
+                .wrap(&llm);
+            mix(11, workers).run(&stack)
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        let rerun = run(8);
+        assert_eq!(
+            serial, parallel,
+            "fault seed {fault_seed}: replay worker count changed the report"
+        );
+        assert_eq!(
+            parallel, rerun,
+            "fault seed {fault_seed}: rerun at the same seed diverged"
+        );
+        assert_eq!(
+            bench_counters(&serial),
+            bench_counters(&parallel),
+            "fault seed {fault_seed}: bench counters diverged across worker counts"
+        );
+        assert_eq!(
+            serial.replay_mismatches, 0,
+            "fault seed {fault_seed}: the resilient stack is prompt-deterministic"
+        );
+    }
+}
+
+#[test]
+fn fault_schedules_are_part_of_the_experiment() {
+    // Different fault seeds must be *different* deterministic
+    // experiments: each reproduces itself, and the two (virtually always)
+    // produce different traces — if they matched, faults would not be
+    // reaching the simulator at all.
+    let [a_seed, b_seed] = fault_seeds();
+    let run = |fault_seed: u64| -> ServeReport {
+        let world = World::generate(11);
+        let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 11);
+        let stack = BackendConfig::resilient(11)
+            .with_faults(FaultPlan::moderate(fault_seed))
+            .wrap(&llm);
+        mix(11, 2).run(&stack)
+    };
+    assert_eq!(run(a_seed), run(a_seed));
+    assert_ne!(
+        run(a_seed).trace_fnv(),
+        run(b_seed).trace_fnv(),
+        "fault seeds {a_seed} and {b_seed} produced identical traces"
+    );
+}
+
+#[test]
+fn trace_is_well_formed_and_stats_reconcile() {
+    let world = World::generate(3);
+    let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), 3);
+    let stack = BackendConfig::default().wrap(&llm);
+    let report = mix(3, 1).run(&stack);
+
+    // Virtual time never runs backwards in the trace.
+    for pair in report.trace.windows(2) {
+        assert!(
+            pair[0].at_us <= pair[1].at_us,
+            "trace went backwards: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // Every request contributes exactly one arrival, one start, one done.
+    let count = |kind_matches: &dyn Fn(EventKind) -> bool| {
+        report.trace.iter().filter(|e| kind_matches(e.kind)).count() as u64
+    };
+    assert_eq!(count(&|k| k == EventKind::Arrival), report.requests);
+    assert_eq!(count(&|k| k == EventKind::Start), report.requests);
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::Done { .. })),
+        report.requests
+    );
+
+    // Global counters are the per-tenant sums, and attainment follows
+    // from them exactly.
+    assert_eq!(
+        report.requests,
+        report.tenants.iter().map(|t| t.requests).sum::<u64>()
+    );
+    assert_eq!(
+        report.errors,
+        report.tenants.iter().map(|t| t.errors).sum::<u64>()
+    );
+    assert_eq!(
+        report.slo_met,
+        report.tenants.iter().map(|t| t.slo_met).sum::<u64>()
+    );
+    for t in &report.tenants {
+        assert_eq!(t.requests, t.ok + t.errors, "{}: ok/error split", t.name);
+        assert!(t.slo_met <= t.ok, "{}: SLO-met answers must be ok", t.name);
+        assert_eq!(
+            t.attainment_permille,
+            t.slo_met * 1000 / t.requests,
+            "{}: attainment formula",
+            t.name
+        );
+        // p50 <= p99 <= p999, and all within [min, max].
+        let (p50, p99, p999) = (
+            t.latency.quantile_us(500),
+            t.latency.quantile_us(990),
+            t.latency.quantile_us(999),
+        );
+        assert!(t.latency.min_us() <= p50 && p50 <= p99 && p99 <= p999);
+        assert!(p999 <= t.latency.quantile_us(1000));
+    }
+}
