@@ -42,8 +42,7 @@ impl Cmi {
             .clamp(1, n.max(1));
         let target_idx = table.schema().require(target_attr)?;
         let keys: Vec<Vec<String>> = table
-            .rows()
-            .iter()
+            .iter_rows()
             .map(|r| {
                 r.values()
                     .iter()
@@ -122,7 +121,7 @@ impl Cmi {
         }
         let cluster = self.assignments[row];
         let mut counts: HashMap<String, usize> = HashMap::new();
-        for (r, rec) in table.rows().iter().enumerate() {
+        for (r, rec) in table.iter_rows().enumerate() {
             if self.assignments.get(r) == Some(&cluster) && r != row {
                 if let Some(v) = rec.get(target_idx) {
                     if !v.is_null() {

@@ -72,10 +72,8 @@ impl<'a> Fm<'a> {
             .filter(|&r| r != row)
             .filter(|&r| {
                 table
-                    .rows()
-                    .get(r)
-                    .and_then(|rec| rec.get(idx))
-                    .is_some_and(|v| !v.is_null())
+                    .row_at(r)
+                    .is_ok_and(|rec| rec.get(idx).is_some_and(|v| !v.is_null()))
             })
             .collect();
         let chosen = self.select(

@@ -39,7 +39,7 @@ pub fn impute(table: &Table, row: usize, attr: &str) -> Result<String, TableErro
         // Conditional distribution P(target | evidence attribute value).
         let mut counts: HashMap<String, usize> = HashMap::new();
         let mut total = 0usize;
-        for r in table.rows() {
+        for r in table.iter_rows() {
             let same = r.get(i).is_some_and(|v| v.answer_key() == ev_key);
             if !same {
                 continue;
@@ -83,7 +83,10 @@ pub fn detect_error(table: &Table, row: usize, attr: &str) -> Result<bool, Table
     }
     // Numeric columns: flag > 3 sigma outliers.
     if let Some(x) = numeric_only(&value) {
-        let nums: Vec<f64> = table.column(attr)?.filter_map(numeric_only).collect();
+        let nums: Vec<f64> = table
+            .column(attr)?
+            .filter_map(|v| numeric_only(&v))
+            .collect();
         if nums.len() >= 8 {
             let mean = nums.iter().sum::<f64>() / nums.len() as f64;
             let var = nums.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / nums.len() as f64;

@@ -30,7 +30,7 @@ impl Imp {
         let target_idx = table.schema().require(target_attr)?;
         let mut texts = Vec::with_capacity(table.row_count());
         let mut labels = Vec::with_capacity(table.row_count());
-        for rec in table.rows() {
+        for rec in table.iter_rows() {
             let fields: Vec<String> = rec
                 .values()
                 .iter()

@@ -20,6 +20,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATED: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// Bumps the live-bytes high-water mark after an allocation of `size` bytes.
+fn note_alloc(size: u64) {
+    BYTES.fetch_add(size, Ordering::Relaxed);
+    let live = BYTES
+        .load(Ordering::Relaxed)
+        .saturating_sub(DEALLOCATED.load(Ordering::Relaxed));
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
 
 /// A [`GlobalAlloc`] that counts allocations and allocated bytes, then
 /// delegates to [`System`].
@@ -31,25 +42,27 @@ pub struct CountingAllocator;
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        note_alloc(layout.size() as u64);
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        note_alloc(layout.size() as u64);
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
         unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow/shrink is one allocator round-trip: count it like a
-        // fresh allocation of the new size.
+        // fresh allocation of the new size plus a free of the old block.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        DEALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        note_alloc(new_size as u64);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -62,6 +75,34 @@ pub fn allocation_count() -> u64 {
 /// Total bytes requested from the allocator by this process so far.
 pub fn bytes_allocated() -> u64 {
     BYTES.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live (allocated minus deallocated). Approximate under
+/// concurrency (two relaxed loads), exact on a quiescent process.
+pub fn live_bytes() -> u64 {
+    BYTES
+        .load(Ordering::Relaxed)
+        .saturating_sub(DEALLOCATED.load(Ordering::Relaxed))
+}
+
+/// High-water mark of [`live_bytes`] since process start (or the last
+/// [`reset_peak_to_live`]).
+pub fn peak_live_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Resets the high-water mark to the current live-byte count, so a
+/// subsequent [`peak_live_bytes`] reading reflects only the section after
+/// this call. Returns the live-byte baseline it reset to.
+///
+/// The out-of-core `scale` regime uses this to assert that streaming a
+/// lake many times larger than memory never holds more than a bounded
+/// number of chunks resident: peak minus baseline is the section's true
+/// memory footprint, independent of whatever the process allocated before.
+pub fn reset_peak_to_live() -> u64 {
+    let live = live_bytes();
+    PEAK.store(live, Ordering::Relaxed);
+    live
 }
 
 /// A snapshot of the allocation counters, for measuring a section.

@@ -1,5 +1,5 @@
 //! Open-loop serving bench — the standing `serving` perf regime of the
-//! committed baseline (`BENCH_8.json`).
+//! committed baseline (`BENCH_9.json`).
 //!
 //! Where the `throughput` bench is closed-loop (push a batch as fast as
 //! it goes, report makespan), this binary drives the resilient backend
@@ -169,7 +169,7 @@ fn main() {
         .unwrap_or(7);
     let path = arg_value(&args, "--bench-json")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_8.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"));
     let (stream_queries, requests_per_tenant) = if quick { (3, 30) } else { (6, 150) };
 
     println!("recording the ten scenarios' canonical prompt streams (seed {seed})...");

@@ -1,5 +1,5 @@
 //! Throughput of the batch execution engine — and the machine-readable
-//! perf baseline (`BENCH_8.json`) every future PR has to beat.
+//! perf baseline (`BENCH_9.json`) every future PR has to beat.
 //!
 //! Regimes:
 //!
@@ -53,12 +53,23 @@
 //! clock — and cross-checking that the faulty answers are bit-identical to
 //! the fault-free serial run.
 //!
+//! * **scale (out-of-core)** — a `--scale-rows` synthetic lake
+//!   ([`ScaleSpec`], 10^5 in CI smoke, 10^6 by default) spilled to a disk
+//!   segment and streamed through [`BatchRunner::run_streaming`] under the
+//!   counting allocator. The binary first proves streaming ==
+//!   materialized at small scale (full [`unidm::RunOutput`] equality plus
+//!   exact dedup counters, with duplicates spanning partitions), then
+//!   asserts the large run's peak live allocation stays under a fixed
+//!   budget that is independent of the row count — a materialized lake at
+//!   10^6 rows would not fit it. `--scale-only` runs just this regime.
+//!
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
-//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_8.json
+//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_9.json
 //! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
 //! cargo run -p unidm-bench --release --bin throughput -- --route 4 # fleet behind the standard regimes
+//! cargo run -p unidm-bench --release --bin throughput -- --scale-only --scale-rows 100000
 //! ```
 
 use std::path::PathBuf;
@@ -68,15 +79,32 @@ use unidm::{
     AimdPolicy, BackendConfig, BatchRunner, CanonLevel, CascadeBackend, CascadePolicy, Dispatcher,
     HedgePolicy, PipelineConfig, PromptCache, RoutePlan, RoutedBackend, Task,
 };
-use unidm_bench::alloc_counter::AllocationDelta;
+use unidm_bench::alloc_counter::{self, AllocationDelta};
 use unidm_bench::{config_from_args, CallCounter, JsonObject};
 use unidm_llm::{Clock, FaultPlan, LanguageModel, LlmProfile, MockLlm};
 use unidm_synthdata::imputation;
+use unidm_synthdata::scale::{ScaleSpec, TABLE_NAME as SCALE_TABLE};
 use unidm_tablestore::DataLake;
 use unidm_world::World;
 
 /// How many times each task repeats in the duplicate-heavy regime.
 const DUP_FACTOR: usize = 4;
+
+/// Imputation tasks dispatched by the out-of-core `scale` regime, spread
+/// evenly over the whole row range so the pager pages across the segment.
+const SCALE_TASKS: usize = 96;
+/// Rows per sealed chunk of the scale table.
+const SCALE_CHUNK_ROWS: usize = 1024;
+/// Chunks the pager may keep resident while streaming.
+const SCALE_PAGE_BUDGET: usize = 8;
+/// Tasks per streaming partition.
+const SCALE_PARTITION_TASKS: usize = 32;
+/// Peak live-byte budget for the whole out-of-core section — segment
+/// generation included. The bound is a fixed constant: it does not scale
+/// with `--scale-rows`, which is the point. A 10^6-row lake held in
+/// memory in chunked columnar form alone exceeds it, so staying under
+/// proves the streaming run never materializes the lake.
+const SCALE_PEAK_BUDGET_BYTES: u64 = 32 * 1024 * 1024;
 
 struct Regime {
     name: &'static str,
@@ -135,7 +163,169 @@ fn bench_json_path() -> PathBuf {
         .and_then(|pos| args.get(pos + 1))
         .filter(|path| !path.starts_with("--"))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_8.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"))
+}
+
+/// Parses `--scale-only` and `--scale-rows N` (default 10^6, or 10^5
+/// under `--quick`).
+fn scale_args() -> (bool, usize) {
+    let args: Vec<String> = std::env::args().collect();
+    let only = args.iter().any(|a| a == "--scale-only");
+    let default_rows = if args.iter().any(|a| a == "--quick") {
+        100_000
+    } else {
+        1_000_000
+    };
+    let rows = args
+        .iter()
+        .position(|a| a == "--scale-rows")
+        .and_then(|pos| args.get(pos + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_rows);
+    (only, rows)
+}
+
+/// The out-of-core `scale` regime: prove streaming == materialized at
+/// small scale, then stream `rows` rows from a disk segment under the
+/// counting allocator and assert the peak is bounded and row-count
+/// independent. Returns the regime's JSON section.
+fn run_scale(llm: &CallCounter<'_>, seed: u64, rows: usize) -> String {
+    let pipeline = PipelineConfig {
+        // The paper-default 50-record sample is tuned for hundred-row
+        // eval tables; against a 10^6-row lake it would dominate run
+        // time without changing what the regime measures.
+        sample_size: 8,
+        ..PipelineConfig::paper_default().with_seed(seed)
+    };
+    let task_for = |row: usize| Task::imputation(SCALE_TABLE, row, "city", "name");
+
+    // ── Streaming == materialized (small scale) ─────────────────────────
+    // Full RunOutput equality (answers, per-run usage, trace prompts) and
+    // exact dedup counters, with duplicate tasks spanning partition
+    // boundaries so the cross-partition memo is exercised.
+    let small = ScaleSpec::new(4_000, seed).with_chunk_rows(256);
+    let small_lake: DataLake = [small.users_table()].into_iter().collect();
+    let mut small_tasks: Vec<Task> = small.target_rows().take(60).map(task_for).collect();
+    let dups: Vec<Task> = small_tasks.iter().step_by(7).cloned().collect();
+    small_tasks.extend(dups);
+    let runner = BatchRunner::new(llm, pipeline)
+        .with_workers(1)
+        .with_dedup(true)
+        .with_partition_tasks(16);
+    let report = runner.run_report(&small_lake, &small_tasks);
+    let mut streamed = Vec::with_capacity(small_tasks.len());
+    let stream_report =
+        runner.run_streaming(&small_lake, small_tasks.iter().cloned(), |i, result| {
+            assert_eq!(i, streamed.len(), "sink must see results in task order");
+            streamed.push(result);
+        });
+    assert_eq!(
+        streamed, report.results,
+        "streamed outputs must be identical to the materialized run"
+    );
+    assert_eq!(stream_report.tasks, small_tasks.len());
+    assert_eq!(stream_report.unique_tasks, report.unique_tasks);
+    assert_eq!(stream_report.coalesced_tasks, report.coalesced_tasks);
+
+    // ── Out-of-core streaming under the allocation meter ────────────────
+    let spec = ScaleSpec::new(rows, seed).with_chunk_rows(SCALE_CHUNK_ROWS);
+    let stride = (rows / 10 / SCALE_TASKS).max(1);
+    let mut seg_path = std::env::temp_dir();
+    seg_path.push(format!("unidm-scale-{}-{rows}.seg", std::process::id()));
+    llm.reset_calls();
+    llm.reset_usage();
+
+    let baseline = alloc_counter::reset_peak_to_live();
+    let spilled = spec
+        .users_segment(&seg_path, SCALE_PAGE_BUDGET)
+        .expect("scale segment written");
+    let lake: DataLake = [spilled].into_iter().collect();
+    let tasks = spec
+        .target_rows()
+        .step_by(stride)
+        .take(SCALE_TASKS)
+        .map(task_for);
+    let runner = BatchRunner::new(llm, pipeline)
+        .with_workers(1)
+        // Dedup off: the cross-partition memo grows with unique tasks,
+        // and strict row-count independence is the property under test.
+        .with_dedup(false)
+        .with_partition_tasks(SCALE_PARTITION_TASKS);
+    let start = Instant::now();
+    let (mut answers, mut errors) = (0u64, 0u64);
+    let mut answer_fnv = 0xcbf2_9ce4_8422_2325u64;
+    let scale_report = runner.run_streaming(&lake, tasks, |_, result| match result {
+        Ok(output) => {
+            answers += 1;
+            for byte in output.answer.bytes() {
+                answer_fnv ^= u64::from(byte);
+                answer_fnv = answer_fnv.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        Err(_) => errors += 1,
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let peak = alloc_counter::peak_live_bytes().saturating_sub(baseline);
+    let resident = lake
+        .table(SCALE_TABLE)
+        .expect("scale table in lake")
+        .resident_chunks();
+    std::fs::remove_file(&seg_path).ok();
+
+    assert_eq!(scale_report.tasks, SCALE_TASKS, "task stream ran dry early");
+    assert_eq!(
+        scale_report.partitions,
+        SCALE_TASKS.div_ceil(SCALE_PARTITION_TASKS)
+    );
+    assert!(
+        resident <= SCALE_PAGE_BUDGET,
+        "pager exceeded its budget: {resident} chunks resident"
+    );
+    assert!(
+        peak < SCALE_PEAK_BUDGET_BYTES,
+        "out-of-core peak {peak} bytes exceeds the {SCALE_PEAK_BUDGET_BYTES}-byte \
+         budget at {rows} rows — streaming is holding row-count-proportional state"
+    );
+
+    println!(
+        "\nScale regime (out-of-core): {rows} rows spilled to disk, {} chunks of \
+         {SCALE_CHUNK_ROWS} rows, pager budget {SCALE_PAGE_BUDGET};",
+        rows.div_ceil(SCALE_CHUNK_ROWS),
+    );
+    println!(
+        "  {} tasks in {} partitions of {SCALE_PARTITION_TASKS}: {answers} answers, \
+         {errors} errors, {} model calls in {elapsed_secs:.3}s ({:.1} tasks/s)",
+        scale_report.tasks,
+        scale_report.partitions,
+        llm.calls(),
+        scale_report.tasks as f64 / elapsed_secs.max(1e-9),
+    );
+    println!(
+        "  peak live allocation {:.2} MiB (budget {} MiB, row-count independent); \
+         streaming == materialized verified at 4000 rows ({} tasks, {} coalesced).",
+        peak as f64 / (1024.0 * 1024.0),
+        SCALE_PEAK_BUDGET_BYTES / (1024 * 1024),
+        stream_report.tasks,
+        stream_report.coalesced_tasks,
+    );
+
+    JsonObject::new()
+        .field_u64("rows", rows as u64)
+        .field_u64("chunk_rows", SCALE_CHUNK_ROWS as u64)
+        .field_u64("page_budget", SCALE_PAGE_BUDGET as u64)
+        .field_u64("partition_tasks", SCALE_PARTITION_TASKS as u64)
+        .field_u64("tasks", scale_report.tasks as u64)
+        .field_u64("partitions", scale_report.partitions as u64)
+        .field_u64("unique_tasks", scale_report.unique_tasks as u64)
+        .field_u64("coalesced_tasks", scale_report.coalesced_tasks as u64)
+        .field_u64("answers", answers)
+        .field_u64("errors", errors)
+        .field_u64("model_calls", llm.calls())
+        .field_u64("answer_fnv", answer_fnv)
+        .field_u64("peak_live_bytes", peak)
+        .field_u64("peak_budget_bytes", SCALE_PEAK_BUDGET_BYTES)
+        .field_f64("wall_s", elapsed_secs)
+        .finish()
 }
 
 fn main() {
@@ -147,6 +337,11 @@ fn main() {
     // calls" in the baseline means completions that actually reached the
     // model, the quantity coalescing exists to minimize.
     let llm = CallCounter::new(&mock);
+    let (scale_only, scale_rows) = scale_args();
+    if scale_only {
+        run_scale(&llm, config.seed, scale_rows);
+        return;
+    }
     let ds = imputation::restaurant(&world, config.seed, n_tasks);
     let lake: DataLake = [ds.table.clone()].into_iter().collect();
     let tasks: Vec<Task> = ds
@@ -983,10 +1178,13 @@ fn main() {
         regimes[0].model_tokens - regimes[3].model_tokens,
     );
 
-    // ── BENCH_8.json: the machine-readable baseline ─────────────────────
+    // ── Out-of-core scale regime ────────────────────────────────────────
+    let scale_json = run_scale(&llm, config.seed, scale_rows);
+
+    // ── BENCH_9.json: the machine-readable baseline ─────────────────────
     let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
     let mut doc = JsonObject::new()
-        .field_u64("pr", 8)
+        .field_u64("pr", 9)
         .field_str("bench", "throughput")
         .field_str("model", llm.name())
         .field_u64("seed", config.seed)
@@ -1018,7 +1216,8 @@ fn main() {
         )
         .field_raw("pipelined_heavy_tail", &pipelined_json)
         .field_raw("routed", &routed_json)
-        .field_raw("cascade", &cascade_json);
+        .field_raw("cascade", &cascade_json)
+        .field_raw("scale", &scale_json);
     if let Some(faulty) = faulty_json {
         doc = doc.field_raw("faulty", &faulty);
     }

@@ -13,7 +13,7 @@
 //! pipeline stages, substrate operations, and the canonicalizer hot path.
 //!
 //! The crate also hosts the perf-baseline instrumentation the `throughput`
-//! binary uses to emit `BENCH_8.json`: a counting global allocator
+//! binary uses to emit `BENCH_9.json`: a counting global allocator
 //! ([`alloc_counter`]), an endpoint-call counter ([`CallCounter`]), and a
 //! dependency-free JSON writer ([`JsonObject`]).
 

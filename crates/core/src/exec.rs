@@ -1090,6 +1090,28 @@ pub struct BatchReport {
     pub steals: usize,
 }
 
+/// What [`BatchRunner::run_streaming`] planned and executed across all
+/// partitions. The dedup counters are exact-equal to the
+/// [`BatchReport`] counters [`BatchRunner::run_report`] would produce for
+/// the same task sequence, whatever the partition size — duplicates are
+/// coalesced across partition boundaries through a global memo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Total tasks consumed from the source.
+    pub tasks: usize,
+    /// Partitions the task stream was split into.
+    pub partitions: usize,
+    /// Distinct tasks that actually executed (equals
+    /// [`BatchReport::unique_tasks`] over the whole sequence).
+    pub unique_tasks: usize,
+    /// Tasks answered from an earlier identical task's output without
+    /// executing (equals [`BatchReport::coalesced_tasks`]).
+    pub coalesced_tasks: usize,
+    /// Range-steal operations across all partitions (timing-dependent
+    /// under parallelism, like [`BatchReport::steals`]).
+    pub steals: usize,
+}
+
 /// A work-stealing task queue over indices `0..total`: the index space is
 /// pre-split into one contiguous range per worker, each packed into an
 /// `AtomicU64` as `(cursor, end)`. Owners claim single indices from their
@@ -1238,6 +1260,7 @@ pub struct BatchRunner<'a> {
     workers: usize,
     dedup: bool,
     pipeline: Option<&'a Dispatcher<'a>>,
+    partition_tasks: usize,
 }
 
 impl std::fmt::Debug for BatchRunner<'_> {
@@ -1248,9 +1271,13 @@ impl std::fmt::Debug for BatchRunner<'_> {
             .field("workers", &self.workers)
             .field("dedup", &self.dedup)
             .field("pipelined", &self.pipeline.is_some())
+            .field("partition_tasks", &self.partition_tasks)
             .finish()
     }
 }
+
+/// Default tasks-per-partition window for [`BatchRunner::run_streaming`].
+pub const DEFAULT_PARTITION_TASKS: usize = 256;
 
 /// The worker count new runners start with: the `UNIDM_WORKERS`
 /// environment variable when set to a positive integer is authoritative
@@ -1282,7 +1309,23 @@ impl<'a> BatchRunner<'a> {
             workers: default_workers(),
             dedup: true,
             pipeline: None,
+            partition_tasks: DEFAULT_PARTITION_TASKS,
         }
+    }
+
+    /// Overrides the tasks-per-partition window
+    /// [`BatchRunner::run_streaming`] plans and dispatches at a time
+    /// (default [`DEFAULT_PARTITION_TASKS`], minimum 1). Smaller windows
+    /// lower peak memory; larger windows give each dispatch wave more
+    /// parallelism to chew on.
+    pub fn with_partition_tasks(mut self, tasks: usize) -> Self {
+        self.partition_tasks = tasks.max(1);
+        self
+    }
+
+    /// The tasks-per-partition window streaming runs use.
+    pub fn partition_tasks(&self) -> usize {
+        self.partition_tasks
     }
 
     /// Overrides the worker count (`1` executes serially on the calling
@@ -1377,8 +1420,39 @@ impl<'a> BatchRunner<'a> {
         let unique_tasks = reps.len();
         let coalesced_tasks = tasks.len() - unique_tasks;
 
+        let (rep_results, steals) = self.execute_reps(lake, tasks, &reps);
+
+        let results = if coalesced_tasks == 0 {
+            rep_results
+        } else {
+            assign
+                .iter()
+                .map(|&position| rep_results[position].clone())
+                .collect()
+        };
+        BatchReport {
+            results,
+            unique_tasks,
+            coalesced_tasks,
+            steals,
+        }
+    }
+
+    /// Executes the representative tasks `reps` (indices into `tasks`) on
+    /// the configured execution path — serial, pipelined-dispatcher, or
+    /// work-stealing pool — returning one result per representative in
+    /// representative order plus the steal count. Shared by the
+    /// materialized ([`BatchRunner::run_report`]) and streaming
+    /// ([`BatchRunner::run_streaming`]) drivers, which is what keeps their
+    /// answers byte-identical.
+    fn execute_reps(
+        &self,
+        lake: &DataLake,
+        tasks: &[Task],
+        reps: &[usize],
+    ) -> (Vec<Result<RunOutput, UniDmError>>, usize) {
         let workers = self.workers.min(reps.len());
-        let (rep_results, steals) = if workers <= 1 {
+        if workers <= 1 {
             // Serial runs register too when pipelined: a lone long-lived
             // registration is equivalent to transient registration, and it
             // keeps the two modes symmetrical.
@@ -1456,20 +1530,106 @@ impl<'a> BatchRunner<'a> {
                     .collect(),
                 queue.steals.load(Ordering::Relaxed),
             )
-        };
+        }
+    }
 
-        let results = if coalesced_tasks == 0 {
-            rep_results
-        } else {
-            assign
-                .iter()
-                .map(|&position| rep_results[position].clone())
-                .collect()
-        };
-        BatchReport {
-            results,
+    /// Runs a task **stream** partition-by-partition under bounded memory
+    /// instead of materializing the full task vector: at most
+    /// [`BatchRunner::partition_tasks`] tasks are resident at a time, each
+    /// window is planned and dispatched on the same execution path as
+    /// [`BatchRunner::run_report`] (serial, pipelined dispatcher, or
+    /// work-stealing pool), and every result is handed to `sink` with its
+    /// global task index, in task order, as soon as its partition
+    /// completes.
+    ///
+    /// With the dedup planner enabled, duplicates are coalesced across
+    /// partition boundaries through a memo of each distinct task's output,
+    /// so the [`StreamReport`] counters — and every answer — are
+    /// exact-equal to what `run_report` would produce for the same
+    /// sequence. The memo grows with the number of *distinct* tasks; for
+    /// strictly row-count-independent memory over a lake-sized stream,
+    /// disable dedup ([`BatchRunner::with_dedup`]) and rely on the prompt
+    /// cache below.
+    pub fn run_streaming<I, F>(&self, lake: &DataLake, tasks: I, mut sink: F) -> StreamReport
+    where
+        I: IntoIterator<Item = Task>,
+        F: FnMut(usize, Result<RunOutput, UniDmError>),
+    {
+        enum Plan {
+            /// Answered by a previous partition's representative.
+            Memo(Arc<Result<RunOutput, UniDmError>>),
+            /// Position in this partition's representative list.
+            Rep(usize),
+        }
+
+        let mut memo: HashMap<Task, Arc<Result<RunOutput, UniDmError>>> = HashMap::new();
+        let mut source = tasks.into_iter();
+        let mut buffer: Vec<Task> = Vec::with_capacity(self.partition_tasks);
+        let mut next_index = 0usize;
+        let mut partitions = 0usize;
+        let mut unique_tasks = 0usize;
+        let mut steals = 0usize;
+        loop {
+            buffer.clear();
+            while buffer.len() < self.partition_tasks {
+                match source.next() {
+                    Some(task) => buffer.push(task),
+                    None => break,
+                }
+            }
+            if buffer.is_empty() {
+                break;
+            }
+            partitions += 1;
+
+            // Per-partition plan: same first-occurrence-is-representative
+            // rule as the materialized planner, with the memo extending it
+            // across partition boundaries.
+            let mut plan: Vec<Plan> = Vec::with_capacity(buffer.len());
+            let mut reps: Vec<usize> = Vec::new();
+            if self.dedup {
+                let mut local: HashMap<&Task, usize> = HashMap::new();
+                for (i, task) in buffer.iter().enumerate() {
+                    if let Some(cached) = memo.get(task) {
+                        plan.push(Plan::Memo(cached.clone()));
+                    } else if let Some(&position) = local.get(task) {
+                        plan.push(Plan::Rep(position));
+                    } else {
+                        local.insert(task, reps.len());
+                        plan.push(Plan::Rep(reps.len()));
+                        reps.push(i);
+                    }
+                }
+            } else {
+                reps = (0..buffer.len()).collect();
+                plan = (0..buffer.len()).map(Plan::Rep).collect();
+            }
+            unique_tasks += reps.len();
+
+            let (rep_results, partition_steals) = self.execute_reps(lake, &buffer, &reps);
+            steals += partition_steals;
+            let rep_results: Vec<Arc<Result<RunOutput, UniDmError>>> =
+                rep_results.into_iter().map(Arc::new).collect();
+            if self.dedup {
+                for (position, &i) in reps.iter().enumerate() {
+                    memo.insert(buffer[i].clone(), rep_results[position].clone());
+                }
+            }
+
+            for slot in plan {
+                let result = match slot {
+                    Plan::Memo(cached) => (*cached).clone(),
+                    Plan::Rep(position) => (*rep_results[position]).clone(),
+                };
+                sink(next_index, result);
+                next_index += 1;
+            }
+        }
+        StreamReport {
+            tasks: next_index,
+            partitions,
             unique_tasks,
-            coalesced_tasks,
+            coalesced_tasks: next_index - unique_tasks,
             steals,
         }
     }

@@ -130,7 +130,10 @@ pub use canon::{CanonLevel, CanonicalPrompt, PromptKey};
 pub use config::PipelineConfig;
 pub use dispatch::{DispatchRegistration, Dispatcher, HedgePolicy};
 pub use error::UniDmError;
-pub use exec::{BatchReport, BatchRunner, CacheStats, PromptCache, SnapshotError};
+pub use exec::{
+    BatchReport, BatchRunner, CacheStats, PromptCache, SnapshotError, StreamReport,
+    DEFAULT_PARTITION_TASKS,
+};
 pub use pipeline::{RunOutput, Trace, UniDm};
 pub use route::{
     AimdPolicy, CascadeBackend, CascadePolicy, EndpointConfig, EndpointStats, RoutePlan,

@@ -25,7 +25,7 @@ use crate::{parsing, prompting, PipelineConfig, UniDmError};
 /// What the pipeline did on one run — retrieved attributes and records, the
 /// parsed context, the final prompt. Useful for debugging and for the
 /// paper's worked examples (appendix B).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     /// Attributes selected by meta-wise retrieval.
     pub selected_attrs: Vec<String>,
@@ -38,7 +38,7 @@ pub struct Trace {
 }
 
 /// The outcome of one pipeline run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunOutput {
     /// The model's answer `Y`.
     pub answer: String,
@@ -157,7 +157,7 @@ impl<'a> UniDm<'a> {
         row: usize,
         attr: &str,
     ) -> Result<SerializedRecord, UniDmError> {
-        let rec = table.row(row)?;
+        let rec = table.row_at(row)?;
         let mut pairs = Vec::new();
         for (i, name) in table.schema().names().enumerate() {
             let v = rec.get(i).map(|v| v.to_string()).unwrap_or_default();
@@ -249,7 +249,7 @@ impl<'a> UniDm<'a> {
         attr: &str,
     ) -> Result<(String, Trace), UniDmError> {
         let table = lake.require(table)?;
-        let value = table.cell(row, attr)?.to_string();
+        let value = table.cell_value(row, attr)?.to_string();
         let query = format!("{attr}: {value}?");
         let attrs = meta_wise(
             llm,

@@ -133,7 +133,7 @@ pub fn instance_wise(
     let serialize_row = |row: usize| -> Result<SerializedRecord, UniDmError> {
         let mut pairs = Vec::with_capacity(proj.len());
         for attr in &proj {
-            let v = table.cell(row, attr)?;
+            let v = table.cell_value(row, attr)?;
             pairs.push(((*attr).to_string(), v.to_string()));
         }
         Ok(SerializedRecord::new(pairs))

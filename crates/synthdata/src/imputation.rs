@@ -189,8 +189,7 @@ mod tests {
         let ds = buy(&world(), 3, 40);
         let terse = ds
             .table
-            .rows()
-            .iter()
+            .iter_rows()
             .filter(|r| r.values()[1].to_string().ends_with("series"))
             .count();
         assert!(terse > 0, "masking of descriptions should happen");

@@ -25,6 +25,7 @@ pub mod extraction;
 pub mod imputation;
 pub mod joins;
 pub mod matching;
+pub mod scale;
 pub mod tableqa;
 pub mod transformation;
 
@@ -33,5 +34,6 @@ pub use extraction::ExtractionDataset;
 pub use imputation::ImputationDataset;
 pub use joins::JoinDiscoveryDataset;
 pub use matching::MatchingDataset;
+pub use scale::ScaleSpec;
 pub use tableqa::TableQaDataset;
 pub use transformation::TransformationDataset;

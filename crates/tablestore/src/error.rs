@@ -28,6 +28,12 @@ pub enum TableError {
     DuplicateAttribute(String),
     /// CSV input could not be parsed.
     Csv(String),
+    /// A spill segment could not be written, read, or decoded (I/O errors
+    /// are carried as text so the error stays `Clone + PartialEq`).
+    Segment(String),
+    /// A mutation was attempted on a table whose chunks live in a spill
+    /// segment; spilled tables are read-only.
+    SpilledReadOnly,
 }
 
 impl fmt::Display for TableError {
@@ -51,6 +57,10 @@ impl fmt::Display for TableError {
                 write!(f, "attribute `{a}` declared more than once")
             }
             TableError::Csv(msg) => write!(f, "csv parse error: {msg}"),
+            TableError::Segment(msg) => write!(f, "segment error: {msg}"),
+            TableError::SpilledReadOnly => {
+                write!(f, "table is spilled to disk and read-only")
+            }
         }
     }
 }

@@ -38,6 +38,11 @@ impl Record {
         &mut self.values
     }
 
+    /// Consumes the record, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
     /// Value at `idx`, if in range.
     pub fn get(&self, idx: usize) -> Option<&Value> {
         self.values.get(idx)

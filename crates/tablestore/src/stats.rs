@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use crate::Value;
 
 /// Frequency statistics over one column.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColumnStats {
     counts: HashMap<String, usize>,
     nulls: usize,
@@ -31,6 +31,46 @@ impl ColumnStats {
             }
         }
         s
+    }
+
+    /// Starts statistics with known totals and no value counts yet — the
+    /// chunk-side fast path that counts dictionary codes before folding
+    /// them into answer-key buckets.
+    pub fn with_counts(total: usize, nulls: usize) -> Self {
+        ColumnStats {
+            counts: HashMap::new(),
+            nulls,
+            total,
+        }
+    }
+
+    /// Adds `n` occurrences of an already-computed answer key (does not
+    /// touch the totals — pair with [`ColumnStats::with_counts`]).
+    pub fn add_key(&mut self, key: String, n: usize) {
+        *self.counts.entry(key).or_insert(0) += n;
+    }
+
+    /// Folds one more value into the statistics.
+    pub fn accumulate(&mut self, v: &Value) {
+        self.total += 1;
+        if v.is_null() {
+            self.nulls += 1;
+        } else {
+            *self.counts.entry(v.answer_key()).or_insert(0) += 1;
+        }
+    }
+
+    /// Merges another column's statistics into this one — the per-chunk
+    /// fold behind [`Table::column_stats`]: chunk statistics are computed
+    /// once at ingest and summed here instead of rescanning the column.
+    ///
+    /// [`Table::column_stats`]: crate::Table::column_stats
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.total += other.total;
+        self.nulls += other.nulls;
+        for (key, n) in &other.counts {
+            *self.counts.entry(key.clone()).or_insert(0) += n;
+        }
     }
 
     /// Total number of cells seen (including nulls).
@@ -120,6 +160,31 @@ mod tests {
         let sc = s.sorted_counts();
         assert_eq!(sc[0], ("cet", 3));
         assert_eq!(sc[1], ("gmt", 1));
+    }
+
+    #[test]
+    fn merge_equals_whole_column_compute() {
+        let a = [Value::text("CET"), Value::text("GMT"), Value::Null];
+        let b = [Value::text("cet"), Value::Int(3)];
+        let mut merged = ColumnStats::compute(a.iter());
+        merged.merge(&ColumnStats::compute(b.iter()));
+        let whole = ColumnStats::compute(a.iter().chain(b.iter()));
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.null_count(), whole.null_count());
+        assert_eq!(merged.sorted_counts(), whole.sorted_counts());
+    }
+
+    #[test]
+    fn accumulate_matches_compute() {
+        let vals = [Value::text("x"), Value::Null, Value::text("X")];
+        let mut acc = ColumnStats::default();
+        for v in &vals {
+            acc.accumulate(v);
+        }
+        let whole = ColumnStats::compute(vals.iter());
+        assert_eq!(acc.sorted_counts(), whole.sorted_counts());
+        assert_eq!(acc.total(), whole.total());
+        assert_eq!(acc.null_count(), whole.null_count());
     }
 
     #[test]

@@ -1,25 +1,111 @@
-//! Tables: named schema + rows.
+//! Tables: named schema + chunked columnar row storage.
+//!
+//! Rows are sealed into fixed-size columnar [`Chunk`]s ([`DEFAULT_CHUNK_ROWS`]
+//! rows each) as they are ingested; a trailing partial chunk stays row-major
+//! until it fills. Sealed chunks are immutable and `Arc`-shared, so cloning a
+//! table (or refreshing a [`DataLake`](crate::DataLake) entry) bumps
+//! reference counts instead of copying cell data. Tables larger than RAM can
+//! be spilled to a segment file ([`Table::spill_to`] /
+//! [`Table::open_segment`]) after which chunks page in and out through a
+//! budget-bounded LRU [`Pager`] — spilled tables are read-only.
+//!
+//! Two accessor families coexist:
+//!
+//! * The original borrowing accessors ([`Table::row`], [`Table::cell`])
+//!   return references by pinning a decoded *chunk-resident view* of the
+//!   touched chunk for the table's lifetime. They keep every pre-columnar
+//!   call site working but are unsuitable for out-of-core scans.
+//! * The owned accessors ([`Table::row_at`], [`Table::cell_value`],
+//!   [`Table::iter_rows`], [`Table::column`]) decode on the fly and never
+//!   pin, so memory stays bounded by the pager budget regardless of table
+//!   size. Streaming paths use these exclusively.
+
+use std::collections::HashSet;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
+use crate::chunk::Chunk;
+use crate::segment::{Pager, SegmentReader, SegmentWriter};
 use crate::{ColumnStats, Record, Schema, TableError, Value};
 
-/// A named relational table.
-#[derive(Debug, Clone, PartialEq)]
+/// Default number of rows per sealed chunk.
+pub const DEFAULT_CHUNK_ROWS: usize = 256;
+
+/// Above this row count, [`Table::sample_rows`] switches from the exact
+/// shuffle (which materializes one index per row) to bounded rejection
+/// sampling. Kept high enough that every evaluation-scale table takes the
+/// shuffle path, so sampled prompts are unchanged by the columnar refactor.
+const SAMPLE_SHUFFLE_MAX: usize = 4096;
+
+/// One sealed row partition: either resident in memory or paged from the
+/// spill segment on demand. The `view` pins decoded rows for the borrowing
+/// accessors; owned accessors never touch it.
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    rows: usize,
+    view: OnceLock<Box<[Record]>>,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    /// Chunk lives in memory (shared, immutable).
+    Resident(Arc<Chunk>),
+    /// Chunk lives in the spill segment; fetched through the pager.
+    Spilled,
+}
+
+impl Slot {
+    fn resident(chunk: Arc<Chunk>) -> Slot {
+        Slot {
+            rows: chunk.len(),
+            state: SlotState::Resident(chunk),
+            view: OnceLock::new(),
+        }
+    }
+
+    fn spilled(rows: usize) -> Slot {
+        Slot {
+            rows,
+            state: SlotState::Spilled,
+            view: OnceLock::new(),
+        }
+    }
+}
+
+/// A named relational table over chunked columnar storage.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Record>,
+    chunk_rows: usize,
+    sealed: Vec<Slot>,
+    sealed_rows: usize,
+    tail: Vec<Record>,
+    pager: Option<Arc<Pager>>,
 }
 
 impl Table {
     /// Creates an empty table with the given name and schema.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table::with_chunk_rows(name, schema, DEFAULT_CHUNK_ROWS)
+    }
+
+    /// Creates an empty table with an explicit rows-per-chunk partition
+    /// size (minimum 1). Smaller chunks lower the paging granularity of a
+    /// spilled table; larger chunks amortize encoding overhead.
+    pub fn with_chunk_rows(name: impl Into<String>, schema: Schema, chunk_rows: usize) -> Self {
         Table {
             name: name.into(),
             schema,
-            rows: Vec::new(),
+            chunk_rows: chunk_rows.max(1),
+            sealed: Vec::new(),
+            sealed_rows: 0,
+            tail: Vec::new(),
+            pager: None,
         }
     }
 
@@ -28,6 +114,7 @@ impl Table {
         TableBuilder {
             name: name.into(),
             columns: Vec::new(),
+            chunk_rows: DEFAULT_CHUNK_ROWS,
         }
     }
 
@@ -41,141 +128,530 @@ impl Table {
         &self.schema
     }
 
+    /// Rows per sealed chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of sealed chunks (excludes the row-major tail).
+    pub fn chunk_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// True if the table's chunks live in a spill segment (read-only).
+    pub fn is_spilled(&self) -> bool {
+        self.pager.is_some()
+    }
+
+    /// Number of chunks currently resident in memory: all of them for an
+    /// in-memory table, the pager's cache occupancy for a spilled one.
+    pub fn resident_chunks(&self) -> usize {
+        match &self.pager {
+            Some(p) => p.resident_chunks(),
+            None => self.sealed.len(),
+        }
+    }
+
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.sealed_rows + self.tail.len()
     }
 
     /// True if the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.row_count() == 0
     }
 
-    /// All rows in order.
-    pub fn rows(&self) -> &[Record] {
-        &self.rows
-    }
-
-    /// Mutable access to all rows.
-    pub fn rows_mut(&mut self) -> &mut [Record] {
-        &mut self.rows
-    }
-
-    /// Appends a row.
+    /// Appends a row, sealing a columnar chunk (with its per-column
+    /// statistics) whenever the tail fills.
     ///
     /// # Errors
     ///
     /// Returns [`TableError::ArityMismatch`] if the value count differs from
-    /// the schema width.
+    /// the schema width, or [`TableError::SpilledReadOnly`] for a spilled
+    /// table.
     pub fn push_row(&mut self, values: Vec<Value>) -> Result<(), TableError> {
+        if self.is_spilled() {
+            return Err(TableError::SpilledReadOnly);
+        }
         if values.len() != self.schema.len() {
             return Err(TableError::ArityMismatch {
                 got: values.len(),
                 expected: self.schema.len(),
             });
         }
-        self.rows.push(Record::new(values));
+        self.tail.push(Record::new(values));
+        if self.tail.len() >= self.chunk_rows {
+            self.seal_tail();
+        }
         Ok(())
     }
 
-    /// The row at `index`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TableError::RowOutOfBounds`] if `index >= row_count()`.
-    pub fn row(&self, index: usize) -> Result<&Record, TableError> {
-        self.rows.get(index).ok_or(TableError::RowOutOfBounds {
-            index,
-            len: self.rows.len(),
-        })
+    /// Seals the (full) tail into a columnar chunk, computing its
+    /// per-column statistics eagerly — this is the "stats at ingest" path
+    /// that [`Table::column_stats`] folds instead of rescanning.
+    fn seal_tail(&mut self) {
+        let chunk = Chunk::from_rows(self.schema.len(), &self.tail);
+        chunk.all_stats();
+        self.sealed_rows += chunk.len();
+        self.sealed.push(Slot::resident(Arc::new(chunk)));
+        self.tail.clear();
     }
 
-    /// The cell at (`row`, `attr`).
+    /// The chunk behind sealed slot `slot`, paging it in if spilled.
+    fn chunk(&self, slot: usize) -> Result<Arc<Chunk>, TableError> {
+        match &self.sealed[slot].state {
+            SlotState::Resident(chunk) => Ok(chunk.clone()),
+            SlotState::Spilled => self
+                .pager
+                .as_ref()
+                .expect("spilled slot without pager")
+                .chunk(slot),
+        }
+    }
+
+    /// Splits a validated row index into (sealed slot, offset) or a tail
+    /// offset. Valid because every sealed chunk is full except possibly the
+    /// last one of a spilled table (which has no tail).
+    fn locate(&self, index: usize) -> Result<RowAddr, TableError> {
+        if index < self.sealed_rows {
+            Ok(RowAddr::Sealed {
+                slot: index / self.chunk_rows,
+                offset: index % self.chunk_rows,
+            })
+        } else if index - self.sealed_rows < self.tail.len() {
+            Ok(RowAddr::Tail(index - self.sealed_rows))
+        } else {
+            Err(TableError::RowOutOfBounds {
+                index,
+                len: self.row_count(),
+            })
+        }
+    }
+
+    /// The pinned decoded view of sealed slot `slot` (decoding it on first
+    /// touch). Once pinned, the rows stay resident for the table's
+    /// lifetime — this is what keeps the borrowing accessors alive on top
+    /// of columnar storage.
+    fn view(&self, slot: usize) -> Result<&[Record], TableError> {
+        if let Some(v) = self.sealed[slot].view.get() {
+            return Ok(v);
+        }
+        let decoded = self.chunk(slot)?.decode_rows().into_boxed_slice();
+        Ok(self.sealed[slot].view.get_or_init(|| decoded))
+    }
+
+    /// The row at `index`, borrowed from a chunk-resident view.
+    ///
+    /// Touching a row pins its whole chunk's decoded view in memory for the
+    /// table's lifetime; prefer [`Table::row_at`] on out-of-core paths.
     ///
     /// # Errors
     ///
-    /// Returns [`TableError::RowOutOfBounds`] or
-    /// [`TableError::UnknownAttribute`].
+    /// Returns [`TableError::RowOutOfBounds`] if `index >= row_count()`, or
+    /// [`TableError::Segment`] if a spilled chunk cannot be read.
+    pub fn row(&self, index: usize) -> Result<&Record, TableError> {
+        match self.locate(index)? {
+            RowAddr::Sealed { slot, offset } => Ok(&self.view(slot)?[offset]),
+            RowAddr::Tail(i) => Ok(&self.tail[i]),
+        }
+    }
+
+    /// The row at `index`, decoded on the fly (never pins a view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`] if `index >= row_count()`, or
+    /// [`TableError::Segment`] if a spilled chunk cannot be read.
+    pub fn row_at(&self, index: usize) -> Result<Record, TableError> {
+        match self.locate(index)? {
+            RowAddr::Sealed { slot, offset } => Ok(self.chunk(slot)?.record(offset)),
+            RowAddr::Tail(i) => Ok(self.tail[i].clone()),
+        }
+    }
+
+    /// The cell at (`row`, `attr`), borrowed from a chunk-resident view
+    /// (see [`Table::row`] for the pinning caveat).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`],
+    /// [`TableError::UnknownAttribute`], or [`TableError::Segment`].
     pub fn cell(&self, row: usize, attr: &str) -> Result<&Value, TableError> {
         self.row(row)?.field(&self.schema, attr)
     }
 
-    /// Overwrites the cell at (`row`, `attr`).
+    /// The cell at (`row`, `attr`), decoded on the fly (never pins).
     ///
     /// # Errors
     ///
-    /// Returns [`TableError::RowOutOfBounds`] or
-    /// [`TableError::UnknownAttribute`].
+    /// Returns [`TableError::RowOutOfBounds`],
+    /// [`TableError::UnknownAttribute`], or [`TableError::Segment`].
+    pub fn cell_value(&self, row: usize, attr: &str) -> Result<Value, TableError> {
+        let col = self.schema.require(attr)?;
+        match self.locate(row)? {
+            RowAddr::Sealed { slot, offset } => Ok(self.chunk(slot)?.value(offset, col)),
+            RowAddr::Tail(i) => Ok(self.tail[i]
+                .get(col)
+                .cloned()
+                .expect("tail row width checked on ingest")),
+        }
+    }
+
+    /// Overwrites the cell at (`row`, `attr`). Writes into a sealed chunk
+    /// re-encode that chunk copy-on-write (other tables sharing the old
+    /// chunk are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::RowOutOfBounds`],
+    /// [`TableError::UnknownAttribute`], or
+    /// [`TableError::SpilledReadOnly`] for a spilled table.
     pub fn set_cell(&mut self, row: usize, attr: &str, value: Value) -> Result<(), TableError> {
-        let schema = self.schema.clone();
-        let len = self.rows.len();
-        let rec = self
-            .rows
-            .get_mut(row)
-            .ok_or(TableError::RowOutOfBounds { index: row, len })?;
-        rec.set_field(&schema, attr, value)
+        if self.is_spilled() {
+            return Err(TableError::SpilledReadOnly);
+        }
+        match self.locate(row)? {
+            RowAddr::Tail(i) => {
+                let schema = self.schema.clone();
+                self.tail[i].set_field(&schema, attr, value)
+            }
+            RowAddr::Sealed { slot, offset } => {
+                let col = self.schema.require(attr)?;
+                let mut rows = self.chunk(slot)?.decode_rows();
+                rows[offset].values_mut()[col] = value;
+                let rebuilt = Chunk::from_rows(self.schema.len(), &rows);
+                rebuilt.all_stats();
+                self.sealed[slot] = Slot::resident(Arc::new(rebuilt));
+                Ok(())
+            }
+        }
     }
 
-    /// Iterator over the values of one column.
+    /// Iterator over all rows in order, decoding chunk-by-chunk (owned
+    /// records, never pins a view). For a spilled table, memory stays
+    /// bounded by the pager budget.
+    ///
+    /// # Panics
+    ///
+    /// The iterator panics if a spilled chunk cannot be read mid-scan.
+    pub fn iter_rows(&self) -> RowIter<'_> {
+        RowIter {
+            table: self,
+            index: 0,
+            cached: None,
+        }
+    }
+
+    /// Iterator over the values of one column, decoding cell-by-cell from
+    /// the encoded chunks (owned values, never pins a view).
     ///
     /// # Errors
     ///
     /// Returns [`TableError::UnknownAttribute`] for an unknown column.
-    pub fn column(&self, attr: &str) -> Result<impl Iterator<Item = &Value> + '_, TableError> {
-        let idx = self.schema.require(attr)?;
-        Ok(self.rows.iter().filter_map(move |r| r.get(idx)))
+    ///
+    /// # Panics
+    ///
+    /// The iterator panics if a spilled chunk cannot be read mid-scan.
+    pub fn column(&self, attr: &str) -> Result<ColumnIter<'_>, TableError> {
+        let col = self.schema.require(attr)?;
+        Ok(ColumnIter {
+            table: self,
+            col,
+            index: 0,
+            cached: None,
+        })
     }
 
-    /// Statistics over one column.
+    /// Statistics over one column, folded incrementally: each sealed
+    /// chunk's statistics (computed once at ingest, or lazily after a page
+    /// from disk) are merged, then the tail is accumulated — the column is
+    /// never rescanned as a whole.
     ///
     /// # Errors
     ///
-    /// Returns [`TableError::UnknownAttribute`] for an unknown column.
+    /// Returns [`TableError::UnknownAttribute`] for an unknown column, or
+    /// [`TableError::Segment`] if a spilled chunk cannot be read.
     pub fn column_stats(&self, attr: &str) -> Result<ColumnStats, TableError> {
-        Ok(ColumnStats::compute(self.column(attr)?))
+        let col = self.schema.require(attr)?;
+        let mut folded = ColumnStats::default();
+        for slot in 0..self.sealed.len() {
+            folded.merge(self.chunk(slot)?.stats(col));
+        }
+        for rec in &self.tail {
+            folded.accumulate(rec.get(col).expect("tail row width checked on ingest"));
+        }
+        Ok(folded)
     }
 
-    /// A new table with only the given attributes (in the given order).
+    /// A new in-memory table with only the given attributes (in the given
+    /// order). Sealed chunks share their encoded columns with the source
+    /// (`Arc` bumps, no cell copies); projecting a *spilled* table pages
+    /// every chunk in, so the projection is fully resident.
     ///
     /// # Errors
     ///
-    /// Returns [`TableError::UnknownAttribute`] for unknown names, or
-    /// [`TableError::DuplicateAttribute`] if `attrs` repeats a name.
+    /// Returns [`TableError::UnknownAttribute`] for unknown names,
+    /// [`TableError::DuplicateAttribute`] if `attrs` repeats a name, or
+    /// [`TableError::Segment`] if a spilled chunk cannot be read.
     pub fn project(&self, attrs: &[&str]) -> Result<Table, TableError> {
         let schema = Schema::from_names(attrs.iter().map(|s| s.to_string()))?;
-        let mut t = Table::new(self.name.clone(), schema);
-        for r in &self.rows {
-            let p = r.project(&self.schema, attrs)?;
-            t.rows.push(p);
+        let cols: Vec<usize> = attrs
+            .iter()
+            .map(|a| self.schema.require(a))
+            .collect::<Result<_, _>>()?;
+        let mut t = Table::with_chunk_rows(self.name.clone(), schema, self.chunk_rows);
+        for slot in 0..self.sealed.len() {
+            let projected = Arc::new(self.chunk(slot)?.project(&cols));
+            t.sealed_rows += projected.len();
+            t.sealed.push(Slot::resident(projected));
+        }
+        for rec in &self.tail {
+            t.tail.push(rec.project(&self.schema, attrs)?);
         }
         Ok(t)
     }
 
-    /// Uniformly samples up to `k` distinct row indices, excluding `exclude`.
+    /// Uniformly samples up to `k` distinct row indices, excluding
+    /// `exclude`.
+    ///
+    /// Up to `SAMPLE_SHUFFLE_MAX` (4096) rows this shuffles the full index
+    /// range (the original, golden-stable draw order); above it, it
+    /// switches to rejection sampling so the working set stays `O(k)`
+    /// instead of `O(rows)` on out-of-core tables.
     pub fn sample_rows<R: Rng>(&self, rng: &mut R, k: usize, exclude: &[usize]) -> Vec<usize> {
-        let excl: std::collections::HashSet<usize> = exclude.iter().copied().collect();
-        let mut candidates: Vec<usize> =
-            (0..self.rows.len()).filter(|i| !excl.contains(i)).collect();
-        candidates.shuffle(rng);
-        candidates.truncate(k);
-        candidates
+        let n = self.row_count();
+        let excl: HashSet<usize> = exclude.iter().copied().collect();
+        let available = n - excl.iter().filter(|&&i| i < n).count();
+        let want = k.min(available);
+        if n <= SAMPLE_SHUFFLE_MAX || want * 2 >= available {
+            let mut candidates: Vec<usize> = (0..n).filter(|i| !excl.contains(i)).collect();
+            candidates.shuffle(rng);
+            candidates.truncate(k);
+            return candidates;
+        }
+        // Sparse draw: want is far below the candidate count, so repeated
+        // uniform draws collide rarely and never materialize 0..n.
+        let mut chosen = Vec::with_capacity(want);
+        let mut seen = HashSet::with_capacity(want * 2);
+        while chosen.len() < want {
+            let i = rng.gen_range(0..n);
+            if !excl.contains(&i) && seen.insert(i) {
+                chosen.push(i);
+            }
+        }
+        chosen
     }
 
-    /// Indices of rows whose `attr` value equals `value` (by answer key).
+    /// Indices of rows whose `attr` value equals `value` (by answer key),
+    /// searched chunk-wise: chunks whose already-computed statistics show a
+    /// zero count are skipped without decoding, dictionary columns match
+    /// against the dictionary instead of materializing cells.
     ///
     /// # Errors
     ///
-    /// Returns [`TableError::UnknownAttribute`] for an unknown column.
+    /// Returns [`TableError::UnknownAttribute`] for an unknown column, or
+    /// [`TableError::Segment`] if a spilled chunk cannot be read.
     pub fn find(&self, attr: &str, value: &Value) -> Result<Vec<usize>, TableError> {
-        let idx = self.schema.require(attr)?;
+        let col = self.schema.require(attr)?;
         let key = value.answer_key();
-        Ok(self
-            .rows
-            .iter()
-            .enumerate()
-            .filter(|(_, r)| r.get(idx).is_some_and(|v| v.answer_key() == key))
-            .map(|(i, _)| i)
-            .collect())
+        let mut hits = Vec::new();
+        let mut base = 0usize;
+        for slot in 0..self.sealed.len() {
+            let chunk = self.chunk(slot)?;
+            let prunable = chunk
+                .stats_if_computed(col)
+                .is_some_and(|s| s.count(value) == 0 && !(key.is_empty() && s.null_count() > 0));
+            if !prunable {
+                hits.extend(
+                    chunk
+                        .column(col)
+                        .find_key(&key)
+                        .into_iter()
+                        .map(|o| base + o),
+                );
+            }
+            base += chunk.len();
+        }
+        for (i, rec) in self.tail.iter().enumerate() {
+            if rec.get(col).is_some_and(|v| v.answer_key() == key) {
+                hits.push(base + i);
+            }
+        }
+        Ok(hits)
+    }
+
+    /// Writes every chunk (and the tail) to a segment file at `path` and
+    /// returns the spilled, read-only table paging at most `budget` chunks
+    /// at a time. The source table is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Segment`] on I/O failure.
+    pub fn spill_to(&self, path: impl AsRef<Path>, budget: usize) -> Result<Table, TableError> {
+        let mut writer = SegmentWriter::create(
+            path,
+            self.name.clone(),
+            self.schema.clone(),
+            self.chunk_rows,
+        )?;
+        for rec in self.iter_rows() {
+            writer.push_row(rec.into_values())?;
+        }
+        writer.finish(budget)
+    }
+
+    /// Opens a previously written segment file as a read-only table whose
+    /// chunks page in through an LRU cache of at most `budget` chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::Segment`] on I/O failure or a malformed file.
+    pub fn open_segment(path: impl AsRef<Path>, budget: usize) -> Result<Table, TableError> {
+        let reader = SegmentReader::open(path)?;
+        let mut sealed = Vec::with_capacity(reader.chunk_count());
+        let mut sealed_rows = 0usize;
+        for idx in 0..reader.chunk_count() {
+            let rows = reader.chunk_len(idx);
+            sealed_rows += rows;
+            sealed.push(Slot::spilled(rows));
+        }
+        Ok(Table {
+            name: reader.name().to_string(),
+            schema: reader.schema().clone(),
+            chunk_rows: reader.chunk_rows(),
+            sealed,
+            sealed_rows,
+            tail: Vec::new(),
+            pager: Some(Arc::new(Pager::new(reader, budget))),
+        })
+    }
+}
+
+/// Cloning shares sealed chunks and the pager by reference count — no cell
+/// data is copied. Pinned views are dropped (the clone re-decodes on
+/// demand), which is what lets [`DataLake`](crate::DataLake) refresh
+/// entries without deep-copying tables.
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            chunk_rows: self.chunk_rows,
+            sealed: self
+                .sealed
+                .iter()
+                .map(|s| match &s.state {
+                    SlotState::Resident(chunk) => Slot::resident(chunk.clone()),
+                    SlotState::Spilled => Slot::spilled(s.rows),
+                })
+                .collect(),
+            sealed_rows: self.sealed_rows,
+            tail: self.tail.clone(),
+            pager: self.pager.clone(),
+        }
+    }
+}
+
+/// Logical equality: same name, schema, and row sequence (chunking,
+/// spill state, and pinned views are representation details).
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.row_count() == other.row_count()
+            && self.iter_rows().eq(other.iter_rows())
+    }
+}
+
+enum RowAddr {
+    Sealed { slot: usize, offset: usize },
+    Tail(usize),
+}
+
+/// Chunk-wise row iterator returned by [`Table::iter_rows`].
+#[derive(Debug)]
+pub struct RowIter<'a> {
+    table: &'a Table,
+    index: usize,
+    cached: Option<(usize, Arc<Chunk>)>,
+}
+
+impl Iterator for RowIter<'_> {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        let t = self.table;
+        if self.index >= t.row_count() {
+            return None;
+        }
+        let rec = if self.index < t.sealed_rows {
+            let slot = self.index / t.chunk_rows;
+            let offset = self.index % t.chunk_rows;
+            if self.cached.as_ref().is_none_or(|(s, _)| *s != slot) {
+                let chunk = t.chunk(slot).expect("segment read during row iteration");
+                self.cached = Some((slot, chunk));
+            }
+            self.cached
+                .as_ref()
+                .expect("chunk cached above")
+                .1
+                .record(offset)
+        } else {
+            t.tail[self.index - t.sealed_rows].clone()
+        };
+        self.index += 1;
+        Some(rec)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.table.row_count().saturating_sub(self.index);
+        (left, Some(left))
+    }
+}
+
+/// Chunk-wise column iterator returned by [`Table::column`].
+#[derive(Debug)]
+pub struct ColumnIter<'a> {
+    table: &'a Table,
+    col: usize,
+    index: usize,
+    cached: Option<(usize, Arc<Chunk>)>,
+}
+
+impl Iterator for ColumnIter<'_> {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        let t = self.table;
+        if self.index >= t.row_count() {
+            return None;
+        }
+        let value = if self.index < t.sealed_rows {
+            let slot = self.index / t.chunk_rows;
+            let offset = self.index % t.chunk_rows;
+            if self.cached.as_ref().is_none_or(|(s, _)| *s != slot) {
+                let chunk = t.chunk(slot).expect("segment read during column scan");
+                self.cached = Some((slot, chunk));
+            }
+            self.cached
+                .as_ref()
+                .expect("chunk cached above")
+                .1
+                .value(offset, self.col)
+        } else {
+            t.tail[self.index - t.sealed_rows]
+                .get(self.col)
+                .cloned()
+                .expect("tail row width checked on ingest")
+        };
+        self.index += 1;
+        Some(value)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.table.row_count().saturating_sub(self.index);
+        (left, Some(left))
     }
 }
 
@@ -192,6 +668,7 @@ impl Table {
 pub struct TableBuilder {
     name: String,
     columns: Vec<String>,
+    chunk_rows: usize,
 }
 
 impl TableBuilder {
@@ -211,6 +688,13 @@ impl TableBuilder {
         self
     }
 
+    /// Overrides the rows-per-chunk partition size (default
+    /// [`DEFAULT_CHUNK_ROWS`]).
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = rows.max(1);
+        self
+    }
+
     /// Finishes the builder.
     ///
     /// # Panics
@@ -219,7 +703,7 @@ impl TableBuilder {
     /// names where a duplicate is a programming error.
     pub fn build(self) -> Table {
         let schema = Schema::from_names(self.columns).expect("duplicate column name in builder");
-        Table::new(self.name, schema)
+        Table::with_chunk_rows(self.name, schema, self.chunk_rows)
     }
 }
 
@@ -245,11 +729,39 @@ mod tests {
         t
     }
 
+    /// The same rows, sealed into 2-row chunks so every accessor crosses
+    /// chunk boundaries.
+    fn chunked_city_table() -> Table {
+        let src = city_table();
+        let mut t = Table::with_chunk_rows("cities", src.schema().clone(), 2);
+        for rec in src.iter_rows() {
+            t.push_row(rec.into_values()).unwrap();
+        }
+        t
+    }
+
     #[test]
     fn push_and_access() {
         let t = city_table();
         assert_eq!(t.row_count(), 4);
         assert_eq!(t.cell(1, "country").unwrap(), &Value::text("Spain"));
+    }
+
+    #[test]
+    fn chunked_accessors_agree_with_row_major() {
+        let a = city_table();
+        let b = chunked_city_table();
+        assert_eq!(b.chunk_count(), 2);
+        assert!(b.tail.is_empty());
+        for i in 0..a.row_count() {
+            assert_eq!(a.row(i).unwrap(), b.row(i).unwrap());
+            assert_eq!(b.row_at(i).unwrap(), *a.row(i).unwrap());
+            assert_eq!(
+                b.cell_value(i, "timezone").unwrap(),
+                *a.cell(i, "timezone").unwrap()
+            );
+        }
+        assert_eq!(a, b, "logical equality ignores chunking");
     }
 
     #[test]
@@ -265,6 +777,10 @@ mod tests {
     fn row_out_of_bounds() {
         let t = city_table();
         assert!(matches!(t.row(99), Err(TableError::RowOutOfBounds { .. })));
+        assert!(matches!(
+            t.row_at(99),
+            Err(TableError::RowOutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -275,8 +791,21 @@ mod tests {
     }
 
     #[test]
+    fn set_cell_in_sealed_chunk_is_copy_on_write() {
+        let mut t = chunked_city_table();
+        let shared = t.clone();
+        t.set_cell(0, "timezone", Value::text("WET")).unwrap();
+        assert_eq!(t.cell_value(0, "timezone").unwrap(), Value::text("WET"));
+        assert_eq!(
+            shared.cell_value(0, "timezone").unwrap(),
+            Value::text("CET"),
+            "clone sharing the old chunk is unaffected"
+        );
+    }
+
+    #[test]
     fn column_iterator() {
-        let t = city_table();
+        let t = chunked_city_table();
         let countries: Vec<String> = t
             .column("country")
             .unwrap()
@@ -284,6 +813,16 @@ mod tests {
             .collect();
         assert_eq!(countries, vec!["Italy", "Spain", "Belgium", "Denmark"]);
         assert!(t.column("nope").is_err());
+    }
+
+    #[test]
+    fn column_stats_fold_matches_compute() {
+        let t = chunked_city_table();
+        let folded = t.column_stats("timezone").unwrap();
+        let whole: Vec<Value> = t.column("timezone").unwrap().collect();
+        let expect = ColumnStats::compute(whole.iter());
+        assert_eq!(folded.total(), expect.total());
+        assert_eq!(folded.sorted_counts(), expect.sorted_counts());
     }
 
     #[test]
@@ -296,6 +835,18 @@ mod tests {
         );
         assert_eq!(p.row_count(), 4);
         assert_eq!(p.cell(0, "city").unwrap(), &Value::text("Florence"));
+    }
+
+    #[test]
+    fn project_shares_sealed_chunks() {
+        let t = chunked_city_table();
+        let p = t.project(&["city"]).unwrap();
+        assert_eq!(p.chunk_count(), t.chunk_count());
+        let (orig, proj) = match (&t.sealed[0].state, &p.sealed[0].state) {
+            (SlotState::Resident(a), SlotState::Resident(b)) => (a.clone(), b.clone()),
+            _ => panic!("expected resident chunks"),
+        };
+        assert!(Arc::ptr_eq(proj.column(0), orig.column(0)));
     }
 
     #[test]
@@ -315,10 +866,74 @@ mod tests {
     }
 
     #[test]
+    fn sample_large_table_is_bounded_and_distinct() {
+        let mut t = Table::builder("big").column("n").chunk_rows(512).build();
+        for i in 0..(SAMPLE_SHUFFLE_MAX + 100) {
+            t.push_row(vec![Value::Int(i as i64)]).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = t.sample_rows(&mut rng, 10, &[0, 1, 2]);
+        assert_eq!(s.len(), 10);
+        let distinct: HashSet<usize> = s.iter().copied().collect();
+        assert_eq!(distinct.len(), 10);
+        assert!(s.iter().all(|&i| i > 2 && i < t.row_count()));
+    }
+
+    #[test]
     fn find_by_answer_key() {
         let t = city_table();
         let hits = t.find("country", &Value::text("italy")).unwrap();
         assert_eq!(hits, vec![0]);
+        let chunked = chunked_city_table();
+        assert_eq!(
+            chunked.find("country", &Value::text("italy")).unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            chunked.find("timezone", &Value::text("cet")).unwrap(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn find_matches_nulls_via_empty_key() {
+        let mut t = Table::builder("t").column("a").chunk_rows(2).build();
+        t.push_row(vec![Value::Null]).unwrap();
+        t.push_row(vec![Value::text("x")]).unwrap();
+        t.push_row(vec![Value::Null]).unwrap();
+        assert_eq!(t.find("a", &Value::Null).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn clone_shares_chunks() {
+        let t = chunked_city_table();
+        let c = t.clone();
+        let (a, b) = match (&t.sealed[0].state, &c.sealed[0].state) {
+            (SlotState::Resident(a), SlotState::Resident(b)) => (a.clone(), b.clone()),
+            _ => panic!("expected resident chunks"),
+        };
+        assert!(Arc::ptr_eq(&a, &b), "clone must share sealed chunks");
+        assert_eq!(t, c);
+    }
+
+    #[test]
+    fn spill_roundtrip_and_read_only() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("unidm-table-spill-{}.seg", std::process::id()));
+        let t = chunked_city_table();
+        let mut spilled = t.spill_to(&path, 1).unwrap();
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled, t, "spill → reload preserves every row");
+        assert!(spilled.resident_chunks() <= 1);
+        assert!(matches!(
+            spilled.push_row(vec![Value::Null, Value::Null, Value::Null]),
+            Err(TableError::SpilledReadOnly)
+        ));
+        assert!(matches!(
+            spilled.set_cell(0, "city", Value::Null),
+            Err(TableError::SpilledReadOnly)
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

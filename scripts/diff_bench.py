@@ -218,6 +218,50 @@ def main(argv):
     elif n_serve and not o_serve:
         print("  notice    serving: new section (no old baseline to compare)")
 
+    # Out-of-core scale section (PR 9+): the streaming run is deterministic
+    # end to end, so its counters — tasks, partitions, dedup accounting,
+    # answers, model calls, and the FNV digest of the answer stream — are
+    # pinned exactly: any drift means the streaming executor changed
+    # behaviour. Peak live bytes depend on allocator layout and are
+    # informational here (the bench binary itself asserts the hard budget);
+    # wall time is informational as everywhere else.
+    o_scale, n_scale = old.get("scale"), new.get("scale")
+    if o_scale and n_scale:
+        scale_workload = ("rows", "chunk_rows", "page_budget", "partition_tasks")
+        if any(o_scale.get(k) != n_scale.get(k) for k in scale_workload):
+            detail = {k: (o_scale.get(k), n_scale.get(k)) for k in scale_workload}
+            if allow_workload_change:
+                print(f"  notice    scale: workload changed {detail}")
+            else:
+                failures.append(
+                    f"scale: workload changed {detail} (pass "
+                    "--allow-workload-change to re-baseline)"
+                )
+        else:
+            for key in (
+                "tasks",
+                "partitions",
+                "unique_tasks",
+                "coalesced_tasks",
+                "answers",
+                "errors",
+                "model_calls",
+                "answer_fnv",
+            ):
+                if o_scale.get(key) != n_scale.get(key):
+                    failures.append(
+                        f"scale: {key} drifted {o_scale.get(key)} -> "
+                        f"{n_scale.get(key)} (exact-pinned counter)"
+                    )
+            print(
+                f"  info      scale: peak_live_bytes "
+                f"{o_scale.get('peak_live_bytes')} -> {n_scale.get('peak_live_bytes')} "
+                f"(budget {n_scale.get('peak_budget_bytes')}), wall_s "
+                f"{o_scale.get('wall_s')} -> {n_scale.get('wall_s')}"
+            )
+    elif n_scale and not o_scale:
+        print("  notice    scale: new section (no old baseline to compare)")
+
     if failures:
         print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)
         for failure in failures:
