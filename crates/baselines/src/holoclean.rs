@@ -59,10 +59,13 @@ pub fn impute(table: &Table, row: usize, attr: &str) -> Result<String, TableErro
             *votes.entry(value).or_insert(0.0) += count as f64 / total as f64;
         }
     }
-    if let Some((best, _)) = votes
-        .into_iter()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-    {
+    // Ties must not fall to HashMap iteration order (randomized per
+    // instance): break them lexicographically so repeated runs agree.
+    if let Some((best, _)) = votes.into_iter().max_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.0.cmp(&a.0))
+    }) {
         return Ok(best);
     }
     // Fallback: column mode.

@@ -1,5 +1,5 @@
 //! Open-loop serving bench — the standing `serving` perf regime of the
-//! committed baseline (`BENCH_9.json`).
+//! committed baseline (`BENCH_10.json`).
 //!
 //! Where the `throughput` bench is closed-loop (push a batch as fast as
 //! it goes, report makespan), this binary drives the resilient backend
@@ -18,8 +18,16 @@
 //!
 //! ```text
 //! cargo run -p unidm-bench --release --bin serving -- \
-//!     [--quick] [--seed N] [--fault-seed N] [--bench-json PATH]
+//!     [--quick] [--seed N] [--fault-seed N] [--bench-json PATH] [--store PATH]
 //! ```
+//!
+//! `--store PATH` routes every tenant's traffic through a
+//! [`unidm::PromptCache`] backed by the shared `UDMCACHE1` disk tier at
+//! `PATH` (created on first use), beneath the resilient backend. The
+//! cache sits below the fault injector, so simulated latency, SLO
+//! accounting and the pinned counters are untouched — the flag only
+//! persists the mix's completions into the tiered store (and replays
+//! them on later runs), which is why it is opt-in rather than default.
 //!
 //! When `PATH` already holds a bench baseline (the `throughput` binary's
 //! output), the `serving` section is spliced into it, replacing any
@@ -31,10 +39,10 @@
 use std::path::PathBuf;
 
 use unidm::serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim, TenantSpec};
-use unidm::BackendConfig;
+use unidm::{BackendConfig, CacheStore, CanonLevel, PromptCache, StoreConfig};
 use unidm_bench::{json_array, JsonObject};
 use unidm_eval::streams::{record_streams, PromptStream};
-use unidm_llm::{FaultPlan, LlmProfile, MockLlm};
+use unidm_llm::{FaultPlan, LanguageModel, LlmProfile, MockLlm};
 use unidm_world::World;
 
 /// Concurrent service slots of the simulated deployment — provisioned
@@ -146,7 +154,7 @@ fn write_section(path: &PathBuf, seed: u64, section: &str) {
             format!("{base}{MARKER}{section}}}")
         }
         Err(_) => JsonObject::new()
-            .field_u64("pr", 8)
+            .field_u64("pr", 10)
             .field_str("bench", "serving")
             .field_u64("seed", seed)
             .field_raw("serving", section)
@@ -169,7 +177,8 @@ fn main() {
         .unwrap_or(7);
     let path = arg_value(&args, "--bench-json")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"));
+        .unwrap_or_else(|| PathBuf::from("BENCH_10.json"));
+    let store_path = arg_value(&args, "--store").map(PathBuf::from);
     let (stream_queries, requests_per_tenant) = if quick { (3, 30) } else { (6, 150) };
 
     println!("recording the ten scenarios' canonical prompt streams (seed {seed})...");
@@ -185,10 +194,22 @@ fn main() {
     let run = |workers: usize| -> ServeReport {
         let world = World::generate(seed);
         let llm = MockLlm::new(&world, LlmProfile::gpt3_175b(), seed);
-        let stack = BackendConfig::resilient(seed)
-            .with_faults(FaultPlan::moderate(fault_seed))
-            .wrap(&llm);
-        build_sim(seed, workers, &streams, requests_per_tenant).run(&stack)
+        let backend = BackendConfig::resilient(seed).with_faults(FaultPlan::moderate(fault_seed));
+        let sim = build_sim(seed, workers, &streams, requests_per_tenant);
+        match &store_path {
+            Some(store_file) => {
+                if let Some(parent) = store_file.parent() {
+                    let _ = std::fs::create_dir_all(parent);
+                }
+                let store = CacheStore::open(store_file, llm.name(), StoreConfig::default())
+                    .expect("serving store opens");
+                let cache = PromptCache::unbounded(&llm)
+                    .with_canonicalization(CanonLevel::TableStem)
+                    .with_store(store);
+                sim.run(&backend.wrap(&cache))
+            }
+            None => sim.run(&backend.wrap(&llm)),
+        }
     };
 
     println!(
@@ -216,6 +237,20 @@ fn main() {
         "determinism: 1-worker == 8-worker == rerun (trace fnv {:#018x})",
         serial.trace_fnv()
     );
+    if let Some(store_file) = &store_path {
+        match CacheStore::open(
+            store_file,
+            &LlmProfile::gpt3_175b().name,
+            StoreConfig::default(),
+        ) {
+            Ok(store) => println!(
+                "tiered store: {} completions persisted at {}",
+                store.len(),
+                store_file.display()
+            ),
+            Err(e) => println!("tiered store not readable after the runs: {e}"),
+        }
+    }
 
     println!(
         "\n{:<22} {:>5} {:>4} {:>9} {:>9} {:>9} {:>6} {:>8}",

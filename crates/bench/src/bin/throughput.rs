@@ -1,5 +1,5 @@
 //! Throughput of the batch execution engine — and the machine-readable
-//! perf baseline (`BENCH_9.json`) every future PR has to beat.
+//! perf baseline (`BENCH_10.json`) every future PR has to beat.
 //!
 //! Regimes:
 //!
@@ -7,6 +7,20 @@
 //!   one worker, the work-stealing pool, the pool over a cold sharded
 //!   [`PromptCache`] at [`CanonLevel::TableStem`], and the pool over a
 //!   fresh cache restored from the cold run's snapshot.
+//! * **cold store / warm store** — the tiered store: the same workload
+//!   with a [`CacheStore`] disk tier beneath the cache. The cold run
+//!   populates a fresh `UDMCACHE1` file (every unique key admitted); the
+//!   warm run reopens it under a *fresh* tier 0 — a cold process image —
+//!   and must answer entirely from disk: **zero** model calls. A
+//!   scan-resistance pass then streams 10^5 distinct one-touch keys at a
+//!   capacity-bounded store and asserts the TinyLFU filter rejects every
+//!   one, keeping the hot set's hit rate at 100%; a churn pass displaces
+//!   entries and verifies compaction reclaims every dead frame.
+//! * **canon v2** — the workload's recorded `p_dp`/`p_ri` prompts plus a
+//!   deterministically reordered variant of each, completed at
+//!   [`CanonLevel::TableStem`] and [`CanonLevel::Semantic`]: the v2 fold
+//!   must turn every reordered variant into a hit, strictly beating the
+//!   TableStem hit rate on the same stream.
 //! * **sync / pipelined / pipelined hedged heavy-tail** — the same
 //!   workload against an endpoint where 3% of attempts take 2s of virtual
 //!   time. The synchronous path blocks through the resilient backend one
@@ -66,22 +80,24 @@
 //! ```text
 //! cargo run -p unidm-bench --release --bin throughput            # paper scale
 //! cargo run -p unidm-bench --release --bin throughput -- --quick # smoke scale
-//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_9.json
+//! cargo run -p unidm-bench --release --bin throughput -- --bench-json out/BENCH_10.json
 //! cargo run -p unidm-bench --release --bin throughput -- --faults heavy --rate-limit 200
 //! cargo run -p unidm-bench --release --bin throughput -- --route 4 # fleet behind the standard regimes
 //! cargo run -p unidm-bench --release --bin throughput -- --scale-only --scale-rows 100000
 //! ```
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use unidm::{
-    AimdPolicy, BackendConfig, BatchRunner, CanonLevel, CascadeBackend, CascadePolicy, Dispatcher,
-    HedgePolicy, PipelineConfig, PromptCache, RoutePlan, RoutedBackend, Task,
+    AimdPolicy, BackendConfig, BatchRunner, CacheStore, CanonLevel, CascadeBackend, CascadePolicy,
+    Dispatcher, HedgePolicy, PipelineConfig, PromptCache, RoutePlan, RoutedBackend, StoreConfig,
+    Task,
 };
 use unidm_bench::alloc_counter::{self, AllocationDelta};
 use unidm_bench::{config_from_args, CallCounter, JsonObject};
-use unidm_llm::{Clock, FaultPlan, LanguageModel, LlmProfile, MockLlm};
+use unidm_llm::{Clock, Completion, FaultPlan, LanguageModel, LlmProfile, MockLlm, Usage};
 use unidm_synthdata::imputation;
 use unidm_synthdata::scale::{ScaleSpec, TABLE_NAME as SCALE_TABLE};
 use unidm_tablestore::DataLake;
@@ -163,7 +179,7 @@ fn bench_json_path() -> PathBuf {
         .and_then(|pos| args.get(pos + 1))
         .filter(|path| !path.starts_with("--"))
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("BENCH_9.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_10.json"))
 }
 
 /// Parses `--scale-only` and `--scale-rows N` (default 10^6, or 10^5
@@ -542,9 +558,277 @@ fn main() {
         "warm-path lookups must perform zero heap allocations ({warm_bytes} bytes)"
     );
 
+    // ── Tiered store regimes ────────────────────────────────────────────
+    // The same workload with a CacheStore disk tier beneath the cache.
+    // Cold: a fresh UDMCACHE1 file — every unique key misses both tiers,
+    // reaches the model exactly once, and is admitted to disk. Warm: the
+    // file reopened under a *fresh* tier 0 (a cold process image) — the
+    // whole workload must replay from disk with zero model calls.
+    let store_dir = std::env::temp_dir().join(format!("unidm-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).expect("store scratch dir");
+    let store_file = store_dir.join("throughput.udmstore");
+
+    let cold_store =
+        CacheStore::open(&store_file, llm.name(), StoreConfig::default()).expect("fresh store");
+    let store_cold_cache = PromptCache::unbounded(&llm)
+        .with_canonicalization(CanonLevel::TableStem)
+        .with_store(cold_store.clone());
+    let (store_cold, _) = run(
+        "cold store",
+        Some(&store_cold_cache),
+        &tasks,
+        workers,
+        false,
+    );
+    assert_eq!(
+        store_cold.answers, serial.answers,
+        "the disk tier must never change answers"
+    );
+    let store_cold_stats = cold_store.stats();
+    assert_eq!(store_cold_stats.hits, 0, "a fresh store has nothing to hit");
+    assert_eq!(
+        store_cold_stats.misses as u64, store_cold.model_calls,
+        "cold store: every disk miss becomes exactly one model call"
+    );
+    assert_eq!(
+        store_cold_stats.admitted, store_cold_stats.misses,
+        "below capacity every completion is admitted"
+    );
+    assert_eq!(store_cold_stats.rejected, 0);
+
+    drop(store_cold_cache);
+    drop(cold_store);
+    let warm_store =
+        CacheStore::open(&store_file, llm.name(), StoreConfig::default()).expect("store reopens");
+    let store_warm_cache = PromptCache::unbounded(&llm)
+        .with_canonicalization(CanonLevel::TableStem)
+        .with_store(warm_store.clone());
+    let (store_warm, _) = run(
+        "warm store",
+        Some(&store_warm_cache),
+        &tasks,
+        workers,
+        false,
+    );
+    assert_eq!(store_warm.answers, serial.answers);
+    assert_eq!(
+        store_warm.model_calls, 0,
+        "warm replay from the disk tier must use zero model calls"
+    );
+    let store_warm_stats = warm_store.stats();
+    assert_eq!(
+        store_warm_stats.hits, store_cold_stats.misses,
+        "every unique canonical key replays from disk"
+    );
+
+    // Zero-allocation warm hits with the store attached: tier-0 hits
+    // never touch the disk tier, so the counting-allocator budget is
+    // unchanged by the store field.
+    let store_canonical = store_warm_cache.canonical_prompts();
+    let section = AllocationDelta::start();
+    for text in &store_canonical {
+        let _ = store_warm_cache.complete(text);
+    }
+    let store_warm_allocs = section.allocations();
+    assert_eq!(
+        store_warm_allocs, 0,
+        "warm hits over a store-backed cache must stay allocation-free"
+    );
+
+    // Scan resistance: a capacity-bounded store holding a twice-touched
+    // hot set, then one pass of 10^5 distinct one-touch keys — the
+    // table-scan shape. TinyLFU must reject every scan key (estimate < 3
+    // at capacity), so the hot set survives at a 100% hit rate.
+    const HOT_SET: usize = 64;
+    const SCAN_KEYS: usize = 100_000;
+    let scan_store = CacheStore::open(
+        store_dir.join("scan.udmstore"),
+        llm.name(),
+        StoreConfig::default().with_max_entries(HOT_SET),
+    )
+    .expect("scan store");
+    for i in 0..HOT_SET {
+        let completion = Arc::new(Completion {
+            text: format!("hot value {i}"),
+            usage: Usage::default(),
+        });
+        assert!(
+            scan_store.offer(&format!("hot key {i:03}"), &completion),
+            "hot set admits below capacity"
+        );
+    }
+    for i in 0..HOT_SET {
+        // Second sighting: the hot keys now clear the admission estimate.
+        assert!(scan_store.get(&format!("hot key {i:03}")).is_some());
+    }
+    let scan_filler = Arc::new(Completion {
+        text: "scan value".into(),
+        usage: Usage::default(),
+    });
+    let mut scan_admitted = 0usize;
+    for k in 0..SCAN_KEYS {
+        if scan_store.offer(&format!("scan key {k:06}"), &scan_filler) {
+            scan_admitted += 1;
+        }
+    }
+    assert_eq!(
+        scan_admitted, 0,
+        "one-touch scan keys must not displace the hot set"
+    );
+    let mut hot_hits = 0usize;
+    for i in 0..HOT_SET {
+        if scan_store.get(&format!("hot key {i:03}")).is_some() {
+            hot_hits += 1;
+        }
+    }
+    assert_eq!(
+        hot_hits, HOT_SET,
+        "hot-set hit rate must stay at 100% after the scan"
+    );
+    let scan_stats = scan_store.stats();
+    assert_eq!(scan_stats.rejected, SCAN_KEYS);
+    assert_eq!(scan_stats.evicted, 0);
+
+    // Churn + compaction: at capacity, candidates that earn admission
+    // displace the FIFO-oldest resident, leaving dead frames the
+    // append-only file cannot reuse — compaction must reclaim every one.
+    const CHURN_CAP: usize = 8;
+    let churn_store = CacheStore::open(
+        store_dir.join("churn.udmstore"),
+        llm.name(),
+        StoreConfig::default().with_max_entries(CHURN_CAP),
+    )
+    .expect("churn store");
+    for i in 0..CHURN_CAP {
+        churn_store.offer(&format!("resident {i}"), &scan_filler);
+    }
+    for i in 0..CHURN_CAP {
+        // Four sightings: doorkeeper, two sketch bumps, then estimate 3
+        // ⇒ admit (each rejected offer still teaches the filter).
+        let key = format!("challenger {i}");
+        for _ in 0..4 {
+            churn_store.offer(&key, &scan_filler);
+        }
+    }
+    let dead_before = churn_store.dead_frames();
+    assert_eq!(
+        dead_before, CHURN_CAP,
+        "every admitted challenger leaves one displaced frame behind"
+    );
+    let reclaimed = churn_store.compact().expect("compaction succeeds");
+    assert_eq!(reclaimed, dead_before);
+    assert_eq!(churn_store.dead_frames(), 0);
+    let churn_stats = churn_store.stats();
+
+    println!(
+        "\nTiered store: cold run admitted {} keys ({} model calls); warm replay hit \
+         {} from disk with 0 model calls; {} warm lookups × 0 allocations.",
+        store_cold_stats.admitted,
+        store_cold.model_calls,
+        store_warm_stats.hits,
+        store_canonical.len(),
+    );
+    println!(
+        "  scan resistance: {SCAN_KEYS} one-touch keys rejected ({} admitted), hot-set \
+         hit rate {}/{HOT_SET}; churn: compaction reclaimed {reclaimed}/{dead_before} \
+         dead frames.",
+        scan_admitted, hot_hits,
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    // ── Canon v2: Semantic folds reordered p_dp / p_ri duplicates ───────
+    // Take the workload's recorded p_dp and p_ri canonical prompts and
+    // build a deterministically reordered variant of each (record lines
+    // reversed; instance lists reversed and renumbered). TableStem keys
+    // every variant separately; the Semantic fold must map each variant
+    // onto its original — a strictly higher hit rate on the same stream.
+    let reorder = |text: &str| -> Option<String> {
+        if let Some(pos) = text.find("logical order: [") {
+            // p_dp: reverse the record lines inside the bracketed block.
+            let splice = pos + "logical order: [".len();
+            if !text.ends_with(']') || splice >= text.len() - 1 {
+                return None;
+            }
+            let body = &text[splice..text.len() - 1];
+            let mut lines: Vec<&str> = body.split('\n').collect();
+            lines.reverse();
+            let reordered = lines.join("\n");
+            if reordered == body {
+                return None;
+            }
+            return Some(format!("{}{}]", &text[..splice], reordered));
+        }
+        if text.contains("Score the relevance") {
+            // p_ri: reverse the numbered instance list and renumber.
+            let (header, rest) = text.split_once('\n')?;
+            let mut bodies: Vec<&str> = Vec::new();
+            for (i, line) in rest.split('\n').enumerate() {
+                let (number, body) = line.split_once(". ")?;
+                if number.parse::<usize>().ok()? != i + 1 {
+                    return None;
+                }
+                bodies.push(body);
+            }
+            bodies.reverse();
+            let mut out = String::from(header);
+            for (i, body) in bodies.iter().enumerate() {
+                out.push('\n');
+                out.push_str(&(i + 1).to_string());
+                out.push_str(". ");
+                out.push_str(body);
+            }
+            if out == text {
+                return None;
+            }
+            return Some(out);
+        }
+        None
+    };
+    let foldable: Vec<(&String, String)> = canonical_texts
+        .iter()
+        .filter_map(|t| reorder(t).map(|v| (t, v)))
+        .collect();
+    assert!(
+        !foldable.is_empty(),
+        "the workload must contain reorderable p_dp/p_ri prompts"
+    );
+    let mut canon_stats = Vec::new();
+    for level in [CanonLevel::TableStem, CanonLevel::Semantic] {
+        let cache = PromptCache::unbounded(&llm).with_canonicalization(level);
+        for (original, _) in &foldable {
+            let _ = cache.complete(original);
+        }
+        for (_, variant) in &foldable {
+            let _ = cache.complete(variant);
+        }
+        canon_stats.push(cache.stats());
+    }
+    let (stem_stats2, semantic_stats2) = (canon_stats[0], canon_stats[1]);
+    assert!(
+        semantic_stats2.hits >= foldable.len(),
+        "Semantic must fold every reordered variant onto its original"
+    );
+    assert!(
+        semantic_stats2.hits > stem_stats2.hits && semantic_stats2.misses < stem_stats2.misses,
+        "canon v2 must strictly beat TableStem on the reordered stream: \
+         {semantic_stats2:?} vs {stem_stats2:?}"
+    );
+    println!(
+        "Canon v2: {} reorderable p_dp/p_ri prompts; TableStem {} hits / {} misses, \
+         Semantic {} hits / {} misses on originals + reordered variants.",
+        foldable.len(),
+        stem_stats2.hits,
+        stem_stats2.misses,
+        semantic_stats2.hits,
+        semantic_stats2.misses,
+    );
+
     let mut regimes = vec![serial, batched, cold, warm, dup_serial];
     regimes.extend(dup_parallel_regimes);
     regimes.push(dup_planner);
+    regimes.push(store_cold);
+    regimes.push(store_warm);
     println!(
         "{:<16}{:>12}{:>14}{:>16}{:>13}{:>10}",
         "Regime", "Time (s)", "Tasks/sec", "Model tokens", "Model calls", "Speedup"
@@ -1181,10 +1465,67 @@ fn main() {
     // ── Out-of-core scale regime ────────────────────────────────────────
     let scale_json = run_scale(&llm, config.seed, scale_rows);
 
-    // ── BENCH_9.json: the machine-readable baseline ─────────────────────
+    // ── BENCH_10.json: the machine-readable baseline ────────────────────
+    let store_section = |s: &unidm::StoreStats| {
+        JsonObject::new()
+            .field_u64("hits", s.hits as u64)
+            .field_u64("misses", s.misses as u64)
+            .field_u64("admitted", s.admitted as u64)
+            .field_u64("rejected", s.rejected as u64)
+            .field_u64("evicted", s.evicted as u64)
+            .field_u64("expired", s.expired as u64)
+            .field_u64("compactions", s.compactions as u64)
+            .field_u64("compacted_frames", s.compacted_frames as u64)
+            .finish()
+    };
+    let store_json = JsonObject::new()
+        .field_raw("cold", &store_section(&store_cold_stats))
+        .field_raw("warm", &store_section(&store_warm_stats))
+        .field_u64("warm_model_calls", 0)
+        .field_raw(
+            "warm_lookups",
+            &JsonObject::new()
+                .field_u64("lookups", store_canonical.len() as u64)
+                .field_u64("allocations", store_warm_allocs)
+                .finish(),
+        )
+        .field_raw(
+            "scan",
+            &JsonObject::new()
+                .field_u64("hot_set", HOT_SET as u64)
+                .field_u64("scan_keys", SCAN_KEYS as u64)
+                .field_u64("scan_admitted", scan_admitted as u64)
+                .field_u64("hot_hits", hot_hits as u64)
+                .field_u64("hot_hit_rate_permille", (hot_hits * 1000 / HOT_SET) as u64)
+                .field_u64("rejected", scan_stats.rejected as u64)
+                .field_u64("evicted", scan_stats.evicted as u64)
+                .finish(),
+        )
+        .field_raw(
+            "compaction",
+            &JsonObject::new()
+                .field_u64("capacity", CHURN_CAP as u64)
+                .field_u64("dead_before", dead_before as u64)
+                .field_u64("reclaimed", reclaimed as u64)
+                .field_u64("compactions", churn_stats.compactions as u64)
+                .field_u64("compacted_frames", churn_stats.compacted_frames as u64)
+                .finish(),
+        )
+        .finish();
+    let canon_level_json = |s: &unidm::CacheStats| {
+        JsonObject::new()
+            .field_u64("hits", s.hits as u64)
+            .field_u64("misses", s.misses as u64)
+            .finish()
+    };
+    let canon_json = JsonObject::new()
+        .field_u64("foldable_prompts", foldable.len() as u64)
+        .field_raw("tablestem", &canon_level_json(&stem_stats2))
+        .field_raw("semantic", &canon_level_json(&semantic_stats2))
+        .finish();
     let regime_json: Vec<String> = regimes.iter().map(Regime::to_json).collect();
     let mut doc = JsonObject::new()
-        .field_u64("pr", 9)
+        .field_u64("pr", 10)
         .field_str("bench", "throughput")
         .field_str("model", llm.name())
         .field_u64("seed", config.seed)
@@ -1217,7 +1558,9 @@ fn main() {
         .field_raw("pipelined_heavy_tail", &pipelined_json)
         .field_raw("routed", &routed_json)
         .field_raw("cascade", &cascade_json)
-        .field_raw("scale", &scale_json);
+        .field_raw("scale", &scale_json)
+        .field_raw("store", &store_json)
+        .field_raw("canon_v2", &canon_json);
     if let Some(faulty) = faulty_json {
         doc = doc.field_raw("faulty", &faulty);
     }

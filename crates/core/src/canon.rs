@@ -72,6 +72,7 @@ use std::collections::HashSet;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use unidm_llm::protocol::{parse_prm, render_prm, TaskKind};
+use unidm_llm::Completion;
 
 /// How aggressively [`PromptKey::canonicalize`] normalizes a prompt before
 /// it is used as a cache key.
@@ -94,6 +95,27 @@ pub enum CanonLevel {
     /// meta-retrieval entry, which is what lifts imputation hit rates
     /// from ~2% to ≥20%.
     TableStem,
+    /// Canonicalization v2: everything `TableStem` does, plus
+    /// order-insensitive folding of list-shaped prompt bodies. `p_dp`
+    /// record blocks that differ only in row order sort to one canonical
+    /// block (retrieval over the same rows produces the same parsing
+    /// prompt whatever order scoring returned them in), and `p_ri`
+    /// instance lists sort and renumber, so reorderings of one sampled
+    /// instance set share an entry.
+    ///
+    /// Folded completions are **permutation-corrected on replay**: the
+    /// fold records how the request's elements moved into canonical
+    /// order ([`ReplayFold`]), and the cache maps the canonical
+    /// completion's index-keyed scores (`p_ri`) or per-record lines
+    /// (`p_dp`) back into the request's own index space. Replay is
+    /// deterministic, but unlike the lower levels it is **semantic, not
+    /// exact**: the model never sees the request's exact ordering, so
+    /// per-index capability noise can differ from a direct call. The
+    /// answer drift this induces is bounded and measured against
+    /// uncached runs in the eval suite (see `tests/canon_v2.rs`);
+    /// workloads that need exact replay stay at
+    /// [`CanonLevel::TableStem`].
+    Semantic,
 }
 
 impl CanonLevel {
@@ -103,7 +125,20 @@ impl CanonLevel {
             CanonLevel::Verbatim => "verbatim",
             CanonLevel::Whitespace => "whitespace",
             CanonLevel::TableStem => "table-stem",
+            CanonLevel::Semantic => "semantic",
         }
+    }
+
+    /// Whether this level rewrites per-row retrieval queries to their
+    /// table-level form ([`CanonLevel::TableStem`] and above).
+    pub fn generalizes_queries(&self) -> bool {
+        matches!(self, CanonLevel::TableStem | CanonLevel::Semantic)
+    }
+
+    /// Whether this level folds order-insensitive list bodies (`p_dp`
+    /// record blocks, `p_ri` instance lists) — canonicalization v2.
+    pub fn folds_lists(&self) -> bool {
+        matches!(self, CanonLevel::Semantic)
     }
 }
 
@@ -134,6 +169,97 @@ fn fnv1a(text: &str) -> u64 {
     fnv1a_extend(FNV_OFFSET, text.as_bytes())
 }
 
+/// How a completion of the canonical (sorted) form of a folded prompt is
+/// adapted back into the index space of the request that produced this
+/// canonicalization — the replay half of the v2 folds.
+///
+/// Both variants carry the fold's permutation: `perm[canonical_pos] =
+/// original_pos` (0-based). Element `j` of the canonical completion
+/// belongs to element `perm[j]` of the request, so [`ReplayFold::adapt`]
+/// scatters the canonical elements back to their requested positions.
+/// Adaptation is total and never fails: a completion that is not in the
+/// expected per-element shape (free-form text, wrong element count) is
+/// returned unchanged — the caller gets exactly what v1 replay gave it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayFold {
+    /// A folded `p_ri` instance list: the completion is index-keyed
+    /// relevance scores (`"1:2, 2:0, …"`) whose indices are remapped.
+    PriScores(Vec<usize>),
+    /// A folded `p_dp` record block: the completion is one line per
+    /// record, reordered back to the request's record order.
+    PdpLines(Vec<usize>),
+}
+
+impl ReplayFold {
+    /// Maps `canonical` — the completion of the canonical (sorted)
+    /// prompt — into the request's original element order. Token usage is
+    /// carried over unchanged (the canonical call is the one that paid).
+    pub fn adapt(&self, canonical: &Completion) -> Completion {
+        let text = match self {
+            ReplayFold::PriScores(perm) => remap_pri_scores(&canonical.text, perm),
+            ReplayFold::PdpLines(perm) => remap_lines(&canonical.text, perm),
+        };
+        match text {
+            Some(text) => Completion {
+                text,
+                usage: canonical.usage,
+            },
+            None => canonical.clone(),
+        }
+    }
+
+    /// The fold's permutation (`perm[canonical_pos] = original_pos`).
+    pub fn permutation(&self) -> &[usize] {
+        match self {
+            ReplayFold::PriScores(perm) | ReplayFold::PdpLines(perm) => perm,
+        }
+    }
+}
+
+/// Remaps an index-keyed `p_ri` score list (`"1:s, 2:s, …"`) through
+/// `perm`. `None` when the text is not exactly a full, in-order score
+/// list for `perm.len()` instances.
+fn remap_pri_scores(text: &str, perm: &[usize]) -> Option<String> {
+    let mut scores: Vec<&str> = vec![""; perm.len()];
+    let mut seen = 0usize;
+    for (j, part) in text.split(',').enumerate() {
+        let (index, score) = part.trim().split_once(':')?;
+        if index.parse::<usize>().ok()? != j + 1 {
+            return None;
+        }
+        let slot = *perm.get(j)?;
+        scores[slot] = score;
+        seen += 1;
+    }
+    if seen != perm.len() {
+        return None;
+    }
+    let mut out = String::with_capacity(text.len());
+    for (k, score) in scores.iter().enumerate() {
+        if k > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&(k + 1).to_string());
+        out.push(':');
+        out.push_str(score);
+    }
+    Some(out)
+}
+
+/// Reorders the lines of a per-record completion through `perm`. `None`
+/// when the line count does not match the fold's element count.
+fn remap_lines(text: &str, perm: &[usize]) -> Option<String> {
+    let lines: Vec<&str> = text.split('\n').collect();
+    if lines.len() != perm.len() {
+        return None;
+    }
+    let mut out: Vec<&str> = vec![""; perm.len()];
+    for (j, line) in lines.iter().enumerate() {
+        out[perm[j]] = line;
+    }
+    Some(out.join("\n"))
+}
+
 /// The borrowed, hot-path form of a canonical prompt: the canonical text
 /// (borrowed from the input whenever no rewrite was needed), the location
 /// of the per-row suffix inside it, and the stable content hash — computed
@@ -154,6 +280,9 @@ pub struct CanonicalPrompt<'a> {
     suffix_len: usize,
     /// FNV-1a hash of the canonical text.
     hash: u64,
+    /// How completions of the canonical text are adapted back into this
+    /// request's element order (`None` when no v2 fold reordered it).
+    replay: Option<ReplayFold>,
 }
 
 impl<'a> CanonicalPrompt<'a> {
@@ -172,6 +301,7 @@ impl<'a> CanonicalPrompt<'a> {
                 splice: 0,
                 suffix_len: prompt.len(),
                 hash: fnv1a(prompt),
+                replay: None,
             };
         }
         let norm = normalize_whitespace(prompt);
@@ -181,7 +311,7 @@ impl<'a> CanonicalPrompt<'a> {
         if let Some(scan) = scan_prm_exact(&norm) {
             let (query_start, query_end) = scan.query;
             let query = &norm[query_start..query_end];
-            let rewritten = if level == CanonLevel::TableStem {
+            let rewritten = if level.generalizes_queries() {
                 generalize_query(scan.task, query)
             } else {
                 Cow::Borrowed(query)
@@ -192,6 +322,7 @@ impl<'a> CanonicalPrompt<'a> {
                     suffix_len: query_end - query_start,
                     hash: hash_of(&norm),
                     text: norm,
+                    replay: None,
                 },
                 Cow::Owned(general) => {
                     let mut text = String::with_capacity(norm.len() - query.len() + general.len());
@@ -203,6 +334,7 @@ impl<'a> CanonicalPrompt<'a> {
                         splice: query_start,
                         suffix_len: general.len(),
                         text: Cow::Owned(text),
+                        replay: None,
                     }
                 }
             };
@@ -211,7 +343,7 @@ impl<'a> CanonicalPrompt<'a> {
         // around the (possibly generalized) query so the key is
         // independent of how the original prompt was spaced.
         if let Some(req) = parse_prm(&norm) {
-            let query = if level == CanonLevel::TableStem {
+            let query = if level.generalizes_queries() {
                 generalize_query(req.task, &req.query).into_owned()
             } else {
                 req.query.clone()
@@ -224,19 +356,35 @@ impl<'a> CanonicalPrompt<'a> {
                     splice,
                     suffix_len: query.len(),
                     text: Cow::Owned(rendered),
+                    replay: None,
                 };
             }
         }
         // p_ri — the task header is the stem; query and candidate
-        // instances are per-row.
+        // instances are per-row. At Semantic, reorderings of one instance
+        // list fold: lines sort and renumber to one canonical list (a
+        // no-op — hence borrowed — when the list is already sorted).
         if norm.contains("Score the relevance") {
             if let Some(pos) = norm.find("The target query is") {
+                if level.folds_lists() {
+                    if let Some((folded, perm)) = fold_pri_instances(&norm) {
+                        let suffix_len = folded.len() - pos;
+                        return CanonicalPrompt {
+                            splice: pos,
+                            suffix_len,
+                            hash: fnv1a(&folded),
+                            text: Cow::Owned(folded),
+                            replay: Some(ReplayFold::PriScores(perm)),
+                        };
+                    }
+                }
                 let suffix_len = norm.len() - pos;
                 return CanonicalPrompt {
                     splice: pos,
                     suffix_len,
                     hash: hash_of(&norm),
                     text: norm,
+                    replay: None,
                 };
             }
         }
@@ -250,20 +398,41 @@ impl<'a> CanonicalPrompt<'a> {
                     suffix_len,
                     hash: hash_of(&norm),
                     text: norm,
+                    replay: None,
                 };
             }
         }
         // p_dp — the parsing instruction is the stem; the bracketed record
         // block is per-retrieval (the closing bracket stays in the stem).
+        // At Semantic, record blocks that differ only in row order fold:
+        // the record lines sort to one canonical block (order-insensitive
+        // record digest — a no-op, hence borrowed, when already sorted).
         if let Some(pos) = norm.find(PDP_MARKER) {
             if norm.ends_with(']') {
                 let splice = pos + PDP_MARKER.len();
                 let suffix_len = norm.len() - 1 - splice;
+                if level.folds_lists() {
+                    let body = &norm[splice..norm.len() - 1];
+                    if let Some((sorted, perm)) = sort_lines(body) {
+                        let mut text = String::with_capacity(norm.len());
+                        text.push_str(&norm[..splice]);
+                        text.push_str(&sorted);
+                        text.push(']');
+                        return CanonicalPrompt {
+                            hash: fnv1a(&text),
+                            splice,
+                            suffix_len: sorted.len(),
+                            text: Cow::Owned(text),
+                            replay: Some(ReplayFold::PdpLines(perm)),
+                        };
+                    }
+                }
                 return CanonicalPrompt {
                     splice,
                     suffix_len,
                     hash: hash_of(&norm),
                     text: norm,
+                    replay: None,
                 };
             }
         }
@@ -275,6 +444,7 @@ impl<'a> CanonicalPrompt<'a> {
             suffix_len,
             hash: hash_of(&norm),
             text: norm,
+            replay: None,
         }
     }
 
@@ -305,6 +475,13 @@ impl<'a> CanonicalPrompt<'a> {
     /// fast path) rather than rewriting it.
     pub fn is_borrowed(&self) -> bool {
         matches!(self.text, Cow::Borrowed(_))
+    }
+
+    /// How completions of the canonical text must be adapted back into
+    /// this request's element order — `Some` only when a v2 fold
+    /// actually reordered the request (see [`ReplayFold`]).
+    pub fn replay(&self) -> Option<&ReplayFold> {
+        self.replay.as_ref()
     }
 
     /// Materializes the owned [`PromptKey`]: the stem (text minus the
@@ -518,6 +695,65 @@ fn normalize_whitespace(prompt: &str) -> Cow<'_, str> {
     }
     let trimmed_start = out.trim_start_matches('\n').len();
     Cow::Owned(out.split_off(out.len() - trimmed_start))
+}
+
+/// Returns the lines of `body` sorted (joined by `\n`) plus the fold's
+/// permutation (`perm[sorted_pos] = original_pos`) when a rewrite is
+/// needed, `None` when the lines are already in sorted order — the
+/// borrowed fast path of the v2 `p_dp` fold. Byte-wise ordering, stable
+/// for equal lines: exact, deterministic, locale-free.
+fn sort_lines(body: &str) -> Option<(String, Vec<usize>)> {
+    let lines: Vec<&str> = body.split('\n').collect();
+    if lines.windows(2).all(|w| w[0] <= w[1]) {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..lines.len()).collect();
+    order.sort_by_key(|&i| lines[i]);
+    let sorted: Vec<&str> = order.iter().map(|&i| lines[i]).collect();
+    Some((sorted.join("\n"), order))
+}
+
+/// Rebuilds a whitespace-normal `p_ri` prompt with its numbered instance
+/// list sorted by instance text and renumbered `1..n` — the v2 fold that
+/// makes the key order-insensitive over the sampled instance set — plus
+/// the fold's permutation (`perm[sorted_pos] = original_pos`, stable for
+/// equal instances).
+///
+/// Returns `None` when no rewrite is needed (list already sorted and
+/// numbered sequentially — the borrowed fast path) or when the prompt's
+/// instance block is not in the renderer's `"{i}. {instance}"` shape
+/// (fold refused; the unfolded v1 split still applies, so unrecognized
+/// variants lose nothing).
+fn fold_pri_instances(norm: &str) -> Option<(String, Vec<usize>)> {
+    let (header, rest) = norm.split_once('\n')?;
+    let mut bodies: Vec<&str> = Vec::new();
+    let mut sorted = true;
+    for (i, line) in rest.split('\n').enumerate() {
+        let (number, body) = line.split_once(". ")?;
+        if number.parse::<usize>().ok()? != i + 1 {
+            return None;
+        }
+        if let Some(prev) = bodies.last() {
+            if *prev > body {
+                sorted = false;
+            }
+        }
+        bodies.push(body);
+    }
+    if bodies.is_empty() || sorted {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..bodies.len()).collect();
+    order.sort_by_key(|&i| bodies[i]);
+    let mut out = String::with_capacity(norm.len());
+    out.push_str(header);
+    for (i, &slot) in order.iter().enumerate() {
+        out.push('\n');
+        out.push_str(&(i + 1).to_string());
+        out.push_str(". ");
+        out.push_str(bodies[slot]);
+    }
+    Some((out, order))
 }
 
 /// A borrowed scan of a `p_rm` prompt in the renderer's exact shape.
@@ -773,7 +1009,11 @@ mod tests {
             render_pdp(&recs()),
             "  an   unstructured\n\n prompt ".to_string(),
         ];
-        for level in [CanonLevel::Whitespace, CanonLevel::TableStem] {
+        for level in [
+            CanonLevel::Whitespace,
+            CanonLevel::TableStem,
+            CanonLevel::Semantic,
+        ] {
             for p in &prompts {
                 let once = PromptKey::canonicalize(p, level);
                 let twice = PromptKey::canonicalize(&once.text(), level);
@@ -799,6 +1039,7 @@ mod tests {
             CanonLevel::Verbatim,
             CanonLevel::Whitespace,
             CanonLevel::TableStem,
+            CanonLevel::Semantic,
         ] {
             for p in &prompts {
                 let canonical = PromptKey::canonicalize(p, level).text();
@@ -810,6 +1051,71 @@ mod tests {
                 assert_eq!(again.text(), canonical);
             }
         }
+    }
+
+    fn reversed_recs() -> Vec<SerializedRecord> {
+        let mut r = recs();
+        r.reverse();
+        r
+    }
+
+    #[test]
+    fn semantic_folds_pdp_row_order() {
+        let a = render_pdp(&recs());
+        let b = render_pdp(&reversed_recs());
+        assert_ne!(a, b, "reordered records render differently");
+        assert_ne!(
+            PromptKey::canonicalize(&a, CanonLevel::TableStem),
+            PromptKey::canonicalize(&b, CanonLevel::TableStem),
+            "v1 levels keep row orderings apart"
+        );
+        let ka = PromptKey::canonicalize(&a, CanonLevel::Semantic);
+        let kb = PromptKey::canonicalize(&b, CanonLevel::Semantic);
+        assert_eq!(ka, kb, "v2 folds record blocks differing only in row order");
+        // The canonical block is the sorted one, still a well-formed p_dp.
+        assert_eq!(ka.text(), a, "recs() renders in sorted order already");
+        let sorted_lines: Vec<&str> = ka.suffix().split('\n').collect();
+        assert!(sorted_lines.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn semantic_folds_pri_instance_order_and_renumbers() {
+        let a = render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs());
+        let b = render_pri(
+            TaskKind::Imputation,
+            "Copenhagen, timezone",
+            &reversed_recs(),
+        );
+        assert_ne!(
+            PromptKey::canonicalize(&a, CanonLevel::TableStem),
+            PromptKey::canonicalize(&b, CanonLevel::TableStem)
+        );
+        let ka = PromptKey::canonicalize(&a, CanonLevel::Semantic);
+        let kb = PromptKey::canonicalize(&b, CanonLevel::Semantic);
+        assert_eq!(ka, kb, "v2 folds instance-list reorderings");
+        // The canonical list is sorted and renumbered 1..n.
+        let canonical = ka.text();
+        for (i, line) in canonical.lines().skip(1).enumerate() {
+            assert!(
+                line.starts_with(&format!("{}. ", i + 1)),
+                "renumbered sequentially: {line:?}"
+            );
+        }
+        // Distinct instance sets must not fold together.
+        let other = render_pri(TaskKind::Imputation, "Copenhagen, timezone", &recs()[..1]);
+        assert_ne!(ka, PromptKey::canonicalize(&other, CanonLevel::Semantic));
+    }
+
+    #[test]
+    fn semantic_fold_refuses_malformed_instance_blocks() {
+        // Numbering that is not 1..n: the fold is refused, but the v1
+        // stem/suffix split still applies.
+        let odd = "The task is [x]. The target query is [q]. Score the relevance (range from 0 \
+                   to 3) of the given instances based on the task and the query:\n7. zeta\n1. \
+                   alpha";
+        let key = PromptKey::canonicalize(odd, CanonLevel::Semantic);
+        assert!(key.suffix().contains("7. zeta\n1. alpha"), "order kept");
+        assert_eq!(key.text(), odd);
     }
 
     #[test]

@@ -78,6 +78,7 @@ use unidm_tablestore::DataLake;
 use crate::canon::{CanonLevel, CanonicalPrompt};
 use crate::dispatch::Dispatcher;
 use crate::pipeline::{RunOutput, UniDm};
+use crate::store::{CacheStore, StoreStats};
 use crate::task::Task;
 use crate::{PipelineConfig, UniDmError};
 
@@ -417,6 +418,19 @@ impl From<std::io::Error> for SnapshotError {
 /// [`PromptCache::save_to`] / [`PromptCache::load_from`] do the same
 /// through a file, which is how repeated eval runs start warm.
 ///
+/// # Disk tier
+///
+/// [`PromptCache::with_store`] attaches a [`CacheStore`] — the merged,
+/// versioned, append-only disk segment shared across scenarios — beneath
+/// the shards. Tier-0 misses probe the store before reaching the model
+/// (a disk hit populates tier 0 and costs zero model calls), and fresh
+/// completions are offered back through the store's TinyLFU admission
+/// filter, so a sequential scan cannot flush the disk-resident hot set.
+/// Tier-0 hits never touch the store, preserving the zero-allocation
+/// warm-hit path, and disk traffic is accounted separately in
+/// [`StoreStats`] so [`CacheStats`] exactness is unaffected. The v1 text
+/// snapshots remain readable; [`CacheStore::import_v1`] migrates them.
+///
 /// # Determinism and accounting
 ///
 /// The deterministic substrate returns the same completion for the same
@@ -460,6 +474,11 @@ pub struct PromptCache<'a> {
     /// Cache-wide monotonic use counter: stamps are comparable across
     /// shards, so LRU order is global (snapshot compaction relies on it).
     clock: AtomicU64,
+    /// Optional disk tier ([`CacheStore`]): tier-0 misses probe it before
+    /// reaching the model, and fresh completions are offered back through
+    /// its admission filter. The tier-0 hit path never touches it, so the
+    /// zero-allocation warm hit is unchanged.
+    store: Option<CacheStore>,
 }
 
 impl std::fmt::Debug for PromptCache<'_> {
@@ -470,6 +489,7 @@ impl std::fmt::Debug for PromptCache<'_> {
             .field("shards", &self.shards.len())
             .field("level", &self.level)
             .field("stats", &self.stats())
+            .field("store", &self.store.as_ref().map(|s| s.path()))
             .finish()
     }
 }
@@ -547,6 +567,7 @@ impl<'a> PromptCache<'a> {
             single_flight: true,
             shards: build_shards(default_shards()),
             clock: AtomicU64::new(0),
+            store: None,
         };
         cache.shard_capacity = cache.capacity_per_shard();
         cache
@@ -602,6 +623,33 @@ impl<'a> PromptCache<'a> {
         self
     }
 
+    /// Attaches a disk tier ([`CacheStore`]) beneath the in-memory shards.
+    /// Builder-style; intended at construction time.
+    ///
+    /// Tier-0 misses probe the store before reaching the model (a disk hit
+    /// populates tier 0 and never calls the model), and fresh completions
+    /// are offered back to the store through its TinyLFU admission filter.
+    /// Tier-0 hits never touch the store, so the zero-allocation warm hit
+    /// is unchanged. Disk-tier traffic is accounted in [`StoreStats`]
+    /// (via [`PromptCache::store_stats`]), not [`CacheStats`]: the two
+    /// tiers keep independent exact counters, and a disk hit counts as a
+    /// tier-0 miss exactly like any other completion the cache had to
+    /// fetch from below.
+    pub fn with_store(mut self, store: CacheStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// The attached disk tier, if any.
+    pub fn store(&self) -> Option<&CacheStore> {
+        self.store.as_ref()
+    }
+
+    /// A snapshot of the disk tier's counters, if a store is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
     /// Whether cache-level single-flight coalescing is enabled.
     pub fn single_flight(&self) -> bool {
         self.single_flight
@@ -628,6 +676,23 @@ impl<'a> PromptCache<'a> {
         } else {
             self.capacity.div_ceil(self.shards.len()).max(1)
         }
+    }
+
+    /// Resolves a tier-0 miss from the layers below: the disk tier first
+    /// (a hit there never calls the model), then the inner model, offering
+    /// a fresh completion back to the store's admission filter. Runs
+    /// without any shard lock held.
+    fn fetch_below(&self, text: &str) -> Result<Arc<Completion>, LlmError> {
+        if let Some(store) = &self.store {
+            if let Some(completion) = store.get(text) {
+                return Ok(completion);
+            }
+        }
+        let result = self.inner.complete(text);
+        if let (Some(store), Ok(completion)) = (&self.store, &result) {
+            store.offer(text, completion);
+        }
+        result
     }
 
     fn shard_for_hash(&self, hash: u64) -> &Mutex<CacheInner> {
@@ -964,6 +1029,42 @@ impl LanguageModel for PromptCache<'_> {
 
     fn complete(&self, prompt: &str) -> Result<Arc<Completion>, LlmError> {
         let canonical = CanonicalPrompt::canonicalize(prompt, self.level);
+        let completion = self.complete_canonical(&canonical)?;
+        // A v2 fold that reordered this request replays the canonical
+        // completion permutation-corrected into the request's own element
+        // order (identity-ordered requests — every canonical prompt, so
+        // the whole warm fast path — skip this branch entirely).
+        Ok(match canonical.replay() {
+            None => completion,
+            Some(fold) => Arc::new(fold.adapt(&completion)),
+        })
+    }
+
+    fn usage(&self) -> Usage {
+        // Tokens the inner model actually processed; cache hits do not
+        // appear here. Per-run attribution happens in `UniDm::run`.
+        self.inner.usage()
+    }
+
+    fn reset_usage(&self) {
+        self.inner.reset_usage();
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+}
+
+impl PromptCache<'_> {
+    /// Completes the canonical text of `canonical` through the tiered
+    /// cache: tier-0 hit, single-flight coalescing, disk-tier probe, and
+    /// finally the model. The memoized entry is always the canonical
+    /// completion — replay adaptation happens in
+    /// [`LanguageModel::complete`] above, outside every lock.
+    fn complete_canonical(
+        &self,
+        canonical: &CanonicalPrompt<'_>,
+    ) -> Result<Arc<Completion>, LlmError> {
         let shard = self.shard_for_hash(canonical.hash64());
         let text = canonical.text();
         if !self.single_flight {
@@ -983,7 +1084,7 @@ impl LanguageModel for PromptCache<'_> {
                 }
                 state.stats.misses += 1;
             }
-            let result = self.inner.complete(text);
+            let result = self.fetch_below(text);
             let stamp = self.next_stamp();
             if let Ok(completion) = &result {
                 let mut state = self.lock_shard(shard);
@@ -1041,7 +1142,7 @@ impl LanguageModel for PromptCache<'_> {
             text,
             armed: true,
         };
-        let result = self.inner.complete(text);
+        let result = self.fetch_below(text);
         let stamp = self.next_stamp();
         {
             let mut state = self.lock_shard(shard);
@@ -1055,20 +1156,6 @@ impl LanguageModel for PromptCache<'_> {
         guard.armed = false;
         slot.fill(result.clone());
         result
-    }
-
-    fn usage(&self) -> Usage {
-        // Tokens the inner model actually processed; cache hits do not
-        // appear here. Per-run attribution happens in `UniDm::run`.
-        self.inner.usage()
-    }
-
-    fn reset_usage(&self) {
-        self.inner.reset_usage();
-    }
-
-    fn context_window(&self) -> usize {
-        self.inner.context_window()
     }
 }
 
@@ -1888,6 +1975,59 @@ mod tests {
         assert_eq!(stats.tokens_saved, a.usage.total());
         // The inner model processed the prompt exactly once.
         assert_eq!(llm.usage(), a.usage);
+    }
+
+    #[test]
+    fn disk_tier_serves_cold_process_without_model_calls() {
+        use crate::store::{CacheStore, StoreConfig};
+        let dir = std::env::temp_dir().join(format!("udm-exec-tier-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.udmstore");
+        let _ = std::fs::remove_file(&path);
+        let (_, llm) = setup();
+
+        // First process: misses go to the model and are offered to the
+        // disk tier (admit-all below capacity).
+        let warm = {
+            let store = CacheStore::open(&path, llm.name(), StoreConfig::default()).unwrap();
+            let cache = PromptCache::unbounded(&llm).with_store(store);
+            let a = cache.complete("The quick brown fox").unwrap();
+            let b = cache.complete("The quick brown fox").unwrap();
+            assert_eq!(a, b);
+            let stats = cache.store_stats().unwrap();
+            assert_eq!(
+                (stats.hits, stats.misses, stats.admitted),
+                (0, 1, 1),
+                "tier-0 hit must not touch the store"
+            );
+            a
+        };
+        let calls_after_first = llm.usage();
+
+        // Second process (fresh tier 0, same file): the disk tier answers
+        // and the model is never called.
+        let store = CacheStore::open(&path, llm.name(), StoreConfig::default()).unwrap();
+        let cache = PromptCache::unbounded(&llm).with_store(store);
+        let replay = cache.complete("The quick brown fox").unwrap();
+        assert_eq!(replay.text, warm.text);
+        assert_eq!(replay.usage, warm.usage, "disk hit replays original usage");
+        assert_eq!(
+            llm.usage(),
+            calls_after_first,
+            "warm replay from disk uses zero model calls"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 1),
+            "a disk hit is a tier-0 miss: CacheStats stays tier-0-exact"
+        );
+        assert_eq!(cache.store_stats().unwrap().hits, 1);
+        // The disk hit populated tier 0: the next lookup is a warm hit.
+        let again = cache.complete("The quick brown fox").unwrap();
+        assert_eq!(again, replay);
+        assert_eq!(cache.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

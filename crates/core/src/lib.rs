@@ -40,10 +40,19 @@
 //!   whitespace normalization, a table-level-stem / per-row-suffix split,
 //!   and (at [`CanonLevel::TableStem`]) generalization of per-row
 //!   retrieval queries, which lifts imputation-workload hit rates from ~2%
-//!   to ≥20%. The cache is sharded across independently locked maps keyed
-//!   by [`PromptKey::hash64`], and persists across runs through versioned
-//!   text snapshots ([`PromptCache::save_to`] /
-//!   [`PromptCache::load_from`]), so a repeated eval run starts warm.
+//!   to ≥20%; [`CanonLevel::Semantic`] additionally folds `p_dp` record
+//!   blocks that differ only in row order and reorderings of `p_ri`
+//!   instance lists. The cache is sharded across independently locked
+//!   maps keyed by [`PromptKey::hash64`].
+//! * [`store`] is the disk tier beneath the in-memory shards: one merged,
+//!   versioned, append-only `UDMCACHE1` segment ([`CacheStore`]) shared by
+//!   every scenario of a model, with TinyLFU admission control (so a table
+//!   scan cannot flush the hot set), compaction and max-age eviction.
+//!   Attach it with [`PromptCache::with_store`]; misses probe the disk
+//!   tier before reaching the model, so a warm replay — even into a cold
+//!   process — uses zero model calls. The legacy per-scenario v1 text
+//!   snapshots ([`PromptCache::save_to`] / [`PromptCache::load_from`])
+//!   remain readable and migrate via [`CacheStore::import_v1`].
 //!
 //! * [`backend`] is the resilient client layer beneath the cache:
 //!   bounded-concurrency dispatch, token-bucket rate limiting,
@@ -120,13 +129,14 @@ pub mod prompting;
 pub mod retrieval;
 pub mod route;
 pub mod serve;
+pub mod store;
 mod task;
 
 pub use backend::{
     AttachedBackend, BackendConfig, BackendStats, BreakerPolicy, LatencySketch, RateLimit,
     ResilientBackend, RetryPolicy,
 };
-pub use canon::{CanonLevel, CanonicalPrompt, PromptKey};
+pub use canon::{CanonLevel, CanonicalPrompt, PromptKey, ReplayFold};
 pub use config::PipelineConfig;
 pub use dispatch::{DispatchRegistration, Dispatcher, HedgePolicy};
 pub use error::UniDmError;
@@ -140,4 +150,5 @@ pub use route::{
     RoutedBackend, RouterStats,
 };
 pub use serve::{ArrivalProcess, ServeConfig, ServeReport, ServeSim, TenantReport, TenantSpec};
+pub use store::{CacheStore, StoreConfig, StoreError, StoreStats};
 pub use task::Task;

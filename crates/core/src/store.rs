@@ -1,0 +1,1405 @@
+//! Tiered prompt-cache store: one merged, versioned, append-only disk
+//! segment backing every [`crate::PromptCache`] — with TinyLFU admission
+//! control so a table scan cannot flush the hot working set.
+//!
+//! The official UniDM repo persists every completion in a single sqlite
+//! cache; our reproduction historically scattered one text snapshot per
+//! eval scenario. [`CacheStore`] replaces those per-scenario
+//! `.promptcache` files with a single `UDMCACHE1` segment shared by all
+//! scenarios of one model:
+//!
+//! ```text
+//! lookup ──▶ tier 0: sharded in-memory PromptCache (zero-alloc warm hit)
+//!               │ miss
+//!               ▼
+//!            tier 1: CacheStore index probe ──▶ paged frame read (hit:
+//!               │ miss                           0 model calls)
+//!               ▼
+//!            model call ──▶ TinyLFU admission ──▶ append frame | reject
+//! ```
+//!
+//! # File format (`UDMCACHE1`)
+//!
+//! The layout reuses the `tablestore::segment` writer/reader idiom:
+//! little-endian primitives, length-prefixed strings, a magic/version
+//! header — but record-framed instead of directory-indexed, because the
+//! store is append-only:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic "UDMCACHE" · u32 version (1) · str model               │
+//! │ frame 0 │ frame 1 │ ...                                      │
+//! └──────────────────────────────────────────────────────────────┘
+//! frame := u32 payload_len · payload · u64 fnv1a(payload)
+//! payload := u64 generation · str canonical prompt · str completion
+//!            · u32 prompt_tokens · u32 completion_tokens
+//! ```
+//!
+//! Opening a store scans every frame once to build an in-memory index
+//! (canonical prompt → file offset); afterwards a disk hit is one seek +
+//! one bounded read through a single handle — paged access without
+//! holding completions resident. A truncated or garbled tail, a wrong
+//! version, or a wrong model name fails the open with a clean
+//! [`StoreError`] and **no mutation of the file**, so callers can fall
+//! back cold exactly like the v1 snapshot path did.
+//!
+//! # Admission control (TinyLFU)
+//!
+//! Appends are gated by a TinyLFU-style filter: a **doorkeeper** bloom
+//! filter in front of a **4-bit count-min sketch**, integer-only, seeded,
+//! and fully deterministic. While the store is below capacity every
+//! completion is admitted (a paper-scale workload persists wholesale, so
+//! a warm replay needs zero model calls). At capacity, a candidate must
+//! show evidence of a *prior* access (estimated frequency ≥ 3 — more
+//! than its own probe-plus-offer can contribute, even through a
+//! doorkeeper collision) to displace the oldest resident entry — so the
+//! 10^5 one-touch prompts of a sequential scan are all rejected and the
+//! hot set stays resident. Sketch counters halve periodically (aging),
+//! keeping estimates fresh without floats or wall-clock time.
+//!
+//! # Compaction and max-age
+//!
+//! Displaced and expired entries stay physically in the file (append-only
+//! writes are what keep the hot path one `write` call) until
+//! [`CacheStore::compact`] rewrites live frames — sorted by canonical
+//! prompt, so the compacted file is deterministic for a deterministic
+//! history. Entries untouched for more than `max_age` generations (one
+//! generation per open) are dropped at open and at compaction.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use unidm_llm::{Completion, Usage};
+
+/// Leading magic of every `UDMCACHE1` store file.
+pub const STORE_MAGIC: &[u8; 8] = b"UDMCACHE";
+/// Current store format version (the `1` of `UDMCACHE1`).
+pub const STORE_VERSION: u32 = 1;
+
+/// First line of the legacy v1 text snapshots [`CacheStore::import_v1`]
+/// migrates (deprecated; kept readable for one-shot conversion).
+pub const V1_SNAPSHOT_HEADER: &str = "unidm-prompt-cache v1";
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+// ── Little-endian primitives (the `tablestore::segment` idiom) ──────────
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A cursor over a decoded byte buffer.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| StoreError::format("truncated store payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StoreError::format("invalid utf-8 in store"))
+    }
+}
+
+/// Why a [`CacheStore`] could not be opened, read, or written.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Reading or writing the store file failed.
+    Io(std::io::Error),
+    /// The file is not a well-formed `UDMCACHE1` document (bad magic,
+    /// truncated frame, checksum mismatch, garbled payload).
+    Format(String),
+    /// The file carries an unsupported format version.
+    Version {
+        /// The version recorded in the file.
+        found: u32,
+    },
+    /// The store was written over a different model, so its completions
+    /// would be wrong for this one.
+    ModelMismatch {
+        /// The model this store was opened for.
+        expected: String,
+        /// The model recorded in the file.
+        found: String,
+    },
+}
+
+impl StoreError {
+    fn format(msg: impl Into<String>) -> StoreError {
+        StoreError::Format(msg.into())
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Format(msg) => write!(f, "store format error: {msg}"),
+            StoreError::Version { found } => write!(
+                f,
+                "store version {found} is not supported (expected {STORE_VERSION})"
+            ),
+            StoreError::ModelMismatch { expected, found } => write!(
+                f,
+                "store model mismatch: opened for {expected:?} but file was written over {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Exact counters of one [`CacheStore`] (or one tier's view of it).
+///
+/// Every field is a plain sum, so [`StoreStats::merge`] is exact and
+/// commutative — the same contract as `BackendStats::merge` and
+/// [`crate::CacheStats::merge`]: folding per-tier (or per-run) snapshots
+/// in any order yields the same aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Lookups answered from the disk tier (no model call).
+    pub hits: usize,
+    /// Lookups the disk tier could not answer.
+    pub misses: usize,
+    /// Completions the admission filter accepted and appended.
+    pub admitted: usize,
+    /// Completions the admission filter rejected (one-touch candidates at
+    /// capacity — the scan-resistance counter).
+    pub rejected: usize,
+    /// Resident entries displaced by an admitted candidate.
+    pub evicted: usize,
+    /// Entries dropped because their age exceeded the max-age policy.
+    pub expired: usize,
+    /// Compaction passes performed.
+    pub compactions: usize,
+    /// Dead frames dropped by compaction (displaced, expired, or
+    /// superseded duplicates).
+    pub compacted_frames: usize,
+}
+
+impl StoreStats {
+    /// Disk-tier hit rate in `[0, 1]` (zero when nothing was probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Adds another stats snapshot into this one. Pure field-wise sums:
+    /// exact and commutative, so tier and run aggregates are
+    /// order-independent.
+    pub fn merge(&mut self, other: StoreStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.evicted += other.evicted;
+        self.expired += other.expired;
+        self.compactions += other.compactions;
+        self.compacted_frames += other.compacted_frames;
+    }
+}
+
+/// Tuning knobs of a [`CacheStore`] (see [`CacheStore::open`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Maximum live entries; beyond it the admission filter gates every
+    /// append. `usize::MAX` never gates (and never evicts).
+    pub max_entries: usize,
+    /// Entries untouched for more than this many generations (one
+    /// generation per [`CacheStore::open`]) are dropped at open and at
+    /// compaction. `u64::MAX` disables the policy.
+    pub max_age: u64,
+    /// Seed of the admission filter's hash family. Fixed seed → fully
+    /// deterministic admission decisions for a deterministic history.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            max_entries: usize::MAX,
+            max_age: u64::MAX,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Bounds the store to `max_entries` live completions.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries.max(1);
+        self
+    }
+
+    /// Sets the max-age policy, in generations (opens).
+    pub fn with_max_age(mut self, max_age: u64) -> Self {
+        self.max_age = max_age;
+        self
+    }
+
+    /// Sets the admission filter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+// ── TinyLFU admission filter ────────────────────────────────────────────
+
+/// Sketch width in 4-bit counters. Power of two so indexing is a mask;
+/// 64Ki counters = 32 KiB — enough resolution for ~10^5-key scans.
+const SKETCH_COUNTERS: usize = 1 << 16;
+/// Doorkeeper bits (one u64 word per 64 bits). Sized with the sketch.
+const DOORKEEPER_BITS: usize = 1 << 16;
+/// Upper bound on touches between aging passes (halve every counter,
+/// reset the doorkeeper). A capacity-bounded filter ages every
+/// `10 × capacity` touches instead — the classic TinyLFU sample window —
+/// so a long one-touch scan cannot saturate the doorkeeper into false
+/// "frequent" estimates. Deterministic: a pure function of touch count.
+const AGING_PERIOD: u64 = 10 * SKETCH_COUNTERS as u64;
+/// 4-bit counters saturate here.
+const COUNTER_MAX: u8 = 15;
+
+/// TinyLFU frequency filter: doorkeeper bloom filter + 4-bit count-min
+/// sketch. Integer-only, seeded, deterministic — admission decisions are
+/// a pure function of the key-touch history.
+struct TinyLfu {
+    /// Packed 4-bit counters, two per byte.
+    sketch: Vec<u8>,
+    doorkeeper: Vec<u64>,
+    seed: u64,
+    touches: u64,
+    /// Touches per aging pass: `10 × capacity` for a bounded store
+    /// (clamped into `[64, AGING_PERIOD]`), `AGING_PERIOD` otherwise.
+    sample_window: u64,
+}
+
+impl TinyLfu {
+    fn new(seed: u64, max_entries: usize) -> TinyLfu {
+        let sample_window = if max_entries == usize::MAX {
+            AGING_PERIOD
+        } else {
+            (max_entries as u64)
+                .saturating_mul(10)
+                .clamp(64, AGING_PERIOD)
+        };
+        TinyLfu {
+            sketch: vec![0u8; SKETCH_COUNTERS / 2],
+            doorkeeper: vec![0u64; DOORKEEPER_BITS / 64],
+            seed,
+            touches: 0,
+            sample_window,
+        }
+    }
+
+    /// The i-th member of the seeded hash family for `hash`.
+    #[inline]
+    fn index(&self, hash: u64, i: u64) -> usize {
+        // One multiply-xor round per family member over the stable FNV
+        // key hash; the seed decorrelates the family from the shard mask.
+        let mixed = (hash ^ self.seed.wrapping_mul(i.wrapping_add(1)))
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(31)
+            .wrapping_mul(FNV_PRIME);
+        (mixed as usize) & (SKETCH_COUNTERS - 1)
+    }
+
+    #[inline]
+    fn counter(&self, slot: usize) -> u8 {
+        let byte = self.sketch[slot / 2];
+        if slot.is_multiple_of(2) {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        }
+    }
+
+    #[inline]
+    fn bump_counter(&mut self, slot: usize) {
+        let byte = &mut self.sketch[slot / 2];
+        if slot.is_multiple_of(2) {
+            let lo = *byte & 0x0f;
+            if lo < COUNTER_MAX {
+                *byte = (*byte & 0xf0) | (lo + 1);
+            }
+        } else {
+            let hi = *byte >> 4;
+            if hi < COUNTER_MAX {
+                *byte = (*byte & 0x0f) | ((hi + 1) << 4);
+            }
+        }
+    }
+
+    /// Records one sighting of `hash`.
+    fn touch(&mut self, hash: u64) {
+        let door = self.index(hash, 0) % DOORKEEPER_BITS;
+        let (word, bit) = (door / 64, door % 64);
+        if self.doorkeeper[word] & (1 << bit) == 0 {
+            // First sighting since the last aging pass: the doorkeeper
+            // absorbs it, keeping one-touch keys out of the sketch.
+            self.doorkeeper[word] |= 1 << bit;
+        } else {
+            for i in 1..=3 {
+                let slot = self.index(hash, i);
+                self.bump_counter(slot);
+            }
+        }
+        self.touches += 1;
+        if self.touches.is_multiple_of(self.sample_window) {
+            self.age();
+        }
+    }
+
+    /// Estimated frequency of `hash`: doorkeeper sighting counts 1, plus
+    /// the count-min over the sketch family.
+    fn estimate(&self, hash: u64) -> u32 {
+        let door = self.index(hash, 0) % DOORKEEPER_BITS;
+        let seen = u32::from(self.doorkeeper[door / 64] & (1 << (door % 64)) != 0);
+        let mut min = u32::from(COUNTER_MAX);
+        for i in 1..=3 {
+            min = min.min(u32::from(self.counter(self.index(hash, i))));
+        }
+        seen + min
+    }
+
+    /// Aging: halve every counter and reset the doorkeeper, so stale
+    /// popularity decays and the filter tracks the current mix.
+    fn age(&mut self) {
+        for byte in &mut self.sketch {
+            *byte = (*byte >> 1) & 0x77;
+        }
+        for word in &mut self.doorkeeper {
+            *word = 0;
+        }
+    }
+}
+
+/// Where one live entry sits in the file.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Offset of the frame's payload-length prefix.
+    offset: u64,
+    /// Whole frame length (prefix + payload + checksum), for the bounded
+    /// read.
+    frame_len: usize,
+    /// Generation of the last touch (admission or disk hit); compaction
+    /// persists it.
+    generation: u64,
+}
+
+struct StoreState {
+    file: File,
+    index: HashMap<Box<str>, IndexEntry>,
+    /// Admission order of resident keys: the deterministic FIFO victim
+    /// queue. Displaced keys are removed lazily (the index is
+    /// authoritative).
+    queue: VecDeque<Box<str>>,
+    filter: TinyLfu,
+    /// Frames physically in the file, live or dead — compaction trigger.
+    frames: usize,
+    stats: StoreStats,
+}
+
+/// A tiered prompt-cache store handle: cheap to clone, safe to share —
+/// every clone talks to the same file, index, and admission filter.
+///
+/// See the [module docs](self) for the format and policies. The intended
+/// composition is [`crate::PromptCache::with_store`]: the in-memory cache
+/// stays tier 0 (zero-allocation warm hits, single-flight), and only its
+/// misses probe the disk tier before reaching the model.
+///
+/// # Examples
+///
+/// ```
+/// use unidm::store::{CacheStore, StoreConfig};
+/// use unidm_llm::{Completion, Usage};
+/// use std::sync::Arc;
+///
+/// let dir = std::env::temp_dir().join(format!("udm-store-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir).unwrap();
+/// let path = dir.join("cache.udmstore");
+/// let store = CacheStore::open(&path, "mock-model", StoreConfig::default()).unwrap();
+/// let completion = Arc::new(Completion { text: "Rome".into(), usage: Usage::default() });
+/// store.offer("capital of Italy?", &completion);
+/// assert_eq!(store.get("capital of Italy?").unwrap().text, "Rome");
+///
+/// // Reopening the same file serves the entry without any model.
+/// drop(store);
+/// let reopened = CacheStore::open(&path, "mock-model", StoreConfig::default()).unwrap();
+/// assert_eq!(reopened.get("capital of Italy?").unwrap().text, "Rome");
+/// # let _ = std::fs::remove_dir_all(&dir);
+/// ```
+#[derive(Clone)]
+pub struct CacheStore {
+    inner: Arc<StoreInner>,
+}
+
+struct StoreInner {
+    path: PathBuf,
+    model: String,
+    config: StoreConfig,
+    generation: u64,
+    state: Mutex<StoreState>,
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("path", &self.inner.path)
+            .field("model", &self.inner.model)
+            .field("generation", &self.inner.generation)
+            .field("len", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Encodes one frame (length prefix + payload + checksum).
+fn encode_frame(generation: u64, prompt: &str, completion: &Completion) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(prompt.len() + completion.text.len() + 32);
+    put_u64(&mut payload, generation);
+    put_str(&mut payload, prompt);
+    put_str(&mut payload, &completion.text);
+    put_u32(&mut payload, completion.usage.prompt_tokens as u32);
+    put_u32(&mut payload, completion.usage.completion_tokens as u32);
+    let checksum = fnv1a(&payload);
+    let mut frame = Vec::with_capacity(payload.len() + 12);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    put_u64(&mut frame, checksum);
+    frame
+}
+
+/// Decodes one frame payload (already checksum-verified).
+fn decode_payload(payload: &[u8]) -> Result<(u64, String, Completion), StoreError> {
+    let mut cur = Cursor::new(payload);
+    let generation = cur.u64()?;
+    let prompt = cur.str()?;
+    let text = cur.str()?;
+    let prompt_tokens = cur.u32()? as usize;
+    let completion_tokens = cur.u32()? as usize;
+    if cur.pos != payload.len() {
+        return Err(StoreError::format("trailing bytes in store frame"));
+    }
+    Ok((
+        generation,
+        prompt,
+        Completion {
+            text,
+            usage: Usage {
+                prompt_tokens,
+                completion_tokens,
+            },
+        },
+    ))
+}
+
+fn encode_header(model: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + model.len());
+    out.extend_from_slice(STORE_MAGIC);
+    put_u32(&mut out, STORE_VERSION);
+    put_str(&mut out, model);
+    out
+}
+
+impl CacheStore {
+    /// Opens (or creates) the store at `path` for `model`.
+    ///
+    /// A fresh path is initialized with the `UDMCACHE1` header. An
+    /// existing file is validated — magic, version, model name, then
+    /// every frame's length and checksum — and scanned once to build the
+    /// in-memory index; entries whose age exceeds
+    /// [`StoreConfig::max_age`] are dropped from the index (and reclaimed
+    /// by the next compaction). The admission filter is re-warmed from
+    /// the live entries in deterministic (file) order, so a reopened
+    /// store makes the same decisions a never-closed one would.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Format`] for truncated/garbled files,
+    /// [`StoreError::Version`] and [`StoreError::ModelMismatch`] for
+    /// mismatched headers, [`StoreError::Io`] for filesystem failures. On
+    /// error the file is **not modified** — a caller can fall back to a
+    /// cold cache and leave the evidence intact.
+    pub fn open(
+        path: impl AsRef<Path>,
+        model: &str,
+        config: StoreConfig,
+    ) -> Result<CacheStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let exists = path.exists();
+        if !exists {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            let mut file = OpenOptions::new()
+                .create_new(true)
+                .read(true)
+                .write(true)
+                .open(&path)?;
+            file.write_all(&encode_header(model))?;
+            file.flush()?;
+            let state = StoreState {
+                file,
+                index: HashMap::new(),
+                queue: VecDeque::new(),
+                filter: TinyLfu::new(config.seed, config.max_entries),
+                frames: 0,
+                stats: StoreStats::default(),
+            };
+            return Ok(CacheStore {
+                inner: Arc::new(StoreInner {
+                    path,
+                    model: model.to_string(),
+                    config,
+                    generation: 1,
+                    state: Mutex::new(state),
+                }),
+            });
+        }
+
+        // Validate and index the existing file without mutating it.
+        let bytes = std::fs::read(&path)?;
+        let scan = scan_store(&bytes, model)?;
+        let generation = scan.max_generation + 1;
+        let mut index = HashMap::new();
+        let mut queue = VecDeque::new();
+        let mut filter = TinyLfu::new(config.seed, config.max_entries);
+        let mut expired = 0usize;
+        for (prompt, entry) in scan.entries {
+            // Age = generations since last touch; `max_age` generations
+            // of silence expire an entry at open.
+            if config.max_age != u64::MAX
+                && generation.saturating_sub(entry.generation) > config.max_age
+            {
+                expired += 1;
+                continue;
+            }
+            filter.touch(fnv1a(prompt.as_bytes()));
+            if index
+                .insert(prompt.clone().into_boxed_str(), entry)
+                .is_none()
+            {
+                queue.push_back(prompt.into_boxed_str());
+            }
+        }
+        let file = OpenOptions::new().read(true).append(true).open(&path)?;
+        let stats = StoreStats {
+            expired,
+            ..StoreStats::default()
+        };
+        let state = StoreState {
+            file,
+            index,
+            queue,
+            filter,
+            frames: scan.frames,
+            stats,
+        };
+        Ok(CacheStore {
+            inner: Arc::new(StoreInner {
+                path,
+                model: model.to_string(),
+                config,
+                generation,
+                state: Mutex::new(state),
+            }),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, StoreState> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The file this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// The model name this store is guarded by.
+    pub fn model(&self) -> &str {
+        &self.inner.model
+    }
+
+    /// The session generation of this open (1 for a fresh store).
+    pub fn generation(&self) -> u64 {
+        self.inner.generation
+    }
+
+    /// Live entries in the index.
+    pub fn len(&self) -> usize {
+        self.lock().index.len()
+    }
+
+    /// Whether the store holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the store's exact counters.
+    pub fn stats(&self) -> StoreStats {
+        self.lock().stats
+    }
+
+    /// Probes the disk tier for `prompt` (the canonical text): a hit
+    /// seeks to the indexed frame, reads exactly that frame, verifies its
+    /// checksum, and returns the completion — no model call, no resident
+    /// payload cache. The entry's generation is refreshed, so live use
+    /// keeps it out of max-age reach.
+    ///
+    /// Corrupt frames discovered at read time (the file changed under
+    /// us) drop the entry and miss, never panic.
+    pub fn get(&self, prompt: &str) -> Option<Arc<Completion>> {
+        let mut state = self.lock();
+        let Some(mut entry) = state.index.get(prompt).copied() else {
+            state.stats.misses += 1;
+            // Missed probes still teach the filter: the second sighting
+            // of a key is what earns it admission at capacity.
+            state.filter.touch(fnv1a(prompt.as_bytes()));
+            return None;
+        };
+        match read_frame(&mut state.file, entry.offset, entry.frame_len) {
+            Ok((_, stored_prompt, completion)) if stored_prompt == prompt => {
+                state.stats.hits += 1;
+                entry.generation = self.inner.generation;
+                state.index.insert(prompt.into(), entry);
+                state.filter.touch(fnv1a(prompt.as_bytes()));
+                Some(Arc::new(completion))
+            }
+            _ => {
+                // The indexed frame no longer matches (external
+                // truncation/rewrite): drop it and miss cleanly.
+                state.index.remove(prompt);
+                state.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offers a fresh completion for admission, returning whether it was
+    /// appended.
+    ///
+    /// Below [`StoreConfig::max_entries`] every offer is admitted. At
+    /// capacity the TinyLFU filter gates: the candidate must have an
+    /// estimated frequency ≥ 3 — evidence of a *prior* access, beyond
+    /// what the current access alone can contribute (its probe sets the
+    /// doorkeeper, and on a doorkeeper collision that same probe bumps
+    /// the sketch once, for an estimate of at most 2). A genuinely
+    /// re-accessed key reaches 3 on its second access; the one-touch
+    /// keys of a sequential scan cannot self-admit even when they
+    /// collide in the doorkeeper, which is what keeps the hot set
+    /// resident. The displaced victim is the oldest resident entry
+    /// (FIFO, deterministic).
+    ///
+    /// Append failures are recorded as rejections (the store is an
+    /// optimization, never a correctness dependency).
+    pub fn offer(&self, prompt: &str, completion: &Arc<Completion>) -> bool {
+        let mut state = self.lock();
+        let hash = fnv1a(prompt.as_bytes());
+        if state.index.contains_key(prompt) {
+            // Already resident (a racing co-leader or a re-admission):
+            // refresh the touch, keep the existing frame.
+            state.filter.touch(hash);
+            return false;
+        }
+        let at_capacity = state.index.len() >= self.inner.config.max_entries;
+        if at_capacity {
+            let frequent = state.filter.estimate(hash) >= 3;
+            state.filter.touch(hash);
+            if !frequent {
+                state.stats.rejected += 1;
+                return false;
+            }
+            // Deterministic FIFO victim: the oldest still-live admission.
+            // (Stale queue entries — already displaced — are skipped.)
+            while let Some(victim) = state.queue.pop_front() {
+                if state.index.remove(&victim).is_some() {
+                    state.stats.evicted += 1;
+                    break;
+                }
+            }
+        } else {
+            state.filter.touch(hash);
+        }
+        match self.append_frame(&mut state, prompt, completion) {
+            Ok(()) => {
+                state.stats.admitted += 1;
+                true
+            }
+            Err(_) => {
+                state.stats.rejected += 1;
+                false
+            }
+        }
+    }
+
+    fn append_frame(
+        &self,
+        state: &mut StoreState,
+        prompt: &str,
+        completion: &Arc<Completion>,
+    ) -> Result<(), StoreError> {
+        let frame = encode_frame(self.inner.generation, prompt, completion);
+        let offset = state.file.seek(SeekFrom::End(0))?;
+        state.file.write_all(&frame)?;
+        state.file.flush()?;
+        state.frames += 1;
+        state.index.insert(
+            prompt.into(),
+            IndexEntry {
+                offset,
+                frame_len: frame.len(),
+                generation: self.inner.generation,
+            },
+        );
+        state.queue.push_back(prompt.into());
+        Ok(())
+    }
+
+    /// Rewrites the file with only the live frames, sorted by canonical
+    /// prompt — deterministic for a deterministic history — and refreshed
+    /// generations from the index. Returns how many dead frames were
+    /// reclaimed.
+    ///
+    /// The rewrite goes through a sibling temp file and an atomic rename,
+    /// so a crash mid-compaction leaves either the old file or the new
+    /// one, never a torn store.
+    pub fn compact(&self) -> Result<usize, StoreError> {
+        let mut state = self.lock();
+        let mut live: Vec<(Box<str>, IndexEntry)> =
+            state.index.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        live.sort_by(|a, b| a.0.cmp(&b.0));
+        let dropped = state.frames - live.len();
+
+        let mut out = encode_header(&self.inner.model);
+        let mut new_index = HashMap::with_capacity(live.len());
+        let mut new_queue = VecDeque::with_capacity(live.len());
+        for (prompt, entry) in &live {
+            let (_, stored_prompt, completion) =
+                read_frame(&mut state.file, entry.offset, entry.frame_len)?;
+            if stored_prompt.as_str() != prompt.as_ref() {
+                return Err(StoreError::format("index out of sync during compaction"));
+            }
+            let frame = encode_frame(entry.generation, prompt, &completion);
+            new_index.insert(
+                prompt.clone(),
+                IndexEntry {
+                    offset: out.len() as u64,
+                    frame_len: frame.len(),
+                    generation: entry.generation,
+                },
+            );
+            new_queue.push_back(prompt.clone());
+            out.extend_from_slice(&frame);
+        }
+
+        let tmp = self.inner.path.with_extension("compact-tmp");
+        std::fs::write(&tmp, &out)?;
+        std::fs::rename(&tmp, &self.inner.path)?;
+        state.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.inner.path)?;
+        state.frames = live.len();
+        state.index = new_index;
+        state.queue = new_queue;
+        state.stats.compactions += 1;
+        state.stats.compacted_frames += dropped;
+        Ok(dropped)
+    }
+
+    /// Dead frames currently in the file (displaced or superseded) — the
+    /// compaction trigger a caller can poll.
+    pub fn dead_frames(&self) -> usize {
+        let state = self.lock();
+        state.frames - state.index.len()
+    }
+
+    /// The live canonical prompts, sorted (diagnostics and tests).
+    pub fn canonical_prompts(&self) -> Vec<String> {
+        let state = self.lock();
+        let mut prompts: Vec<String> = state.index.keys().map(|k| k.to_string()).collect();
+        prompts.sort();
+        prompts
+    }
+
+    /// One-shot migration from the deprecated v1 text snapshot format
+    /// (`unidm-prompt-cache v1`, the per-scenario `.promptcache` files):
+    /// parses the whole document, validates its model guard against this
+    /// store's, and admits every entry **bypassing the admission filter**
+    /// — a migration must preserve warm-start behavior byte-for-byte, so
+    /// nothing is allowed to gate it. Entries already resident are
+    /// skipped (their first admission wins, matching v1 restore
+    /// semantics). Returns how many entries were imported.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Format`] for malformed snapshots,
+    /// [`StoreError::ModelMismatch`] when the snapshot was taken over a
+    /// different model. Parsing completes before anything is appended, so
+    /// a malformed document leaves the store untouched.
+    pub fn import_v1(&self, snapshot: &str) -> Result<usize, StoreError> {
+        let entries = parse_v1_snapshot(snapshot, &self.inner.model)?;
+        let mut state = self.lock();
+        let mut imported = 0usize;
+        for (prompt, completion) in entries {
+            if state.index.contains_key(prompt.as_str()) {
+                continue;
+            }
+            let completion = Arc::new(completion);
+            state.filter.touch(fnv1a(prompt.as_bytes()));
+            self.append_frame(&mut state, &prompt, &completion)?;
+            state.stats.admitted += 1;
+            imported += 1;
+        }
+        Ok(imported)
+    }
+}
+
+/// What scanning an existing store file yields.
+struct StoreScan {
+    /// Last-wins live entries, in file order of their winning frame.
+    entries: Vec<(String, IndexEntry)>,
+    /// Total frames physically present (live + superseded).
+    frames: usize,
+    max_generation: u64,
+}
+
+/// Validates `bytes` as a `UDMCACHE1` document for `model` and extracts
+/// the live entry index. Pure — never touches the filesystem.
+fn scan_store(bytes: &[u8], model: &str) -> Result<StoreScan, StoreError> {
+    if bytes.len() < STORE_MAGIC.len() || &bytes[..STORE_MAGIC.len()] != STORE_MAGIC {
+        return Err(StoreError::format("missing UDMCACHE magic"));
+    }
+    let mut cur = Cursor::new(bytes);
+    cur.pos = STORE_MAGIC.len();
+    let version = cur.u32()?;
+    if version != STORE_VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    let found = cur.str()?;
+    if found != model {
+        return Err(StoreError::ModelMismatch {
+            expected: model.to_string(),
+            found,
+        });
+    }
+    let mut by_prompt: HashMap<String, usize> = HashMap::new();
+    let mut entries: Vec<(String, IndexEntry)> = Vec::new();
+    let mut frames = 0usize;
+    let mut max_generation = 0u64;
+    while cur.pos < bytes.len() {
+        let offset = cur.pos as u64;
+        let payload_len = cur.u32()? as usize;
+        let payload = cur.take(payload_len)?;
+        let checksum = cur.u64()?;
+        if fnv1a(payload) != checksum {
+            return Err(StoreError::format(format!(
+                "checksum mismatch in frame at offset {offset}"
+            )));
+        }
+        let (generation, prompt, _) = decode_payload(payload)?;
+        frames += 1;
+        max_generation = max_generation.max(generation);
+        let entry = IndexEntry {
+            offset,
+            frame_len: 4 + payload_len + 8,
+            generation,
+        };
+        // Last frame for a prompt wins (a re-admission after displacement
+        // appends a fresh frame).
+        match by_prompt.get(&prompt) {
+            Some(&slot) => entries[slot].1 = entry,
+            None => {
+                by_prompt.insert(prompt.clone(), entries.len());
+                entries.push((prompt, entry));
+            }
+        }
+    }
+    Ok(StoreScan {
+        entries,
+        frames,
+        max_generation,
+    })
+}
+
+/// Seeks to `offset` and reads exactly one frame, verifying length and
+/// checksum.
+fn read_frame(
+    file: &mut File,
+    offset: u64,
+    frame_len: usize,
+) -> Result<(u64, String, Completion), StoreError> {
+    if frame_len < 12 {
+        return Err(StoreError::format("frame too short"));
+    }
+    file.seek(SeekFrom::Start(offset))?;
+    let mut frame = vec![0u8; frame_len];
+    file.read_exact(&mut frame)?;
+    let payload_len = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    if payload_len + 12 != frame_len {
+        return Err(StoreError::format("frame length prefix mismatch"));
+    }
+    let payload = &frame[4..4 + payload_len];
+    let checksum = u64::from_le_bytes(frame[4 + payload_len..].try_into().unwrap());
+    if fnv1a(payload) != checksum {
+        return Err(StoreError::format("checksum mismatch on frame read"));
+    }
+    decode_payload(payload)
+}
+
+/// Parses a legacy v1 text snapshot (the exact `unidm-prompt-cache v1`
+/// line format), enforcing the model guard. Returns the entries in
+/// document order.
+fn parse_v1_snapshot(snapshot: &str, model: &str) -> Result<Vec<(String, Completion)>, StoreError> {
+    let parse_err =
+        |line: usize, message: &str| StoreError::format(format!("v1 line {line}: {message}"));
+    let mut lines = snapshot.lines();
+    let header = lines.next().ok_or_else(|| parse_err(1, "empty snapshot"))?;
+    if header != V1_SNAPSHOT_HEADER {
+        return Err(parse_err(1, "expected `unidm-prompt-cache v1` header"));
+    }
+    let model_line = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "missing model line"))?;
+    let found = model_line
+        .strip_prefix("model ")
+        .ok_or_else(|| parse_err(2, "expected `model <name>`"))?;
+    if found != model {
+        return Err(StoreError::ModelMismatch {
+            expected: model.to_string(),
+            found: found.to_string(),
+        });
+    }
+    let count_line = lines
+        .next()
+        .ok_or_else(|| parse_err(3, "missing entries line"))?;
+    let declared: usize = count_line
+        .strip_prefix("entries ")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| parse_err(3, "expected `entries <count>`"))?;
+    let mut parsed = Vec::with_capacity(declared);
+    for index in 0..declared {
+        let entry_line = 4 + index * 3;
+        let prompt = lines
+            .next()
+            .and_then(|l| l.strip_prefix("p "))
+            .ok_or_else(|| parse_err(entry_line, "expected `p <prompt>`"))?;
+        let text = lines
+            .next()
+            .and_then(|l| l.strip_prefix("c "))
+            .ok_or_else(|| parse_err(entry_line + 1, "expected `c <completion>`"))?;
+        let usage = lines
+            .next()
+            .and_then(|l| l.strip_prefix("u "))
+            .and_then(|u| u.split_once(' '))
+            .and_then(|(p, c)| Some((p.parse().ok()?, c.parse().ok()?)))
+            .map(|(prompt_tokens, completion_tokens)| Usage {
+                prompt_tokens,
+                completion_tokens,
+            })
+            .ok_or_else(|| {
+                parse_err(
+                    entry_line + 2,
+                    "expected `u <prompt-tokens> <completion-tokens>`",
+                )
+            })?;
+        parsed.push((
+            v1_unescape(prompt),
+            Completion {
+                text: v1_unescape(text),
+                usage,
+            },
+        ));
+    }
+    if lines.next().is_some() {
+        return Err(parse_err(
+            4 + declared * 3,
+            "trailing data after the declared entries",
+        ));
+    }
+    Ok(parsed)
+}
+
+/// Inverse of the v1 snapshot escape (`\n`, `\r`, `\\`); unknown escapes
+/// pass through verbatim.
+fn v1_unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("udm-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.udmstore")
+    }
+
+    fn cleanup(path: &Path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    fn completion(text: &str, tokens: usize) -> Arc<Completion> {
+        Arc::new(Completion {
+            text: text.to_string(),
+            usage: Usage {
+                prompt_tokens: tokens,
+                completion_tokens: tokens / 2,
+            },
+        })
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        let store = CacheStore::open(&path, "m", StoreConfig::default()).unwrap();
+        assert!(store.is_empty());
+        assert!(store.offer("alpha", &completion("A", 10)));
+        assert!(store.offer("beta\nmultiline", &completion("B", 20)));
+        assert_eq!(store.get("alpha").unwrap().text, "A");
+        assert_eq!(store.get("beta\nmultiline").unwrap().text, "B");
+        assert!(store.get("gamma").is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.admitted), (2, 1, 2));
+
+        drop(store);
+        let reopened = CacheStore::open(&path, "m", StoreConfig::default()).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.generation(), 2, "each open bumps the generation");
+        let b = reopened.get("beta\nmultiline").unwrap();
+        assert_eq!(b.text, "B");
+        assert_eq!(b.usage.prompt_tokens, 20);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wrong_model_and_wrong_version_fail_cleanly() {
+        let path = temp_path("guards");
+        let store = CacheStore::open(&path, "model-a", StoreConfig::default()).unwrap();
+        store.offer("p", &completion("c", 1));
+        drop(store);
+        let before = std::fs::read(&path).unwrap();
+        assert!(matches!(
+            CacheStore::open(&path, "model-b", StoreConfig::default()),
+            Err(StoreError::ModelMismatch { .. })
+        ));
+        // Version tampering: bump the version field in place.
+        let mut tampered = before.clone();
+        tampered[8] = 9;
+        std::fs::write(&path, &tampered).unwrap();
+        assert!(matches!(
+            CacheStore::open(&path, "model-a", StoreConfig::default()),
+            Err(StoreError::Version { found: 9 })
+        ));
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            tampered,
+            "failed opens must not modify the file"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn admission_gates_one_touch_keys_at_capacity() {
+        let path = temp_path("admission");
+        let config = StoreConfig::default().with_max_entries(4);
+        let store = CacheStore::open(&path, "m", config).unwrap();
+        for i in 0..4 {
+            assert!(store.offer(&format!("hot {i}"), &completion("h", 1)));
+        }
+        // A scan of one-touch keys at capacity: every offer rejected.
+        for i in 0..50 {
+            assert!(
+                !store.offer(&format!("scan {i}"), &completion("s", 1)),
+                "one-touch scan key {i} must be rejected at capacity"
+            );
+        }
+        assert_eq!(store.len(), 4);
+        let stats = store.stats();
+        assert_eq!(stats.rejected, 50);
+        assert_eq!(stats.evicted, 0);
+        for i in 0..4 {
+            assert!(store.get(&format!("hot {i}")).is_some(), "hot set resident");
+        }
+        // A key with a prior access earns admission and displaces the
+        // FIFO victim. Three probes = doorkeeper + two sketch bumps =
+        // estimate 3; the tiered cache reaches the same estimate on a
+        // key's second probe-plus-offer access.
+        let _ = store.get("promoted");
+        let _ = store.get("promoted");
+        let _ = store.get("promoted");
+        assert!(store.offer("promoted", &completion("p", 1)));
+        assert_eq!(store.stats().evicted, 1);
+        assert!(store.get("hot 0").is_none(), "FIFO victim displaced");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_frames_and_roundtrips() {
+        let path = temp_path("compact");
+        let config = StoreConfig::default().with_max_entries(2);
+        let store = CacheStore::open(&path, "m", config).unwrap();
+        store.offer("a", &completion("A", 1));
+        store.offer("b", &completion("B", 1));
+        // Promote two newcomers through repeated sightings (estimate 3).
+        for key in ["c", "d"] {
+            let _ = store.get(key);
+            let _ = store.get(key);
+            let _ = store.get(key);
+            assert!(store.offer(key, &completion(&key.to_uppercase(), 1)));
+        }
+        assert_eq!(store.dead_frames(), 2);
+        let size_before = std::fs::metadata(&path).unwrap().len();
+        let dropped = store.compact().unwrap();
+        assert_eq!(dropped, 2);
+        assert!(std::fs::metadata(&path).unwrap().len() < size_before);
+        assert_eq!(store.dead_frames(), 0);
+        assert_eq!(store.stats().compactions, 1);
+        assert_eq!(store.stats().compacted_frames, 2);
+        assert_eq!(store.get("c").unwrap().text, "C");
+        assert_eq!(store.get("d").unwrap().text, "D");
+        assert!(store.get("a").is_none());
+
+        // The compacted file reopens clean.
+        drop(store);
+        let reopened = CacheStore::open(&path, "m", config).unwrap();
+        assert_eq!(reopened.canonical_prompts(), vec!["c", "d"]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn max_age_expires_untouched_entries_across_opens() {
+        let path = temp_path("maxage");
+        let config = StoreConfig::default().with_max_age(1);
+        let store = CacheStore::open(&path, "m", config).unwrap();
+        store.offer("old", &completion("O", 1));
+        store.offer("fresh", &completion("F", 1));
+        drop(store);
+        // Open 2: touch only "fresh"; compaction persists the refreshed
+        // generation (touches refresh the in-memory index, the file
+        // itself is append-only).
+        let store = CacheStore::open(&path, "m", config).unwrap();
+        assert!(store.get("fresh").is_some());
+        store.compact().unwrap();
+        drop(store);
+        // Open 3: "old" was last touched at generation 1 → age 2 > 1.
+        let store = CacheStore::open(&path, "m", config).unwrap();
+        assert!(store.get("old").is_none(), "untouched entry expired");
+        assert!(store.get("fresh").is_some(), "touched entry survives");
+        assert_eq!(store.stats().expired, 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_fails_clean_or_drops_tail() {
+        let path = temp_path("trunc");
+        let store = CacheStore::open(&path, "m", StoreConfig::default()).unwrap();
+        store.offer("alpha", &completion("A", 3));
+        store.offer("beta", &completion("B", 4));
+        drop(store);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            let result = scan_store(&full[..cut], "m");
+            match result {
+                Ok(scan) => {
+                    // A cut exactly on a frame boundary is a valid shorter
+                    // store; anything else must error.
+                    assert!(
+                        scan.frames <= 2,
+                        "truncated scan cannot see more frames than written"
+                    );
+                }
+                Err(
+                    StoreError::Format(_)
+                    | StoreError::Version { .. }
+                    | StoreError::ModelMismatch { .. },
+                ) => {}
+                Err(other) => panic!("unexpected error class at cut {cut}: {other}"),
+            }
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn v1_import_preserves_entries_and_rejects_mismatches() {
+        let path = temp_path("v1import");
+        let store = CacheStore::open(&path, "mock", StoreConfig::default()).unwrap();
+        let snapshot = "unidm-prompt-cache v1\nmodel mock\nentries 2\n\
+                        p alpha\\nline\nc answer one\nu 10 5\n\
+                        p beta\nc answer two\nu 4 2\n";
+        assert_eq!(store.import_v1(snapshot).unwrap(), 2);
+        assert_eq!(store.get("alpha\nline").unwrap().text, "answer one");
+        assert_eq!(store.get("beta").unwrap().usage.completion_tokens, 2);
+        // Re-import is idempotent (first admission wins).
+        assert_eq!(store.import_v1(snapshot).unwrap(), 0);
+
+        let wrong_model = snapshot.replace("model mock", "model other");
+        assert!(matches!(
+            store.import_v1(&wrong_model),
+            Err(StoreError::ModelMismatch { .. })
+        ));
+        let len_before = store.len();
+        let truncated = &snapshot[..snapshot.len() - 10];
+        assert!(matches!(
+            store.import_v1(truncated),
+            Err(StoreError::Format(_))
+        ));
+        assert_eq!(store.len(), len_before, "failed import admits nothing");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn store_stats_merge_is_commutative_and_exact() {
+        let a = StoreStats {
+            hits: 3,
+            misses: 5,
+            admitted: 2,
+            rejected: 7,
+            evicted: 1,
+            expired: 4,
+            compactions: 1,
+            compacted_frames: 9,
+        };
+        let b = StoreStats {
+            hits: 11,
+            misses: 13,
+            admitted: 17,
+            rejected: 19,
+            evicted: 23,
+            expired: 29,
+            compactions: 31,
+            compacted_frames: 37,
+        };
+        let mut ab = a;
+        ab.merge(b);
+        let mut ba = b;
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.hits, 14);
+        assert_eq!(ab.compacted_frames, 46);
+    }
+
+    #[test]
+    fn tinylfu_is_deterministic_and_scan_resistant() {
+        let mut f1 = TinyLfu::new(42, 64);
+        let mut f2 = TinyLfu::new(42, 64);
+        for i in 0..10_000u64 {
+            let h = fnv1a(format!("key {}", i % 64).as_bytes());
+            f1.touch(h);
+            f2.touch(h);
+        }
+        for i in 0..64u64 {
+            let h = fnv1a(format!("key {i}").as_bytes());
+            assert_eq!(f1.estimate(h), f2.estimate(h), "same history, same filter");
+            assert!(f1.estimate(h) >= 2, "hot keys estimate as repeats");
+        }
+        // A never-seen key estimates below the admission bar.
+        assert!(f1.estimate(fnv1a(b"cold key")) < 2);
+        // A long one-touch scan must not promote its keys to "frequent":
+        // aging every 10 × capacity touches keeps the doorkeeper sparse,
+        // so first-sighting estimates stay below the admission bar.
+        let mut false_frequent = 0usize;
+        for k in 0..100_000u64 {
+            let h = fnv1a(format!("scan key {k}").as_bytes());
+            if f1.estimate(h) >= 2 {
+                false_frequent += 1;
+            }
+            f1.touch(h);
+        }
+        assert_eq!(
+            false_frequent, 0,
+            "one-touch scan keys must never estimate as frequent"
+        );
+    }
+}

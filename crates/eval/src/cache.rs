@@ -13,13 +13,25 @@
 //! file, so a snapshot taken over one model is never served to another
 //! (see [`unidm::SnapshotError::ModelMismatch`]).
 //!
+//! # Tiered store
+//!
+//! [`CacheConfig::with_store_path`] attaches the merged disk tier
+//! ([`unidm::CacheStore`]) beneath every scenario's in-memory cache: one
+//! versioned, append-only `UDMCACHE1` file shared by all ten drivers of a
+//! model, with TinyLFU admission control, compaction and max-age
+//! eviction. When both a store and a snapshot directory are configured,
+//! any legacy per-scenario `.promptcache` v1 snapshot is imported into
+//! the store on attach (one-shot, idempotent — existing store entries
+//! win), so warm-start behavior carries over byte-for-byte. The v1
+//! per-scenario snapshots are deprecated in favor of the store.
+//!
 //! Caching is off by default: the paper tables are regenerated with exact
 //! memoization semantics unless the caller opts in (the bench binaries
-//! expose this as `--cache` / `--cache-dir`).
+//! expose this as `--cache` / `--cache-dir` / `--store`).
 
 use std::path::PathBuf;
 
-use unidm::{CacheStats, CanonLevel, PromptCache};
+use unidm::{CacheStats, CacheStore, CanonLevel, PromptCache, StoreConfig, StoreStats};
 use unidm_llm::LanguageModel;
 
 /// Prompt-cache settings shared by every experiment driver.
@@ -40,8 +52,20 @@ pub struct CacheConfig {
     /// see, and the dispatcher coalesces duplicate prompts itself.
     pub no_single_flight: bool,
     /// Directory for per-scenario snapshot files; `None` keeps caches
-    /// in-memory only.
+    /// in-memory only. Deprecated in favor of [`CacheConfig::store_path`]
+    /// (legacy snapshots still load, and are migrated into the store when
+    /// both are configured).
     pub snapshot_dir: Option<PathBuf>,
+    /// Path of the shared `UDMCACHE1` disk-tier file; `None` disables the
+    /// disk tier.
+    pub store_path: Option<PathBuf>,
+    /// Disk-tier entry capacity (0 means unbounded). At capacity the
+    /// TinyLFU filter gates admission, so one-touch scan keys cannot
+    /// displace the hot set.
+    pub store_capacity: usize,
+    /// Maximum generations (opens) a disk-tier entry survives untouched
+    /// (0 means no age limit).
+    pub store_max_age: u64,
 }
 
 impl CacheConfig {
@@ -63,6 +87,26 @@ impl CacheConfig {
         self
     }
 
+    /// Attaches the shared disk tier at `path` (created on first use,
+    /// parent directories included). All scenarios of a model share this
+    /// one file; a store written for one model is never served to another
+    /// ([`unidm::StoreError::ModelMismatch`]).
+    pub fn with_store_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.store_path = Some(path.into());
+        self
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        let mut config = StoreConfig::default();
+        if self.store_capacity > 0 {
+            config = config.with_max_entries(self.store_capacity);
+        }
+        if self.store_max_age > 0 {
+            config = config.with_max_age(self.store_max_age);
+        }
+        config
+    }
+
     /// Wraps `llm` according to this configuration.
     ///
     /// `scenario` names the workload (e.g. `"table1-seed42"`) and becomes
@@ -77,6 +121,7 @@ impl CacheConfig {
                 cache: None,
                 snapshot_path: None,
                 loaded: 0,
+                migrated: 0,
             };
         }
         let mut cache = if self.capacity == 0 {
@@ -90,7 +135,7 @@ impl CacheConfig {
         if self.no_single_flight {
             cache = cache.with_single_flight(false);
         }
-        let cache = cache.with_canonicalization(self.level);
+        let mut cache = cache.with_canonicalization(self.level);
         let snapshot_path = self.snapshot_dir.as_ref().map(|dir| {
             let _ = std::fs::create_dir_all(dir);
             dir.join(format!("{scenario}.promptcache"))
@@ -104,11 +149,41 @@ impl CacheConfig {
                 }
             }
         }
+        let mut migrated = 0;
+        if let Some(path) = &self.store_path {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match CacheStore::open(path, llm.name(), self.store_config()) {
+                Ok(store) => {
+                    // One-shot migration: fold any legacy v1 snapshot into
+                    // the shared store. Idempotent — existing store
+                    // entries win, so re-attaching re-imports nothing.
+                    if let Some(snapshot) = snapshot_path.as_ref().filter(|p| p.exists()) {
+                        match std::fs::read_to_string(snapshot)
+                            .map_err(unidm::StoreError::from)
+                            .and_then(|text| store.import_v1(&text))
+                        {
+                            Ok(n) => migrated = n,
+                            Err(e) => {
+                                eprintln!("warning: not migrating {scenario} snapshot: {e}")
+                            }
+                        }
+                    }
+                    cache = cache.with_store(store);
+                }
+                Err(e) => eprintln!(
+                    "warning: disk tier disabled for {scenario} ({}): {e}",
+                    path.display()
+                ),
+            }
+        }
         AttachedCache {
             fallback: llm,
             cache: Some(cache),
             snapshot_path,
             loaded,
+            migrated,
         }
     }
 }
@@ -121,6 +196,10 @@ pub struct AttachedCache<'a> {
     snapshot_path: Option<PathBuf>,
     /// Entries restored from the scenario snapshot (0 on a cold start).
     pub loaded: usize,
+    /// Legacy v1 snapshot entries imported into the disk tier on attach
+    /// (0 when no store or no snapshot is configured, or when the store
+    /// already held every entry).
+    pub migrated: usize,
 }
 
 impl<'a> AttachedCache<'a> {
@@ -136,6 +215,11 @@ impl<'a> AttachedCache<'a> {
     /// Aggregated cache statistics, when caching is enabled.
     pub fn stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(PromptCache::stats)
+    }
+
+    /// Disk-tier statistics, when a store is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.cache.as_ref().and_then(PromptCache::store_stats)
     }
 
     /// Persists the cache to its scenario snapshot file, if both caching
@@ -201,6 +285,42 @@ mod tests {
         // A different scenario does not see scenario-a's snapshot.
         let other = config.attach("scenario-b", &fresh);
         assert_eq!(other.loaded, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_path_shares_completions_across_scenarios_and_migrates_v1() {
+        let dir = std::env::temp_dir().join(format!("unidm-cache-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Run one scenario with the legacy snapshot flow only.
+        let legacy = CacheConfig::enabled().with_snapshot_dir(&dir);
+        let model = llm();
+        let first = legacy.attach("scenario-a", &model);
+        first.model().complete("a migrated prompt").unwrap();
+        first.finish();
+
+        // Attach with a store: the v1 snapshot is imported one-shot.
+        let config = legacy.clone().with_store_path(dir.join("merged.udmstore"));
+        let second = config.attach("scenario-a", &model);
+        assert_eq!(second.migrated, 1, "v1 snapshot migrates into the store");
+        let third = config.attach("scenario-a", &model);
+        assert_eq!(third.migrated, 0, "migration is idempotent");
+
+        // A different scenario (no snapshot of its own, fresh tier 0)
+        // reads the shared store and never calls the model.
+        let fresh = llm();
+        let other = CacheConfig::enabled()
+            .with_store_path(dir.join("merged.udmstore"))
+            .attach("scenario-b", &fresh);
+        assert_eq!(other.loaded, 0);
+        other.model().complete("a migrated prompt").unwrap();
+        assert_eq!(
+            fresh.usage().total(),
+            0,
+            "shared store answers across scenarios with zero model calls"
+        );
+        assert_eq!(other.store_stats().unwrap().hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -262,6 +262,98 @@ def main(argv):
     elif n_scale and not o_scale:
         print("  notice    scale: new section (no old baseline to compare)")
 
+    # Tiered-store section (PR 10+): the store is deterministic — admission
+    # is a pure function of the key-touch history — so every counter is
+    # pinned exactly. Two invariants of the *new* baseline are also hard
+    # gates on their own: a warm replay must use zero model calls, and the
+    # warm lookup path must stay allocation-free.
+    o_store, n_store = old.get("store"), new.get("store")
+    if n_store:
+        if n_store.get("warm_model_calls", 0) != 0:
+            failures.append(
+                f"store: warm replay made {n_store['warm_model_calls']} model "
+                "calls (must be 0)"
+            )
+        if n_store.get("warm_lookups", {}).get("allocations", 0) != 0:
+            failures.append(
+                f"store: warm lookups allocated "
+                f"{n_store['warm_lookups']['allocations']} times (must be 0)"
+            )
+        scan = n_store.get("scan", {})
+        if scan.get("hot_hit_rate_permille", 0) < 950:
+            failures.append(
+                f"store: post-scan hot-set hit rate "
+                f"{scan.get('hot_hit_rate_permille')}‰ fell below the 950‰ floor"
+            )
+    if o_store and n_store:
+        store_workload = [
+            ("scan", "hot_set"),
+            ("scan", "scan_keys"),
+            ("compaction", "capacity"),
+        ]
+        changed = {
+            f"{sec}.{key}": (o_store.get(sec, {}).get(key), n_store.get(sec, {}).get(key))
+            for sec, key in store_workload
+            if o_store.get(sec, {}).get(key) != n_store.get(sec, {}).get(key)
+        }
+        if changed:
+            if allow_workload_change:
+                print(f"  notice    store: workload changed {changed}")
+            else:
+                failures.append(
+                    f"store: workload changed {changed} (pass "
+                    "--allow-workload-change to re-baseline)"
+                )
+        else:
+            for sub in ("cold", "warm", "scan", "compaction"):
+                o_sub, n_sub = o_store.get(sub, {}), n_store.get(sub, {})
+                for key in sorted(o_sub):
+                    if key in n_sub and o_sub[key] != n_sub[key]:
+                        failures.append(
+                            f"store {sub}: {key} drifted {o_sub[key]} -> "
+                            f"{n_sub[key]} (exact-pinned counter)"
+                        )
+    elif n_store and not o_store:
+        print("  notice    store: new section (no old baseline to compare)")
+
+    # Canon v2 section (PR 10+): on the same recorded duplicate stream the
+    # Semantic fold must keep beating TableStem, and fold hits may only
+    # grow between baselines.
+    o_canon, n_canon = old.get("canon_v2"), new.get("canon_v2")
+    if n_canon:
+        sem_hits = n_canon.get("semantic", {}).get("hits", 0)
+        stem_hits = n_canon.get("tablestem", {}).get("hits", 0)
+        if sem_hits <= stem_hits:
+            failures.append(
+                f"canon_v2: semantic hits {sem_hits} must exceed tablestem "
+                f"hits {stem_hits} on the reordered-duplicate stream"
+            )
+    if o_canon and n_canon:
+        if o_canon.get("foldable_prompts") != n_canon.get("foldable_prompts"):
+            detail = (o_canon.get("foldable_prompts"), n_canon.get("foldable_prompts"))
+            if allow_workload_change:
+                print(f"  notice    canon_v2: foldable stream changed {detail}")
+            else:
+                failures.append(
+                    f"canon_v2: foldable stream changed {detail[0]} -> {detail[1]} "
+                    "(pass --allow-workload-change to re-baseline)"
+                )
+        else:
+            must_not_decrease(
+                "canon_v2",
+                "semantic hits",
+                o_canon.get("semantic", {}).get("hits", 0),
+                n_canon.get("semantic", {}).get("hits", 0),
+            )
+            must_not_increase(
+                "canon_v2 semantic",
+                "misses",
+                o_canon.get("semantic", {}),
+                n_canon.get("semantic", {}),
+            )
+    elif n_canon and not o_canon:
+        print("  notice    canon_v2: new section (no old baseline to compare)")
+
     if failures:
         print(f"\n{len(failures)} counter regression(s):", file=sys.stderr)
         for failure in failures:

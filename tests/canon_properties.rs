@@ -99,6 +99,7 @@ fn canonicalization_is_idempotent_on_random_prompts() {
             CanonLevel::Verbatim,
             CanonLevel::Whitespace,
             CanonLevel::TableStem,
+            CanonLevel::Semantic,
         ] {
             let once = PromptKey::canonicalize(&prompt, level);
             let twice = PromptKey::canonicalize(&once.text(), level);
@@ -118,7 +119,11 @@ fn whitespace_mangling_never_changes_the_key() {
     for _ in 0..CASES {
         let prompt = random_prompt(&mut g);
         let mangled = mangle_whitespace(&mut g, &prompt);
-        for level in [CanonLevel::Whitespace, CanonLevel::TableStem] {
+        for level in [
+            CanonLevel::Whitespace,
+            CanonLevel::TableStem,
+            CanonLevel::Semantic,
+        ] {
             let clean = PromptKey::canonicalize(&prompt, level);
             let noisy = PromptKey::canonicalize(&mangled, level);
             assert_eq!(

@@ -1,0 +1,229 @@
+//! Acceptance tests for canonicalization v2 ([`CanonLevel::Semantic`]):
+//! `p_dp` record blocks and `p_ri` instance lists that differ only in
+//! element order must fold to one cache entry whose hits replay the
+//! canonical completion permutation-corrected — per-element attribution
+//! is order-invariant and replay is bit-for-bit deterministic across
+//! reruns and shard counts — the folds must carry through the disk
+//! tier, and the answer drift semantic folding induces on the eval
+//! suite must stay within the documented budget.
+
+use unidm::{CacheStore, CanonLevel, PromptCache, StoreConfig};
+use unidm_eval::{imputation, CacheConfig, ExperimentConfig};
+use unidm_llm::protocol::{render_pdp, render_pri, SerializedRecord, TaskKind};
+use unidm_llm::{LanguageModel, LlmProfile, MockLlm};
+use unidm_world::World;
+
+/// Documented answer-drift budget of `CanonLevel::Semantic` (see the
+/// level's rustdoc and README): no eval-suite cell may move more than
+/// this many points (cells are percentages) versus an uncached run.
+const DRIFT_BUDGET: f64 = 2.0;
+
+fn llm() -> MockLlm {
+    MockLlm::new(&World::generate(42), LlmProfile::gpt3_175b(), 42)
+}
+
+fn records() -> Vec<SerializedRecord> {
+    vec![
+        SerializedRecord::new(vec![
+            ("city".into(), "Alicante".into()),
+            ("country".into(), "Spain".into()),
+        ]),
+        SerializedRecord::new(vec![
+            ("city".into(), "Bergen".into()),
+            ("country".into(), "Norway".into()),
+        ]),
+        SerializedRecord::new(vec![
+            ("city".into(), "Cork".into()),
+            ("country".into(), "Ireland".into()),
+        ]),
+    ]
+}
+
+/// Every rotation + the reversal of `items`.
+fn orderings(items: &[SerializedRecord]) -> Vec<Vec<SerializedRecord>> {
+    let mut out = Vec::new();
+    for start in 0..items.len() {
+        let mut rotated = items.to_vec();
+        rotated.rotate_left(start);
+        out.push(rotated);
+    }
+    let mut reversed = items.to_vec();
+    reversed.reverse();
+    out.push(reversed);
+    out
+}
+
+/// Splits a completion into one attributable piece per element, pairing
+/// piece `j` with the identity of the element at position `j` of the
+/// request ordering; sorted by identity so orderings compare directly.
+fn attribution(
+    order: &[SerializedRecord],
+    text: &str,
+    split: &dyn Fn(&str) -> Vec<String>,
+) -> Vec<(String, String)> {
+    let pieces = split(text);
+    assert_eq!(pieces.len(), order.len(), "one piece per element: {text:?}");
+    let mut pairs: Vec<(String, String)> = order
+        .iter()
+        .map(SerializedRecord::render)
+        .zip(pieces)
+        .collect();
+    pairs.sort();
+    pairs
+}
+
+/// Asserts that all `prompts` (the same elements in the given `orders`)
+/// fold to one Semantic cache entry whose hits replay the canonical
+/// completion permutation-corrected: every element carries the same
+/// attributed piece in every ordering, replay is deterministic, and no
+/// reordering reaches the model — while TableStem keys each ordering
+/// separately (the v1 behavior the fold improves on).
+fn assert_folds_replay(
+    prompts: &[String],
+    orders: &[Vec<SerializedRecord>],
+    split: &dyn Fn(&str) -> Vec<String>,
+) {
+    for shards in [1, 8] {
+        let model = llm();
+        let semantic = PromptCache::unbounded(&model)
+            .with_shards(shards)
+            .with_canonicalization(CanonLevel::Semantic);
+        let first = semantic.complete(&prompts[0]).expect("first completes");
+        let usage_after_first = model.usage();
+        let baseline = attribution(&orders[0], &first.text, split);
+        for (reordered, order) in prompts[1..].iter().zip(&orders[1..]) {
+            let replay = semantic.complete(reordered).expect("reordered completes");
+            let again = semantic.complete(reordered).expect("replay repeats");
+            assert_eq!(replay.text, again.text, "replay must be deterministic");
+            assert_eq!(replay.usage, first.usage, "usage replays the one entry");
+            assert_eq!(
+                attribution(order, &replay.text, split),
+                baseline,
+                "per-element attribution must be order-invariant"
+            );
+        }
+        assert_eq!(
+            model.usage(),
+            usage_after_first,
+            "reorderings never reach the model at Semantic ({shards} shards)"
+        );
+        let stats = semantic.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (2 * (prompts.len() - 1), 1),
+            "every reordering (and its repeat) is a fold hit"
+        );
+
+        // v1 contrast: TableStem sees each ordering as a distinct key.
+        let stem_model = llm();
+        let stem = PromptCache::unbounded(&stem_model)
+            .with_shards(shards)
+            .with_canonicalization(CanonLevel::TableStem);
+        for p in prompts {
+            stem.complete(p).expect("completes");
+        }
+        assert_eq!(stem.stats().hits, 0, "TableStem must not fold reorderings");
+    }
+}
+
+/// Piece extractor for `p_ri` completions ("1:2, 2:0, ..."): the k-th
+/// piece is instance k's relevance score, so the index prefixes must
+/// count 1..=n in order.
+fn pri_scores(text: &str) -> Vec<String> {
+    text.split(',')
+        .enumerate()
+        .map(|(j, chunk)| {
+            let (index, score) = chunk.trim().split_once(':').expect("k:score pair");
+            assert_eq!(index.parse::<usize>().ok(), Some(j + 1), "indices renumber");
+            score.trim().to_string()
+        })
+        .collect()
+}
+
+/// Piece extractor for `p_dp` completions: one naturalized sentence per
+/// record, newline-joined, in request record order.
+fn pdp_lines(text: &str) -> Vec<String> {
+    text.lines().map(str::to_string).collect()
+}
+
+#[test]
+fn reordered_pdp_record_blocks_fold_with_order_invariant_lines() {
+    let orders = orderings(&records());
+    let prompts: Vec<String> = orders.iter().map(|order| render_pdp(order)).collect();
+    assert!(prompts.windows(2).all(|w| w[0] != w[1]), "orders differ");
+    assert_folds_replay(&prompts, &orders, &pdp_lines);
+}
+
+#[test]
+fn reordered_pri_instance_lists_fold_with_order_invariant_scores() {
+    let orders = orderings(&records());
+    let prompts: Vec<String> = orders
+        .iter()
+        .map(|order| render_pri(TaskKind::Imputation, "city: Cork; country: ?", order))
+        .collect();
+    assert!(prompts.windows(2).all(|w| w[0] != w[1]), "orders differ");
+    assert_folds_replay(&prompts, &orders, &pri_scores);
+}
+
+#[test]
+fn folded_entries_carry_through_the_disk_tier() {
+    // The store is keyed by canonical text, so a reordering offered by
+    // one process is a disk hit for another — through a cold tier 0.
+    let path = std::env::temp_dir().join(format!("unidm-canon-v2-{}.udmstore", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let model = llm();
+    let store = CacheStore::open(&path, model.name(), StoreConfig::default()).expect("opens");
+
+    let writer = PromptCache::unbounded(&model)
+        .with_canonicalization(CanonLevel::Semantic)
+        .with_store(store.clone());
+    let original = render_pdp(&records());
+    let canonical = writer.complete(&original).expect("completes");
+
+    let reader = PromptCache::unbounded(&model)
+        .with_canonicalization(CanonLevel::Semantic)
+        .with_store(store.clone());
+    let mut reversed = records();
+    reversed.reverse();
+    let usage_before = model.usage();
+    let replay = reader
+        .complete(&render_pdp(&reversed))
+        .expect("reordered completes");
+    assert_eq!(model.usage(), usage_before, "served from disk, not model");
+    assert_eq!(replay.usage, canonical.usage);
+    assert_eq!(
+        attribution(&reversed, &replay.text, &pdp_lines),
+        attribution(&records(), &canonical.text, &pdp_lines),
+        "each record keeps its sentence through the disk tier"
+    );
+    assert_eq!(store.stats().hits, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn semantic_folding_keeps_eval_answer_drift_within_budget() {
+    // Semantic is the one level that is not exact memoization: folded
+    // `p_ri` hits replay the canonical (sorted) list's completion, so
+    // index-keyed relevance scores can land on permuted instances. The
+    // drift that induces on the paper tables must stay within the
+    // documented budget — here measured on Table 1 (imputation, the
+    // full p_rm/p_ri/p_dp pipeline) against an uncached run.
+    let uncached = imputation::table1(ExperimentConfig::quick());
+    let folded = imputation::table1(ExperimentConfig::quick().with_cache(CacheConfig {
+        level: CanonLevel::Semantic,
+        ..CacheConfig::enabled()
+    }));
+    assert_eq!(uncached.columns, folded.columns);
+    let mut max_drift = 0.0f64;
+    for (u, f) in uncached.rows.iter().zip(&folded.rows) {
+        assert_eq!(u.method, f.method);
+        for (a, b) in u.cells.iter().zip(&f.cells) {
+            max_drift = max_drift.max((a - b).abs());
+        }
+    }
+    assert!(
+        max_drift <= DRIFT_BUDGET,
+        "semantic folding drifted table 1 by {max_drift:.2} points \
+         (documented budget {DRIFT_BUDGET})"
+    );
+}
